@@ -1,0 +1,234 @@
+//! A Chor–Merritt–Shmoys-style constant-expected-time consensus.
+//!
+//! Chor, Merritt & Shmoys (JACM 1989, `[25]` in the paper) gave simple
+//! randomized consensus protocols running in *constant expected time*
+//! against realistic (crash) failure models with `f < n/2` — and the
+//! matching `Ω(log n/log log n)` round lower bound the paper cites for
+//! its own round-optimality claim. As with the other baselines we
+//! implement a simplified variant with the same headline behaviour:
+//!
+//! In each phase every alive node draws a fresh random rank and
+//! broadcasts `(rank, value)`; everyone adopts the value of the highest
+//! rank heard (a random "phase leader"). If the phase leader survives its
+//! broadcast, the whole network agrees from that phase on — which happens
+//! with constant probability per phase — so the network *stabilises* in
+//! `O(1)` expected phases. After a fixed `K` phases everyone decides.
+//!
+//! Headline: `O(1)` expected stabilisation, `Θ(K·n²)` messages, `f < n/2`
+//! whp-correctness, KT0, explicit output.
+
+use ftc_sim::payload::Payload;
+use ftc_sim::prelude::*;
+use rand::prelude::*;
+
+/// Number of phases (each one round): failure probability decays
+/// geometrically per phase.
+pub const CMS_PHASES: u32 = 8;
+
+/// Phase message: a fresh random rank and the sender's current value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CmsMsg {
+    /// Fresh random rank for this phase.
+    pub rank: u64,
+    /// Sender's current value.
+    pub value: bool,
+}
+
+impl Payload for CmsMsg {
+    fn size_bits(&self) -> u32 {
+        49
+    }
+}
+
+/// One node of the CMS-style consensus.
+#[derive(Clone, Debug)]
+pub struct CmsNode {
+    input: bool,
+    value: bool,
+    decision: Option<bool>,
+    /// First phase after which this node's value never changed again
+    /// (measured stabilisation time).
+    stable_since: u32,
+}
+
+impl CmsNode {
+    /// Creates a node with the given input bit.
+    pub fn new(input_one: bool) -> Self {
+        CmsNode {
+            input: input_one,
+            value: input_one,
+            decision: None,
+            stable_since: 0,
+        }
+    }
+
+    /// The node's input.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+
+    /// The node's decision (explicit output after [`CMS_PHASES`] phases).
+    pub fn decision(&self) -> Option<bool> {
+        self.decision
+    }
+
+    /// The phase since which this node's value was stable.
+    pub fn stable_since(&self) -> u32 {
+        self.stable_since
+    }
+
+    fn broadcast_phase(&self, ctx: &mut Ctx<'_, CmsMsg>) {
+        let rank: u64 = ctx.rng().random();
+        ctx.broadcast(CmsMsg {
+            rank,
+            value: self.value,
+        });
+    }
+}
+
+impl Protocol for CmsNode {
+    type Msg = CmsMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CmsMsg>) {
+        self.broadcast_phase(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, CmsMsg>, inbox: &[Incoming<CmsMsg>]) {
+        if self.decision.is_some() {
+            return;
+        }
+        // Adopt the phase leader's value (own implicit rank loses ties —
+        // ranks are 64-bit, collisions are negligible).
+        if let Some(leader) = inbox.iter().max_by_key(|m| m.msg.rank) {
+            if leader.msg.value != self.value {
+                self.value = leader.msg.value;
+                self.stable_since = ctx.round();
+            }
+        }
+        if ctx.round() >= CMS_PHASES {
+            self.decision = Some(self.value);
+        } else {
+            self.broadcast_phase(ctx);
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.decision.is_some()
+    }
+}
+
+/// Round budget for a CMS run.
+pub fn cms_round_budget() -> u32 {
+    CMS_PHASES + 3
+}
+
+/// Outcome of a CMS-style consensus run.
+#[derive(Clone, Debug)]
+pub struct CmsOutcome {
+    /// The common decision, when consistent.
+    pub value: Option<bool>,
+    /// Alive nodes without a decision.
+    pub undecided: usize,
+    /// Largest `stable_since` among alive nodes — the phase at which the
+    /// whole network had stabilised (the paper's expected-constant).
+    pub stabilised_at: u32,
+    /// Whether all alive nodes decided the same, valid value.
+    pub success: bool,
+}
+
+impl CmsOutcome {
+    /// Scores a finished run.
+    pub fn evaluate(result: &RunResult<CmsNode>) -> Self {
+        let decisions: Vec<Option<bool>> = result
+            .surviving_states()
+            .map(|(_, s)| s.decision())
+            .collect();
+        let undecided = decisions.iter().filter(|d| d.is_none()).count();
+        let distinct: std::collections::BTreeSet<bool> =
+            decisions.iter().flatten().copied().collect();
+        let value = (distinct.len() == 1).then(|| *distinct.first().unwrap());
+        let valid = value.map_or(false, |v| result.all_states().any(|(_, s)| s.input() == v));
+        let stabilised_at = result
+            .surviving_states()
+            .map(|(_, s)| s.stable_since())
+            .max()
+            .unwrap_or(0);
+        CmsOutcome {
+            value,
+            undecided,
+            stabilised_at,
+            success: undecided == 0 && distinct.len() == 1 && valid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cms(
+        n: u32,
+        seed: u64,
+        inputs: impl Fn(NodeId) -> bool,
+        adv: &mut dyn Adversary<CmsMsg>,
+    ) -> RunResult<CmsNode> {
+        let cfg = SimConfig::new(n).seed(seed).max_rounds(cms_round_budget());
+        run(&cfg, |id| CmsNode::new(inputs(id)), adv)
+    }
+
+    #[test]
+    fn fault_free_agrees_quickly() {
+        for seed in 0..10 {
+            let r = run_cms(128, seed, |id| id.0 % 2 == 0, &mut NoFaults);
+            let o = CmsOutcome::evaluate(&r);
+            assert!(o.success, "seed {seed}: {o:?}");
+            // Fault-free: the very first phase leader settles everything.
+            assert!(o.stabilised_at <= 2, "stabilised at {}", o.stabilised_at);
+        }
+    }
+
+    #[test]
+    fn survives_minority_crashes_whp() {
+        let mut ok = 0;
+        for seed in 0..20 {
+            let mut adv = RandomCrash::new(60, 6);
+            let r = run_cms(128, seed, |id| id.0 % 3 == 0, &mut adv);
+            if CmsOutcome::evaluate(&r).success {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 19, "{ok}/20");
+    }
+
+    #[test]
+    fn unanimous_inputs_preserved() {
+        let r = run_cms(64, 3, |_| true, &mut NoFaults);
+        let o = CmsOutcome::evaluate(&r);
+        assert_eq!(o.value, Some(true));
+        assert!(o.success);
+    }
+
+    #[test]
+    fn message_cost_is_quadratic_per_phase() {
+        let n = 128u32;
+        let r = run_cms(n, 4, |id| id.0 == 0, &mut NoFaults);
+        let per_phase = u64::from(n) * u64::from(n - 1);
+        assert!(r.metrics.msgs_sent >= u64::from(CMS_PHASES) * per_phase);
+        assert!(r.metrics.msgs_sent <= u64::from(CMS_PHASES + 2) * per_phase);
+    }
+
+    #[test]
+    fn expected_stabilisation_is_constant() {
+        // Average stabilisation phase over seeds stays a small constant
+        // even with crashes.
+        let mut total = 0u32;
+        let trials = 20u64;
+        for seed in 0..trials {
+            let mut adv = RandomCrash::new(40, 6);
+            let r = run_cms(128, seed, |id| id.0 % 2 == 0, &mut adv);
+            total += CmsOutcome::evaluate(&r).stabilised_at;
+        }
+        let mean = f64::from(total) / trials as f64;
+        assert!(mean < 4.0, "mean stabilisation phase {mean}");
+    }
+}

@@ -1,0 +1,383 @@
+//! A Gilbert–Kowalski-style `O(n)`-message explicit agreement (KT1).
+//!
+//! Gilbert & Kowalski (SODA 2010) gave an `O(n)`-message, `O(log n)`-round
+//! explicit crash-fault agreement tolerating up to `n/2 − 1` faults in the
+//! KT1 model — the closest prior work the paper compares against
+//! (Table I). Their full construction (checkpointed gossip with fountains)
+//! is far more intricate than its headline bounds; as documented in
+//! DESIGN.md §5, we implement a *simplified variant with the same headline
+//! behaviour*:
+//!
+//! 1. **Gather** — inputs are aggregated (minimum) up a static binary tree
+//!    over node ids, depth-synchronised: `n − O(log n)` messages,
+//!    `O(log n)` rounds.
+//! 2. **Committee FloodSet** — the top `K = Θ(log n)` tree nodes run the
+//!    classic `(K+1)`-round flooding consensus among themselves on the
+//!    gathered minima: `O(log² n)` messages.
+//! 3. **Disseminate + repair** — the decision flows back down the tree;
+//!    nodes orphaned by crashed ancestors query random committee members
+//!    directly (one query per round until answered): `n + O(#orphans)`
+//!    messages in expectation.
+//!
+//! The variant keeps `O(n)` messages and `O(log n)` rounds under random
+//! crash faults below `n/2` and requires KT1 (nodes address each other by
+//! id), exactly the row Table I reports for \[24\]. Unlike the real GK10 it
+//! can fail if an adversary crashes the *entire* committee — a measurable
+//! simplification, probability `2^{-Θ(log n)}` under random faults.
+
+use ftc_sim::ids::{NodeId, Round};
+use ftc_sim::payload::Payload;
+use ftc_sim::prelude::*;
+use rand::prelude::*;
+
+/// Messages of the GK10-style protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GkMsg {
+    /// Subtree minimum flowing up the gather tree.
+    Gather(bool),
+    /// Committee-internal FloodSet value.
+    Flood(bool),
+    /// Decision flowing down the tree.
+    Decide(bool),
+    /// Orphan → committee: "what was decided?"
+    Query,
+    /// Committee → orphan: the decision.
+    Reply(bool),
+}
+
+impl Payload for GkMsg {
+    fn size_bits(&self) -> u32 {
+        match self {
+            GkMsg::Query => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// Static tree/committee geometry shared by all nodes.
+#[derive(Clone, Copy, Debug)]
+struct Geometry {
+    n: u32,
+    /// Committee size (`min(n, 2·⌈log₂ n⌉ + 1)`).
+    k: u32,
+    /// Maximum tree depth.
+    max_depth: u32,
+}
+
+impl Geometry {
+    fn new(n: u32) -> Self {
+        let log2n = 32 - n.leading_zeros();
+        let k = (2 * log2n + 1).min(n);
+        let max_depth = n.ilog2(); // depth of node n-1 in the heap order
+        Geometry { n, k, max_depth }
+    }
+
+    fn depth(self, id: u32) -> u32 {
+        (id + 1).ilog2()
+    }
+
+    fn parent(self, id: u32) -> Option<u32> {
+        (id > 0).then(|| (id - 1) / 2)
+    }
+
+    fn children(self, id: u32) -> impl Iterator<Item = u32> {
+        let n = self.n;
+        [2 * id + 1, 2 * id + 2].into_iter().filter(move |&c| c < n)
+    }
+
+    fn is_committee(self, id: u32) -> bool {
+        id < self.k
+    }
+
+    /// Round at which node `id` fires its gather message.
+    fn gather_round(self, id: u32) -> Round {
+        self.max_depth - self.depth(id)
+    }
+
+    /// First round of the committee FloodSet.
+    fn flood_start(self) -> Round {
+        self.max_depth + 1
+    }
+
+    /// Round at which committee members decide and start dissemination.
+    fn decide_round(self) -> Round {
+        self.flood_start() + self.k + 2
+    }
+
+    /// Round after which an undecided node starts querying the committee.
+    fn repair_round(self, id: u32) -> Round {
+        self.decide_round() + self.depth(id) + 4
+    }
+}
+
+/// One node of the GK10-style explicit agreement. Requires a KT1
+/// simulation (`SimConfig::kt1(true)`).
+#[derive(Clone, Debug)]
+pub struct GkNode {
+    input: bool,
+    /// Current minimum (gather / flood value).
+    value: bool,
+    geo: Option<Geometry>,
+    decision: Option<bool>,
+    relayed_down: bool,
+}
+
+impl GkNode {
+    /// Creates a node with the given input bit.
+    pub fn new(input_one: bool) -> Self {
+        GkNode {
+            input: input_one,
+            value: input_one,
+            geo: None,
+            decision: None,
+            relayed_down: false,
+        }
+    }
+
+    /// The node's decision (explicit output).
+    pub fn decision(&self) -> Option<bool> {
+        self.decision
+    }
+
+    /// The node's input bit.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+
+    fn decide_and_relay(&mut self, ctx: &mut Ctx<'_, GkMsg>, v: bool) {
+        let geo = self.geo.expect("geometry set in on_start");
+        if self.decision.is_none() {
+            self.decision = Some(v);
+        }
+        if !self.relayed_down {
+            self.relayed_down = true;
+            let me = ctx.node_id().0;
+            for c in geo.children(me) {
+                let port = ctx.port_to(NodeId(c));
+                ctx.send(port, GkMsg::Decide(v));
+            }
+        }
+    }
+}
+
+impl Protocol for GkNode {
+    type Msg = GkMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GkMsg>) {
+        assert!(ctx.is_kt1(), "the GK10-style baseline requires KT1");
+        self.geo = Some(Geometry::new(ctx.n()));
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, GkMsg>, inbox: &[Incoming<GkMsg>]) {
+        let geo = self.geo.expect("geometry set in on_start");
+        let me = ctx.node_id().0;
+        let round = ctx.round();
+
+        // Ingest messages.
+        let mut got_decide: Option<bool> = None;
+        let mut queries: Vec<ftc_sim::ids::Port> = Vec::new();
+        let mut flood_changed = false;
+        for inc in inbox {
+            match inc.msg {
+                GkMsg::Gather(v) | GkMsg::Flood(v) if !v => {
+                    if self.value {
+                        self.value = false;
+                        if matches!(inc.msg, GkMsg::Flood(_)) {
+                            flood_changed = true;
+                        }
+                    }
+                }
+                GkMsg::Gather(_) | GkMsg::Flood(_) => {}
+                GkMsg::Decide(v) | GkMsg::Reply(v) => {
+                    got_decide = Some(got_decide.map_or(v, |g| g && v));
+                }
+                GkMsg::Query => queries.push(inc.port),
+            }
+        }
+
+        // Phase 1: gather up the tree.
+        if !geo.is_committee(me) && round == geo.gather_round(me) {
+            if let Some(p) = geo.parent(me) {
+                let port = ctx.port_to(NodeId(p));
+                ctx.send(port, GkMsg::Gather(self.value));
+            }
+        }
+
+        // Phase 2: committee FloodSet.
+        if geo.is_committee(me) {
+            let start = geo.flood_start();
+            if round == start || (flood_changed && round > start && round < geo.decide_round()) {
+                for peer in 0..geo.k {
+                    if peer != me {
+                        let port = ctx.port_to(NodeId(peer));
+                        ctx.send(port, GkMsg::Flood(self.value));
+                    }
+                }
+            }
+            // Phase 3 kick-off: decide and push down the tree.
+            if round >= geo.decide_round() && self.decision.is_none() {
+                let v = self.value;
+                self.decide_and_relay(ctx, v);
+            }
+            // Serve repair queries.
+            if let Some(v) = self.decision {
+                for q in queries {
+                    ctx.send(q, GkMsg::Reply(v));
+                }
+            }
+            return;
+        }
+
+        // Phase 3 (non-committee): adopt and relay the decision.
+        if let Some(v) = got_decide {
+            self.decide_and_relay(ctx, v);
+        }
+        // Repair: orphaned by crashed ancestors — query a random committee
+        // member each round until someone answers.
+        if self.decision.is_none() && round >= geo.repair_round(me) {
+            let target = loop {
+                let t = ctx.rng().random_range(0..geo.k);
+                if t != me {
+                    break t;
+                }
+            };
+            let port = ctx.port_to(NodeId(target));
+            ctx.send(port, GkMsg::Query);
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.decision.is_some()
+    }
+}
+
+/// Round budget for the GK10-style protocol on an `n`-node network.
+pub fn gk_round_budget(n: u32) -> u32 {
+    let geo = Geometry::new(n);
+    geo.decide_round() + geo.max_depth + geo.k + 16
+}
+
+/// Outcome of a GK10-style run.
+#[derive(Clone, Debug)]
+pub struct GkOutcome {
+    /// The common decision, when consistent.
+    pub value: Option<bool>,
+    /// Alive nodes without a decision.
+    pub undecided: usize,
+    /// Explicit-agreement success: everyone alive decided the same value,
+    /// and the value is some node's input.
+    pub success: bool,
+}
+
+impl GkOutcome {
+    /// Scores a finished run.
+    pub fn evaluate(result: &RunResult<GkNode>) -> Self {
+        let decisions: Vec<Option<bool>> = result
+            .surviving_states()
+            .map(|(_, s)| s.decision())
+            .collect();
+        let undecided = decisions.iter().filter(|d| d.is_none()).count();
+        let distinct: std::collections::BTreeSet<bool> =
+            decisions.iter().flatten().copied().collect();
+        let value = (distinct.len() == 1).then(|| *distinct.first().unwrap());
+        let valid = value.map_or(false, |v| result.all_states().any(|(_, s)| s.input() == v));
+        GkOutcome {
+            value,
+            undecided,
+            success: undecided == 0 && distinct.len() == 1 && valid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_gk(
+        n: u32,
+        seed: u64,
+        inputs: impl Fn(NodeId) -> bool,
+        adv: &mut dyn Adversary<GkMsg>,
+    ) -> RunResult<GkNode> {
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .kt1(true)
+            .max_rounds(gk_round_budget(n));
+        run(&cfg, |id| GkNode::new(inputs(id)), adv)
+    }
+
+    #[test]
+    fn fault_free_decides_minimum() {
+        let r = run_gk(256, 1, |id| id.0 != 200, &mut NoFaults);
+        let o = GkOutcome::evaluate(&r);
+        assert!(o.success, "{o:?}");
+        assert_eq!(o.value, Some(false));
+    }
+
+    #[test]
+    fn all_ones_decides_one() {
+        let r = run_gk(256, 2, |_| true, &mut NoFaults);
+        let o = GkOutcome::evaluate(&r);
+        assert!(o.success, "{o:?}");
+        assert_eq!(o.value, Some(true));
+    }
+
+    #[test]
+    fn survives_random_crashes_below_half() {
+        for seed in 0..10 {
+            let mut adv = RandomCrash::new(100, 20);
+            let r = run_gk(256, seed, |id| id.0 % 3 == 0, &mut adv);
+            let o = GkOutcome::evaluate(&r);
+            assert!(o.success, "seed {seed}: {o:?}");
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_linear_class() {
+        let n = 4096u32;
+        let r = run_gk(n, 3, |id| id.0 == 9, &mut NoFaults);
+        let o = GkOutcome::evaluate(&r);
+        assert!(o.success, "{o:?}");
+        // O(n): gather (≈ n) + committee flooding (O(log² n)) +
+        // dissemination (≈ n). Well below n·log n.
+        assert!(
+            r.metrics.msgs_sent < 4 * u64::from(n),
+            "messages {}",
+            r.metrics.msgs_sent
+        );
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_class() {
+        let n = 4096u32;
+        let r = run_gk(n, 4, |_| true, &mut NoFaults);
+        assert!(
+            r.metrics.rounds <= gk_round_budget(n),
+            "rounds {}",
+            r.metrics.rounds
+        );
+        // decide_round + tree depth + slack ≈ 3·log n + const.
+        assert!(r.metrics.rounds < 8 * 12 + 40);
+    }
+
+    #[test]
+    fn orphan_repair_reaches_leaves() {
+        // Crash a band of internal tree nodes right after gather so entire
+        // subtrees are orphaned during dissemination; repair must still
+        // deliver the decision.
+        let n = 256u32;
+        let geo_probe = Geometry::new(n);
+        let mut plan = FaultPlan::new();
+        for id in geo_probe.k..geo_probe.k + 20 {
+            plan = plan.crash(
+                NodeId(id),
+                geo_probe.flood_start(),
+                DeliveryFilter::DropAll,
+            );
+        }
+        let mut adv = ScriptedCrash::new(plan);
+        let r = run_gk(n, 5, |_| true, &mut adv);
+        let o = GkOutcome::evaluate(&r);
+        assert!(o.success, "{o:?}");
+    }
+}

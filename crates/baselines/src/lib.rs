@@ -1,0 +1,43 @@
+//! # `ftc-baselines` — comparison protocols for Table I and the figures
+//!
+//! The paper's evaluation artifact is Table I: a comparison of the
+//! agreement protocol against the best known algorithms in the same model.
+//! This crate implements each comparison row (or the closest faithful
+//! stand-in, see DESIGN.md §5) plus the classic baselines the sublinear
+//! bounds are measured against:
+//!
+//! | Module | Stands for | Messages | Rounds | Resilience | Model |
+//! |--------|-----------|----------|--------|-----------|-------|
+//! | [`flood_agreement`] | folklore FloodSet | `O(n²)` | `f+1` | any `f` | KT0 |
+//! | [`broadcast_le`] | deterministic LE | `O(n²)` | `f+1` | any `f` | KT0 |
+//! | [`gilbert_kowalski`] | Gilbert–Kowalski SODA'10 `[24]` | `O(n)` | `O(log n)` | `n/2−1` | KT1 |
+//! | [`chlebus_kowalski`] | Chlebus–Kowalski SPAA'09 `[36]` | `O(n log n)` exp. | `O(log n)` exp. | linear | KT0 |
+//! | [`kutten_le`] | Kutten et al. TCS'15 `[21]` (fault-free) | `O(√n·log^{3/2}n)` | `O(1)` | none | KT0 |
+//! | [`cms`] | Chor–Merritt–Shmoys JACM'89 `[25]` | `Θ(n²)`/phase | `O(1)` expected | `< n/2` whp | KT0 |
+//! | [`augustine_agreement`] | Augustine–Molla–Pandurangan PODC'18 `[23]` (fault-free) | `O(√n·log^{3/2}n)` | `O(1)` | none | KT0 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augustine_agreement;
+pub mod broadcast_le;
+pub mod chlebus_kowalski;
+pub mod cms;
+pub mod flood_agreement;
+pub mod gilbert_kowalski;
+pub mod kutten_le;
+
+/// Convenient glob import for baseline users.
+pub mod prelude {
+    pub use crate::augustine_agreement::{
+        augustine_round_budget, AugustineMsg, AugustineNode, AugustineOutcome,
+    };
+    pub use crate::broadcast_le::{broadcast_le_round_budget, BroadcastLeNode, BroadcastLeOutcome};
+    pub use crate::chlebus_kowalski::{
+        gossip_round_budget, gossip_rounds, GossipNode, GossipOutcome,
+    };
+    pub use crate::cms::{cms_round_budget, CmsMsg, CmsNode, CmsOutcome, CMS_PHASES};
+    pub use crate::flood_agreement::{flood_round_budget, FloodAgreeNode, FloodOutcome};
+    pub use crate::gilbert_kowalski::{gk_round_budget, GkMsg, GkNode, GkOutcome};
+    pub use crate::kutten_le::{kutten_round_budget, KuttenLeNode, KuttenMsg, KuttenOutcome};
+}

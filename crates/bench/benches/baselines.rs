@@ -1,0 +1,73 @@
+//! Wall-clock benchmarks of the baseline protocols, for the engineering
+//! side of the Table-I comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_baselines::prelude::*;
+use ftc_sim::prelude::*;
+
+fn bench_floodset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/floodset");
+    g.sample_size(10);
+    for &n in &[1024u32, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = 16u32;
+            let cfg = SimConfig::new(n).seed(1).max_rounds(flood_round_budget(f));
+            b.iter(|| {
+                let mut adv = RandomCrash::new(f as usize, f);
+                let r = run(&cfg, |id| FloodAgreeNode::new(f, id.0 % 5 != 0), &mut adv);
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/gilbert_kowalski");
+    g.sample_size(10);
+    for &n in &[1024u32, 4096, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SimConfig::new(n).seed(1).kt1(true).max_rounds(gk_round_budget(n));
+            b.iter(|| {
+                let mut adv = RandomCrash::new(n as usize / 4, 10);
+                let r = run(&cfg, |id| GkNode::new(id.0 % 5 != 0), &mut adv);
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/gossip");
+    g.sample_size(10);
+    for &n in &[1024u32, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SimConfig::new(n).seed(1).max_rounds(gossip_round_budget(n));
+            b.iter(|| {
+                let mut adv = RandomCrash::new(n as usize / 4, 10);
+                let r = run(&cfg, |id| GossipNode::new(n, id.0 % 5 != 0), &mut adv);
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_kutten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/kutten_le");
+    g.sample_size(10);
+    for &n in &[4096u32, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SimConfig::new(n).seed(1).max_rounds(kutten_round_budget());
+            b.iter(|| {
+                let r = run(&cfg, |_| KuttenLeNode::new(), &mut NoFaults);
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_floodset, bench_gk, bench_gossip, bench_kutten);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Wall-clock benchmarks of the simulator substrate, including the D1
+//! ablation (lazy Feistel ports vs materialised permutations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_sim::ids::NodeId;
+use ftc_sim::perm::Perm;
+use ftc_sim::ports::PortMap;
+use ftc_sim::prelude::*;
+
+/// A chatter protocol that stresses the delivery path: every node sends to
+/// 4 random ports for 8 rounds.
+struct Chat;
+
+impl Protocol for Chat {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for _ in 0..4 {
+            let p = ctx.random_port();
+            ctx.send(p, 1);
+        }
+    }
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, _inbox: &[Incoming<u64>]) {
+        if ctx.round() < 8 {
+            for _ in 0..4 {
+                let p = ctx.random_port();
+                ctx.send(p, 1);
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true
+    }
+}
+
+fn bench_round_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/rounds");
+    g.sample_size(10);
+    for &n in &[1024u32, 8192, 65536] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SimConfig::new(n).seed(1).max_rounds(10);
+            b.iter(|| {
+                let r = run(&cfg, |_| Chat, &mut NoFaults);
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// D1 ablation: evaluating the lazy PRP port map vs building an explicit
+/// permutation vector per node (the memory-hungry alternative).
+fn bench_port_lookup(c: &mut Criterion) {
+    let n: u32 = 1 << 16;
+    let pm = PortMap::new(n, NodeId(7), 42);
+
+    let mut g = c.benchmark_group("engine/ports");
+    g.bench_function("lazy_feistel_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % (n - 1);
+            std::hint::black_box(pm.peer(ftc_sim::ids::Port(i)))
+        });
+    });
+    g.bench_function("materialised_build_once", |b| {
+        b.iter(|| {
+            // The alternative design: materialise the whole permutation.
+            let perm = Perm::new(u64::from(n) - 1, 42);
+            let v: Vec<u32> = (0..u64::from(n) - 1).map(|x| perm.apply(x) as u32).collect();
+            std::hint::black_box(v.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_trial_runner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/parallel_trials");
+    g.sample_size(10);
+    g.bench_function("16_trials_n1024", |b| {
+        let cfg = SimConfig::new(1024).seed(3).max_rounds(10);
+        b.iter(|| {
+            let out = run_trials(&cfg, 16, |c| {
+                let r = run(c, |_| Chat, &mut NoFaults);
+                r.metrics.msgs_sent
+            });
+            std::hint::black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_round_engine, bench_port_lookup, bench_trial_runner);
+criterion_main!(benches);

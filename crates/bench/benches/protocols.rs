@@ -1,0 +1,75 @@
+//! End-to-end wall-clock benchmarks of the paper's protocols
+//! (complementing the message/round measurements of the `fig_*` harnesses
+//! with engineering cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_core::agreement::AgreeNode;
+use ftc_core::leader_election::LeNode;
+use ftc_core::params::Params;
+use ftc_sim::prelude::*;
+
+fn bench_leader_election(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols/leader_election");
+    g.sample_size(10);
+    for &n in &[1024u32, 4096, 16384] {
+        let params = Params::new(n, 0.5).expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SimConfig::new(n).seed(1).max_rounds(params.le_round_budget());
+            b.iter(|| {
+                let mut adv = EagerCrash::new(params.max_faults());
+                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols/agreement");
+    g.sample_size(10);
+    for &n in &[1024u32, 4096, 16384, 65536] {
+        let params = Params::new(n, 0.5).expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SimConfig::new(n)
+                .seed(1)
+                .max_rounds(params.agreement_round_budget());
+            b.iter(|| {
+                let mut adv = EagerCrash::new(params.max_faults());
+                let r = run(
+                    &cfg,
+                    |id| AgreeNode::new(params.clone(), id.0 % 20 != 0),
+                    &mut adv,
+                );
+                std::hint::black_box(r.metrics.msgs_sent)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alpha_cost(c: &mut Criterion) {
+    // How wall-clock cost scales with resilience (the 1/alpha factors).
+    let mut g = c.benchmark_group("protocols/le_alpha");
+    g.sample_size(10);
+    for &alpha in &[1.0f64, 0.5, 0.25] {
+        let n = 4096u32;
+        let params = Params::new(n, alpha).expect("valid");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha_{alpha}")),
+            &alpha,
+            |b, _| {
+                let cfg = SimConfig::new(n).seed(2).max_rounds(params.le_round_budget());
+                b.iter(|| {
+                    let mut adv = EagerCrash::new(params.max_faults());
+                    let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+                    std::hint::black_box(r.metrics.rounds)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_leader_election, bench_agreement, bench_alpha_cost);
+criterion_main!(benches);

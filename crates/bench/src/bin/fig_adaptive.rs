@@ -1,0 +1,76 @@
+//! E11 (extension) — why the *static* adversary assumption matters.
+//!
+//! The paper's guarantees hold against a static adversary (faulty set
+//! fixed before the run, crash timing adaptive). This experiment runs the
+//! same leader election against (a) the strongest static schedules and
+//! (b) a genuinely *adaptive* adversary that picks its victims after
+//! seeing who became a candidate — with the same crash budget. The
+//! adaptive adversary wins almost surely because the committee is only
+//! `Θ(log n/α)` nodes: an instance of the qualitative gap between the
+//! static-adversary bounds of this paper and the adaptive-adversary line
+//! of work (Bar-Joseph & Ben-Or '98; Hajiaghayi et al. STOC'22).
+//!
+//! ```sh
+//! cargo run --release -p ftc-bench --bin fig_adaptive
+//! ```
+
+use ftc_bench::print_table;
+use ftc_core::adversaries::{AdaptiveCandidateKiller, MinRankCrasher};
+use ftc_core::leader_election::{LeNode, LeOutcome};
+use ftc_core::params::Params;
+use ftc_sim::prelude::*;
+
+const N: u32 = 1024;
+const ALPHA: f64 = 0.5;
+const TRIALS: u64 = 20;
+
+fn main() {
+    let params = Params::new(N, ALPHA).expect("valid");
+    let budget = params.max_faults();
+    println!(
+        "E11: static vs adaptive adversary, n = {N}, crash budget {budget}, {TRIALS} trials"
+    );
+    println!();
+
+    let mut rows = Vec::new();
+
+    let mut measure = |label: &str, mk: &mut dyn FnMut() -> Box<dyn Adversary<ftc_core::messages::LeMsg>>| {
+        let mut ok = 0;
+        let mut crashes = 0u64;
+        for t in 0..TRIALS {
+            let cfg = SimConfig::new(N)
+                .seed(0xE11 + t)
+                .max_rounds(params.le_round_budget());
+            let mut adv = mk();
+            let r = run(&cfg, |_| LeNode::new(params.clone()), adv.as_mut());
+            if LeOutcome::evaluate(&r).success {
+                ok += 1;
+            }
+            crashes += r.metrics.crash_count() as u64;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{ok}/{TRIALS}"),
+            format!("{:.0}", crashes as f64 / TRIALS as f64),
+        ]);
+    };
+
+    measure("static: eager mass crash", &mut || {
+        Box::new(EagerCrash::new(budget))
+    });
+    measure("static: random timing", &mut || {
+        Box::new(RandomCrash::new(budget, 60))
+    });
+    measure("static: min-rank assassin", &mut || {
+        Box::new(MinRankCrasher::new(budget))
+    });
+    measure("ADAPTIVE: candidate killer", &mut || {
+        Box::new(AdaptiveCandidateKiller::new(budget))
+    });
+
+    print_table(&["adversary", "election success", "mean crashes used"], &rows);
+    println!();
+    println!("shape check: every static schedule succeeds whp; the adaptive killer");
+    println!("destroys the Θ(log n/α)-node committee with a tiny fraction of its");
+    println!("budget and the election fails — the paper's model boundary, observed.");
+}

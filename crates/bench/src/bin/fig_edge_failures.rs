@@ -1,0 +1,82 @@
+//! E13 (extension) — robustness to incomplete topologies
+//! (towards the paper's open question 2: general graphs).
+//!
+//! The protocols are stated for complete networks, but their referee
+//! redundancy (Lemma 3: every candidate pair shares *many* referees in
+//! expectation) buys real slack: here we kill each edge of the complete
+//! graph independently with probability `p` — messages across dead edges
+//! silently vanish — and measure how far `p` can rise before the
+//! guarantees crumble, with crash faults still active on top.
+//!
+//! ```sh
+//! cargo run --release -p ftc-bench --bin fig_edge_failures
+//! ```
+
+use ftc_bench::{fmt_count, print_table};
+use ftc_core::agreement::{AgreeNode, AgreeOutcome};
+use ftc_core::leader_election::{LeNode, LeOutcome};
+use ftc_core::params::Params;
+use ftc_sim::prelude::*;
+
+const N: u32 = 2048;
+const ALPHA: f64 = 0.5;
+const TRIALS: u64 = 16;
+
+fn main() {
+    let params = Params::new(N, ALPHA).expect("valid");
+    let f = params.max_faults();
+    println!(
+        "E13: edge failures on top of {f} crash faults, n = {N}, alpha = {ALPHA}, {TRIALS} trials"
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for &p in &[0.0, 0.05, 0.2, 0.4, 0.6, 0.8, 0.9] {
+        let mut le_ok = 0;
+        let mut ag_ok = 0;
+        let mut lost = 0u64;
+        for t in 0..TRIALS {
+            let mut cfg = SimConfig::new(N)
+                .seed(0xE13 + t)
+                .max_rounds(params.le_round_budget());
+            if p > 0.0 {
+                cfg = cfg.edge_failure_prob(p);
+            }
+            let mut adv = RandomCrash::new(f, 40);
+            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            if LeOutcome::evaluate(&r).success {
+                le_ok += 1;
+            }
+            lost += r.metrics.msgs_lost_edges;
+
+            let mut cfg = SimConfig::new(N)
+                .seed(0x13E + t)
+                .max_rounds(params.agreement_round_budget());
+            if p > 0.0 {
+                cfg = cfg.edge_failure_prob(p);
+            }
+            let mut adv = RandomCrash::new(f, 20);
+            let r = run(&cfg, |id| AgreeNode::new(params.clone(), id.0 % 8 == 0), &mut adv);
+            if AgreeOutcome::evaluate(&r).success {
+                ag_ok += 1;
+            }
+        }
+        rows.push(vec![
+            format!("{p:.2}"),
+            format!("{le_ok}/{TRIALS}"),
+            format!("{ag_ok}/{TRIALS}"),
+            fmt_count(lost as f64 / TRIALS as f64),
+        ]);
+    }
+    print_table(
+        &["edge failure p", "LE success", "agree success", "LE msgs lost/trial"],
+        &rows,
+    );
+
+    println!();
+    println!("shape check: candidate pairs share ~|R|^2/n non-faulty referees and");
+    println!("each relay path survives with prob (1-p)^2, so the protocols absorb");
+    println!("remarkably heavy edge loss and only crumble when (1-p)^2 |R|^2/n");
+    println!("drops toward zero (p >~ 0.8 here). A full general-graph treatment");
+    println!("is the paper's open question 2.");
+}

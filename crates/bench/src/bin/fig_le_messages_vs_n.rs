@@ -1,0 +1,60 @@
+//! E2 — message complexity of leader election vs `n` (Theorem 4.1).
+//!
+//! Sweeps the network size at fixed `α` and fits the measured message
+//! counts to a power law. Theorem 4.1 predicts `Õ(√n)` growth: the fitted
+//! exponent on `n` should sit near 0.5 (polylog factors push it slightly
+//! up at these sizes), decisively below the linear baseline's 1.0 and the
+//! broadcast baseline's 2.0.
+//!
+//! ```sh
+//! cargo run --release -p ftc-bench --bin fig_le_messages_vs_n
+//! ```
+
+use ftc_bench::{fmt_count, measure_le, print_table, AdversaryKind};
+use ftc_core::params::Params;
+use ftc_sim::stats::fit_power_law;
+
+const SIZES: [u32; 5] = [1024, 2048, 4096, 8192, 16384];
+const ALPHA: f64 = 0.5;
+const TRIALS: u64 = 8;
+
+fn main() {
+    println!("E2: implicit leader election, messages vs n (alpha = {ALPHA}, {TRIALS} trials)");
+    println!();
+
+    let mut rows = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &SIZES {
+        let params = Params::new(n, ALPHA).expect("valid");
+        let m = measure_le(n, ALPHA, AdversaryKind::Random(60), TRIALS, 0xE2);
+        xs.push(f64::from(n));
+        ys.push(m.msgs.mean);
+        rows.push(vec![
+            n.to_string(),
+            fmt_count(m.msgs.mean),
+            fmt_count(m.msgs.p95),
+            fmt_count(params.le_message_bound()),
+            format!("{:.1}", m.msgs.mean / params.le_message_bound()),
+            fmt_count(f64::from(n) * f64::from(n)),
+            format!("{:.2}", m.success_rate),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "msgs mean",
+            "msgs p95",
+            "bound sqrt(n)ln^2.5/a^2.5",
+            "x bound",
+            "n^2 (flood)",
+            "success",
+        ],
+        &rows,
+    );
+
+    let (exp, coeff) = fit_power_law(&xs, &ys);
+    println!();
+    println!("fitted: messages = {coeff:.1} * n^{exp:.3}");
+    println!("shape check: exponent should be ~0.5 (sublinear), far from 1.0 and 2.0.");
+}

@@ -1,0 +1,69 @@
+//! E14 (extension) — multi-valued agreement: the `log k` factor.
+//!
+//! The binary protocol generalises to inputs from `{0..k}` by propagating
+//! the minimum (see `ftc_core::multi_agreement`). The predicted costs:
+//! `O(log k)` bits per message and up to `log k` improvement waves —
+//! so message *bits* grow with `log k` while success stays whp.
+//!
+//! ```sh
+//! cargo run --release -p ftc-bench --bin fig_multivalue
+//! ```
+
+use ftc_bench::{fmt_count, print_table};
+use ftc_core::multi_agreement::{MultiAgreeNode, MultiOutcome};
+use ftc_core::params::Params;
+use ftc_sim::prelude::*;
+
+const N: u32 = 2048;
+const ALPHA: f64 = 0.5;
+const TRIALS: u64 = 10;
+
+fn main() {
+    let params = Params::new(N, ALPHA).expect("valid");
+    let f = params.max_faults();
+    println!("E14: multi-valued agreement, n = {N}, alpha = {ALPHA}, {TRIALS} trials");
+    println!("(inputs uniform in 0..k; (1-alpha)n random crashes)");
+    println!();
+
+    let mut rows = Vec::new();
+    for &k in &[2u32, 16, 256, 4096, 65536] {
+        let cfg = SimConfig::new(N)
+            .seed(0xE14)
+            .max_rounds(params.agreement_round_budget());
+        let results = run_trials(&cfg, TRIALS, |c| {
+            let mut adv = RandomCrash::new(f, 20);
+            let r = run(
+                c,
+                |id| MultiAgreeNode::new(params.clone(), k, (id.0.wrapping_mul(2654435761)) % k),
+                &mut adv,
+            );
+            let o = MultiOutcome::evaluate(&r);
+            (
+                o.success,
+                r.metrics.msgs_sent,
+                r.metrics.bits_sent,
+                r.metrics.rounds,
+            )
+        });
+        let ok = results.iter().filter(|t| t.value.0).count();
+        let msgs = results.iter().map(|t| t.value.1 as f64).sum::<f64>() / TRIALS as f64;
+        let bits = results.iter().map(|t| t.value.2 as f64).sum::<f64>() / TRIALS as f64;
+        let rounds = results.iter().map(|t| f64::from(t.value.3)).sum::<f64>() / TRIALS as f64;
+        rows.push(vec![
+            k.to_string(),
+            format!("{ok}/{TRIALS}"),
+            fmt_count(msgs),
+            fmt_count(bits),
+            format!("{:.1}", bits / msgs),
+            format!("{rounds:.0}"),
+        ]);
+    }
+    print_table(
+        &["k", "success", "msgs", "bits", "bits/msg", "rounds"],
+        &rows,
+    );
+    println!();
+    println!("shape checks: success stays ~1.0 for every k; bits/msg grows like");
+    println!("log2(k); messages grow mildly (improvement waves), far below any");
+    println!("linear-in-k blowup. k = 2 reproduces the binary protocol's costs.");
+}

@@ -1,0 +1,64 @@
+//! E4 — round complexity `O(log n/α)` (Theorems 4.1/5.1).
+//!
+//! Two sweeps: rounds vs `n` at fixed `α` (should grow like `log n` —
+//! doubling `n` adds a constant) and rounds vs `α` at fixed `n` (should
+//! grow like `1/α`). The paper's almost-matching lower bound is
+//! `Ω(log n/log log n)` of reference \[25\].
+//!
+//! ```sh
+//! cargo run --release -p ftc-bench --bin fig_rounds
+//! ```
+
+use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind};
+
+const TRIALS: u64 = 8;
+
+fn main() {
+    println!("E4a: rounds vs n (alpha = 0.5, worst-case targeted adversary)");
+    println!();
+    let mut rows = Vec::new();
+    for &n in &[1024u32, 2048, 4096, 8192, 16384] {
+        let le = measure_le(n, 0.5, AdversaryKind::Targeted, TRIALS, 0xE4);
+        let ag = measure_agreement(n, 0.5, 0.05, AdversaryKind::Targeted, TRIALS, 0xE4);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", f64::from(n).log2()),
+            format!("{:.0}", le.rounds.mean),
+            format!("{:.0}", le.rounds.max),
+            format!("{:.0}", ag.rounds.mean),
+            format!("{:.2}", le.success_rate.min(ag.success_rate)),
+        ]);
+    }
+    print_table(
+        &["n", "log2 n", "LE rounds", "LE max", "agree rounds", "min success"],
+        &rows,
+    );
+    println!();
+    println!("shape check: rounds stay in the tens while n grows 16x — nothing");
+    println!("linear in n. (At these sizes the measured rounds are dominated by");
+    println!("the rank-forwarding pre-processing, whose per-referee load shrinks");
+    println!("like log^1.5(n)/sqrt(n); the asymptotic +O(1)-per-doubling log-term");
+    println!("emerges only at much larger n. Agreement, which has no such");
+    println!("pre-processing, sits at a handful of rounds throughout.)");
+    println!();
+
+    println!("E4b: rounds vs alpha (n = 4096)");
+    println!();
+    let mut rows = Vec::new();
+    for &alpha in &[1.0, 0.5, 0.25, 0.125] {
+        let le = measure_le(4096, alpha, AdversaryKind::Random(60), TRIALS, 0x4B);
+        let ag = measure_agreement(4096, alpha, 0.05, AdversaryKind::Random(20), TRIALS, 0x4B);
+        rows.push(vec![
+            format!("{alpha}"),
+            format!("{:.0}", le.rounds.mean),
+            format!("{:.0}", ag.rounds.mean),
+            format!("{:.2}", le.success_rate.min(ag.success_rate)),
+        ]);
+    }
+    print_table(&["alpha", "LE rounds", "agree rounds", "min success"], &rows);
+    println!();
+    println!("shape check: LE rounds roughly double per halving of alpha (the");
+    println!("1/alpha factor, steepened by the alpha^-1.5 pre-processing term);");
+    println!("agreement stays constant-ish because its zero-propagation quiesces");
+    println!("long before its O(log n/alpha) budget.");
+}

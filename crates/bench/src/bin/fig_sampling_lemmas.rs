@@ -1,0 +1,119 @@
+//! E10 — the concentration lemmas, measured (Lemmas 1–3).
+//!
+//! Monte-Carlo of the sampling layer alone:
+//!
+//! * Lemma 1 — with candidate probability `6·ln n/(α·n)`, the committee
+//!   size lands in `[2·ln n/α, 12·ln n/α]` whp;
+//! * Lemma 2 — the committee contains a non-faulty node whp;
+//! * Lemma 3 — every pair of candidates shares a non-faulty referee whp.
+//!
+//! Plus the D2/D3 ablations: halving the constants must visibly erode the
+//! guarantees.
+//!
+//! ```sh
+//! cargo run --release -p ftc-bench --bin fig_sampling_lemmas
+//! ```
+
+use ftc_core::params::Params;
+use ftc_core::sampling::draw_committee;
+use ftc_bench::print_table;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use std::collections::HashSet;
+
+const N: u32 = 4096;
+const ALPHA: f64 = 0.5;
+const TRIALS: u64 = 300;
+
+struct LemmaStats {
+    committee_in_band: u64,
+    committee_nonfaulty: u64,
+    pairs_connected: u64,
+    mean_committee: f64,
+}
+
+fn run_lemmas(params: &Params, seed_base: u64) -> LemmaStats {
+    let n = params.n() as usize;
+    let f = params.max_faults();
+    let lo = 2.0 * params.ln_n() / params.alpha();
+    let hi = 12.0 * params.ln_n() / params.alpha();
+    let mut stats = LemmaStats {
+        committee_in_band: 0,
+        committee_nonfaulty: 0,
+        pairs_connected: 0,
+        mean_committee: 0.0,
+    };
+    for t in 0..TRIALS {
+        let mut rng = SmallRng::seed_from_u64(seed_base + t);
+        let faulty: HashSet<usize> = rand::seq::index::sample(&mut rng, n, f)
+            .into_iter()
+            .collect();
+        let (cands, refs) = draw_committee(&mut rng, params);
+        stats.mean_committee += cands.len() as f64 / TRIALS as f64;
+        if (cands.len() as f64) >= lo && (cands.len() as f64) <= hi {
+            stats.committee_in_band += 1;
+        }
+        if cands.iter().any(|c| !faulty.contains(c)) {
+            stats.committee_nonfaulty += 1;
+        }
+        // Lemma 3: every pair shares a *non-faulty* referee.
+        let ref_sets: Vec<HashSet<usize>> = refs
+            .iter()
+            .map(|r| r.iter().copied().filter(|x| !faulty.contains(x)).collect())
+            .collect();
+        let mut all_pairs = true;
+        'outer: for i in 0..cands.len() {
+            for j in i + 1..cands.len() {
+                if ref_sets[i].is_disjoint(&ref_sets[j]) {
+                    all_pairs = false;
+                    break 'outer;
+                }
+            }
+        }
+        if all_pairs {
+            stats.pairs_connected += 1;
+        }
+    }
+    stats
+}
+
+fn main() {
+    println!("E10: Lemmas 1-3 Monte-Carlo, n = {N}, alpha = {ALPHA}, {TRIALS} trials");
+    println!("(faulty set: (1-alpha)n uniformly random nodes per trial)");
+    println!();
+
+    let mut rows = Vec::new();
+    for (label, cf, rf) in [
+        ("paper (c=6, r=2)", 6.0, 2.0),
+        ("D2: half candidates", 3.0, 2.0),
+        ("D3: half referees", 6.0, 1.0),
+        ("D3: quarter referees", 6.0, 0.5),
+    ] {
+        let params = Params::new(N, ALPHA)
+            .expect("valid")
+            .with_candidate_factor(cf)
+            .with_referee_factor(rf);
+        let s = run_lemmas(&params, 0xE10);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", s.mean_committee),
+            format!("{:.3}", s.committee_in_band as f64 / TRIALS as f64),
+            format!("{:.3}", s.committee_nonfaulty as f64 / TRIALS as f64),
+            format!("{:.3}", s.pairs_connected as f64 / TRIALS as f64),
+        ]);
+    }
+    print_table(
+        &[
+            "configuration",
+            "mean |C|",
+            "Lemma 1 (band)",
+            "Lemma 2 (non-faulty)",
+            "Lemma 3 (pairs)",
+        ],
+        &rows,
+    );
+    println!();
+    println!("shape checks: the paper row scores ~1.000 on all three lemmas; the");
+    println!("ablated rows degrade — most sharply Lemma 3 when the referee budget");
+    println!("drops (pairwise connectivity is the sqrt(n log n / a) term).");
+}

@@ -1,0 +1,264 @@
+//! # `ftc-bench` — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 and
+//! `EXPERIMENTS.md`):
+//!
+//! | Binary | Experiment | Paper artifact |
+//! |--------|-----------|----------------|
+//! | `table1` | E1 | Table I (protocol comparison) |
+//! | `fig_le_messages_vs_n` | E2 | Theorem 4.1 message scaling in `n` |
+//! | `fig_messages_vs_alpha` | E3 | `α`-dependence of both protocols |
+//! | `fig_rounds` | E4 | `O(log n/α)` round complexity |
+//! | `fig_success` | E5/E6 | whp success + leader quality under all adversaries |
+//! | `fig_explicit` | E7 | explicit extensions `O(n·log n/α)` |
+//! | `fig_lowerbound` | E8 | Theorems 4.2/5.2 budget sweep |
+//! | `fig_faultfree_gap` | E9 | "same as fault-free" (Corollaries 1/3) |
+//! | `fig_sampling_lemmas` | E10 | Lemmas 1–3 concentration |
+//!
+//! This library crate hosts the shared measurement plumbing so the
+//! binaries stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ftc_core::adversaries::{MinRankCrasher, ZeroHolderCrasher};
+use ftc_core::agreement::{AgreeNode, AgreeOutcome};
+use ftc_core::leader_election::{LeNode, LeOutcome};
+use ftc_core::messages::{AgreeMsg, LeMsg};
+use ftc_core::params::Params;
+use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
+use ftc_sim::engine::{run, SimConfig};
+use ftc_sim::ids::NodeId;
+use ftc_sim::runner::run_trials;
+use ftc_sim::stats::Summary;
+
+/// Which crash schedule an experiment runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// No crashes.
+    None,
+    /// All faulty nodes crash at round 0 before sending.
+    Eager,
+    /// Random crash rounds within the given horizon.
+    Random(u32),
+    /// The paper's worst case: assassinate the current minimum proposer
+    /// (LE) / the current zero-forwarder (agreement).
+    Targeted,
+}
+
+impl AdversaryKind {
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdversaryKind::None => "fault-free",
+            AdversaryKind::Eager => "eager",
+            AdversaryKind::Random(_) => "random",
+            AdversaryKind::Targeted => "targeted",
+        }
+    }
+
+    fn le_adversary(self, f: usize) -> Box<dyn Adversary<LeMsg>> {
+        match self {
+            AdversaryKind::None => Box::new(NoFaults),
+            AdversaryKind::Eager => Box::new(EagerCrash::new(f)),
+            AdversaryKind::Random(h) => Box::new(RandomCrash::new(f, h)),
+            AdversaryKind::Targeted => Box::new(MinRankCrasher::new(f)),
+        }
+    }
+
+    fn agree_adversary(self, f: usize) -> Box<dyn Adversary<AgreeMsg>> {
+        match self {
+            AdversaryKind::None => Box::new(NoFaults),
+            AdversaryKind::Eager => Box::new(EagerCrash::new(f)),
+            AdversaryKind::Random(h) => Box::new(RandomCrash::new(f, h)),
+            AdversaryKind::Targeted => Box::new(ZeroHolderCrasher::new(f)),
+        }
+    }
+}
+
+/// Aggregated measurements of one experimental cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Fraction of trials satisfying the problem definition.
+    pub success_rate: f64,
+    /// Among successful LE trials, fraction whose leader is faulty.
+    pub faulty_leader_rate: f64,
+    /// Messages sent.
+    pub msgs: Summary,
+    /// Bits sent.
+    pub bits: Summary,
+    /// Rounds executed.
+    pub rounds: Summary,
+    /// Trials run.
+    pub trials: u64,
+}
+
+/// Measures the paper's implicit leader election.
+pub fn measure_le(
+    n: u32,
+    alpha: f64,
+    kind: AdversaryKind,
+    trials: u64,
+    seed: u64,
+) -> Measurement {
+    let params = Params::new(n, alpha).expect("valid params");
+    let f = params.max_faults();
+    let cfg = SimConfig::new(n).seed(seed).max_rounds(params.le_round_budget());
+    let out = run_trials(&cfg, trials, |c| {
+        let mut adv = kind.le_adversary(f);
+        let r = run(c, |_| LeNode::new(params.clone()), adv.as_mut());
+        let o = LeOutcome::evaluate(&r);
+        (
+            o.success,
+            o.success && o.leader_is_faulty,
+            r.metrics.msgs_sent,
+            r.metrics.bits_sent,
+            r.metrics.rounds,
+        )
+    });
+    aggregate(out.iter().map(|t| t.value))
+}
+
+/// Measures the paper's implicit agreement with a `zero_fraction` of
+/// 0-inputs spread round-robin.
+pub fn measure_agreement(
+    n: u32,
+    alpha: f64,
+    zero_fraction: f64,
+    kind: AdversaryKind,
+    trials: u64,
+    seed: u64,
+) -> Measurement {
+    let params = Params::new(n, alpha).expect("valid params");
+    let f = params.max_faults();
+    let stride = if zero_fraction <= 0.0 {
+        u32::MAX
+    } else {
+        (1.0 / zero_fraction).round().max(1.0) as u32
+    };
+    let cfg = SimConfig::new(n)
+        .seed(seed)
+        .max_rounds(params.agreement_round_budget());
+    let out = run_trials(&cfg, trials, |c| {
+        let mut adv = kind.agree_adversary(f);
+        let inputs = |id: NodeId| !(stride != u32::MAX && id.0 % stride == 0);
+        let r = run(c, |id| AgreeNode::new(params.clone(), inputs(id)), adv.as_mut());
+        let o = AgreeOutcome::evaluate(&r);
+        (
+            o.success,
+            false,
+            r.metrics.msgs_sent,
+            r.metrics.bits_sent,
+            r.metrics.rounds,
+        )
+    });
+    aggregate(out.iter().map(|t| t.value))
+}
+
+fn aggregate(values: impl Iterator<Item = (bool, bool, u64, u64, u32)>) -> Measurement {
+    let v: Vec<_> = values.collect();
+    let trials = v.len() as u64;
+    let successes = v.iter().filter(|x| x.0).count();
+    let faulty_leaders = v.iter().filter(|x| x.1).count();
+    Measurement {
+        success_rate: successes as f64 / trials.max(1) as f64,
+        faulty_leader_rate: faulty_leaders as f64 / successes.max(1) as f64,
+        msgs: Summary::of_iter(v.iter().map(|x| x.2 as f64)),
+        bits: Summary::of_iter(v.iter().map(|x| x.3 as f64)),
+        rounds: Summary::of_iter(v.iter().map(|x| f64::from(x.4))),
+        trials,
+    }
+}
+
+/// Prints a fixed-width table: a header row and data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        s
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", line(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats a float with thousands grouping for table cells.
+pub fn fmt_count(v: f64) -> String {
+    let v = v.round() as i64;
+    let s = v.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if v < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_le_reports_sane_numbers() {
+        let m = measure_le(128, 0.5, AdversaryKind::Eager, 4, 42);
+        assert_eq!(m.trials, 4);
+        assert!(m.success_rate >= 0.75, "{m:?}");
+        assert!(m.msgs.mean > 0.0);
+        assert!(m.rounds.mean > 0.0);
+    }
+
+    #[test]
+    fn measure_agreement_reports_sane_numbers() {
+        let m = measure_agreement(128, 0.5, 0.1, AdversaryKind::Random(10), 4, 42);
+        assert_eq!(m.trials, 4);
+        assert!(m.success_rate >= 0.75, "{m:?}");
+        assert!(m.bits.mean >= m.msgs.mean);
+    }
+
+    #[test]
+    fn adversary_kinds_have_labels() {
+        assert_eq!(AdversaryKind::None.label(), "fault-free");
+        assert_eq!(AdversaryKind::Random(5).label(), "random");
+        assert_eq!(AdversaryKind::Targeted.label(), "targeted");
+    }
+
+    #[test]
+    fn fmt_count_groups_thousands() {
+        assert_eq!(fmt_count(1234567.0), "1,234,567");
+        assert_eq!(fmt_count(999.0), "999");
+        assert_eq!(fmt_count(0.0), "0");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

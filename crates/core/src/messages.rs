@@ -1,0 +1,141 @@
+//! Wire messages of the two protocols, with CONGEST bit sizes.
+//!
+//! Every message fits in `O(log n)` bits as the CONGEST model requires:
+//! ranks are `4·log₂ n` bits (domain `[1, n⁴]`), everything else is
+//! constant-size tags.
+
+use ftc_sim::payload::Payload;
+
+use crate::rank::Rank;
+
+/// Messages of the fault-tolerant leader-election protocol (Section IV-A).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeMsg {
+    /// Candidate → referee (pre-processing): "you are my referee; my
+    /// rank/ID is `rank`".
+    Register {
+        /// The candidate's rank.
+        rank: Rank,
+    },
+    /// Referee → candidate (pre-processing): one rank from the referee's
+    /// collected rank list, forwarded at one rank per edge per round.
+    ForwardRank {
+        /// A rank of some other candidate of this referee.
+        rank: Rank,
+    },
+    /// Candidate → referee (Steps 1/3/4): `⟨ID_u, p_u⟩` — `id` proposes
+    /// `value` as the potential leader. A *self-proposal* (`id == value`)
+    /// is a leadership claim.
+    Propose {
+        /// The proposing candidate's own rank.
+        id: Rank,
+        /// The rank it proposes as leader.
+        value: Rank,
+    },
+    /// Referee → candidate (Step 2): the maximum proposal the referee has
+    /// seen this round; `claimed` is true when the proposal was the
+    /// proposer's own rank (`⟨ID_u, p^max⟩` vs `⟨⊥, p^max⟩` in the paper).
+    Echo {
+        /// Maximum proposed rank.
+        value: Rank,
+        /// Whether the maximum was a self-proposal.
+        claimed: bool,
+    },
+    /// Settled candidate → everyone (explicit extension): the elected
+    /// leader's rank.
+    Announce {
+        /// The agreed leader rank.
+        leader: Rank,
+    },
+}
+
+impl Payload for LeMsg {
+    fn size_bits(&self) -> u32 {
+        // Sizes assume ranks of a reasonably large network (48 bits covers
+        // n up to 2^12 exactly; we charge a fixed 48 + tag for simplicity
+        // and conservatism, still O(log n)).
+        const RANK_BITS: u32 = 48;
+        const TAG_BITS: u32 = 3;
+        match self {
+            LeMsg::Register { .. } | LeMsg::ForwardRank { .. } | LeMsg::Announce { .. } => {
+                TAG_BITS + RANK_BITS
+            }
+            LeMsg::Propose { .. } => TAG_BITS + 2 * RANK_BITS,
+            LeMsg::Echo { .. } => TAG_BITS + RANK_BITS + 1,
+        }
+    }
+}
+
+/// Messages of the fault-tolerant agreement protocol (Section V-A).
+///
+/// All messages carry a single bit of value (plus a registration tag),
+/// which is why the agreement protocol's *bit* complexity matches its
+/// message complexity (Theorem 5.1 counts message bits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgreeMsg {
+    /// Candidate → referee (Step 0): "you are my referee, my input is 1".
+    /// Carries no zero, so referees only register the sender.
+    RegisterOne,
+    /// "0" flowing in either direction: candidate → referee (Step 0/1) or
+    /// referee → candidate (Step 2). Doubles as registration when coming
+    /// from a candidate.
+    Zero,
+    /// Decided candidate → everyone (explicit extension): the agreed bit.
+    Announce(bool),
+}
+
+impl Payload for AgreeMsg {
+    fn size_bits(&self) -> u32 {
+        match self {
+            AgreeMsg::RegisterOne | AgreeMsg::Zero => 2,
+            AgreeMsg::Announce(_) => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_messages_are_congest_sized() {
+        let msgs = [
+            LeMsg::Register { rank: Rank(1) },
+            LeMsg::ForwardRank { rank: Rank(2) },
+            LeMsg::Propose {
+                id: Rank(1),
+                value: Rank(2),
+            },
+            LeMsg::Echo {
+                value: Rank(3),
+                claimed: true,
+            },
+            LeMsg::Announce { leader: Rank(1) },
+        ];
+        for m in &msgs {
+            // O(log n): at most 2 ranks + tags; for n ≤ 2^12 that is ≤ 99 bits.
+            assert!(m.size_bits() <= 99, "{m:?} too large");
+            assert!(m.size_bits() >= 2);
+        }
+    }
+
+    #[test]
+    fn agreement_messages_are_single_bit_class() {
+        assert_eq!(AgreeMsg::Zero.size_bits(), 2);
+        assert_eq!(AgreeMsg::RegisterOne.size_bits(), 2);
+        assert_eq!(AgreeMsg::Announce(true).size_bits(), 3);
+    }
+
+    #[test]
+    fn propose_is_largest_le_message() {
+        let p = LeMsg::Propose {
+            id: Rank(1),
+            value: Rank(1),
+        };
+        let e = LeMsg::Echo {
+            value: Rank(1),
+            claimed: false,
+        };
+        assert!(p.size_bits() > e.size_bits());
+    }
+}

@@ -1,0 +1,108 @@
+//! Random ranks: the self-assigned identities of anonymous nodes.
+//!
+//! The network is anonymous, so each node draws an integer *rank* uniformly
+//! from `[1, n⁴]` and uses it as its ID (Section IV-A, footnote 4). The
+//! range is chosen so that all `n` ranks are distinct with high probability
+//! (a birthday-bound argument: collision probability ≤ `n²/n⁴ = 1/n²`).
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// A node's randomly drawn rank (also its self-assigned ID).
+///
+/// Ordered: the protocol elects (roughly) the smallest surviving rank.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rank(pub u64);
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl Rank {
+    /// Draws a uniform rank from `[1, n⁴]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn draw(rng: &mut SmallRng, n: u32) -> Rank {
+        Rank(rng.random_range(1..=Rank::domain(n)))
+    }
+
+    /// Upper end of the rank domain, `n⁴`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > 65535` (`n⁴` must fit in a `u64`; for
+    /// larger networks use a wider rank type — collision probability is
+    /// what matters, and 64 bits already gives `< n²/2⁶⁴`).
+    pub fn domain(n: u32) -> u64 {
+        assert!(n >= 2, "rank domain needs n >= 2");
+        assert!(n <= 65_535, "rank domain n^4 overflows u64 for n > 65535");
+        u64::from(n).pow(4)
+    }
+
+    /// Bits needed to transmit a rank (`4·log₂ n`), for CONGEST sizing.
+    pub fn bits(n: u32) -> u32 {
+        ftc_sim::payload::bits_for(Rank::domain(n))
+    }
+
+    /// Union-bound estimate of the probability that *any* two of `n` drawn
+    /// ranks collide: `≤ n(n−1)/2 · 1/n⁴ < 1/n²`.
+    pub fn collision_probability_bound(n: u32) -> f64 {
+        let nf = f64::from(n);
+        (nf * (nf - 1.0) / 2.0) / (nf.powi(4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draw_is_in_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let r = Rank::draw(&mut rng, 64);
+            assert!(r.0 >= 1 && r.0 <= 64u64.pow(4));
+        }
+    }
+
+    #[test]
+    fn ranks_are_distinct_whp_in_practice() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 1024u32;
+        let mut ranks: Vec<u64> = (0..n).map(|_| Rank::draw(&mut rng, n).0).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), n as usize, "collision at n=1024 (prob < 1e-6)");
+    }
+
+    #[test]
+    fn collision_bound_shrinks_quadratically() {
+        assert!(Rank::collision_probability_bound(100) < 1.0 / (100.0 * 100.0));
+        assert!(
+            Rank::collision_probability_bound(1000) < Rank::collision_probability_bound(100) / 99.0
+        );
+    }
+
+    #[test]
+    fn bits_match_four_logs() {
+        assert_eq!(Rank::bits(1 << 8), 32);
+        assert_eq!(Rank::bits(1 << 10), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_network_panics() {
+        let _ = Rank::domain(70_000);
+    }
+
+    #[test]
+    fn rank_orders_numerically() {
+        assert!(Rank(3) < Rank(10));
+        assert_eq!(Rank(5).to_string(), "r5");
+    }
+}

@@ -1,0 +1,185 @@
+//! Message-budget sweeps: empirical witnesses of the lower bound.
+//!
+//! Theorems 4.2 / 5.2 say any algorithm succeeding with constant
+//! probability must spend `Ω(√n/α^{3/2})` messages. An impossibility
+//! cannot be "run", but its *mechanism* can be observed. We model "an
+//! algorithm that sends at most `B` messages" with the engine's per-node
+//! send cap ([`ftc_sim::engine::SimConfig::send_cap`]): the paper's own
+//! protocols run unchanged, but every node stops transmitting after its
+//! budget. As the realised total spend falls towards and below the
+//! threshold `√n/α^{3/2}`, the failure probability climbs from ~0 to a
+//! constant — and the failures materialise as the proof's split worlds:
+//! disjoint influence clouds deciding independently (see
+//! [`crate::influence`] and the `lower_bound_probe` example).
+//!
+//! For agreement the inputs are split 50/50 (the assignment under which a
+//! severed committee actually *can* decide both ways); for leader
+//! election any budget-starved run can elect zero or multiple leaders.
+
+use ftc_core::agreement::{AgreeNode, AgreeOutcome};
+use ftc_core::leader_election::{LeNode, LeOutcome};
+use ftc_core::params::Params;
+use ftc_sim::prelude::*;
+
+/// One point of a budget sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Per-node send cap (`None` = unlimited, the paper's own budget).
+    pub cap: Option<u32>,
+    /// Mean messages actually sent per trial.
+    pub mean_messages: f64,
+    /// Mean messages the protocol wanted to send but the budget suppressed.
+    pub mean_suppressed: f64,
+    /// Spend relative to the lower-bound threshold `√n/α^{3/2}`.
+    pub threshold_ratio: f64,
+    /// Fraction of trials that violated the problem definition.
+    pub failure_rate: f64,
+    /// Trials run.
+    pub trials: u64,
+}
+
+/// Sweeps the agreement protocol across per-node send caps.
+///
+/// Inputs are split 50/50; faults are `(1−α)·n` eager random crashes.
+pub fn sweep_agreement(
+    n: u32,
+    alpha: f64,
+    caps: &[Option<u32>],
+    trials: u64,
+    base_seed: u64,
+) -> Vec<SweepPoint> {
+    let params = Params::new(n, alpha).expect("valid params");
+    let threshold = params.lower_bound_threshold();
+    let f = params.max_faults();
+    caps.iter()
+        .map(|&cap| {
+            let outcomes = run_trials_with(trials, base_seed ^ cap_salt(cap), |_, seed| {
+                let mut cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.agreement_round_budget());
+                if let Some(c) = cap {
+                    cfg = cfg.send_cap(c);
+                }
+                let mut adv = EagerCrash::new(f);
+                let result = run(
+                    &cfg,
+                    |id| AgreeNode::new(params.clone(), id.0 % 2 == 0),
+                    &mut adv,
+                );
+                let o = AgreeOutcome::evaluate(&result);
+                (
+                    result.metrics.msgs_sent,
+                    result.metrics.msgs_suppressed,
+                    o.success,
+                )
+            });
+            summarise(cap, threshold, &outcomes)
+        })
+        .collect()
+}
+
+/// Sweeps the leader-election protocol across per-node send caps.
+pub fn sweep_leader_election(
+    n: u32,
+    alpha: f64,
+    caps: &[Option<u32>],
+    trials: u64,
+    base_seed: u64,
+) -> Vec<SweepPoint> {
+    let params = Params::new(n, alpha).expect("valid params");
+    let threshold = params.lower_bound_threshold();
+    let f = params.max_faults();
+    caps.iter()
+        .map(|&cap| {
+            let outcomes = run_trials_with(trials, base_seed ^ cap_salt(cap), |_, seed| {
+                let mut cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.le_round_budget());
+                if let Some(c) = cap {
+                    cfg = cfg.send_cap(c);
+                }
+                let mut adv = EagerCrash::new(f);
+                let result = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+                let o = LeOutcome::evaluate(&result);
+                (
+                    result.metrics.msgs_sent,
+                    result.metrics.msgs_suppressed,
+                    o.success,
+                )
+            });
+            summarise(cap, threshold, &outcomes)
+        })
+        .collect()
+}
+
+fn cap_salt(cap: Option<u32>) -> u64 {
+    cap.map_or(u64::MAX, u64::from)
+}
+
+fn summarise(
+    cap: Option<u32>,
+    threshold: f64,
+    outcomes: &[TrialOutcome<(u64, u64, bool)>],
+) -> SweepPoint {
+    let trials = outcomes.len() as u64;
+    let mean_messages =
+        outcomes.iter().map(|t| t.value.0 as f64).sum::<f64>() / trials.max(1) as f64;
+    let mean_suppressed =
+        outcomes.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials.max(1) as f64;
+    let failures = outcomes.iter().filter(|t| !t.value.2).count();
+    SweepPoint {
+        cap,
+        mean_messages,
+        mean_suppressed,
+        threshold_ratio: mean_messages / threshold,
+        failure_rate: failures as f64 / trials.max(1) as f64,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_budget_rarely_fails_starved_budget_often_fails() {
+        let points = sweep_agreement(512, 0.5, &[None, Some(2)], 24, 99);
+        let full = &points[0];
+        let starved = &points[1];
+        assert!(
+            full.failure_rate <= 0.1,
+            "full budget failed too often: {full:?}"
+        );
+        assert!(
+            starved.failure_rate > full.failure_rate + 0.3,
+            "starving did not hurt: {starved:?} vs {full:?}"
+        );
+        assert!(starved.mean_messages < full.mean_messages);
+        assert!(starved.mean_suppressed > 0.0);
+        assert_eq!(full.mean_suppressed, 0.0);
+    }
+
+    #[test]
+    fn sweep_spend_is_monotone_in_cap() {
+        let points = sweep_agreement(256, 0.5, &[Some(1), Some(8), None], 8, 5);
+        assert!(points[0].mean_messages < points[1].mean_messages);
+        assert!(points[1].mean_messages < points[2].mean_messages);
+        for p in &points {
+            assert!(p.threshold_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn le_sweep_runs_and_reports() {
+        let points = sweep_leader_election(256, 0.5, &[None], 8, 7);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].trials, 8);
+        assert!(points[0].failure_rate <= 0.25, "{:?}", points[0]);
+    }
+
+    #[test]
+    fn starved_le_fails_to_elect() {
+        let points = sweep_leader_election(256, 0.5, &[Some(1)], 12, 13);
+        assert!(points[0].failure_rate >= 0.5, "{:?}", points[0]);
+    }
+}

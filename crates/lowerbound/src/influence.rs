@@ -1,0 +1,304 @@
+//! Influence clouds over recorded communication graphs.
+//!
+//! Section IV-B's lower-bound proof is built on three structural objects,
+//! all of which this module computes from an execution [`Trace`]:
+//!
+//! * the **communication graph** `C^r` — an edge `u → v` iff `u` sent `v`
+//!   a message in some round `≤ r`;
+//! * **initiators** — nodes that send their first message before being
+//!   influenced by anyone (paper: "if `u` sends its first message in round
+//!   `r`, then `u` ... is an isolated vertex in `C^1..C^{r−1}`");
+//! * **influence clouds** `IC^r_u` — for each initiator `u`, the set of
+//!   nodes reachable from `u` along *time-respecting* chains of delivered
+//!   messages.
+//!
+//! The proof's pivotal event `N` is that the clouds are pairwise disjoint:
+//! a protocol that sends too few messages leaves ≥ 2 disjoint clouds, each
+//! equally likely to elect a leader (or to decide an opposing value) —
+//! hence the `Ω(√n/α^{3/2})` bound. [`InfluenceAnalysis`] lets experiments
+//! observe exactly this structure in real executions.
+
+use std::collections::BTreeSet;
+
+use ftc_sim::ids::{NodeId, Round};
+use ftc_sim::trace::Trace;
+
+/// The influence structure of one execution.
+#[derive(Clone, Debug)]
+pub struct InfluenceAnalysis {
+    n: u32,
+    /// Initiator nodes in id order.
+    pub initiators: Vec<NodeId>,
+    /// `cloud_of[v]` = the initiator whose cloud `v` first joined, if any.
+    /// Initiators map to themselves. `None` = never influenced.
+    pub cloud_of: Vec<Option<NodeId>>,
+    /// Whether any node was reachable from two different initiators (the
+    /// complement of the proof's disjointness event `N`).
+    pub clouds_merged: bool,
+}
+
+impl InfluenceAnalysis {
+    /// Analyses the delivered-message structure of `trace` up to and
+    /// including round `r` (use `u32::MAX` for the whole execution).
+    pub fn up_to(trace: &Trace, r: Round) -> Self {
+        let n = trace.n();
+        let nn = n as usize;
+
+        // First-send and first-receive rounds per node (delivered messages
+        // only — a message that never arrived influences nobody, but any
+        // *sent* message still marks its sender as active).
+        let mut first_send: Vec<Option<Round>> = vec![None; nn];
+        let mut first_recv: Vec<Option<Round>> = vec![None; nn];
+        for ev in trace.events().iter().filter(|e| e.round <= r) {
+            let s = &mut first_send[ev.src.index()];
+            if s.map_or(true, |cur| ev.round < cur) {
+                *s = Some(ev.round);
+            }
+            if ev.delivered {
+                // Received at the start of round `ev.round + 1`.
+                let rcv = &mut first_recv[ev.dst.index()];
+                if rcv.map_or(true, |cur| ev.round + 1 < cur) {
+                    *rcv = Some(ev.round + 1);
+                }
+            }
+        }
+
+        // Initiators: sent before (or without) ever being influenced.
+        let initiators: Vec<NodeId> = (0..nn)
+            .filter(|&u| match (first_send[u], first_recv[u]) {
+                (Some(s), Some(rcv)) => s < rcv,
+                (Some(_), None) => true,
+                _ => false,
+            })
+            .map(NodeId::from)
+            .collect();
+
+        // Temporal forward pass: a delivered message extends the sender's
+        // cloud to the receiver (at receipt time). `cloud_of` keeps the
+        // *first* cloud a node joined; any later cross-cloud delivery
+        // marks the clouds as merged.
+        let mut cloud_of: Vec<Option<NodeId>> = vec![None; nn];
+        for &i in &initiators {
+            cloud_of[i.index()] = Some(i);
+        }
+        let mut clouds_merged = false;
+        // Events are recorded in send order, which is time order.
+        for ev in trace.events().iter().filter(|e| e.round <= r) {
+            if !ev.delivered {
+                continue;
+            }
+            let Some(src_cloud) = cloud_of[ev.src.index()] else {
+                continue; // sender not yet influenced: its sends precede
+                          // influence only for initiators, handled above
+            };
+            match cloud_of[ev.dst.index()] {
+                None => cloud_of[ev.dst.index()] = Some(src_cloud),
+                Some(existing) if existing != src_cloud => clouds_merged = true,
+                Some(_) => {}
+            }
+        }
+
+        InfluenceAnalysis {
+            n,
+            initiators,
+            cloud_of,
+            clouds_merged,
+        }
+    }
+
+    /// Analyses the whole execution.
+    pub fn full(trace: &Trace) -> Self {
+        Self::up_to(trace, u32::MAX)
+    }
+
+    /// Network size.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of initiators.
+    pub fn initiator_count(&self) -> usize {
+        self.initiators.len()
+    }
+
+    /// The members of initiator `u`'s cloud (including `u`).
+    pub fn cloud_members(&self, u: NodeId) -> Vec<NodeId> {
+        self.cloud_of
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == Some(u))
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+
+    /// Sizes of all clouds, keyed by initiator, in id order.
+    pub fn cloud_sizes(&self) -> Vec<(NodeId, usize)> {
+        self.initiators
+            .iter()
+            .map(|&u| (u, self.cloud_members(u).len()))
+            .collect()
+    }
+
+    /// Nodes never influenced by anyone (isolated from all clouds).
+    pub fn untouched(&self) -> usize {
+        self.cloud_of.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// Whether the disjointness event `N` held for this execution (when it
+    /// does and there are ≥ 2 clouds, the lower-bound argument applies).
+    pub fn event_n(&self) -> bool {
+        !self.clouds_merged
+    }
+
+    /// Groups a set of *deciding* nodes by cloud: the number of distinct
+    /// clouds containing at least one decider (Lemma 9's "deciding trees").
+    pub fn deciding_clouds(&self, deciders: &[NodeId]) -> usize {
+        let clouds: BTreeSet<NodeId> = deciders
+            .iter()
+            .filter_map(|d| self.cloud_of[d.index()])
+            .collect();
+        clouds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_sim::prelude::*;
+
+    /// Protocol: node 0 and node `n/2` each broadcast a token wave of
+    /// configurable depth; everyone else forwards once.
+    #[derive(Clone)]
+    struct Wave {
+        start: bool,
+        forwarded: bool,
+    }
+
+    impl Protocol for Wave {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if self.start {
+                // Contact 3 random ports.
+                for _ in 0..3 {
+                    let p = ctx.random_port();
+                    ctx.send(p, ());
+                }
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, inbox: &[Incoming<()>]) {
+            // Forward once, and only during the first few rounds, so the
+            // clouds stay small (the lower-bound regime of few messages).
+            if !inbox.is_empty() && !self.forwarded && !self.start && ctx.round() <= 2 {
+                self.forwarded = true;
+                let p = ctx.random_port();
+                ctx.send(p, ());
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    fn run_wave(n: u32, starters: &[u32], seed: u64) -> Trace {
+        let cfg = SimConfig::new(n).seed(seed).max_rounds(12).record_trace(true);
+        let starters: Vec<u32> = starters.to_vec();
+        let r = run(
+            &cfg,
+            |id| Wave {
+                start: starters.contains(&id.0),
+                forwarded: false,
+            },
+            &mut NoFaults,
+        );
+        r.trace.expect("trace recorded")
+    }
+
+    #[test]
+    fn initiators_are_exactly_the_starters() {
+        let trace = run_wave(64, &[0, 32], 5);
+        let a = InfluenceAnalysis::full(&trace);
+        // The two starters always initiate; a forwarding node could only
+        // initiate if it sent before receiving, which Wave never does.
+        assert!(a.initiators.contains(&NodeId(0)));
+        assert!(a.initiators.contains(&NodeId(32)));
+        assert_eq!(a.initiator_count(), 2);
+    }
+
+    #[test]
+    fn sparse_waves_usually_stay_disjoint() {
+        // Two shallow 3-fan waves in a 4000-node network rarely touch:
+        // event N should hold for most seeds.
+        let mut disjoint = 0;
+        for seed in 0..20 {
+            let trace = run_wave(4000, &[0, 2000], seed);
+            let a = InfluenceAnalysis::full(&trace);
+            if a.event_n() {
+                disjoint += 1;
+            }
+        }
+        assert!(disjoint >= 16, "only {disjoint}/20 disjoint");
+    }
+
+    #[test]
+    fn clouds_partition_touched_nodes_when_disjoint() {
+        let trace = run_wave(512, &[0, 256], 1);
+        let a = InfluenceAnalysis::full(&trace);
+        if !a.event_n() {
+            return; // merged run: partition doesn't apply
+        }
+        let c0 = a.cloud_members(NodeId(0));
+        let c1 = a.cloud_members(NodeId(256));
+        let inter: Vec<_> = c0.iter().filter(|x| c1.contains(x)).collect();
+        assert!(inter.is_empty());
+        assert_eq!(
+            c0.len() + c1.len() + a.untouched(),
+            512,
+            "clouds + untouched must cover the network"
+        );
+    }
+
+    #[test]
+    fn deciding_clouds_counts_distinct_clouds() {
+        let trace = run_wave(256, &[0, 128], 3);
+        let a = InfluenceAnalysis::full(&trace);
+        let deciders = vec![NodeId(0), NodeId(128)];
+        assert_eq!(a.deciding_clouds(&deciders), 2);
+        assert_eq!(a.deciding_clouds(&[NodeId(0)]), 1);
+        // An untouched node belongs to no deciding cloud.
+        let untouched: Vec<NodeId> = (0..256)
+            .map(NodeId)
+            .filter(|v| a.cloud_of[v.index()].is_none())
+            .take(1)
+            .collect();
+        if let Some(&u) = untouched.first() {
+            assert_eq!(a.deciding_clouds(&[u]), 0);
+        }
+    }
+
+    #[test]
+    fn prefix_analysis_sees_fewer_edges() {
+        let trace = run_wave(256, &[0], 7);
+        let full = InfluenceAnalysis::full(&trace);
+        let early = InfluenceAnalysis::up_to(&trace, 0);
+        assert!(early.cloud_members(NodeId(0)).len() <= full.cloud_members(NodeId(0)).len());
+    }
+
+    #[test]
+    fn silent_execution_has_no_initiators() {
+        struct Mute;
+        impl Protocol for Mute {
+            type Msg = ();
+            fn on_start(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _i: &[Incoming<()>]) {}
+            fn is_terminated(&self) -> bool {
+                true
+            }
+        }
+        let cfg = SimConfig::new(16).seed(0).max_rounds(4).record_trace(true);
+        let r = run(&cfg, |_| Mute, &mut NoFaults);
+        let a = InfluenceAnalysis::full(&r.trace.expect("trace"));
+        assert_eq!(a.initiator_count(), 0);
+        assert_eq!(a.untouched(), 16);
+        assert!(a.event_n());
+    }
+}

@@ -1,0 +1,25 @@
+//! # `ftc-lowerbound` — empirical machinery for the message lower bounds
+//!
+//! Theorems 4.2 and 5.2 of the paper prove that any leader-election or
+//! agreement algorithm succeeding with constant probability must send
+//! `Ω(√n/α^{3/2})` messages. This crate makes the proof's structure
+//! observable on real executions:
+//!
+//! * [`influence`] — computes the communication graph `C^r`, initiators
+//!   and influence clouds of a recorded [`ftc_sim::trace::Trace`], and
+//!   checks the disjointness event `N` the proof hinges on;
+//! * [`capped`] — starves the paper's own protocols of messages (scaling
+//!   the Lemma-3 referee budget below 1×) and measures the failure
+//!   probability climbing as the spend crosses the `√n/α^{3/2}` threshold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capped;
+pub mod influence;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::capped::{sweep_agreement, sweep_leader_election, SweepPoint};
+    pub use crate::influence::InfluenceAnalysis;
+}

@@ -1,0 +1,146 @@
+//! Message, bit, round and congestion accounting.
+//!
+//! The paper's headline quantities are *message complexity* (total messages
+//! sent during the execution) and *round complexity*; Remark 1 additionally
+//! discusses the cost in *bits*. [`Metrics`] records all three, per round
+//! and in total, plus the maximum number of bits pushed through a single
+//! edge in a single round — the quantity the CONGEST model bounds by
+//! `O(log n)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, Round};
+
+/// Counters for a single round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Messages queued by alive nodes this round (counted even if the
+    /// sender's crash then suppressed them — the algorithm paid for them).
+    pub sent: u64,
+    /// Messages actually delivered at the end of the round.
+    pub delivered: u64,
+    /// Bits corresponding to `sent`.
+    pub bits_sent: u64,
+    /// Nodes that crashed this round.
+    pub crashes: u32,
+}
+
+/// Full accounting of one execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds actually executed (may be fewer than `max_rounds` when the
+    /// protocol quiesced early).
+    pub rounds: u32,
+    /// Total messages sent (the paper's message complexity).
+    pub msgs_sent: u64,
+    /// Total messages delivered.
+    pub msgs_delivered: u64,
+    /// Total bits sent (Remark 1's bit complexity).
+    pub bits_sent: u64,
+    /// Largest number of bits carried by any single edge in any single
+    /// round. CONGEST compliance means this stays `O(log n)`.
+    pub max_edge_bits_per_round: u64,
+    /// Per-round breakdown.
+    pub per_round: Vec<RoundMetrics>,
+    /// `(node, round)` crash events in order of occurrence.
+    pub crashes: Vec<(NodeId, Round)>,
+    /// Messages a node wanted to send but suppressed by the per-node
+    /// send budget ([`crate::engine::SimConfig::send_cap`]).
+    pub msgs_suppressed: u64,
+    /// Messages lost to dead edges
+    /// ([`crate::engine::SimConfig::edge_failure_prob`]).
+    pub msgs_lost_edges: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub(crate) fn record_round(&mut self, rm: RoundMetrics) {
+        self.rounds += 1;
+        self.msgs_sent += rm.sent;
+        self.msgs_delivered += rm.delivered;
+        self.bits_sent += rm.bits_sent;
+        self.per_round.push(rm);
+    }
+
+    pub(crate) fn record_crash(&mut self, node: NodeId, round: Round) {
+        self.crashes.push((node, round));
+    }
+
+    pub(crate) fn record_edge_bits(&mut self, bits: u64) {
+        self.max_edge_bits_per_round = self.max_edge_bits_per_round.max(bits);
+    }
+
+    /// Messages lost to crashes (sent but never delivered).
+    pub fn msgs_lost(&self) -> u64 {
+        self.msgs_sent - self.msgs_delivered
+    }
+
+    /// Number of crash events.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+}
+
+// NodeId is serialised as its raw u32 for the benefit of the bench harness's
+// result rows.
+impl Serialize for NodeId {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u32(self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for NodeId {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        u32::deserialize(d).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_across_rounds() {
+        let mut m = Metrics::new();
+        m.record_round(RoundMetrics {
+            sent: 10,
+            delivered: 8,
+            bits_sent: 100,
+            crashes: 1,
+        });
+        m.record_round(RoundMetrics {
+            sent: 5,
+            delivered: 5,
+            bits_sent: 50,
+            crashes: 0,
+        });
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.msgs_sent, 15);
+        assert_eq!(m.msgs_delivered, 13);
+        assert_eq!(m.msgs_lost(), 2);
+        assert_eq!(m.bits_sent, 150);
+        assert_eq!(m.per_round.len(), 2);
+    }
+
+    #[test]
+    fn edge_bits_tracks_maximum() {
+        let mut m = Metrics::new();
+        m.record_edge_bits(12);
+        m.record_edge_bits(40);
+        m.record_edge_bits(7);
+        assert_eq!(m.max_edge_bits_per_round, 40);
+    }
+
+    #[test]
+    fn crashes_are_recorded_in_order() {
+        let mut m = Metrics::new();
+        m.record_crash(NodeId(3), 1);
+        m.record_crash(NodeId(1), 2);
+        assert_eq!(m.crashes, vec![(NodeId(3), 1), (NodeId(1), 2)]);
+        assert_eq!(m.crash_count(), 2);
+    }
+}

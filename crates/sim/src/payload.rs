@@ -1,0 +1,85 @@
+//! Message payloads and CONGEST size accounting.
+//!
+//! The paper works in the CONGEST model: a node may send `O(log n)` bits
+//! through an edge per round (Section II), and Remark 1 notes that message
+//! complexity in *bits* may exceed the count in *messages* by an `O(log n)`
+//! factor. To measure both, every protocol message implements [`Payload`]
+//! and reports its own size in bits; the engine aggregates totals and tracks
+//! the worst per-edge-per-round load so CONGEST violations are observable.
+
+/// A protocol message that knows its own encoded size.
+///
+/// Implementations should report the size of a *reasonable wire encoding*,
+/// not of the in-memory Rust struct. The paper's protocols send ranks drawn
+/// from `[1, n⁴]` (≈ `4·log₂ n` bits) and constant-size control fields.
+pub trait Payload: Clone + Send + 'static {
+    /// Encoded size of this message in bits.
+    fn size_bits(&self) -> u32;
+}
+
+/// The empty message: a pure "signal" carrying one bit of presence.
+impl Payload for () {
+    fn size_bits(&self) -> u32 {
+        1
+    }
+}
+
+/// A single-bit payload (e.g. the agreement protocol's value messages).
+impl Payload for bool {
+    fn size_bits(&self) -> u32 {
+        1
+    }
+}
+
+/// A raw integer payload; sized as its full width for conservatism.
+impl Payload for u64 {
+    fn size_bits(&self) -> u32 {
+        64
+    }
+}
+
+/// Number of bits needed to encode a value drawn from `[0, bound)`.
+///
+/// Convenience for implementing [`Payload::size_bits`] on messages carrying
+/// ranks or counters with a known range.
+///
+/// ```
+/// use ftc_sim::payload::bits_for;
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(256), 8);
+/// assert_eq!(bits_for(257), 9);
+/// ```
+pub fn bits_for(bound: u64) -> u32 {
+    if bound <= 2 {
+        1
+    } else {
+        64 - (bound - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_bool_are_one_bit() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(false.size_bits(), 1);
+    }
+
+    #[test]
+    fn bits_for_powers_of_two() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(1 << 20), 20);
+    }
+
+    #[test]
+    fn bits_for_rank_domain() {
+        // Ranks live in [1, n^4]; for n = 2^10 that is 40 bits.
+        let n: u64 = 1 << 10;
+        assert_eq!(bits_for(n.pow(4)), 40);
+    }
+}

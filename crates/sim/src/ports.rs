@@ -1,0 +1,144 @@
+//! KT0 port wiring for a complete network.
+//!
+//! Every node `u` of a complete `n`-node network has `n-1` ports. The KT0
+//! model (Section II of the paper) stipulates that the assignment of
+//! neighbours to ports is a uniformly random permutation unknown to the
+//! node. [`PortMap`] realises one such permutation per node, backed by the
+//! lazy [`crate::perm::Perm`] so that the whole wiring costs `O(1)` memory
+//! per node regardless of `n`.
+
+use crate::ids::{NodeId, Port};
+use crate::perm::{stream_seed, Perm};
+
+/// The port permutation of a single node.
+///
+/// Maps local ports `0..n-1` to the node's `n-1` neighbours and back.
+///
+/// ```
+/// use ftc_sim::ports::PortMap;
+/// use ftc_sim::ids::{NodeId, Port};
+///
+/// let pm = PortMap::new(8, NodeId(3), 42);
+/// let peer = pm.peer(Port(0));
+/// assert_ne!(peer, NodeId(3));          // never wired to itself
+/// assert_eq!(pm.port_to(peer), Port(0)); // inverse is consistent
+/// ```
+#[derive(Clone, Debug)]
+pub struct PortMap {
+    node: NodeId,
+    n: u32,
+    perm: Perm,
+}
+
+impl PortMap {
+    /// Builds node `node`'s port permutation in an `n`-node network.
+    ///
+    /// `topology_seed` determines the wiring of the *whole* network; each
+    /// node derives an independent permutation from it, which matches the
+    /// paper's lower-bound setup where "for every node, the edges are
+    /// randomly connected to the ports" independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `node.0 >= n`.
+    pub fn new(n: u32, node: NodeId, topology_seed: u64) -> Self {
+        assert!(n >= 2, "a complete network needs at least two nodes");
+        assert!(node.0 < n, "node {node} outside network of size {n}");
+        let perm = Perm::new(
+            u64::from(n) - 1,
+            stream_seed(topology_seed, 0x5057_0000 ^ u64::from(node.0)),
+        );
+        PortMap { node, n, perm }
+    }
+
+    /// Number of ports (`n-1`).
+    pub fn port_count(&self) -> u32 {
+        self.n - 1
+    }
+
+    /// The neighbour reached through `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn peer(&self, port: Port) -> NodeId {
+        assert!(port.0 < self.n - 1, "port {port} out of range");
+        let k = self.perm.apply(u64::from(port.0)) as u32;
+        // Skip-self encoding: neighbour indices `0..n-1` exclude `self.node`.
+        NodeId(if k < self.node.0 { k } else { k + 1 })
+    }
+
+    /// The local port through which neighbour `peer` is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is this node itself or out of range.
+    pub fn port_to(&self, peer: NodeId) -> Port {
+        assert!(peer.0 < self.n, "peer {peer} outside network");
+        assert_ne!(peer, self.node, "a node has no port to itself");
+        let k = if peer.0 < self.node.0 {
+            peer.0
+        } else {
+            peer.0 - 1
+        };
+        Port(self.perm.invert(u64::from(k)) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_neighbours_exactly_once() {
+        let n = 97;
+        for node in [0u32, 1, 48, 96] {
+            let pm = PortMap::new(n, NodeId(node), 7);
+            let mut seen = vec![false; n as usize];
+            for p in 0..n - 1 {
+                let peer = pm.peer(Port(p));
+                assert_ne!(peer.0, node);
+                assert!(!seen[peer.index()], "duplicate peer {peer}");
+                seen[peer.index()] = true;
+                assert_eq!(pm.port_to(peer), Port(p));
+            }
+            assert!(!seen[node as usize]);
+            assert_eq!(seen.iter().filter(|&&s| s).count(), (n - 1) as usize);
+        }
+    }
+
+    #[test]
+    fn wiring_differs_across_nodes_and_seeds() {
+        let a = PortMap::new(64, NodeId(0), 1);
+        let b = PortMap::new(64, NodeId(1), 1);
+        let c = PortMap::new(64, NodeId(0), 2);
+        let same_ab = (0..63)
+            .filter(|&p| a.peer(Port(p)) == b.peer(Port(p)))
+            .count();
+        let same_ac = (0..63)
+            .filter(|&p| a.peer(Port(p)) == c.peer(Port(p)))
+            .count();
+        assert!(same_ab < 15);
+        assert!(same_ac < 15);
+    }
+
+    #[test]
+    fn two_node_network() {
+        let pm0 = PortMap::new(2, NodeId(0), 0);
+        let pm1 = PortMap::new(2, NodeId(1), 0);
+        assert_eq!(pm0.peer(Port(0)), NodeId(1));
+        assert_eq!(pm1.peer(Port(0)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no port to itself")]
+    fn port_to_self_panics() {
+        PortMap::new(4, NodeId(2), 0).port_to(NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_port_panics() {
+        PortMap::new(4, NodeId(0), 0).peer(Port(3));
+    }
+}

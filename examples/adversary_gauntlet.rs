@@ -1,0 +1,85 @@
+//! The adversary gauntlet: leader election against every crash schedule
+//! in the toolbox.
+//!
+//! Runs the paper's implicit leader election against five adversaries —
+//! from the benign fault-free run to the paper's worst case (the
+//! minimum-rank assassin of Section IV-A) — and prints success rates and
+//! costs. The safety claims must hold against all of them.
+//!
+//! ```sh
+//! cargo run --release --example adversary_gauntlet
+//! ```
+
+use ftc::prelude::*;
+
+const N: u32 = 1024;
+const ALPHA: f64 = 0.5;
+const TRIALS: u64 = 15;
+
+fn gauntlet<F>(name: &str, params: &Params, mut make_adv: F)
+where
+    F: FnMut() -> Box<dyn Adversary<LeMsg>>,
+{
+    let cfg = SimConfig::new(N).seed(31337).max_rounds(params.le_round_budget());
+    let mut ok = 0;
+    let mut faulty_leader = 0;
+    let mut msgs = Vec::new();
+    let mut rounds = Vec::new();
+    for t in 0..TRIALS {
+        let c = cfg.clone().seed(31337 + 7 * t);
+        let mut adv = make_adv();
+        let r = run(&c, |_| LeNode::new(params.clone()), adv.as_mut());
+        let o = LeOutcome::evaluate(&r);
+        if o.success {
+            ok += 1;
+            if o.leader_is_faulty {
+                faulty_leader += 1;
+            }
+        }
+        msgs.push(r.metrics.msgs_sent as f64);
+        rounds.push(f64::from(r.metrics.rounds));
+    }
+    let m = Summary::of(&msgs);
+    let r = Summary::of(&rounds);
+    println!(
+        "{name:<24} {ok:>3}/{TRIALS:<3} {faulty:>10} {mean:>12.0} {rounds:>8.0}",
+        faulty = faulty_leader,
+        mean = m.mean,
+        rounds = r.mean,
+    );
+}
+
+fn main() -> Result<(), ParamsError> {
+    let params = Params::new(N, ALPHA)?;
+    let f = params.max_faults();
+
+    println!(
+        "leader election, n = {N}, alpha = {ALPHA} ({f} faulty), {TRIALS} trials per adversary"
+    );
+    println!();
+    println!(
+        "{:<24} {:>7} {:>10} {:>12} {:>8}",
+        "adversary", "success", "flt-leader", "mean msgs", "rounds"
+    );
+
+    gauntlet("fault-free", &params, || Box::new(NoFaults));
+    gauntlet("eager mass crash", &params, || Box::new(EagerCrash::new(f)));
+    gauntlet("random mid-protocol", &params, || {
+        Box::new(RandomCrash::new(f, 60))
+    });
+    gauntlet("min-rank assassin", &params, || {
+        Box::new(MinRankCrasher::new(f))
+    });
+    gauntlet("aggressive assassin x4", &params, || {
+        Box::new(MinRankCrasher {
+            f,
+            per_round: 4,
+        })
+    });
+
+    println!();
+    println!("flt-leader: successful elections whose leader is in the faulty set —");
+    println!("allowed by the model (a faulty leader may crash only after election);");
+    println!("the paper guarantees the leader is non-faulty with probability ≥ α.");
+    Ok(())
+}

@@ -1,0 +1,375 @@
+//! `ftc` — command-line front end for the protocols and experiments.
+//!
+//! ```text
+//! ftc le     --n 4096 --alpha 0.5 --adversary random --trials 10 [--csv]
+//! ftc agree  --n 4096 --alpha 0.5 --zeros 0.05 --adversary targeted [--csv]
+//! ftc sweep  --n 2048 --alpha 0.5 --caps 64,16,4,1 --trials 24 [--csv]
+//! ftc trace  --n 512  --alpha 0.5 --seed 7          # influence-cloud report
+//! ```
+//!
+//! All subcommands are deterministic given `--seed`.
+
+use std::process::ExitCode;
+
+use ftc::prelude::*;
+
+/// Parsed command-line options (flat key-value flags).
+#[derive(Clone, Debug)]
+struct Opts {
+    n: u32,
+    alpha: f64,
+    seed: u64,
+    trials: u64,
+    zeros: f64,
+    adversary: String,
+    caps: Vec<Option<u32>>,
+    csv: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n: 1024,
+            alpha: 0.5,
+            seed: 42,
+            trials: 10,
+            zeros: 0.05,
+            adversary: "random".into(),
+            caps: vec![None, Some(64), Some(16), Some(4), Some(1)],
+            csv: false,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--n" => {
+                o.n = value(i)?.parse().map_err(|e| format!("--n: {e}"))?;
+                i += 2;
+            }
+            "--alpha" => {
+                o.alpha = value(i)?.parse().map_err(|e| format!("--alpha: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                o.seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--trials" => {
+                o.trials = value(i)?.parse().map_err(|e| format!("--trials: {e}"))?;
+                i += 2;
+            }
+            "--zeros" => {
+                o.zeros = value(i)?.parse().map_err(|e| format!("--zeros: {e}"))?;
+                i += 2;
+            }
+            "--adversary" => {
+                o.adversary = value(i)?.clone();
+                i += 2;
+            }
+            "--caps" => {
+                o.caps = value(i)?
+                    .split(',')
+                    .map(|c| {
+                        if c == "none" {
+                            Ok(None)
+                        } else {
+                            c.parse::<u32>().map(Some).map_err(|e| format!("--caps: {e}"))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            "--csv" => {
+                o.csv = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn le_adversary(kind: &str, f: usize) -> Result<Box<dyn Adversary<LeMsg>>, String> {
+    Ok(match kind {
+        "none" => Box::new(NoFaults),
+        "eager" => Box::new(EagerCrash::new(f)),
+        "random" => Box::new(RandomCrash::new(f, 60)),
+        "targeted" => Box::new(MinRankCrasher::new(f)),
+        other => return Err(format!("unknown adversary {other} (none|eager|random|targeted)")),
+    })
+}
+
+fn agree_adversary(kind: &str, f: usize) -> Result<Box<dyn Adversary<AgreeMsg>>, String> {
+    Ok(match kind {
+        "none" => Box::new(NoFaults),
+        "eager" => Box::new(EagerCrash::new(f)),
+        "random" => Box::new(RandomCrash::new(f, 20)),
+        "targeted" => Box::new(ZeroHolderCrasher::new(f)),
+        other => return Err(format!("unknown adversary {other} (none|eager|random|targeted)")),
+    })
+}
+
+fn cmd_le(o: &Opts) -> Result<(), String> {
+    let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
+    let f = params.max_faults();
+    let cfg = SimConfig::new(o.n).seed(o.seed).max_rounds(params.le_round_budget());
+    if o.csv {
+        println!("trial,seed,success,leader_rank,msgs,bits,rounds,crashes");
+    }
+    let mut successes = 0;
+    let results = run_trials(&cfg, o.trials, |c| {
+        let mut adv = le_adversary(&o.adversary, f).expect("validated");
+        let r = run(c, |_| LeNode::new(params.clone()), adv.as_mut());
+        let out = LeOutcome::evaluate(&r);
+        (out.success, out.agreed_leader, r.metrics.clone())
+    });
+    for t in &results {
+        let (ok, leader, m) = &t.value;
+        if *ok {
+            successes += 1;
+        }
+        if o.csv {
+            println!(
+                "{},{},{},{},{},{},{},{}",
+                t.trial,
+                t.seed,
+                ok,
+                leader.map_or(0, |r| r.0),
+                m.msgs_sent,
+                m.bits_sent,
+                m.rounds,
+                m.crash_count()
+            );
+        }
+    }
+    if !o.csv {
+        let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
+        let rounds = Summary::of_iter(results.iter().map(|t| f64::from(t.value.2.rounds)));
+        println!(
+            "leader election: n={} alpha={} adversary={} trials={}",
+            o.n, o.alpha, o.adversary, o.trials
+        );
+        println!("  success: {successes}/{}", o.trials);
+        println!("  messages: mean {:.0} (p95 {:.0})", msgs.mean, msgs.p95);
+        println!("  rounds: mean {:.0} (max {:.0})", rounds.mean, rounds.max);
+    }
+    Ok(())
+}
+
+fn cmd_agree(o: &Opts) -> Result<(), String> {
+    let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
+    let f = params.max_faults();
+    let stride = if o.zeros <= 0.0 {
+        u32::MAX
+    } else {
+        (1.0 / o.zeros).round().max(1.0) as u32
+    };
+    let cfg = SimConfig::new(o.n)
+        .seed(o.seed)
+        .max_rounds(params.agreement_round_budget());
+    if o.csv {
+        println!("trial,seed,success,value,msgs,bits,rounds");
+    }
+    let mut successes = 0;
+    let results = run_trials(&cfg, o.trials, |c| {
+        let mut adv = agree_adversary(&o.adversary, f).expect("validated");
+        let r = run(
+            c,
+            |id| AgreeNode::new(params.clone(), !(stride != u32::MAX && id.0 % stride == 0)),
+            adv.as_mut(),
+        );
+        let out = AgreeOutcome::evaluate(&r);
+        (out.success, out.agreed_value, r.metrics.clone())
+    });
+    for t in &results {
+        let (ok, value, m) = &t.value;
+        if *ok {
+            successes += 1;
+        }
+        if o.csv {
+            println!(
+                "{},{},{},{},{},{},{}",
+                t.trial,
+                t.seed,
+                ok,
+                value.map_or(-1, i64::from),
+                m.msgs_sent,
+                m.bits_sent,
+                m.rounds
+            );
+        }
+    }
+    if !o.csv {
+        let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
+        println!(
+            "agreement: n={} alpha={} zeros={} adversary={} trials={}",
+            o.n, o.alpha, o.zeros, o.adversary, o.trials
+        );
+        println!("  success: {successes}/{}", o.trials);
+        println!("  messages: mean {:.0} (bits ≈ 2x)", msgs.mean);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(o: &Opts) -> Result<(), String> {
+    let points = sweep_agreement(o.n, o.alpha, &o.caps, o.trials, o.seed);
+    if o.csv {
+        println!("cap,mean_msgs,suppressed,threshold_ratio,failure_rate,trials");
+        for p in &points {
+            println!(
+                "{},{:.1},{:.1},{:.4},{:.4},{}",
+                p.cap.map_or(-1, i64::from),
+                p.mean_messages,
+                p.mean_suppressed,
+                p.threshold_ratio,
+                p.failure_rate,
+                p.trials
+            );
+        }
+    } else {
+        println!("send-cap sweep (agreement): n={} alpha={}", o.n, o.alpha);
+        for p in &points {
+            println!(
+                "  cap {:>9}: {:>10.0} msgs ({:>7.2}x threshold), failure {:.2}",
+                p.cap.map_or("unlimited".into(), |c| c.to_string()),
+                p.mean_messages,
+                p.threshold_ratio,
+                p.failure_rate
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(o: &Opts) -> Result<(), String> {
+    let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
+    let cfg = SimConfig::new(o.n)
+        .seed(o.seed)
+        .max_rounds(params.le_round_budget())
+        .record_trace(true);
+    let mut adv = EagerCrash::new(params.max_faults());
+    let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+    let trace = r.trace.as_ref().expect("trace enabled");
+    let a = InfluenceAnalysis::full(trace);
+    println!(
+        "trace: n={} alpha={} seed={} — {} events, {} rounds",
+        o.n,
+        o.alpha,
+        o.seed,
+        trace.len(),
+        r.metrics.rounds
+    );
+    println!(
+        "influence: {} initiators, event N (disjoint clouds) = {}, {} untouched nodes",
+        a.initiator_count(),
+        a.event_n(),
+        a.untouched()
+    );
+    let mut sizes: Vec<usize> = a.cloud_sizes().iter().map(|&(_, s)| s).collect();
+    sizes.sort_unstable_by(|x, y| y.cmp(x));
+    println!("largest clouds: {:?}", &sizes[..sizes.len().min(8)]);
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: ftc <le|agree|sweep|trace> [--n N] [--alpha A] [--seed S] \
+     [--trials T] [--zeros Z] [--adversary none|eager|random|targeted] \
+     [--caps c1,c2,none] [--csv]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "le" => cmd_le(&opts),
+        "agree" => cmd_agree(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "trace" => cmd_trace(&opts),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        let o = parse_opts(&[]).unwrap();
+        assert_eq!(o.n, 1024);
+        assert_eq!(o.adversary, "random");
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let o = parse_opts(&args("--n 256 --alpha 0.25 --trials 3 --csv --adversary eager"))
+            .unwrap();
+        assert_eq!(o.n, 256);
+        assert_eq!(o.alpha, 0.25);
+        assert_eq!(o.trials, 3);
+        assert!(o.csv);
+        assert_eq!(o.adversary, "eager");
+    }
+
+    #[test]
+    fn caps_parse_with_none() {
+        let o = parse_opts(&args("--caps none,64,1")).unwrap();
+        assert_eq!(o.caps, vec![None, Some(64), Some(1)]);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse_opts(&args("--bogus 1")).is_err());
+        assert!(parse_opts(&args("--n")).is_err());
+    }
+
+    #[test]
+    fn adversary_factories_validate_names() {
+        assert!(le_adversary("random", 3).is_ok());
+        assert!(le_adversary("martian", 3).is_err());
+        assert!(agree_adversary("targeted", 3).is_ok());
+        assert!(agree_adversary("martian", 3).is_err());
+    }
+
+    #[test]
+    fn end_to_end_small_le_run() {
+        let o = Opts {
+            n: 128,
+            alpha: 0.5,
+            trials: 2,
+            ..Opts::default()
+        };
+        cmd_le(&o).unwrap();
+        cmd_agree(&o).unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! # `ftc` — fault-tolerant computation with sublinear message complexity
+//!
+//! Umbrella crate for the reproduction of Kumar & Molla, *"On the Message
+//! Complexity of Fault-Tolerant Computation: Leader Election and
+//! Agreement"* (PODC 2021 brief announcement; full version IEEE TPDS
+//! 34(4), 2023). It re-exports the four member crates:
+//!
+//! * [`sim`] — the synchronous crash-fault complete-network simulator
+//!   (KT0 ports, CONGEST accounting, adversaries, traces);
+//! * [`core`] — the paper's protocols: implicit/explicit leader election
+//!   and agreement, plus worst-case adversaries;
+//! * [`baselines`] — the Table-I comparison protocols (FloodSet,
+//!   broadcast LE, GK10-style, CK09-style gossip, Kutten et al.);
+//! * [`lowerbound`] — influence-cloud analysis and message-budget sweeps
+//!   for the `Ω(√n/α^{3/2})` lower bounds.
+//!
+//! See `examples/quickstart.rs` for a end-to-end tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+//!
+//! ```
+//! use ftc::prelude::*;
+//!
+//! let params = Params::new(128, 0.5)?;
+//! let cfg = SimConfig::new(128).seed(1).max_rounds(params.le_round_budget());
+//! let mut adversary = EagerCrash::new(64);
+//! let result = run(&cfg, |_| LeNode::new(params.clone()), &mut adversary);
+//! assert!(LeOutcome::evaluate(&result).success);
+//! # Ok::<(), ftc::core::params::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ftc_baselines as baselines;
+pub use ftc_core as core;
+pub use ftc_lowerbound as lowerbound;
+pub use ftc_sim as sim;
+
+/// Everything, in one import.
+pub mod prelude {
+    pub use ftc_baselines::prelude::*;
+    pub use ftc_core::prelude::*;
+    pub use ftc_lowerbound::prelude::*;
+    pub use ftc_sim::prelude::*;
+}

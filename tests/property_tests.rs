@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) on the protocols and the substrate.
+//!
+//! Strategy-generated fault plans, input vectors, seeds and network sizes;
+//! the safety clauses of Definitions 1–2 and the simulator's structural
+//! invariants must hold for every generated case.
+
+use ftc::prelude::*;
+use ftc::sim::adversary::DeliveryFilter;
+use ftc::sim::perm::Perm;
+use ftc::sim::ports::PortMap;
+use proptest::prelude::*;
+
+/// A generated crash: node index (as fraction), round, filter choice.
+#[derive(Clone, Debug)]
+struct GenCrash {
+    node_frac: f64,
+    round: u32,
+    filter_kind: u8,
+    keep: usize,
+}
+
+fn crash_strategy(max_round: u32) -> impl Strategy<Value = GenCrash> {
+    (0.0..1.0f64, 0..max_round, 0u8..4, 0usize..64).prop_map(
+        |(node_frac, round, filter_kind, keep)| GenCrash {
+            node_frac,
+            round,
+            filter_kind,
+            keep,
+        },
+    )
+}
+
+fn build_plan(n: u32, crashes: &[GenCrash]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let mut used = std::collections::HashSet::new();
+    for c in crashes {
+        let node = NodeId(((c.node_frac * f64::from(n)) as u32).min(n - 1));
+        if !used.insert(node) {
+            continue; // a node crashes at most once
+        }
+        let filter = match c.filter_kind {
+            0 => DeliveryFilter::DeliverAll,
+            1 => DeliveryFilter::DropAll,
+            2 => DeliveryFilter::KeepFirst(c.keep),
+            _ => DeliveryFilter::DeliverEachWithProbability(0.5),
+        };
+        plan = plan.crash(node, c.round, filter);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Agreement safety: for ANY generated fault plan and input vector,
+    /// decided survivors never disagree and never invent values.
+    #[test]
+    fn agreement_safety_under_arbitrary_fault_plans(
+        seed in 0u64..10_000,
+        input_stride in 1u32..8,
+        crashes in prop::collection::vec(crash_strategy(30), 0..20),
+    ) {
+        let n = 64u32;
+        let p = Params::new(n, 0.6).expect("valid");
+        let plan = build_plan(n, &crashes);
+        let mut adv = ScriptedCrash::new(plan);
+        let cfg = SimConfig::new(n).seed(seed).max_rounds(p.agreement_round_budget());
+        let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % input_stride != 0), &mut adv);
+        let o = AgreeOutcome::evaluate(&r);
+        // Liveness may legitimately fail under extreme plans; safety never:
+        prop_assert!(o.consistent, "split decision: {:?}", o.decisions);
+        if let Some(v) = o.agreed_value {
+            prop_assert!(o.valid, "agreed {v} is nobody's input");
+        }
+    }
+
+    /// Leader-election safety: never two alive ELECTED nodes.
+    #[test]
+    fn le_uniqueness_under_arbitrary_fault_plans(
+        seed in 0u64..10_000,
+        crashes in prop::collection::vec(crash_strategy(60), 0..16),
+    ) {
+        let n = 64u32;
+        let p = Params::new(n, 0.6).expect("valid");
+        let plan = build_plan(n, &crashes);
+        let mut adv = ScriptedCrash::new(plan);
+        let cfg = SimConfig::new(n).seed(seed).max_rounds(p.le_round_budget());
+        let r = run(&cfg, |_| LeNode::new(p.clone()), &mut adv);
+        let elected: Vec<_> = r
+            .surviving_states()
+            .filter(|(_, s)| s.status() == LeStatus::Elected)
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert!(elected.len() <= 1, "two alive leaders: {elected:?}");
+    }
+
+    /// The Feistel permutation is a bijection for arbitrary domain/seed.
+    #[test]
+    fn perm_is_bijective(domain in 1u64..5000, seed in any::<u64>()) {
+        let p = Perm::new(domain, seed);
+        let mut seen = vec![false; domain as usize];
+        for x in 0..domain {
+            let y = p.apply(x);
+            prop_assert!(y < domain);
+            prop_assert!(!seen[y as usize], "collision at {y}");
+            seen[y as usize] = true;
+            prop_assert_eq!(p.invert(y), x);
+        }
+    }
+
+    /// Port maps never wire a node to itself and invert consistently.
+    #[test]
+    fn portmap_wiring_is_sane(n in 2u32..300, node_frac in 0.0..1.0f64, seed in any::<u64>()) {
+        let node = NodeId(((node_frac * f64::from(n)) as u32).min(n - 1));
+        let pm = PortMap::new(n, node, seed);
+        for port in 0..n - 1 {
+            let peer = pm.peer(Port(port));
+            prop_assert!(peer != node);
+            prop_assert!(peer.0 < n);
+            prop_assert_eq!(pm.port_to(peer), Port(port));
+        }
+    }
+
+    /// Engine conservation law: delivered + lost == sent; crashes only
+    /// among the faulty set; determinism of the metrics.
+    #[test]
+    fn engine_conservation_and_determinism(
+        seed in 0u64..10_000,
+        f in 0usize..32,
+        horizon in 1u32..20,
+    ) {
+        let n = 64u32;
+        let p = Params::new(n, 0.6).expect("valid");
+        let cfg = SimConfig::new(n).seed(seed).max_rounds(p.agreement_round_budget());
+        let run_once = || {
+            let mut adv = RandomCrash::new(f, horizon);
+            run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv)
+        };
+        let r1 = run_once();
+        let r2 = run_once();
+        prop_assert_eq!(r1.metrics.msgs_sent, r2.metrics.msgs_sent);
+        prop_assert_eq!(r1.metrics.rounds, r2.metrics.rounds);
+        prop_assert_eq!(
+            r1.metrics.msgs_sent,
+            r1.metrics.msgs_delivered + r1.metrics.msgs_lost()
+        );
+        prop_assert!(r1.metrics.crash_count() <= f);
+        for (id, _) in r1.metrics.crashes.iter().map(|(id, rd)| (id, rd)) {
+            prop_assert!(r1.faulty.contains(*id));
+        }
+    }
+
+    /// Ranks always land in the documented domain.
+    #[test]
+    fn rank_domain_property(n in 2u32..=65_535, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let r = Rank::draw(&mut rng, n);
+        prop_assert!(r.0 >= 1);
+        prop_assert!(r.0 <= u64::from(n).pow(4));
+    }
+
+    /// Summary statistics are internally consistent for arbitrary samples.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.median <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+    }
+}

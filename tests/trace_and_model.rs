@@ -1,0 +1,169 @@
+//! Cross-crate tests: trace analysis on real protocol executions, CONGEST
+//! model compliance, and KT0 enforcement.
+
+use ftc::prelude::*;
+use ftc::sim::payload::Payload;
+
+#[test]
+fn congest_compliance_of_both_protocols() {
+    // Every message fits in O(log n) bits and no edge carries more than a
+    // few messages per round.
+    for &n in &[256u32, 1024] {
+        let p = Params::new(n, 0.5).expect("valid");
+        let budget_bits = 32 * 4 + 16; // 4 log2(n) + slack for tags
+
+        let cfg = SimConfig::new(n)
+            .seed(1)
+            .max_rounds(p.le_round_budget())
+            .congest_bits(3 * budget_bits);
+        let mut adv = RandomCrash::new(p.max_faults(), 30);
+        let r = run(&cfg, |_| LeNode::new(p.clone()), &mut adv);
+        assert_eq!(
+            r.congest_violations, 0,
+            "LE exceeded the CONGEST budget at n={n}: max edge bits {}",
+            r.metrics.max_edge_bits_per_round
+        );
+
+        let cfg = SimConfig::new(n)
+            .seed(1)
+            .max_rounds(p.agreement_round_budget())
+            .congest_bits(budget_bits);
+        let mut adv = RandomCrash::new(p.max_faults(), 10);
+        let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv);
+        assert_eq!(r.congest_violations, 0, "agreement exceeded CONGEST at n={n}");
+    }
+}
+
+#[test]
+fn message_sizes_are_logarithmic() {
+    let le_msgs = [
+        LeMsg::Register { rank: Rank(42) },
+        LeMsg::Propose {
+            id: Rank(1),
+            value: Rank(2),
+        },
+        LeMsg::Echo {
+            value: Rank(9),
+            claimed: false,
+        },
+    ];
+    for m in &le_msgs {
+        assert!(m.size_bits() <= 100, "{m:?}");
+    }
+    assert!(AgreeMsg::Zero.size_bits() <= 2);
+}
+
+#[test]
+fn agreement_bits_equal_two_per_message() {
+    // Theorem 5.1 counts *bits*; the implementation sends 2-bit messages,
+    // so bits == 2 × messages exactly.
+    let p = Params::new(512, 1.0).expect("valid");
+    let cfg = SimConfig::new(512).seed(2).max_rounds(p.agreement_round_budget());
+    let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut NoFaults);
+    assert_eq!(r.metrics.bits_sent, 2 * r.metrics.msgs_sent);
+}
+
+#[test]
+fn influence_analysis_of_a_real_le_run() {
+    let p = Params::new(256, 1.0).expect("valid");
+    let cfg = SimConfig::new(256)
+        .seed(3)
+        .max_rounds(p.le_round_budget())
+        .record_trace(true);
+    let r = run(&cfg, |_| LeNode::new(p.clone()), &mut NoFaults);
+    let trace = r.trace.as_ref().expect("trace recorded");
+    let a = InfluenceAnalysis::full(trace);
+
+    // Initiators of the leader-election protocol are exactly the
+    // candidates (only they send spontaneously in round 0).
+    let candidates: Vec<NodeId> = r
+        .all_states()
+        .filter(|(_, s)| s.is_candidate())
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(a.initiator_count(), candidates.len());
+    for c in &candidates {
+        assert!(a.initiators.contains(c), "candidate {c} not an initiator");
+    }
+
+    // At full message budget the clouds must merge (that is *why* the
+    // protocol agrees): event N must fail.
+    assert!(!a.event_n(), "clouds disjoint despite full communication");
+
+    // Every node that ever received a message belongs to some cloud.
+    for ev in trace.events().iter().filter(|e| e.delivered) {
+        assert!(
+            a.cloud_of[ev.dst.index()].is_some(),
+            "node {} received a message but belongs to no cloud",
+            ev.dst
+        );
+    }
+}
+
+#[test]
+fn starved_le_run_exhibits_disjoint_deciding_clouds() {
+    // The lower-bound witness on a real execution: starve LE with a
+    // send cap of 1 and find ≥ 2 initiators whose clouds stayed disjoint.
+    let p = Params::new(1024, 0.5).expect("valid");
+    let mut found_split = false;
+    for seed in 0..10 {
+        let cfg = SimConfig::new(1024)
+            .seed(seed)
+            .max_rounds(p.le_round_budget())
+            .send_cap(1)
+            .record_trace(true);
+        let mut adv = EagerCrash::new(p.max_faults());
+        let r = run(&cfg, |_| LeNode::new(p.clone()), &mut adv);
+        let a = InfluenceAnalysis::full(r.trace.as_ref().expect("trace"));
+        if a.event_n() && a.initiator_count() >= 2 {
+            found_split = true;
+            break;
+        }
+    }
+    assert!(found_split, "no disjoint-cloud execution in 10 starved runs");
+}
+
+#[test]
+fn kt0_protocols_cannot_read_neighbour_identities() {
+    struct Cheater;
+    impl Protocol for Cheater {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            // Illegal in KT0: asking who is behind a port.
+            let _ = ctx.peer_of(Port(0));
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, ()>, _: &[Incoming<()>]) {}
+    }
+    let cfg = SimConfig::new(8).seed(0).max_rounds(2);
+    let result = std::panic::catch_unwind(|| {
+        let _ = run(&cfg, |_| Cheater, &mut NoFaults);
+    });
+    assert!(result.is_err(), "KT0 violation was not caught");
+}
+
+#[test]
+fn send_cap_reduces_spend_without_breaking_accounting() {
+    let p = Params::new(512, 0.5).expect("valid");
+    let capped = {
+        let cfg = SimConfig::new(512)
+            .seed(4)
+            .max_rounds(p.agreement_round_budget())
+            .send_cap(4);
+        let mut adv = EagerCrash::new(p.max_faults());
+        run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv)
+    };
+    let free = {
+        let cfg = SimConfig::new(512)
+            .seed(4)
+            .max_rounds(p.agreement_round_budget());
+        let mut adv = EagerCrash::new(p.max_faults());
+        run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv)
+    };
+    assert!(capped.metrics.msgs_sent < free.metrics.msgs_sent);
+    assert!(capped.metrics.msgs_suppressed > 0);
+    assert_eq!(free.metrics.msgs_suppressed, 0);
+    assert_eq!(
+        capped.metrics.msgs_sent,
+        capped.metrics.msgs_delivered + capped.metrics.msgs_lost()
+    );
+}
