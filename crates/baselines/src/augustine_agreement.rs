@@ -147,8 +147,7 @@ impl AugustineOutcome {
             .collect();
         let decisions: Vec<bool> = decided.iter().copied().collect();
         let agreed_value = (decisions.len() == 1).then(|| decisions[0]);
-        let valid = agreed_value
-            .map_or(false, |v| result.all_states().any(|(_, s)| s.input() == v));
+        let valid = agreed_value.is_some_and(|v| result.all_states().any(|(_, s)| s.input() == v));
         AugustineOutcome {
             success: decisions.len() == 1 && valid,
             decisions,
@@ -167,7 +166,9 @@ mod tests {
         inputs: impl Fn(NodeId) -> bool,
         adv: &mut dyn Adversary<AugustineMsg>,
     ) -> RunResult<AugustineNode> {
-        let cfg = SimConfig::new(n).seed(seed).max_rounds(augustine_round_budget());
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(augustine_round_budget());
         run(&cfg, |id| AugustineNode::new(inputs(id)), adv)
     }
 
@@ -203,7 +204,9 @@ mod tests {
     #[test]
     fn messages_are_sublinear() {
         let n = 4096u32;
-        let cfg = SimConfig::new(n).seed(1).max_rounds(augustine_round_budget());
+        let cfg = SimConfig::new(n)
+            .seed(1)
+            .max_rounds(augustine_round_budget());
         let r = run(&cfg, |id| AugustineNode::new(id.0 % 3 == 0), &mut NoFaults);
         let bound = f64::from(n).sqrt() * f64::from(n).ln().powf(1.5);
         assert!(
@@ -228,11 +231,8 @@ mod tests {
                 .find(|(_, s)| s.is_candidate() && !s.input())
                 .map(|(id, _)| id);
             let Some(target) = zero_cand else { continue };
-            let plan = FaultPlan::new().crash(
-                target,
-                0,
-                ftc_sim::adversary::DeliveryFilter::KeepFirst(3),
-            );
+            let plan =
+                FaultPlan::new().crash(target, 0, ftc_sim::adversary::DeliveryFilter::KeepFirst(3));
             let mut adv = ScriptedCrash::new(plan);
             let r = run_aug(512, seed, |id| id.0 >= 40, &mut adv);
             let o = AugustineOutcome::evaluate(&r);

@@ -71,7 +71,7 @@ impl Protocol for BroadcastLeNode {
                 ctx.broadcast(new.0);
             }
         }
-        if ctx.round() >= self.f + 1 {
+        if ctx.round() > self.f {
             self.elected = Some(self.min_seen == self.rank);
         }
     }
@@ -124,7 +124,9 @@ mod tests {
 
     #[test]
     fn fault_free_unique_leader() {
-        let cfg = SimConfig::new(64).seed(1).max_rounds(broadcast_le_round_budget(0));
+        let cfg = SimConfig::new(64)
+            .seed(1)
+            .max_rounds(broadcast_le_round_budget(0));
         let r = run(&cfg, |_| BroadcastLeNode::new(0), &mut NoFaults);
         let o = BroadcastLeOutcome::evaluate(&r);
         assert!(o.success);
@@ -148,7 +150,9 @@ mod tests {
     #[test]
     fn cost_is_quadratic_class() {
         let n = 256u32;
-        let cfg = SimConfig::new(n).seed(3).max_rounds(broadcast_le_round_budget(4));
+        let cfg = SimConfig::new(n)
+            .seed(3)
+            .max_rounds(broadcast_le_round_budget(4));
         let r = run(&cfg, |_| BroadcastLeNode::new(4), &mut NoFaults);
         let full = u64::from(n) * u64::from(n - 1);
         assert!(r.metrics.msgs_sent >= full);

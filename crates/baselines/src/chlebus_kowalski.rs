@@ -117,7 +117,7 @@ impl GossipOutcome {
         let distinct: std::collections::BTreeSet<bool> =
             decisions.iter().flatten().copied().collect();
         let value = (distinct.len() == 1).then(|| *distinct.first().unwrap());
-        let valid = value.map_or(false, |v| result.all_states().any(|(_, s)| s.input() == v));
+        let valid = value.is_some_and(|v| result.all_states().any(|(_, s)| s.input() == v));
         GossipOutcome {
             value,
             undecided,
@@ -136,7 +136,9 @@ mod tests {
         inputs: impl Fn(NodeId) -> bool,
         adv: &mut dyn Adversary<bool>,
     ) -> RunResult<GossipNode> {
-        let cfg = SimConfig::new(n).seed(seed).max_rounds(gossip_round_budget(n));
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(gossip_round_budget(n));
         run(&cfg, |id| GossipNode::new(n, inputs(id)), adv)
     }
 

@@ -147,7 +147,7 @@ impl CmsOutcome {
         let distinct: std::collections::BTreeSet<bool> =
             decisions.iter().flatten().copied().collect();
         let value = (distinct.len() == 1).then(|| *distinct.first().unwrap());
-        let valid = value.map_or(false, |v| result.all_states().any(|(_, s)| s.input() == v));
+        let valid = value.is_some_and(|v| result.all_states().any(|(_, s)| s.input() == v));
         let stabilised_at = result
             .surviving_states()
             .map(|(_, s)| s.stable_since())

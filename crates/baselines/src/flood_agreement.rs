@@ -62,7 +62,7 @@ impl Protocol for FloodAgreeNode {
             self.value = false;
             ctx.broadcast(false);
         }
-        if ctx.round() >= self.f + 1 {
+        if ctx.round() > self.f {
             self.decision = Some(self.value);
         }
     }
@@ -117,7 +117,9 @@ mod tests {
         inputs: impl Fn(NodeId) -> bool,
         adv: &mut dyn Adversary<bool>,
     ) -> RunResult<FloodAgreeNode> {
-        let cfg = SimConfig::new(n).seed(seed).max_rounds(flood_round_budget(f));
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(flood_round_budget(f));
         run(&cfg, |id| FloodAgreeNode::new(f, inputs(id)), adv)
     }
 

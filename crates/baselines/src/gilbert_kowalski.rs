@@ -280,7 +280,7 @@ impl GkOutcome {
         let distinct: std::collections::BTreeSet<bool> =
             decisions.iter().flatten().copied().collect();
         let value = (distinct.len() == 1).then(|| *distinct.first().unwrap());
-        let valid = value.map_or(false, |v| result.all_states().any(|(_, s)| s.input() == v));
+        let valid = value.is_some_and(|v| result.all_states().any(|(_, s)| s.input() == v));
         GkOutcome {
             value,
             undecided,
@@ -369,11 +369,7 @@ mod tests {
         let geo_probe = Geometry::new(n);
         let mut plan = FaultPlan::new();
         for id in geo_probe.k..geo_probe.k + 20 {
-            plan = plan.crash(
-                NodeId(id),
-                geo_probe.flood_start(),
-                DeliveryFilter::DropAll,
-            );
+            plan = plan.crash(NodeId(id), geo_probe.flood_start(), DeliveryFilter::DropAll);
         }
         let mut adv = ScriptedCrash::new(plan);
         let r = run_gk(n, 5, |_| true, &mut adv);

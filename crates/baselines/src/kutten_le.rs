@@ -174,7 +174,9 @@ mod tests {
     fn fault_free_unique_leader_whp() {
         let mut wins = 0;
         for seed in 0..20 {
-            let cfg = SimConfig::new(1024).seed(seed).max_rounds(kutten_round_budget());
+            let cfg = SimConfig::new(1024)
+                .seed(seed)
+                .max_rounds(kutten_round_budget());
             let r = run(&cfg, |_| KuttenLeNode::new(), &mut NoFaults);
             let o = KuttenOutcome::evaluate(&r);
             if o.success {
@@ -200,7 +202,9 @@ mod tests {
 
     #[test]
     fn terminates_in_constant_rounds() {
-        let cfg = SimConfig::new(2048).seed(2).max_rounds(kutten_round_budget());
+        let cfg = SimConfig::new(2048)
+            .seed(2)
+            .max_rounds(kutten_round_budget());
         let r = run(&cfg, |_| KuttenLeNode::new(), &mut NoFaults);
         assert!(r.metrics.rounds <= 5);
     }
@@ -211,7 +215,9 @@ mod tests {
         // fault-free protocol can produce zero or duplicate leaders.
         let mut failures = 0;
         for seed in 0..30 {
-            let cfg = SimConfig::new(256).seed(seed).max_rounds(kutten_round_budget());
+            let cfg = SimConfig::new(256)
+                .seed(seed)
+                .max_rounds(kutten_round_budget());
             // Probe to find the winner.
             let probe = run(&cfg, |_| KuttenLeNode::new(), &mut NoFaults);
             let winner = probe

@@ -27,7 +27,10 @@ fn bench_gk(c: &mut Criterion) {
     g.sample_size(10);
     for &n in &[1024u32, 4096, 16384] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let cfg = SimConfig::new(n).seed(1).kt1(true).max_rounds(gk_round_budget(n));
+            let cfg = SimConfig::new(n)
+                .seed(1)
+                .kt1(true)
+                .max_rounds(gk_round_budget(n));
             b.iter(|| {
                 let mut adv = RandomCrash::new(n as usize / 4, 10);
                 let r = run(&cfg, |id| GkNode::new(id.0 % 5 != 0), &mut adv);
@@ -69,5 +72,11 @@ fn bench_kutten(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_floodset, bench_gk, bench_gossip, bench_kutten);
+criterion_group!(
+    benches,
+    bench_floodset,
+    bench_gk,
+    bench_gossip,
+    bench_kutten
+);
 criterion_main!(benches);

@@ -65,7 +65,9 @@ fn bench_port_lookup(c: &mut Criterion) {
         b.iter(|| {
             // The alternative design: materialise the whole permutation.
             let perm = Perm::new(u64::from(n) - 1, 42);
-            let v: Vec<u32> = (0..u64::from(n) - 1).map(|x| perm.apply(x) as u32).collect();
+            let v: Vec<u32> = (0..u64::from(n) - 1)
+                .map(|x| perm.apply(x) as u32)
+                .collect();
             std::hint::black_box(v.len())
         });
     });
@@ -88,5 +90,10 @@ fn bench_trial_runner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_round_engine, bench_port_lookup, bench_trial_runner);
+criterion_group!(
+    benches,
+    bench_round_engine,
+    bench_port_lookup,
+    bench_trial_runner
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ fn bench_leader_election(c: &mut Criterion) {
     for &n in &[1024u32, 4096, 16384] {
         let params = Params::new(n, 0.5).expect("valid");
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let cfg = SimConfig::new(n).seed(1).max_rounds(params.le_round_budget());
+            let cfg = SimConfig::new(n)
+                .seed(1)
+                .max_rounds(params.le_round_budget());
             b.iter(|| {
                 let mut adv = EagerCrash::new(params.max_faults());
                 let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
@@ -59,7 +61,9 @@ fn bench_alpha_cost(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("alpha_{alpha}")),
             &alpha,
             |b, _| {
-                let cfg = SimConfig::new(n).seed(2).max_rounds(params.le_round_budget());
+                let cfg = SimConfig::new(n)
+                    .seed(2)
+                    .max_rounds(params.le_round_budget());
                 b.iter(|| {
                     let mut adv = EagerCrash::new(params.max_faults());
                     let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
@@ -71,5 +75,10 @@ fn bench_alpha_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_leader_election, bench_agreement, bench_alpha_cost);
+criterion_group!(
+    benches,
+    bench_leader_election,
+    bench_agreement,
+    bench_alpha_cost
+);
 criterion_main!(benches);

@@ -11,64 +11,71 @@
 //! of work (Bar-Joseph & Ben-Or '98; Hajiaghayi et al. STOC'22).
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_adaptive
+//! cargo run --release -p ftc-bench --bin fig_adaptive -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::print_table;
+use ftc_bench::{print_table, ExpOpts};
 use ftc_core::adversaries::{AdaptiveCandidateKiller, MinRankCrasher};
 use ftc_core::leader_election::{LeNode, LeOutcome};
 use ftc_core::params::Params;
 use ftc_sim::prelude::*;
 
-const N: u32 = 1024;
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 20;
 
 fn main() {
-    let params = Params::new(N, ALPHA).expect("valid");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(1024u32, 256);
+    let trials = opts.trials(20);
+    let params = Params::new(n, ALPHA).expect("valid");
     let budget = params.max_faults();
     println!(
-        "E11: static vs adaptive adversary, n = {N}, crash budget {budget}, {TRIALS} trials"
+        "E11: static vs adaptive adversary, n = {n}, crash budget {budget}, {trials} trials ({})",
+        opts.banner()
     );
     println!();
 
     let mut rows = Vec::new();
 
-    let mut measure = |label: &str, mk: &mut dyn FnMut() -> Box<dyn Adversary<ftc_core::messages::LeMsg>>| {
-        let mut ok = 0;
-        let mut crashes = 0u64;
-        for t in 0..TRIALS {
-            let cfg = SimConfig::new(N)
-                .seed(0xE11 + t)
-                .max_rounds(params.le_round_budget());
-            let mut adv = mk();
-            let r = run(&cfg, |_| LeNode::new(params.clone()), adv.as_mut());
-            if LeOutcome::evaluate(&r).success {
-                ok += 1;
-            }
-            crashes += r.metrics.crash_count() as u64;
-        }
-        rows.push(vec![
-            label.to_string(),
-            format!("{ok}/{TRIALS}"),
-            format!("{:.0}", crashes as f64 / TRIALS as f64),
-        ]);
-    };
+    let mut measure =
+        |label: &str, mk: &(dyn Fn() -> Box<dyn Adversary<ftc_core::messages::LeMsg>> + Sync)| {
+            let batch = ParRunner::new(TrialPlan::new(opts.seed(0xE11), trials).jobs(opts.jobs))
+                .run(|_, seed| {
+                    let cfg = SimConfig::new(n)
+                        .seed(seed)
+                        .max_rounds(params.le_round_budget());
+                    let mut adv = mk();
+                    let r = run(&cfg, |_| LeNode::new(params.clone()), adv.as_mut());
+                    (
+                        LeOutcome::evaluate(&r).success,
+                        r.metrics.crash_count() as u64,
+                    )
+                });
+            let ok = batch.values().filter(|(success, _)| *success).count();
+            let crashes: u64 = batch.values().map(|(_, c)| c).sum();
+            rows.push(vec![
+                label.to_string(),
+                format!("{ok}/{trials}"),
+                format!("{:.0}", crashes as f64 / trials as f64),
+            ]);
+        };
 
-    measure("static: eager mass crash", &mut || {
+    measure("static: eager mass crash", &|| {
         Box::new(EagerCrash::new(budget))
     });
-    measure("static: random timing", &mut || {
+    measure("static: random timing", &|| {
         Box::new(RandomCrash::new(budget, 60))
     });
-    measure("static: min-rank assassin", &mut || {
+    measure("static: min-rank assassin", &|| {
         Box::new(MinRankCrasher::new(budget))
     });
-    measure("ADAPTIVE: candidate killer", &mut || {
+    measure("ADAPTIVE: candidate killer", &|| {
         Box::new(AdaptiveCandidateKiller::new(budget))
     });
 
-    print_table(&["adversary", "election success", "mean crashes used"], &rows);
+    print_table(
+        &["adversary", "election success", "mean crashes used"],
+        &rows,
+    );
     println!();
     println!("shape check: every static schedule succeeds whp; the adaptive killer");
     println!("destroys the Θ(log n/α)-node committee with a tiny fraction of its");

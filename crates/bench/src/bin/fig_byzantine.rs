@@ -11,45 +11,48 @@
 //!   elect a phantom (and possibly two different phantoms).
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_byzantine
+//! cargo run --release -p ftc-bench --bin fig_byzantine -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::print_table;
+use ftc_bench::{print_table, ExpOpts};
 use ftc_core::agreement::{AgreeNode, AgreeStatus};
 use ftc_core::byzantine::{EquivocatingClaimant, ZeroForger};
 use ftc_core::leader_election::{LeNode, LeOutcome};
 use ftc_core::params::Params;
 use ftc_sim::prelude::*;
 
-const N: u32 = 1024;
-const TRIALS: u64 = 20;
-
 fn main() {
-    let params = Params::new(N, 0.9).expect("valid");
-    println!("E12: Byzantine corruption vs the crash-fault protocols, n = {N}, {TRIALS} trials");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(1024u32, 256);
+    let trials = opts.trials(20);
+    let params = Params::new(n, 0.9).expect("valid");
+    println!(
+        "E12: Byzantine corruption vs the crash-fault protocols, n = {n}, {trials} trials ({})",
+        opts.banner()
+    );
     println!();
 
     println!("— agreement, all honest inputs = 1, b forged-zero senders —");
     let mut rows = Vec::new();
     for &b in &[0usize, 1, 2, 4] {
-        let mut validity_violations = 0;
-        for t in 0..TRIALS {
-            let cfg = SimConfig::new(N)
-                .seed(0xB12 + t)
-                .max_rounds(params.agreement_round_budget());
-            let mut adv = ZeroForger::new(b);
-            let r = run(&cfg, |_| AgreeNode::new(params.clone(), true), &mut adv);
-            let honest_zero = r
-                .surviving_states()
-                .filter(|(id, _)| !r.faulty.contains(*id))
-                .any(|(_, s)| s.status() == AgreeStatus::Decided(false));
-            if honest_zero {
-                validity_violations += 1;
-            }
-        }
+        let batch = ParRunner::new(TrialPlan::new(opts.seed(0xB12), trials).jobs(opts.jobs)).run(
+            |_, seed| {
+                let cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.agreement_round_budget());
+                let mut adv = ZeroForger::new(b);
+                let r = run(&cfg, |_| AgreeNode::new(params.clone(), true), &mut adv);
+                let honest_zero = r
+                    .surviving_states()
+                    .filter(|(id, _)| !r.faulty.contains(*id))
+                    .any(|(_, s)| s.status() == AgreeStatus::Decided(false));
+                honest_zero
+            },
+        );
+        let validity_violations = batch.values().filter(|v| **v).count();
         rows.push(vec![
             b.to_string(),
-            format!("{validity_violations}/{TRIALS}"),
+            format!("{validity_violations}/{trials}"),
         ]);
     }
     print_table(&["byzantine nodes", "validity violations"], &rows);
@@ -58,18 +61,18 @@ fn main() {
     println!("— leader election, b equivocating claimants —");
     let mut rows = Vec::new();
     for &b in &[0usize, 1, 2, 4] {
-        let mut broken = 0;
-        for t in 0..TRIALS {
-            let cfg = SimConfig::new(N)
-                .seed(0x12B + t)
-                .max_rounds(params.le_round_budget());
-            let mut adv = EquivocatingClaimant::new(b);
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
-            if !LeOutcome::evaluate(&r).success {
-                broken += 1;
-            }
-        }
-        rows.push(vec![b.to_string(), format!("{broken}/{TRIALS}")]);
+        let batch = ParRunner::new(TrialPlan::new(opts.seed(0x12B), trials).jobs(opts.jobs)).run(
+            |_, seed| {
+                let cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.le_round_budget());
+                let mut adv = EquivocatingClaimant::new(b);
+                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+                !LeOutcome::evaluate(&r).success
+            },
+        );
+        let broken = batch.values().filter(|v| **v).count();
+        rows.push(vec![b.to_string(), format!("{broken}/{trials}")]);
     }
     print_table(&["byzantine nodes", "elections destroyed"], &rows);
 

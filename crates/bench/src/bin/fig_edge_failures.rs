@@ -9,67 +9,78 @@
 //! guarantees crumble, with crash faults still active on top.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_edge_failures
+//! cargo run --release -p ftc-bench --bin fig_edge_failures -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, print_table};
+use ftc_bench::{fmt_count, print_table, ExpOpts};
 use ftc_core::agreement::{AgreeNode, AgreeOutcome};
 use ftc_core::leader_election::{LeNode, LeOutcome};
 use ftc_core::params::Params;
 use ftc_sim::prelude::*;
 
-const N: u32 = 2048;
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 16;
 
 fn main() {
-    let params = Params::new(N, ALPHA).expect("valid");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(2048u32, 256);
+    let trials = opts.trials(16);
+    let params = Params::new(n, ALPHA).expect("valid");
     let f = params.max_faults();
     println!(
-        "E13: edge failures on top of {f} crash faults, n = {N}, alpha = {ALPHA}, {TRIALS} trials"
+        "E13: edge failures on top of {f} crash faults, n = {n}, alpha = {ALPHA}, {trials} trials ({})",
+        opts.banner()
     );
     println!();
 
     let mut rows = Vec::new();
     for &p in &[0.0, 0.05, 0.2, 0.4, 0.6, 0.8, 0.9] {
-        let mut le_ok = 0;
-        let mut ag_ok = 0;
-        let mut lost = 0u64;
-        for t in 0..TRIALS {
-            let mut cfg = SimConfig::new(N)
-                .seed(0xE13 + t)
-                .max_rounds(params.le_round_budget());
-            if p > 0.0 {
-                cfg = cfg.edge_failure_prob(p);
-            }
-            let mut adv = RandomCrash::new(f, 40);
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
-            if LeOutcome::evaluate(&r).success {
-                le_ok += 1;
-            }
-            lost += r.metrics.msgs_lost_edges;
+        let le_batch = ParRunner::new(TrialPlan::new(opts.seed(0xE13), trials).jobs(opts.jobs))
+            .run(|_, seed| {
+                let mut cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.le_round_budget());
+                if p > 0.0 {
+                    cfg = cfg.edge_failure_prob(p);
+                }
+                let mut adv = RandomCrash::new(f, 40);
+                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+                (LeOutcome::evaluate(&r).success, r.metrics.msgs_lost_edges)
+            });
+        let le_ok = le_batch.values().filter(|(ok, _)| *ok).count();
+        let lost: u64 = le_batch.values().map(|(_, l)| l).sum();
 
-            let mut cfg = SimConfig::new(N)
-                .seed(0x13E + t)
-                .max_rounds(params.agreement_round_budget());
-            if p > 0.0 {
-                cfg = cfg.edge_failure_prob(p);
-            }
-            let mut adv = RandomCrash::new(f, 20);
-            let r = run(&cfg, |id| AgreeNode::new(params.clone(), id.0 % 8 == 0), &mut adv);
-            if AgreeOutcome::evaluate(&r).success {
-                ag_ok += 1;
-            }
-        }
+        let ag_batch = ParRunner::new(TrialPlan::new(opts.seed(0x13E), trials).jobs(opts.jobs))
+            .run(|_, seed| {
+                let mut cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.agreement_round_budget());
+                if p > 0.0 {
+                    cfg = cfg.edge_failure_prob(p);
+                }
+                let mut adv = RandomCrash::new(f, 20);
+                let r = run(
+                    &cfg,
+                    |id| AgreeNode::new(params.clone(), id.0 % 8 == 0),
+                    &mut adv,
+                );
+                AgreeOutcome::evaluate(&r).success
+            });
+        let ag_ok = ag_batch.values().filter(|ok| **ok).count();
+
         rows.push(vec![
             format!("{p:.2}"),
-            format!("{le_ok}/{TRIALS}"),
-            format!("{ag_ok}/{TRIALS}"),
-            fmt_count(lost as f64 / TRIALS as f64),
+            format!("{le_ok}/{trials}"),
+            format!("{ag_ok}/{trials}"),
+            fmt_count(lost as f64 / trials as f64),
         ]);
     }
     print_table(
-        &["edge failure p", "LE success", "agree success", "LE msgs lost/trial"],
+        &[
+            "edge failure p",
+            "LE success",
+            "agree success",
+            "LE msgs lost/trial",
+        ],
         &rows,
     );
 

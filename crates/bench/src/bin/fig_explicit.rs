@@ -7,60 +7,65 @@
 //! while the implicit part stays ≈ `√n`.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_explicit
+//! cargo run --release -p ftc-bench --bin fig_explicit -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, print_table};
-use ftc_core::explicit::{ExplicitAgreeNode, ExplicitAgreeOutcome, ExplicitLeNode, ExplicitLeOutcome};
+use ftc_bench::{fmt_count, print_table, ExpOpts};
+use ftc_core::explicit::{
+    ExplicitAgreeNode, ExplicitAgreeOutcome, ExplicitLeNode, ExplicitLeOutcome,
+};
 use ftc_core::leader_election::LeNode;
 use ftc_core::params::Params;
 use ftc_sim::prelude::*;
 use ftc_sim::stats::fit_power_law;
 
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 6;
 
 fn main() {
-    println!("E7: explicit extension cost (alpha = {ALPHA}, {TRIALS} trials, random crashes)");
+    let opts = ExpOpts::parse();
+    let sizes = opts.pick(vec![1024u32, 2048, 4096, 8192], vec![256, 512, 1024]);
+    let trials = opts.trials(6);
+    println!(
+        "E7: explicit extension cost (alpha = {ALPHA}, {trials} trials, random crashes, {})",
+        opts.banner()
+    );
     println!();
 
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut le_ys = Vec::new();
     let mut announce_ys = Vec::new();
-    for &n in &[1024u32, 2048, 4096, 8192] {
+    for &n in &sizes {
         let params = Params::new(n, ALPHA).expect("valid");
         let f = params.max_faults();
 
         let cfg = SimConfig::new(n)
-            .seed(0xE7)
+            .seed(opts.seed(0xE7))
             .max_rounds(ExplicitLeNode::round_budget(&params));
-        let le = run_trials(&cfg, TRIALS, |c| {
+        let le = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
             let mut adv = RandomCrash::new(f, 40);
             let r = run(c, |_| ExplicitLeNode::new(params.clone()), &mut adv);
             let o = ExplicitLeOutcome::evaluate(&r);
             (o.success, r.metrics.msgs_sent)
         });
         let le_ok = le.iter().filter(|t| t.value.0).count();
-        let le_msgs =
-            le.iter().map(|t| t.value.1 as f64).sum::<f64>() / TRIALS as f64;
+        let le_msgs = le.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
 
         // The implicit phase alone, same seeds/adversary: the difference
         // is the cost of the announcement broadcast.
-        let implicit = run_trials(&cfg, TRIALS, |c| {
+        let implicit = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
             let mut adv = RandomCrash::new(f, 40);
             let r = run(c, |_| LeNode::new(params.clone()), &mut adv);
             r.metrics.msgs_sent
         });
-        let implicit_msgs =
-            implicit.iter().map(|t| t.value as f64).sum::<f64>() / TRIALS as f64;
+        let implicit_msgs = implicit.iter().map(|t| t.value as f64).sum::<f64>() / trials as f64;
         let announce_msgs = (le_msgs - implicit_msgs).max(1.0);
         announce_ys.push(announce_msgs);
 
         let cfg = SimConfig::new(n)
-            .seed(0x7E)
+            .seed(opts.seed(0x7E))
             .max_rounds(ExplicitAgreeNode::round_budget(&params));
-        let ag = run_trials(&cfg, TRIALS, |c| {
+        let ag = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
             let mut adv = RandomCrash::new(f, 20);
             let r = run(
                 c,
@@ -71,8 +76,7 @@ fn main() {
             (o.success, r.metrics.msgs_sent)
         });
         let ag_ok = ag.iter().filter(|t| t.value.0).count();
-        let ag_msgs =
-            ag.iter().map(|t| t.value.1 as f64).sum::<f64>() / TRIALS as f64;
+        let ag_msgs = ag.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
 
         xs.push(f64::from(n));
         le_ys.push(le_msgs);
@@ -81,9 +85,9 @@ fn main() {
             n.to_string(),
             fmt_count(le_msgs),
             fmt_count(announce_ys.last().copied().unwrap_or(0.0)),
-            format!("{le_ok}/{TRIALS}"),
+            format!("{le_ok}/{trials}"),
             fmt_count(ag_msgs),
-            format!("{ag_ok}/{TRIALS}"),
+            format!("{ag_ok}/{trials}"),
             fmt_count(bound),
         ]);
     }

@@ -9,39 +9,50 @@
 //! of `n`) as `n` scales.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_faultfree_gap
+//! cargo run --release -p ftc-bench --bin fig_faultfree_gap -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_baselines::augustine_agreement::{
-    augustine_round_budget, AugustineNode, AugustineOutcome,
-};
+use ftc_baselines::augustine_agreement::{augustine_round_budget, AugustineNode, AugustineOutcome};
 use ftc_baselines::kutten_le::{kutten_round_budget, KuttenLeNode, KuttenOutcome};
-use ftc_bench::{fmt_count, measure_agreement, measure_le, print_table, AdversaryKind};
+use ftc_bench::{fmt_count, measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
 use ftc_sim::prelude::*;
 use ftc_sim::stats::fit_power_law;
 
-const TRIALS: u64 = 8;
-
 fn main() {
-    println!("E9: fault-tolerant (alpha = 0.5, random crashes) vs fault-free [21]");
+    let opts = ExpOpts::parse();
+    let sizes = opts.pick(vec![1024u32, 2048, 4096, 8192, 16384], vec![256, 512, 1024]);
+    let trials = opts.trials(8);
+    println!(
+        "E9: fault-tolerant (alpha = 0.5, random crashes) vs fault-free [21] ({trials} trials, {})",
+        opts.banner()
+    );
     println!();
 
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ratios = Vec::new();
-    for &n in &[1024u32, 2048, 4096, 8192, 16384] {
+    for &n in &sizes {
         // Fault-free comparator: Kutten et al. one-shot election.
-        let cfg = SimConfig::new(n).seed(0xE9).max_rounds(kutten_round_budget());
-        let ff = run_trials(&cfg, TRIALS, |c| {
+        let cfg = SimConfig::new(n)
+            .seed(opts.seed(0xE9))
+            .max_rounds(kutten_round_budget());
+        let ff = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
             let r = run(c, |_| KuttenLeNode::new(), &mut NoFaults);
             let o = KuttenOutcome::evaluate(&r);
             (o.success, r.metrics.msgs_sent)
         });
         let ff_ok = ff.iter().filter(|t| t.value.0).count();
-        let ff_msgs = ff.iter().map(|t| t.value.1 as f64).sum::<f64>() / TRIALS as f64;
+        let ff_msgs = ff.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
 
         // Fault-tolerant protocol under half faults.
-        let ft = measure_le(n, 0.5, AdversaryKind::Random(60), TRIALS, 0x9E);
+        let ft = measure_le(
+            n,
+            0.5,
+            AdversaryKind::Random(60),
+            trials,
+            opts.seed(0x9E),
+            opts.jobs,
+        );
 
         let ratio = ft.msgs.mean / ff_msgs;
         xs.push(f64::from(n));
@@ -49,7 +60,7 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             fmt_count(ff_msgs),
-            format!("{ff_ok}/{TRIALS}"),
+            format!("{ff_ok}/{trials}"),
             fmt_count(ft.msgs.mean),
             format!("{:.2}", ft.success_rate),
             format!("{ratio:.1}"),
@@ -80,24 +91,34 @@ fn main() {
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ratios = Vec::new();
-    for &n in &[1024u32, 2048, 4096, 8192, 16384] {
-        let cfg = SimConfig::new(n).seed(0x9B).max_rounds(augustine_round_budget());
-        let ff = run_trials(&cfg, TRIALS, |c| {
+    for &n in &sizes {
+        let cfg = SimConfig::new(n)
+            .seed(opts.seed(0x9B))
+            .max_rounds(augustine_round_budget());
+        let ff = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
             let r = run(c, |id| AugustineNode::new(id.0 % 16 != 0), &mut NoFaults);
             let o = AugustineOutcome::evaluate(&r);
             (o.success, r.metrics.msgs_sent)
         });
         let ff_ok = ff.iter().filter(|t| t.value.0).count();
-        let ff_msgs = ff.iter().map(|t| t.value.1 as f64).sum::<f64>() / TRIALS as f64;
+        let ff_msgs = ff.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
 
-        let ft = measure_agreement(n, 0.5, 1.0 / 16.0, AdversaryKind::Random(20), TRIALS, 0xB9);
+        let ft = measure_agreement(
+            n,
+            0.5,
+            1.0 / 16.0,
+            AdversaryKind::Random(20),
+            trials,
+            opts.seed(0xB9),
+            opts.jobs,
+        );
         let ratio = ft.msgs.mean / ff_msgs;
         xs.push(f64::from(n));
         ratios.push(ratio);
         rows.push(vec![
             n.to_string(),
             fmt_count(ff_msgs),
-            format!("{ff_ok}/{TRIALS}"),
+            format!("{ff_ok}/{trials}"),
             fmt_count(ft.msgs.mean),
             format!("{:.2}", ft.success_rate),
             format!("{ratio:.1}"),

@@ -7,27 +7,32 @@
 //! broadcast baseline's 2.0.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_le_messages_vs_n
+//! cargo run --release -p ftc-bench --bin fig_le_messages_vs_n -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, measure_le, print_table, AdversaryKind};
+use ftc_bench::{fmt_count, measure_le, print_table, AdversaryKind, ExpOpts};
 use ftc_core::params::Params;
 use ftc_sim::stats::fit_power_law;
 
-const SIZES: [u32; 5] = [1024, 2048, 4096, 8192, 16384];
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 8;
 
 fn main() {
-    println!("E2: implicit leader election, messages vs n (alpha = {ALPHA}, {TRIALS} trials)");
+    let opts = ExpOpts::parse();
+    let sizes = opts.pick(vec![1024u32, 2048, 4096, 8192, 16384], vec![256, 512, 1024]);
+    let trials = opts.trials(8);
+    let seed = opts.seed(0xE2);
+    println!(
+        "E2: implicit leader election, messages vs n (alpha = {ALPHA}, {trials} trials, {})",
+        opts.banner()
+    );
     println!();
 
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &n in &SIZES {
+    for &n in &sizes {
         let params = Params::new(n, ALPHA).expect("valid");
-        let m = measure_le(n, ALPHA, AdversaryKind::Random(60), TRIALS, 0xE2);
+        let m = measure_le(n, ALPHA, AdversaryKind::Random(60), trials, seed, opts.jobs);
         xs.push(f64::from(n));
         ys.push(m.msgs.mean);
         rows.push(vec![

@@ -8,16 +8,14 @@
 //! behind the failures.)
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_lowerbound
+//! cargo run --release -p ftc-bench --bin fig_lowerbound -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, print_table};
+use ftc_bench::{fmt_count, print_table, ExpOpts};
 use ftc_core::params::Params;
 use ftc_lowerbound::capped::{sweep_agreement, sweep_leader_election, SweepPoint};
 
-const N: u32 = 2048;
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 24;
 const CAPS: [Option<u32>; 10] = [
     None,
     Some(64),
@@ -47,27 +45,43 @@ fn rows_of(points: &[SweepPoint]) -> Vec<Vec<String>> {
 }
 
 fn main() {
-    let threshold = Params::new(N, ALPHA)
+    let opts = ExpOpts::parse();
+    let n = opts.pick(2048u32, 512);
+    let trials = opts.trials(24);
+    let threshold = Params::new(n, ALPHA)
         .expect("valid")
         .lower_bound_threshold();
     println!(
-        "E8: per-node send-cap sweep, n = {N}, alpha = {ALPHA}, threshold sqrt(n)/a^1.5 = {threshold:.0} msgs, {TRIALS} trials"
+        "E8: per-node send-cap sweep, n = {n}, alpha = {ALPHA}, threshold sqrt(n)/a^1.5 = {threshold:.0} msgs, {trials} trials ({})",
+        opts.banner()
     );
     println!("(inputs split 50/50 for agreement; (1-alpha)n eager crashes)");
     println!();
 
     println!("— agreement (Theorem 5.2) —");
-    let pts = sweep_agreement(N, ALPHA, &CAPS, TRIALS, 0xE8);
+    let pts = sweep_agreement(n, ALPHA, &CAPS, trials, opts.seed(0xE8), opts.jobs);
     print_table(
-        &["cap/node", "mean msgs", "suppressed", "x threshold", "failure rate"],
+        &[
+            "cap/node",
+            "mean msgs",
+            "suppressed",
+            "x threshold",
+            "failure rate",
+        ],
         &rows_of(&pts),
     );
     println!();
 
     println!("— leader election (Theorem 4.2) —");
-    let pts = sweep_leader_election(N, ALPHA, &CAPS, TRIALS, 0x8E);
+    let pts = sweep_leader_election(n, ALPHA, &CAPS, trials, opts.seed(0x8E), opts.jobs);
     print_table(
-        &["cap/node", "mean msgs", "suppressed", "x threshold", "failure rate"],
+        &[
+            "cap/node",
+            "mean msgs",
+            "suppressed",
+            "x threshold",
+            "failure rate",
+        ],
         &rows_of(&pts),
     );
 

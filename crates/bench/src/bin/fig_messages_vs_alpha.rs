@@ -6,18 +6,25 @@
 //! fitted exponents on `1/α` should land near 2.5 and 1.5 respectively.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_messages_vs_alpha
+//! cargo run --release -p ftc-bench --bin fig_messages_vs_alpha -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, measure_agreement, measure_le, print_table, AdversaryKind};
+use ftc_bench::{fmt_count, measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
 use ftc_sim::stats::fit_power_law;
 
-const N: u32 = 4096;
 const ALPHAS: [f64; 4] = [1.0, 0.5, 0.25, 0.125];
-const TRIALS: u64 = 6;
 
 fn main() {
-    println!("E3: messages vs alpha (n = {N}, {TRIALS} trials per point)");
+    let opts = ExpOpts::parse();
+    // alpha = 0.125 needs n with log2^2(n)/n <= 0.125, so the smoke size
+    // floors at 1024.
+    let n = opts.pick(4096u32, 1024);
+    let trials = opts.trials(6);
+    let seed = opts.seed(0xE3);
+    println!(
+        "E3: messages vs alpha (n = {n}, {trials} trials per point, {})",
+        opts.banner()
+    );
     println!("(alpha below 0.125 at this n leaves the asymptotic regime: the");
     println!("referee rank-forwarding term degenerates — see DESIGN.md)");
     println!("faults f = (1-alpha)*n, random crash schedule");
@@ -28,14 +35,22 @@ fn main() {
     let mut le_msgs = Vec::new();
     let mut ag_msgs = Vec::new();
     for &alpha in &ALPHAS {
-        let le = measure_le(N, alpha, AdversaryKind::Random(60), TRIALS, 0xE3);
-        let ag = measure_agreement(N, alpha, 0.05, AdversaryKind::Random(20), TRIALS, 0xE3);
+        let le = measure_le(n, alpha, AdversaryKind::Random(60), trials, seed, opts.jobs);
+        let ag = measure_agreement(
+            n,
+            alpha,
+            0.05,
+            AdversaryKind::Random(20),
+            trials,
+            seed,
+            opts.jobs,
+        );
         inv_alpha.push(1.0 / alpha);
         le_msgs.push(le.msgs.mean);
         ag_msgs.push(ag.msgs.mean);
         rows.push(vec![
             format!("{alpha}"),
-            fmt_count((1.0 - alpha) * f64::from(N)),
+            fmt_count((1.0 - alpha) * f64::from(n)),
             fmt_count(le.msgs.mean),
             format!("{:.2}", le.success_rate),
             fmt_count(ag.msgs.mean),
@@ -43,7 +58,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["alpha", "faults", "LE msgs", "LE ok", "agree msgs", "agree ok"],
+        &[
+            "alpha",
+            "faults",
+            "LE msgs",
+            "LE ok",
+            "agree msgs",
+            "agree ok",
+        ],
         &rows,
     );
 

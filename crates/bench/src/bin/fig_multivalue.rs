@@ -6,31 +6,35 @@
 //! so message *bits* grow with `log k` while success stays whp.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_multivalue
+//! cargo run --release -p ftc-bench --bin fig_multivalue -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, print_table};
+use ftc_bench::{fmt_count, print_table, ExpOpts};
 use ftc_core::multi_agreement::{MultiAgreeNode, MultiOutcome};
 use ftc_core::params::Params;
 use ftc_sim::prelude::*;
 
-const N: u32 = 2048;
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 10;
 
 fn main() {
-    let params = Params::new(N, ALPHA).expect("valid");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(2048u32, 512);
+    let trials = opts.trials(10);
+    let params = Params::new(n, ALPHA).expect("valid");
     let f = params.max_faults();
-    println!("E14: multi-valued agreement, n = {N}, alpha = {ALPHA}, {TRIALS} trials");
+    println!(
+        "E14: multi-valued agreement, n = {n}, alpha = {ALPHA}, {trials} trials ({})",
+        opts.banner()
+    );
     println!("(inputs uniform in 0..k; (1-alpha)n random crashes)");
     println!();
 
     let mut rows = Vec::new();
     for &k in &[2u32, 16, 256, 4096, 65536] {
-        let cfg = SimConfig::new(N)
-            .seed(0xE14)
+        let cfg = SimConfig::new(n)
+            .seed(opts.seed(0xE14))
             .max_rounds(params.agreement_round_budget());
-        let results = run_trials(&cfg, TRIALS, |c| {
+        let results = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
             let mut adv = RandomCrash::new(f, 20);
             let r = run(
                 c,
@@ -46,12 +50,12 @@ fn main() {
             )
         });
         let ok = results.iter().filter(|t| t.value.0).count();
-        let msgs = results.iter().map(|t| t.value.1 as f64).sum::<f64>() / TRIALS as f64;
-        let bits = results.iter().map(|t| t.value.2 as f64).sum::<f64>() / TRIALS as f64;
-        let rounds = results.iter().map(|t| f64::from(t.value.3)).sum::<f64>() / TRIALS as f64;
+        let msgs = results.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
+        let bits = results.iter().map(|t| t.value.2 as f64).sum::<f64>() / trials as f64;
+        let rounds = results.iter().map(|t| f64::from(t.value.3)).sum::<f64>() / trials as f64;
         rows.push(vec![
             k.to_string(),
-            format!("{ok}/{TRIALS}"),
+            format!("{ok}/{trials}"),
             fmt_count(msgs),
             fmt_count(bits),
             format!("{:.1}", bits / msgs),

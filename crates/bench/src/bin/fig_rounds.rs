@@ -6,20 +6,36 @@
 //! `Ω(log n/log log n)` of reference \[25\].
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_rounds
+//! cargo run --release -p ftc-bench --bin fig_rounds -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind};
-
-const TRIALS: u64 = 8;
+use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
 
 fn main() {
-    println!("E4a: rounds vs n (alpha = 0.5, worst-case targeted adversary)");
+    let opts = ExpOpts::parse();
+    let sizes = opts.pick(vec![1024u32, 2048, 4096, 8192, 16384], vec![256, 512, 1024]);
+    // E4b sweeps alpha down to 0.125, which needs n >= 1024.
+    let nb = opts.pick(4096u32, 1024);
+    let trials = opts.trials(8);
+    let seed_a = opts.seed(0xE4);
+    let seed_b = opts.seed(0x4B);
+    println!(
+        "E4a: rounds vs n (alpha = 0.5, worst-case targeted adversary, {trials} trials, {})",
+        opts.banner()
+    );
     println!();
     let mut rows = Vec::new();
-    for &n in &[1024u32, 2048, 4096, 8192, 16384] {
-        let le = measure_le(n, 0.5, AdversaryKind::Targeted, TRIALS, 0xE4);
-        let ag = measure_agreement(n, 0.5, 0.05, AdversaryKind::Targeted, TRIALS, 0xE4);
+    for &n in &sizes {
+        let le = measure_le(n, 0.5, AdversaryKind::Targeted, trials, seed_a, opts.jobs);
+        let ag = measure_agreement(
+            n,
+            0.5,
+            0.05,
+            AdversaryKind::Targeted,
+            trials,
+            seed_a,
+            opts.jobs,
+        );
         rows.push(vec![
             n.to_string(),
             format!("{:.1}", f64::from(n).log2()),
@@ -30,7 +46,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "log2 n", "LE rounds", "LE max", "agree rounds", "min success"],
+        &[
+            "n",
+            "log2 n",
+            "LE rounds",
+            "LE max",
+            "agree rounds",
+            "min success",
+        ],
         &rows,
     );
     println!();
@@ -42,12 +65,27 @@ fn main() {
     println!("pre-processing, sits at a handful of rounds throughout.)");
     println!();
 
-    println!("E4b: rounds vs alpha (n = 4096)");
+    println!("E4b: rounds vs alpha (n = {nb})");
     println!();
     let mut rows = Vec::new();
     for &alpha in &[1.0, 0.5, 0.25, 0.125] {
-        let le = measure_le(4096, alpha, AdversaryKind::Random(60), TRIALS, 0x4B);
-        let ag = measure_agreement(4096, alpha, 0.05, AdversaryKind::Random(20), TRIALS, 0x4B);
+        let le = measure_le(
+            nb,
+            alpha,
+            AdversaryKind::Random(60),
+            trials,
+            seed_b,
+            opts.jobs,
+        );
+        let ag = measure_agreement(
+            nb,
+            alpha,
+            0.05,
+            AdversaryKind::Random(20),
+            trials,
+            seed_b,
+            opts.jobs,
+        );
         rows.push(vec![
             format!("{alpha}"),
             format!("{:.0}", le.rounds.mean),
@@ -55,7 +93,10 @@ fn main() {
             format!("{:.2}", le.success_rate.min(ag.success_rate)),
         ]);
     }
-    print_table(&["alpha", "LE rounds", "agree rounds", "min success"], &rows);
+    print_table(
+        &["alpha", "LE rounds", "agree rounds", "min success"],
+        &rows,
+    );
     println!();
     println!("shape check: LE rounds roughly double per halving of alpha (the");
     println!("1/alpha factor, steepened by the alpha^-1.5 pre-processing term);");

@@ -11,19 +11,18 @@
 //! guarantees.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_sampling_lemmas
+//! cargo run --release -p ftc-bench --bin fig_sampling_lemmas -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
+use ftc_bench::{print_table, ExpOpts};
 use ftc_core::params::Params;
 use ftc_core::sampling::draw_committee;
-use ftc_bench::print_table;
+use ftc_sim::runner::{ParRunner, TrialPlan};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 use std::collections::HashSet;
 
-const N: u32 = 4096;
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 300;
 
 struct LemmaStats {
     committee_in_band: u64,
@@ -32,30 +31,20 @@ struct LemmaStats {
     mean_committee: f64,
 }
 
-fn run_lemmas(params: &Params, seed_base: u64) -> LemmaStats {
+fn run_lemmas(params: &Params, trials: u64, seed_base: u64, jobs: usize) -> LemmaStats {
     let n = params.n() as usize;
     let f = params.max_faults();
     let lo = 2.0 * params.ln_n() / params.alpha();
     let hi = 12.0 * params.ln_n() / params.alpha();
-    let mut stats = LemmaStats {
-        committee_in_band: 0,
-        committee_nonfaulty: 0,
-        pairs_connected: 0,
-        mean_committee: 0.0,
-    };
-    for t in 0..TRIALS {
-        let mut rng = SmallRng::seed_from_u64(seed_base + t);
+    let batch = ParRunner::new(TrialPlan::new(seed_base, trials).jobs(jobs)).run(|_, seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let faulty: HashSet<usize> = rand::seq::index::sample(&mut rng, n, f)
             .into_iter()
             .collect();
         let (cands, refs) = draw_committee(&mut rng, params);
-        stats.mean_committee += cands.len() as f64 / TRIALS as f64;
-        if (cands.len() as f64) >= lo && (cands.len() as f64) <= hi {
-            stats.committee_in_band += 1;
-        }
-        if cands.iter().any(|c| !faulty.contains(c)) {
-            stats.committee_nonfaulty += 1;
-        }
+        let committee = cands.len() as f64;
+        let in_band = committee >= lo && committee <= hi;
+        let nonfaulty = cands.iter().any(|c| !faulty.contains(c));
         // Lemma 3: every pair shares a *non-faulty* referee.
         let ref_sets: Vec<HashSet<usize>> = refs
             .iter()
@@ -70,15 +59,31 @@ fn run_lemmas(params: &Params, seed_base: u64) -> LemmaStats {
                 }
             }
         }
-        if all_pairs {
-            stats.pairs_connected += 1;
-        }
+        (committee, in_band, nonfaulty, all_pairs)
+    });
+    let mut stats = LemmaStats {
+        committee_in_band: 0,
+        committee_nonfaulty: 0,
+        pairs_connected: 0,
+        mean_committee: 0.0,
+    };
+    for (committee, in_band, nonfaulty, all_pairs) in batch.values() {
+        stats.mean_committee += committee / trials as f64;
+        stats.committee_in_band += u64::from(*in_band);
+        stats.committee_nonfaulty += u64::from(*nonfaulty);
+        stats.pairs_connected += u64::from(*all_pairs);
     }
     stats
 }
 
 fn main() {
-    println!("E10: Lemmas 1-3 Monte-Carlo, n = {N}, alpha = {ALPHA}, {TRIALS} trials");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(4096u32, 512);
+    let trials = opts.trials_override.unwrap_or(opts.pick(300, 50));
+    println!(
+        "E10: Lemmas 1-3 Monte-Carlo, n = {n}, alpha = {ALPHA}, {trials} trials ({})",
+        opts.banner()
+    );
     println!("(faulty set: (1-alpha)n uniformly random nodes per trial)");
     println!();
 
@@ -89,17 +94,17 @@ fn main() {
         ("D3: half referees", 6.0, 1.0),
         ("D3: quarter referees", 6.0, 0.5),
     ] {
-        let params = Params::new(N, ALPHA)
+        let params = Params::new(n, ALPHA)
             .expect("valid")
             .with_candidate_factor(cf)
             .with_referee_factor(rf);
-        let s = run_lemmas(&params, 0xE10);
+        let s = run_lemmas(&params, trials, opts.seed(0xE10), opts.jobs);
         rows.push(vec![
             label.to_string(),
             format!("{:.1}", s.mean_committee),
-            format!("{:.3}", s.committee_in_band as f64 / TRIALS as f64),
-            format!("{:.3}", s.committee_nonfaulty as f64 / TRIALS as f64),
-            format!("{:.3}", s.pairs_connected as f64 / TRIALS as f64),
+            format!("{:.3}", s.committee_in_band as f64 / trials as f64),
+            format!("{:.3}", s.committee_nonfaulty as f64 / trials as f64),
+            format!("{:.3}", s.pairs_connected as f64 / trials as f64),
         ]);
     }
     print_table(

@@ -8,21 +8,25 @@
 //! the targeted adversary.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin fig_success
+//! cargo run --release -p ftc-bench --bin fig_success -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind};
+use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
 use ftc_core::leader_election::{LeNode, LeOutcome};
 use ftc_core::params::Params;
 use ftc_sim::prelude::*;
 use ftc_sim::stats::wilson_interval;
 
-const N: u32 = 2048;
 const ALPHA: f64 = 0.5;
-const TRIALS: u64 = 60;
 
 fn main() {
-    println!("E5: leader election success and leader quality (n = {N}, alpha = {ALPHA}, {TRIALS} trials)");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(2048u32, 256);
+    let trials = opts.trials(60);
+    println!(
+        "E5: leader election success and leader quality (n = {n}, alpha = {ALPHA}, {trials} trials, {})",
+        opts.banner()
+    );
     println!();
     let kinds = [
         AdversaryKind::None,
@@ -32,12 +36,12 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for kind in kinds {
-        let m = measure_le(N, ALPHA, kind, TRIALS, 0xE5);
-        let succ = (m.success_rate * TRIALS as f64).round() as u64;
-        let (lo, hi) = wilson_interval(succ, TRIALS);
+        let m = measure_le(n, ALPHA, kind, trials, opts.seed(0xE5), opts.jobs);
+        let succ = (m.success_rate * trials as f64).round() as u64;
+        let (lo, hi) = wilson_interval(succ, trials);
         rows.push(vec![
             kind.label().to_string(),
-            format!("{}/{}", succ, TRIALS),
+            format!("{}/{}", succ, trials),
             format!("[{lo:.2},{hi:.2}]"),
             format!("{:.2}", m.faulty_leader_rate),
         ]);
@@ -48,20 +52,31 @@ fn main() {
     );
     println!();
     println!("shape checks: success ~1.0 under every schedule; faulty-leader rate");
-    println!("at most (1-alpha) = {:.2} (paper: leader non-faulty w.p. >= alpha).", 1.0 - ALPHA);
+    println!(
+        "at most (1-alpha) = {:.2} (paper: leader non-faulty w.p. >= alpha).",
+        1.0 - ALPHA
+    );
     println!();
 
-    println!("E6: agreement success across input densities ({TRIALS} trials each)");
+    println!("E6: agreement success across input densities ({trials} trials each)");
     println!();
     let mut rows = Vec::new();
     for &(label, zero_frac) in &[
         ("all ones", 0.0),
-        ("one zero in n", 1.0 / f64::from(N)),
+        ("one zero in n", 1.0 / f64::from(n)),
         ("5% zeros", 0.05),
         ("half zeros", 0.5),
         ("all zeros", 1.0),
     ] {
-        let m = measure_agreement(N, ALPHA, zero_frac, AdversaryKind::Targeted, TRIALS, 0xE6);
+        let m = measure_agreement(
+            n,
+            ALPHA,
+            zero_frac,
+            AdversaryKind::Targeted,
+            trials,
+            opts.seed(0xE6),
+            opts.jobs,
+        );
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", m.success_rate),
@@ -81,27 +96,27 @@ fn main() {
     println!("D4 ablation: iteration budget vs success (alpha = 0.25, assassin x4)");
     println!();
     let mut rows = Vec::new();
+    let d4_trials = opts.trials(20);
     for &factor in &[14.0, 1.0, 0.1, 0.02] {
-        let params = Params::new(N, 0.25)
+        let params = Params::new(n, 0.25)
             .expect("valid")
             .with_iteration_factor(factor);
         let f = params.max_faults();
-        let mut ok = 0;
-        let trials = 20u64;
-        for t in 0..trials {
-            let cfg = SimConfig::new(N)
-                .seed(0xD4 + t)
-                .max_rounds(params.le_round_budget());
-            let mut adv = ftc_core::adversaries::MinRankCrasher { f, per_round: 4 };
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
-            if LeOutcome::evaluate(&r).success {
-                ok += 1;
-            }
-        }
+        let batch = ParRunner::new(TrialPlan::new(opts.seed(0xD4), d4_trials).jobs(opts.jobs)).run(
+            |_, seed| {
+                let cfg = SimConfig::new(n)
+                    .seed(seed)
+                    .max_rounds(params.le_round_budget());
+                let mut adv = ftc_core::adversaries::MinRankCrasher { f, per_round: 4 };
+                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+                LeOutcome::evaluate(&r).success
+            },
+        );
+        let ok = batch.values().filter(|ok| **ok).count();
         rows.push(vec![
             format!("{factor}"),
             params.iterations().to_string(),
-            format!("{}/{}", ok, trials),
+            format!("{}/{}", ok, d4_trials),
         ]);
     }
     print_table(&["iteration factor", "iterations", "success"], &rows);

@@ -9,47 +9,24 @@
 //! output and polylog rounds.
 //!
 //! ```sh
-//! cargo run --release -p ftc-bench --bin table1
+//! cargo run --release -p ftc-bench --bin table1 -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_baselines::prelude::*;
-use ftc_bench::{fmt_count, print_table};
+use ftc_bench::{average_trials, fmt_count, print_table, ExpOpts};
 use ftc_core::prelude::*;
 use ftc_sim::prelude::*;
 
-const N: u32 = 4096;
-const TRIALS: u64 = 10;
-
-struct RowResult {
-    success: usize,
-    msgs: f64,
-    rounds: f64,
-}
-
-fn average<F>(trials: u64, mut job: F) -> RowResult
-where
-    F: FnMut(u64) -> (bool, u64, u32),
-{
-    let mut success = 0;
-    let mut msgs = 0.0;
-    let mut rounds = 0.0;
-    for t in 0..trials {
-        let (ok, m, r) = job(t);
-        if ok {
-            success += 1;
-        }
-        msgs += m as f64;
-        rounds += f64::from(r);
-    }
-    RowResult {
-        success,
-        msgs: msgs / trials as f64,
-        rounds: rounds / trials as f64,
-    }
-}
-
 fn main() {
-    println!("Table I reproduction — agreement protocols, n = {N}, {TRIALS} trials each");
+    let opts = ExpOpts::parse();
+    let n = opts.pick(4096u32, 1024);
+    let trials = opts.trials(10);
+    let seed = opts.seed(0xE1);
+    let jobs = opts.jobs;
+    println!(
+        "Table I reproduction — agreement protocols, n = {n}, {trials} trials each ({})",
+        opts.banner()
+    );
     println!("(crash schedule: uniformly random crash rounds over the protocol's run)");
     println!();
 
@@ -57,13 +34,17 @@ fn main() {
 
     // --- folklore FloodSet: any f, O(n²) msgs, f+1 rounds, explicit ---
     {
-        let f = (N - 1) as usize / 2; // run at n/2 for comparable fault load
-        let r = average(TRIALS, |t| {
-            let cfg = SimConfig::new(N)
-                .seed(1000 + t)
+        let f = (n - 1) as usize / 2; // run at n/2 for comparable fault load
+        let r = average_trials(trials, seed ^ 0x1000, jobs, |s| {
+            let cfg = SimConfig::new(n)
+                .seed(s)
                 .max_rounds(flood_round_budget(f as u32));
             let mut adv = RandomCrash::new(f, f as u32);
-            let res = run(&cfg, |id| FloodAgreeNode::new(f as u32, id.0 % 7 != 0), &mut adv);
+            let res = run(
+                &cfg,
+                |id| FloodAgreeNode::new(f as u32, id.0 % 7 != 0),
+                &mut adv,
+            );
             let o = FloodOutcome::evaluate(&res);
             (o.success, res.metrics.msgs_sent, res.metrics.rounds)
         });
@@ -75,18 +56,18 @@ fn main() {
             "O(n^2)".into(),
             format!("{:.0}", r.rounds),
             fmt_count(r.msgs),
-            format!("{}/{}", r.success, TRIALS),
+            format!("{}/{}", r.success, trials),
         ]);
     }
 
     // --- Gilbert–Kowalski SODA'10 style: f < n/2, O(n) msgs, KT1 ---
     {
-        let f = (N as usize / 2) - 1;
-        let r = average(TRIALS, |t| {
-            let cfg = SimConfig::new(N)
-                .seed(2000 + t)
+        let f = (n as usize / 2) - 1;
+        let r = average_trials(trials, seed ^ 0x2000, jobs, |s| {
+            let cfg = SimConfig::new(n)
+                .seed(s)
                 .kt1(true)
-                .max_rounds(gk_round_budget(N));
+                .max_rounds(gk_round_budget(n));
             let mut adv = RandomCrash::new(f, 20);
             let res = run(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv);
             let o = GkOutcome::evaluate(&res);
@@ -100,19 +81,17 @@ fn main() {
             "O(n)".into(),
             format!("{:.0}", r.rounds),
             fmt_count(r.msgs),
-            format!("{}/{}", r.success, TRIALS),
+            format!("{}/{}", r.success, trials),
         ]);
     }
 
     // --- Chlebus–Kowalski SPAA'09 style gossip: linear f, O(n log n) ---
     {
-        let f = N as usize / 2;
-        let r = average(TRIALS, |t| {
-            let cfg = SimConfig::new(N)
-                .seed(3000 + t)
-                .max_rounds(gossip_round_budget(N));
+        let f = n as usize / 2;
+        let r = average_trials(trials, seed ^ 0x3000, jobs, |s| {
+            let cfg = SimConfig::new(n).seed(s).max_rounds(gossip_round_budget(n));
             let mut adv = RandomCrash::new(f, 10);
-            let res = run(&cfg, |id| GossipNode::new(N, id.0 % 7 != 0), &mut adv);
+            let res = run(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv);
             let o = GossipOutcome::evaluate(&res);
             (o.success, res.metrics.msgs_sent, res.metrics.rounds)
         });
@@ -124,20 +103,24 @@ fn main() {
             "O(n log n)*".into(),
             format!("{:.0}", r.rounds),
             fmt_count(r.msgs),
-            format!("{}/{}", r.success, TRIALS),
+            format!("{}/{}", r.success, trials),
         ]);
     }
 
     // --- this paper, α = 1/2 (same fault load as the other rows) ---
     for &alpha in &[0.5, 0.125] {
-        let params = Params::new(N, alpha).expect("valid");
+        let params = Params::new(n, alpha).expect("valid");
         let f = params.max_faults();
-        let r = average(TRIALS, |t| {
-            let cfg = SimConfig::new(N)
-                .seed(4000 + t)
+        let r = average_trials(trials, seed ^ 0x4000, jobs, |s| {
+            let cfg = SimConfig::new(n)
+                .seed(s)
                 .max_rounds(params.agreement_round_budget());
             let mut adv = RandomCrash::new(f, 20);
-            let res = run(&cfg, |id| AgreeNode::new(params.clone(), id.0 % 7 != 0), &mut adv);
+            let res = run(
+                &cfg,
+                |id| AgreeNode::new(params.clone(), id.0 % 7 != 0),
+                &mut adv,
+            );
             let o = AgreeOutcome::evaluate(&res);
             (o.success, res.metrics.msgs_sent, res.metrics.rounds)
         });
@@ -149,17 +132,17 @@ fn main() {
             "O(sqrt(n) log^1.5 n/a^1.5)".into(),
             format!("{:.0}", r.rounds),
             fmt_count(r.msgs),
-            format!("{}/{}", r.success, TRIALS),
+            format!("{}/{}", r.success, trials),
         ]);
     }
 
     // --- this paper, explicit extension ---
     {
-        let params = Params::new(N, 0.5).expect("valid");
+        let params = Params::new(n, 0.5).expect("valid");
         let f = params.max_faults();
-        let r = average(TRIALS, |t| {
-            let cfg = SimConfig::new(N)
-                .seed(5000 + t)
+        let r = average_trials(trials, seed ^ 0x5000, jobs, |s| {
+            let cfg = SimConfig::new(n)
+                .seed(s)
                 .max_rounds(ExplicitAgreeNode::round_budget(&params));
             let mut adv = RandomCrash::new(f, 20);
             let res = run(
@@ -178,7 +161,7 @@ fn main() {
             "O(n log n/a)".into(),
             format!("{:.0}", r.rounds),
             fmt_count(r.msgs),
-            format!("{}/{}", r.success, TRIALS),
+            format!("{}/{}", r.success, trials),
         ]);
     }
 
@@ -209,9 +192,9 @@ fn main() {
     println!();
 
     // --- scaling fit: measured growth exponents in n ---
-    println!("scaling fit (messages vs n, alpha = 0.5, {TRIALS} trials/point):");
+    println!("scaling fit (messages vs n, alpha = 0.5, {trials} trials/point):");
     println!();
-    let sizes = [2048u32, 8192, 32768];
+    let sizes = opts.pick(vec![2048u32, 8192, 32768], vec![1024, 2048]);
     let mut fit_rows: Vec<Vec<String>> = Vec::new();
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
 
@@ -219,13 +202,21 @@ fn main() {
     for &n in &sizes {
         let params = Params::new(n, 0.5).expect("valid");
         let f = params.max_faults();
-        let r = average(TRIALS, |t| {
+        let r = average_trials(trials, seed ^ 0x6000 ^ u64::from(n), jobs, |s| {
             let cfg = SimConfig::new(n)
-                .seed(6000 + t)
+                .seed(s)
                 .max_rounds(params.agreement_round_budget());
             let mut adv = RandomCrash::new(f, 20);
-            let res = run(&cfg, |id| AgreeNode::new(params.clone(), id.0 % 7 != 0), &mut adv);
-            (AgreeOutcome::evaluate(&res).success, res.metrics.msgs_sent, res.metrics.rounds)
+            let res = run(
+                &cfg,
+                |id| AgreeNode::new(params.clone(), id.0 % 7 != 0),
+                &mut adv,
+            );
+            (
+                AgreeOutcome::evaluate(&res).success,
+                res.metrics.msgs_sent,
+                res.metrics.rounds,
+            )
         });
         ours.push(r.msgs);
     }
@@ -233,14 +224,18 @@ fn main() {
 
     let mut gk = Vec::new();
     for &n in &sizes {
-        let r = average(TRIALS, |t| {
+        let r = average_trials(trials, seed ^ 0x7000 ^ u64::from(n), jobs, |s| {
             let cfg = SimConfig::new(n)
-                .seed(7000 + t)
+                .seed(s)
                 .kt1(true)
                 .max_rounds(gk_round_budget(n));
             let mut adv = RandomCrash::new(n as usize / 4, 20);
             let res = run(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv);
-            (GkOutcome::evaluate(&res).success, res.metrics.msgs_sent, res.metrics.rounds)
+            (
+                GkOutcome::evaluate(&res).success,
+                res.metrics.msgs_sent,
+                res.metrics.rounds,
+            )
         });
         gk.push(r.msgs);
     }
@@ -248,13 +243,15 @@ fn main() {
 
     let mut gos = Vec::new();
     for &n in &sizes {
-        let r = average(TRIALS, |t| {
-            let cfg = SimConfig::new(n)
-                .seed(8000 + t)
-                .max_rounds(gossip_round_budget(n));
+        let r = average_trials(trials, seed ^ 0x8000 ^ u64::from(n), jobs, |s| {
+            let cfg = SimConfig::new(n).seed(s).max_rounds(gossip_round_budget(n));
             let mut adv = RandomCrash::new(n as usize / 4, 10);
             let res = run(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv);
-            (GossipOutcome::evaluate(&res).success, res.metrics.msgs_sent, res.metrics.rounds)
+            (
+                GossipOutcome::evaluate(&res).success,
+                res.metrics.msgs_sent,
+                res.metrics.rounds,
+            )
         });
         gos.push(r.msgs);
     }
@@ -270,8 +267,10 @@ fn main() {
             format!("{exp:.2}"),
         ]);
     }
+    let h_first = format!("msgs @ n={}", sizes[0]);
+    let h_last = format!("msgs @ n={}", sizes[sizes.len() - 1]);
     print_table(
-        &["protocol", "msgs @ n=2048", "msgs @ n=32768", "fitted n-exponent"],
+        &["protocol", &h_first, &h_last, "fitted n-exponent"],
         &fit_rows,
     );
     println!();

@@ -29,8 +29,161 @@ use ftc_core::params::Params;
 use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
 use ftc_sim::engine::{run, SimConfig};
 use ftc_sim::ids::NodeId;
-use ftc_sim::runner::run_trials;
+use ftc_sim::runner::{run_trials_jobs, ParRunner, TrialPlan};
 use ftc_sim::stats::Summary;
+
+/// Trials per cell in `--smoke` mode (unless `--trials` overrides it).
+pub const SMOKE_TRIALS: u64 = 2;
+
+/// Command-line options shared by every experiment binary.
+///
+/// All binaries accept the same flags so CI and humans can dial any
+/// experiment up or down without editing constants:
+///
+/// * `--jobs N` — worker threads (`0` = one per core, the default). The
+///   results are bit-identical at any value; only wall-clock changes.
+/// * `--trials N` — trials per experimental cell, overriding the binary's
+///   default (and `--smoke`'s reduction).
+/// * `--seed N` — base seed, overriding the binary's default.
+/// * `--smoke` — CI profile: small `n`, [`SMOKE_TRIALS`] trials per cell.
+///   Each binary picks its own smoke-sized parameters via
+///   [`ExpOpts::pick`]; the seed stays fixed so smoke runs are
+///   reproducible.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExpOpts {
+    /// Worker threads per measurement (`0` = one per core).
+    pub jobs: usize,
+    /// `--trials` override, if given.
+    pub trials_override: Option<u64>,
+    /// `--seed` override, if given.
+    pub seed_override: Option<u64>,
+    /// Whether `--smoke` was given.
+    pub smoke: bool,
+}
+
+impl ExpOpts {
+    /// Parses `std::env::args()`, printing usage and exiting on `--help`
+    /// or a malformed command line.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(ParseError::Help) => {
+                println!("{}", Self::usage());
+                std::process::exit(0);
+            }
+            Err(ParseError::Bad(msg)) => {
+                eprintln!("error: {msg}\n\n{}", Self::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`parse`]).
+    ///
+    /// [`parse`]: ExpOpts::parse
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, ParseError> {
+        let mut opts = ExpOpts::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let mut value = |name: &str| {
+                inline
+                    .clone()
+                    .or_else(|| args.next())
+                    .ok_or_else(|| ParseError::Bad(format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--jobs" | "-j" => {
+                    opts.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| ParseError::Bad("--jobs expects an integer".into()))?;
+                }
+                "--trials" | "-t" => {
+                    let t: u64 = value("--trials")?
+                        .parse()
+                        .map_err(|_| ParseError::Bad("--trials expects an integer".into()))?;
+                    if t == 0 {
+                        return Err(ParseError::Bad("--trials must be at least 1".into()));
+                    }
+                    opts.trials_override = Some(t);
+                }
+                "--seed" | "-s" => {
+                    let s: u64 = value("--seed")?
+                        .parse()
+                        .map_err(|_| ParseError::Bad("--seed expects an integer".into()))?;
+                    opts.seed_override = Some(s);
+                }
+                "--smoke" => opts.smoke = true,
+                "--help" | "-h" => return Err(ParseError::Help),
+                other => {
+                    return Err(ParseError::Bad(format!("unknown argument `{other}`")));
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The usage text shared by all binaries.
+    pub fn usage() -> &'static str {
+        "usage: <experiment> [--jobs N] [--trials N] [--seed N] [--smoke]\n\
+         \n\
+           --jobs N, -j N    worker threads (0 = one per core; default 0).\n\
+                             Results are identical at any value.\n\
+           --trials N, -t N  trials per experimental cell (overrides the\n\
+                            binary's default and --smoke)\n\
+           --seed N, -s N    base seed (overrides the binary's default)\n\
+           --smoke           CI profile: small n, few trials, fixed seed\n\
+           --help, -h        this text"
+    }
+
+    /// Trials per cell: `--trials` wins, then `--smoke`, then `default`.
+    pub fn trials(&self, default: u64) -> u64 {
+        self.trials_override.unwrap_or(if self.smoke {
+            SMOKE_TRIALS.min(default)
+        } else {
+            default
+        })
+    }
+
+    /// Base seed: `--seed` wins over `default`.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.seed_override.unwrap_or(default)
+    }
+
+    /// Picks the full-size or smoke-size variant of a parameter.
+    pub fn pick<T>(&self, full: T, smoke: T) -> T {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// One-line run description for experiment banners.
+    pub fn banner(&self) -> String {
+        let jobs = match self.jobs {
+            0 => "all cores".to_string(),
+            j => format!("{j} jobs"),
+        };
+        if self.smoke {
+            format!("{jobs}, smoke profile")
+        } else {
+            jobs
+        }
+    }
+}
+
+/// Why [`ExpOpts::try_parse`] declined to produce options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help` was requested.
+    Help,
+    /// The command line was malformed.
+    Bad(String),
+}
 
 /// Which crash schedule an experiment runs under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,18 +246,23 @@ pub struct Measurement {
     pub trials: u64,
 }
 
-/// Measures the paper's implicit leader election.
+/// Measures the paper's implicit leader election, fanning trials over
+/// `jobs` worker threads (`0` = one per core). Results are a function of
+/// the arguments only — never of `jobs`.
 pub fn measure_le(
     n: u32,
     alpha: f64,
     kind: AdversaryKind,
     trials: u64,
     seed: u64,
+    jobs: usize,
 ) -> Measurement {
     let params = Params::new(n, alpha).expect("valid params");
     let f = params.max_faults();
-    let cfg = SimConfig::new(n).seed(seed).max_rounds(params.le_round_budget());
-    let out = run_trials(&cfg, trials, |c| {
+    let cfg = SimConfig::new(n)
+        .seed(seed)
+        .max_rounds(params.le_round_budget());
+    let out = run_trials_jobs(&cfg, trials, jobs, |c| {
         let mut adv = kind.le_adversary(f);
         let r = run(c, |_| LeNode::new(params.clone()), adv.as_mut());
         let o = LeOutcome::evaluate(&r);
@@ -120,7 +278,7 @@ pub fn measure_le(
 }
 
 /// Measures the paper's implicit agreement with a `zero_fraction` of
-/// 0-inputs spread round-robin.
+/// 0-inputs spread round-robin; `jobs` as in [`measure_le`].
 pub fn measure_agreement(
     n: u32,
     alpha: f64,
@@ -128,6 +286,7 @@ pub fn measure_agreement(
     kind: AdversaryKind,
     trials: u64,
     seed: u64,
+    jobs: usize,
 ) -> Measurement {
     let params = Params::new(n, alpha).expect("valid params");
     let f = params.max_faults();
@@ -139,10 +298,14 @@ pub fn measure_agreement(
     let cfg = SimConfig::new(n)
         .seed(seed)
         .max_rounds(params.agreement_round_budget());
-    let out = run_trials(&cfg, trials, |c| {
+    let out = run_trials_jobs(&cfg, trials, jobs, |c| {
         let mut adv = kind.agree_adversary(f);
         let inputs = |id: NodeId| !(stride != u32::MAX && id.0 % stride == 0);
-        let r = run(c, |id| AgreeNode::new(params.clone(), inputs(id)), adv.as_mut());
+        let r = run(
+            c,
+            |id| AgreeNode::new(params.clone(), inputs(id)),
+            adv.as_mut(),
+        );
         let o = AgreeOutcome::evaluate(&r);
         (
             o.success,
@@ -153,6 +316,43 @@ pub fn measure_agreement(
         )
     });
     aggregate(out.iter().map(|t| t.value))
+}
+
+/// Success count and mean cost of one experiment row (Table I style).
+#[derive(Clone, Copy, Debug)]
+pub struct RowResult {
+    /// Trials that met the row's success predicate.
+    pub success: u64,
+    /// Mean messages per trial.
+    pub msgs: f64,
+    /// Mean rounds per trial.
+    pub rounds: f64,
+}
+
+/// Runs `job` once per derived trial seed, in parallel over `jobs` worker
+/// threads, and averages the `(success, msgs, rounds)` triples. The seed
+/// passed to `job` is `stream_seed(base_seed, trial + 1)` — feed it to
+/// [`SimConfig::seed`] so the trial is reproducible in isolation.
+pub fn average_trials<F>(trials: u64, base_seed: u64, jobs: usize, job: F) -> RowResult
+where
+    F: Fn(u64) -> (bool, u64, u32) + Sync,
+{
+    let batch =
+        ParRunner::new(TrialPlan::new(base_seed, trials).jobs(jobs)).run(|_, seed| job(seed));
+    let n = batch.len().max(1) as f64;
+    let mut success = 0u64;
+    let mut msgs = 0.0;
+    let mut rounds = 0.0;
+    for (ok, m, r) in batch.values() {
+        success += u64::from(*ok);
+        msgs += *m as f64;
+        rounds += f64::from(*r);
+    }
+    RowResult {
+        success,
+        msgs: msgs / n,
+        rounds: rounds / n,
+    }
 }
 
 fn aggregate(values: impl Iterator<Item = (bool, bool, u64, u64, u32)>) -> Measurement {
@@ -225,7 +425,7 @@ mod tests {
 
     #[test]
     fn measure_le_reports_sane_numbers() {
-        let m = measure_le(128, 0.5, AdversaryKind::Eager, 4, 42);
+        let m = measure_le(128, 0.5, AdversaryKind::Eager, 4, 42, 0);
         assert_eq!(m.trials, 4);
         assert!(m.success_rate >= 0.75, "{m:?}");
         assert!(m.msgs.mean > 0.0);
@@ -234,10 +434,77 @@ mod tests {
 
     #[test]
     fn measure_agreement_reports_sane_numbers() {
-        let m = measure_agreement(128, 0.5, 0.1, AdversaryKind::Random(10), 4, 42);
+        let m = measure_agreement(128, 0.5, 0.1, AdversaryKind::Random(10), 4, 42, 0);
         assert_eq!(m.trials, 4);
         assert!(m.success_rate >= 0.75, "{m:?}");
         assert!(m.bits.mean >= m.msgs.mean);
+    }
+
+    #[test]
+    fn measurements_are_jobs_invariant() {
+        let at = |jobs| measure_le(128, 0.5, AdversaryKind::Random(10), 6, 7, jobs);
+        let one = at(1);
+        let eight = at(8);
+        assert_eq!(one.success_rate, eight.success_rate);
+        assert_eq!(one.msgs.mean, eight.msgs.mean);
+        assert_eq!(one.rounds.mean, eight.rounds.mean);
+    }
+
+    #[test]
+    fn average_trials_is_jobs_invariant() {
+        let job = |seed: u64| (seed % 3 != 0, seed % 100, (seed % 7) as u32);
+        let a = average_trials(50, 11, 1, job);
+        let b = average_trials(50, 11, 8, job);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.msgs, b.msgs);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn exp_opts_parse_all_flags() {
+        fn args(s: &str) -> std::vec::IntoIter<String> {
+            s.split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+        let o = ExpOpts::try_parse(args("--jobs 4 --trials 9 --seed 3 --smoke")).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.trials(100), 9, "--trials beats --smoke");
+        assert_eq!(o.seed(1), 3);
+        assert!(o.smoke);
+
+        let o = ExpOpts::try_parse(args("-j=2")).unwrap();
+        assert_eq!(o.jobs, 2);
+
+        let o = ExpOpts::try_parse(args("--smoke")).unwrap();
+        assert_eq!(o.trials(100), SMOKE_TRIALS);
+        assert_eq!(o.trials(1), 1, "smoke never raises the trial count");
+        assert_eq!(o.pick(4096u32, 512), 512);
+
+        let o = ExpOpts::try_parse(args("")).unwrap();
+        assert_eq!(o, ExpOpts::default());
+        assert_eq!(o.trials(8), 8);
+        assert_eq!(o.seed(5), 5);
+        assert_eq!(o.pick(4096u32, 512), 4096);
+
+        assert_eq!(ExpOpts::try_parse(args("--help")), Err(ParseError::Help));
+        assert!(matches!(
+            ExpOpts::try_parse(args("--frobnicate")),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            ExpOpts::try_parse(args("--trials 0")),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            ExpOpts::try_parse(args("--jobs")),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            ExpOpts::try_parse(args("--trials zero")),
+            Err(ParseError::Bad(_))
+        ));
     }
 
     #[test]

@@ -269,7 +269,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures >= 9, "adaptive adversary failed to win: {failures}/10");
+        assert!(
+            failures >= 9,
+            "adaptive adversary failed to win: {failures}/10"
+        );
     }
 
     #[test]

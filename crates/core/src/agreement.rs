@@ -150,7 +150,14 @@ impl Protocol for AgreeNode {
         // Step 0: register with the referees — a 0-holder registers by
         // sending the 0 itself, a 1-holder sends a plain registration.
         for &p in &referees {
-            ctx.send(p, if zero { AgreeMsg::Zero } else { AgreeMsg::RegisterOne });
+            ctx.send(
+                p,
+                if zero {
+                    AgreeMsg::Zero
+                } else {
+                    AgreeMsg::RegisterOne
+                },
+            );
         }
         self.candidate = Some(CandidateState {
             referees,
@@ -245,9 +252,7 @@ impl AgreeOutcome {
         let consistent = decisions.len() <= 1;
         let agreed_value = (decisions.len() == 1).then(|| decisions[0]);
 
-        let valid = agreed_value.map_or(false, |v| {
-            result.all_states().any(|(_, s)| s.input() == v)
-        });
+        let valid = agreed_value.is_some_and(|v| result.all_states().any(|(_, s)| s.input() == v));
 
         AgreeOutcome {
             candidate_count,

@@ -263,8 +263,7 @@ impl ExplicitAgreeOutcome {
             .map(|(_, s)| s.known_value())
             .collect();
         let unaware = values.iter().filter(|v| v.is_none()).count();
-        let distinct: std::collections::BTreeSet<bool> =
-            values.iter().flatten().copied().collect();
+        let distinct: std::collections::BTreeSet<bool> = values.iter().flatten().copied().collect();
         let success = unaware == 0 && distinct.len() == 1;
         ExplicitAgreeOutcome {
             value: (distinct.len() == 1).then(|| *distinct.first().unwrap()),
@@ -347,12 +346,14 @@ mod tests {
         let probe_cfg = SimConfig::new(128)
             .seed(21)
             .max_rounds(ExplicitLeNode::round_budget(&params));
-        let probe = run(&probe_cfg, |_| ExplicitLeNode::new(params.clone()), &mut NoFaults);
+        let probe = run(
+            &probe_cfg,
+            |_| ExplicitLeNode::new(params.clone()),
+            &mut NoFaults,
+        );
         let leader = probe
             .all_states()
-            .find(|(_, s)| {
-                s.inner().status() == crate::leader_election::LeStatus::Elected
-            })
+            .find(|(_, s)| s.inner().status() == crate::leader_election::LeStatus::Elected)
             .map(|(id, _)| id)
             .expect("probe elected a leader");
 

@@ -154,7 +154,7 @@ impl LeNode {
 
     /// Whether this candidate has settled on a leader.
     pub fn is_settled(&self) -> bool {
-        self.candidate.as_ref().map_or(true, |c| c.settled)
+        self.candidate.as_ref().is_none_or(|c| c.settled)
     }
 
     /// First round of the iteration phase.
@@ -164,7 +164,7 @@ impl LeNode {
 
     /// Whether `round` is a phase-A (proposal) activation.
     fn is_phase_a(&self, round: Round) -> bool {
-        round >= self.t0() && (round - self.t0()) % 4 == 0
+        round >= self.t0() && (round - self.t0()).is_multiple_of(4)
     }
 
     // ------------------------------------------------------------------
@@ -240,13 +240,7 @@ impl LeNode {
     /// Sends `Propose{id, value}` to all referees.
     fn send_proposal(cand: &CandidateState, ctx: &mut Ctx<'_, LeMsg>, value: Rank) {
         for &p in &cand.referees {
-            ctx.send(
-                p,
-                LeMsg::Propose {
-                    id: cand.id,
-                    value,
-                },
-            );
+            ctx.send(p, LeMsg::Propose { id: cand.id, value });
         }
     }
 
@@ -447,7 +441,7 @@ impl Protocol for LeNode {
     }
 
     fn is_terminated(&self) -> bool {
-        let cand_done = self.candidate.as_ref().map_or(true, |c| c.settled);
+        let cand_done = self.candidate.as_ref().is_none_or(|c| c.settled);
         cand_done && self.referee.forward_queue.is_empty()
     }
 }

@@ -61,11 +61,10 @@ pub mod sampling;
 /// Convenient glob import for protocol users.
 pub mod prelude {
     pub use crate::adversaries::{AdaptiveCandidateKiller, MinRankCrasher, ZeroHolderCrasher};
-    pub use crate::byzantine::{EquivocatingClaimant, ZeroForger};
     pub use crate::agreement::{AgreeNode, AgreeOutcome, AgreeStatus};
+    pub use crate::byzantine::{EquivocatingClaimant, ZeroForger};
     pub use crate::explicit::{
-        AnnouncePolicy, ExplicitAgreeNode, ExplicitAgreeOutcome, ExplicitLeNode,
-        ExplicitLeOutcome,
+        AnnouncePolicy, ExplicitAgreeNode, ExplicitAgreeOutcome, ExplicitLeNode, ExplicitLeOutcome,
     };
     pub use crate::leader_election::{LeNode, LeOutcome, LeStatus};
     pub use crate::messages::{AgreeMsg, LeMsg};

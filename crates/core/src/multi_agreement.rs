@@ -132,7 +132,7 @@ impl MultiAgreeNode {
 
     /// Referee adopts `v` if it improves, forwarding to its candidates.
     fn referee_improve(&mut self, ctx: &mut Ctx<'_, MultiMsg>, v: u32) {
-        let improves = self.referee_min.map_or(true, |m| v < m);
+        let improves = self.referee_min.is_none_or(|m| v < m);
         if improves {
             self.referee_min = Some(v);
             for p in self.referee_candidates.clone() {
@@ -221,9 +221,7 @@ impl MultiOutcome {
         let some_decided = !decisions.is_empty();
         let consistent = decisions.len() <= 1;
         let agreed_value = (decisions.len() == 1).then(|| decisions[0]);
-        let valid = agreed_value.map_or(false, |v| {
-            result.all_states().any(|(_, s)| s.input() == v)
-        });
+        let valid = agreed_value.is_some_and(|v| result.all_states().any(|(_, s)| s.input() == v));
         MultiOutcome {
             decisions,
             agreed_value,
@@ -262,7 +260,11 @@ mod tests {
         let cfg = SimConfig::new(n)
             .seed(seed)
             .max_rounds(params.agreement_round_budget());
-        run(&cfg, |id| MultiAgreeNode::new(params.clone(), k, inputs(id)), adv)
+        run(
+            &cfg,
+            |id| MultiAgreeNode::new(params.clone(), k, inputs(id)),
+            adv,
+        )
     }
 
     #[test]
@@ -290,7 +292,10 @@ mod tests {
         assert!(o.success);
         assert_eq!(o.agreed_value, Some(7));
         let registration = r.metrics.per_round.first().map_or(0, |m| m.sent);
-        assert_eq!(r.metrics.msgs_sent, registration, "max-holders must be quiet");
+        assert_eq!(
+            r.metrics.msgs_sent, registration,
+            "max-holders must be quiet"
+        );
     }
 
     #[test]
@@ -308,7 +313,14 @@ mod tests {
         // k = 2 must behave like the binary protocol: decide 0 iff some
         // candidate holds 0.
         for seed in 0..10 {
-            let r = run_multi(256, 1.0, 2, seed, |id| u32::from(id.0 % 9 != 0), &mut NoFaults);
+            let r = run_multi(
+                256,
+                1.0,
+                2,
+                seed,
+                |id| u32::from(id.0 % 9 != 0),
+                &mut NoFaults,
+            );
             let o = MultiOutcome::evaluate(&r);
             assert!(o.success, "seed {seed}");
             let min_cand = MultiOutcome::min_candidate_input(&r);
@@ -321,7 +333,14 @@ mod tests {
         // Same inputs modulo domain size: wider domains cost more bits
         // per message but the same order of messages.
         let small = run_multi(512, 1.0, 4, 7, |id| id.0 % 4, &mut NoFaults);
-        let large = run_multi(512, 1.0, 1 << 16, 7, |id| (id.0 * 7919) % (1 << 16), &mut NoFaults);
+        let large = run_multi(
+            512,
+            1.0,
+            1 << 16,
+            7,
+            |id| (id.0 * 7919) % (1 << 16),
+            &mut NoFaults,
+        );
         assert!(MultiOutcome::evaluate(&small).success);
         assert!(MultiOutcome::evaluate(&large).success);
         let small_bits_per_msg = small.metrics.bits_sent as f64 / small.metrics.msgs_sent as f64;
@@ -335,7 +354,14 @@ mod tests {
         // Adversarial input layout: values descend so the minimum is held
         // by exactly one node; improvements must cascade.
         for seed in 0..5 {
-            let r = run_multi(256, 1.0, 300, seed, |id| 299 - (id.0 % 300).min(299), &mut NoFaults);
+            let r = run_multi(
+                256,
+                1.0,
+                300,
+                seed,
+                |id| 299 - (id.0 % 300).min(299),
+                &mut NoFaults,
+            );
             let o = MultiOutcome::evaluate(&r);
             assert!(o.success, "seed {seed}: {o:?}");
             assert_eq!(o.agreed_value, MultiOutcome::min_candidate_input(&r));

@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn invalid_alpha_and_n_rejected() {
-        assert_eq!(Params::new(1, 0.5).unwrap_err(), ParamsError::NetworkTooSmall);
+        assert_eq!(
+            Params::new(1, 0.5).unwrap_err(),
+            ParamsError::NetworkTooSmall
+        );
         assert!(matches!(
             Params::new(16, 0.0),
             Err(ParamsError::AlphaOutOfRange { .. })

@@ -41,10 +41,7 @@ pub fn sample_referee_ports(rng: &mut SmallRng, params: &Params) -> Vec<Port> {
 /// One Monte-Carlo draw of the whole sampling layer, for testing the
 /// concentration lemmas without running a protocol: returns the candidate
 /// node indices and, per candidate, its referee node indices.
-pub fn draw_committee(
-    rng: &mut SmallRng,
-    params: &Params,
-) -> (Vec<usize>, Vec<Vec<usize>>) {
+pub fn draw_committee(rng: &mut SmallRng, params: &Params) -> (Vec<usize>, Vec<Vec<usize>>) {
     let n = params.n() as usize;
     let mut candidates = Vec::new();
     for node in 0..n {
@@ -107,7 +104,9 @@ mod tests {
         for t in 0..200u64 {
             let mut r = rng(t);
             let faulty: std::collections::HashSet<usize> =
-                rand::seq::index::sample(&mut r, n, n / 2).into_iter().collect();
+                rand::seq::index::sample(&mut r, n, n / 2)
+                    .into_iter()
+                    .collect();
             let (c, _) = draw_committee(&mut r, &params);
             if !c.is_empty() && c.iter().all(|i| faulty.contains(i)) {
                 all_faulty += 1;

@@ -41,19 +41,23 @@ pub struct SweepPoint {
 /// Sweeps the agreement protocol across per-node send caps.
 ///
 /// Inputs are split 50/50; faults are `(1−α)·n` eager random crashes.
+/// Trials fan out over `jobs` worker threads (`0` = one per core); the
+/// points are identical at any value.
 pub fn sweep_agreement(
     n: u32,
     alpha: f64,
     caps: &[Option<u32>],
     trials: u64,
     base_seed: u64,
+    jobs: usize,
 ) -> Vec<SweepPoint> {
     let params = Params::new(n, alpha).expect("valid params");
     let threshold = params.lower_bound_threshold();
     let f = params.max_faults();
     caps.iter()
         .map(|&cap| {
-            let outcomes = run_trials_with(trials, base_seed ^ cap_salt(cap), |_, seed| {
+            let plan = TrialPlan::new(base_seed ^ cap_salt(cap), trials).jobs(jobs);
+            let outcomes = ParRunner::new(plan).run(|_, seed| {
                 let mut cfg = SimConfig::new(n)
                     .seed(seed)
                     .max_rounds(params.agreement_round_budget());
@@ -73,25 +77,28 @@ pub fn sweep_agreement(
                     o.success,
                 )
             });
-            summarise(cap, threshold, &outcomes)
+            summarise(cap, threshold, &outcomes.outcomes)
         })
         .collect()
 }
 
-/// Sweeps the leader-election protocol across per-node send caps.
+/// Sweeps the leader-election protocol across per-node send caps;
+/// `jobs` as in [`sweep_agreement`].
 pub fn sweep_leader_election(
     n: u32,
     alpha: f64,
     caps: &[Option<u32>],
     trials: u64,
     base_seed: u64,
+    jobs: usize,
 ) -> Vec<SweepPoint> {
     let params = Params::new(n, alpha).expect("valid params");
     let threshold = params.lower_bound_threshold();
     let f = params.max_faults();
     caps.iter()
         .map(|&cap| {
-            let outcomes = run_trials_with(trials, base_seed ^ cap_salt(cap), |_, seed| {
+            let plan = TrialPlan::new(base_seed ^ cap_salt(cap), trials).jobs(jobs);
+            let outcomes = ParRunner::new(plan).run(|_, seed| {
                 let mut cfg = SimConfig::new(n)
                     .seed(seed)
                     .max_rounds(params.le_round_budget());
@@ -107,7 +114,7 @@ pub fn sweep_leader_election(
                     o.success,
                 )
             });
-            summarise(cap, threshold, &outcomes)
+            summarise(cap, threshold, &outcomes.outcomes)
         })
         .collect()
 }
@@ -143,7 +150,7 @@ mod tests {
 
     #[test]
     fn full_budget_rarely_fails_starved_budget_often_fails() {
-        let points = sweep_agreement(512, 0.5, &[None, Some(2)], 24, 99);
+        let points = sweep_agreement(512, 0.5, &[None, Some(2)], 24, 99, 0);
         let full = &points[0];
         let starved = &points[1];
         assert!(
@@ -161,7 +168,7 @@ mod tests {
 
     #[test]
     fn sweep_spend_is_monotone_in_cap() {
-        let points = sweep_agreement(256, 0.5, &[Some(1), Some(8), None], 8, 5);
+        let points = sweep_agreement(256, 0.5, &[Some(1), Some(8), None], 8, 5, 0);
         assert!(points[0].mean_messages < points[1].mean_messages);
         assert!(points[1].mean_messages < points[2].mean_messages);
         for p in &points {
@@ -171,7 +178,7 @@ mod tests {
 
     #[test]
     fn le_sweep_runs_and_reports() {
-        let points = sweep_leader_election(256, 0.5, &[None], 8, 7);
+        let points = sweep_leader_election(256, 0.5, &[None], 8, 7, 0);
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].trials, 8);
         assert!(points[0].failure_rate <= 0.25, "{:?}", points[0]);
@@ -179,7 +186,7 @@ mod tests {
 
     #[test]
     fn starved_le_fails_to_elect() {
-        let points = sweep_leader_election(256, 0.5, &[Some(1)], 12, 13);
+        let points = sweep_leader_election(256, 0.5, &[Some(1)], 12, 13, 0);
         assert!(points[0].failure_rate >= 0.5, "{:?}", points[0]);
     }
 }

@@ -51,13 +51,13 @@ impl InfluenceAnalysis {
         let mut first_recv: Vec<Option<Round>> = vec![None; nn];
         for ev in trace.events().iter().filter(|e| e.round <= r) {
             let s = &mut first_send[ev.src.index()];
-            if s.map_or(true, |cur| ev.round < cur) {
+            if s.is_none_or(|cur| ev.round < cur) {
                 *s = Some(ev.round);
             }
             if ev.delivered {
                 // Received at the start of round `ev.round + 1`.
                 let rcv = &mut first_recv[ev.dst.index()];
-                if rcv.map_or(true, |cur| ev.round + 1 < cur) {
+                if rcv.is_none_or(|cur| ev.round + 1 < cur) {
                     *rcv = Some(ev.round + 1);
                 }
             }
@@ -200,7 +200,10 @@ mod tests {
     }
 
     fn run_wave(n: u32, starters: &[u32], seed: u64) -> Trace {
-        let cfg = SimConfig::new(n).seed(seed).max_rounds(12).record_trace(true);
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(12)
+            .record_trace(true);
         let starters: Vec<u32> = starters.to_vec();
         let r = run(
             &cfg,

@@ -223,8 +223,7 @@ pub trait Adversary<M>: Send {
     /// Issues crash directives for the current round. Directives naming
     /// non-faulty or already-crashed nodes cause the engine to panic — they
     /// would violate the model.
-    fn on_round(&mut self, view: &AdversaryView<'_, M>, rng: &mut SmallRng)
-        -> Vec<CrashDirective>;
+    fn on_round(&mut self, view: &AdversaryView<'_, M>, rng: &mut SmallRng) -> Vec<CrashDirective>;
 
     /// Byzantine hook: rewrite the outgoing traffic of corrupted nodes
     /// this round. Applied before crash directives. Tampering with a
@@ -324,11 +323,7 @@ impl<M> Adversary<M> for RandomCrash {
         set
     }
 
-    fn on_round(
-        &mut self,
-        view: &AdversaryView<'_, M>,
-        rng: &mut SmallRng,
-    ) -> Vec<CrashDirective> {
+    fn on_round(&mut self, view: &AdversaryView<'_, M>, rng: &mut SmallRng) -> Vec<CrashDirective> {
         self.schedule
             .iter()
             .filter(|&&(node, when)| when == view.round() && view.is_alive(node))
@@ -453,11 +448,7 @@ where
         FaultySet::random(n, self.f, rng)
     }
 
-    fn on_round(
-        &mut self,
-        view: &AdversaryView<'_, M>,
-        rng: &mut SmallRng,
-    ) -> Vec<CrashDirective> {
+    fn on_round(&mut self, view: &AdversaryView<'_, M>, rng: &mut SmallRng) -> Vec<CrashDirective> {
         (self.decide)(view, rng)
     }
 }
@@ -564,10 +555,7 @@ mod tests {
             outgoing: &outgoing,
         };
         assert_eq!(adv.on_round(&view0, &mut r).len(), 3);
-        let view1 = AdversaryView {
-            round: 1,
-            ..view0
-        };
+        let view1 = AdversaryView { round: 1, ..view0 };
         assert!(adv.on_round(&view1, &mut r).is_empty());
     }
 

@@ -135,7 +135,10 @@ impl SimConfig {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn edge_failure_prob(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "edge failure prob must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "edge failure prob must be in [0,1)"
+        );
         self.edge_failure_prob = p;
         self
     }
@@ -522,9 +525,7 @@ fn mark_undelivered(tr: &mut Trace, round: Round, src: NodeId, dst: NodeId) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{
-        DeliveryFilter, EagerCrash, FaultPlan, NoFaults, ScriptedCrash,
-    };
+    use crate::adversary::{DeliveryFilter, EagerCrash, FaultPlan, NoFaults, ScriptedCrash};
     use crate::ids::Port;
 
     /// Each node broadcasts its round number as `u64` for 3 rounds and
@@ -555,7 +556,14 @@ mod tests {
     fn fault_free_broadcast_counts_add_up() {
         let n = 16u32;
         let cfg = SimConfig::new(n).seed(5).max_rounds(10);
-        let r = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut NoFaults);
+        let r = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut NoFaults,
+        );
         // 3 broadcast rounds of n*(n-1) messages each.
         let per_round = u64::from(n) * u64::from(n - 1);
         assert_eq!(r.metrics.msgs_sent, 3 * per_round);
@@ -572,7 +580,14 @@ mod tests {
         let n = 16u32;
         let cfg = SimConfig::new(n).seed(5).max_rounds(10);
         let mut adv = EagerCrash::new(4);
-        let r = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut adv);
+        let r = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut adv,
+        );
         assert_eq!(r.survivor_count(), 12);
         assert_eq!(r.metrics.crash_count(), 4);
         // Crashed-at-0 nodes broadcast then had everything dropped:
@@ -589,7 +604,14 @@ mod tests {
         let plan = FaultPlan::new().crash(NodeId(3), 1, DeliveryFilter::DropAll);
         let cfg = SimConfig::new(n).seed(1).max_rounds(10);
         let mut adv = ScriptedCrash::new(plan);
-        let r = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut adv);
+        let r = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut adv,
+        );
         assert_eq!(r.crashed_at[3], Some(1));
         // Node 3 executed rounds 0 and 1 (its crash round) only.
         assert_eq!(r.states[3].rounds, 1);
@@ -601,8 +623,22 @@ mod tests {
         let cfg = SimConfig::new(32).seed(99).max_rounds(10);
         let mut adv1 = EagerCrash::new(8);
         let mut adv2 = EagerCrash::new(8);
-        let r1 = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut adv1);
-        let r2 = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut adv2);
+        let r1 = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut adv1,
+        );
+        let r2 = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut adv2,
+        );
         assert_eq!(r1.metrics.msgs_sent, r2.metrics.msgs_sent);
         assert_eq!(r1.metrics.msgs_delivered, r2.metrics.msgs_delivered);
         assert_eq!(r1.crashed_at, r2.crashed_at);
@@ -639,7 +675,14 @@ mod tests {
         let plan = FaultPlan::new().crash(NodeId(0), 0, DeliveryFilter::KeepFirst(2));
         let cfg = SimConfig::new(n).seed(3).max_rounds(6).record_trace(true);
         let mut adv = ScriptedCrash::new(plan);
-        let r = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut adv);
+        let r = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut adv,
+        );
         let tr = r.trace.expect("trace enabled");
         let from0: Vec<_> = tr
             .events()
@@ -659,15 +702,32 @@ mod tests {
     #[test]
     fn edge_failures_drop_a_matching_fraction() {
         let n = 64u32;
-        let cfg = SimConfig::new(n).seed(9).max_rounds(10).edge_failure_prob(0.25);
-        let r = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut NoFaults);
+        let cfg = SimConfig::new(n)
+            .seed(9)
+            .max_rounds(10)
+            .edge_failure_prob(0.25);
+        let r = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut NoFaults,
+        );
         let total = r.metrics.msgs_sent;
         let lost = r.metrics.msgs_lost_edges;
         let frac = lost as f64 / total as f64;
         assert!((frac - 0.25).abs() < 0.06, "lost fraction {frac}");
         // Determinism: the same edge is dead in both directions and in
         // every round, so re-running gives identical losses.
-        let r2 = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut NoFaults);
+        let r2 = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut NoFaults,
+        );
         assert_eq!(r2.metrics.msgs_lost_edges, lost);
     }
 
@@ -675,14 +735,24 @@ mod tests {
     fn send_cap_limits_per_node_traffic() {
         let n = 16u32;
         let cfg = SimConfig::new(n).seed(5).max_rounds(10).send_cap(7);
-        let r = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut NoFaults);
+        let r = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut NoFaults,
+        );
         // Each node wanted 3 broadcasts of 15 = 45 sends; only 7 allowed.
         assert_eq!(r.metrics.msgs_sent, u64::from(n) * 7);
         assert_eq!(r.metrics.msgs_suppressed, u64::from(n) * (45 - 7));
         // Without a cap, nothing is suppressed.
         let free = run(
             &SimConfig::new(n).seed(5).max_rounds(10),
-            |_| Chatter { heard: 0, rounds: 0 },
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
             &mut NoFaults,
         );
         assert_eq!(free.metrics.msgs_suppressed, 0);
@@ -708,6 +778,13 @@ mod tests {
             }
         }
         let cfg = SimConfig::new(4).seed(0).max_rounds(2);
-        let _ = run(&cfg, |_| Chatter { heard: 0, rounds: 0 }, &mut Evil);
+        let _ = run(
+            &cfg,
+            |_| Chatter {
+                heard: 0,
+                rounds: 0,
+            },
+            &mut Evil,
+        );
     }
 }

@@ -67,16 +67,19 @@ pub mod trace;
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::adversary::{
-        Adversary, AdversaryView, CrashDirective, DeliveryFilter, EagerCrash, FaultPlan,
-        FaultySet, NoFaults, RandomCrash, ScriptedCrash,
+        Adversary, AdversaryView, CrashDirective, DeliveryFilter, EagerCrash, FaultPlan, FaultySet,
+        NoFaults, RandomCrash, ScriptedCrash,
     };
     pub use crate::engine::{run, RunResult, SimConfig};
     pub use crate::ids::{NodeId, Port, Round};
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{LogHistogram, Metrics, MetricsAggregate};
     pub use crate::payload::Payload;
     pub use crate::ports::PortMap;
     pub use crate::protocol::{Ctx, Incoming, Protocol};
-    pub use crate::runner::{run_trials, run_trials_with, TrialOutcome};
+    pub use crate::runner::{
+        run_trials, run_trials_jobs, run_trials_with, AbortHandle, ParRunner, TrialBatch,
+        TrialOutcome, TrialPlan,
+    };
     pub use crate::stats::Summary;
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -7,12 +7,10 @@
 //! edge in a single round — the quantity the CONGEST model bounds by
 //! `O(log n)`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{NodeId, Round};
 
 /// Counters for a single round.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundMetrics {
     /// Messages queued by alive nodes this round (counted even if the
     /// sender's crash then suppressed them — the algorithm paid for them).
@@ -26,7 +24,7 @@ pub struct RoundMetrics {
 }
 
 /// Full accounting of one execution.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Rounds actually executed (may be fewer than `max_rounds` when the
     /// protocol quiesced early).
@@ -85,17 +83,191 @@ impl Metrics {
     }
 }
 
-// NodeId is serialised as its raw u32 for the benefit of the bench harness's
-// result rows.
-impl Serialize for NodeId {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u32(self.0)
+/// A base-2 logarithmic histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values whose
+/// bit-length is `i`, i.e. the range `[2^(i-1), 2^i)`. Message counts span
+/// many orders of magnitude across protocols (`O(n^1.5 log^1.5 n)` vs the
+/// `Ω(n^2)` baselines), so constant relative resolution is the right shape;
+/// exact min/max/sum ride along for headline numbers.
+///
+/// Histograms over disjoint trial sets [`merge`](LogHistogram::merge)
+/// bucket-wise, which is what makes per-worker aggregation order-free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; 65],
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
     }
 }
 
-impl<'de> Deserialize<'de> for NodeId {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        u32::deserialize(d).map(NodeId)
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; 65],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(value: u64) -> usize {
+        match value.checked_ilog2() {
+            Some(b) => b as usize + 1,
+            None => 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Since buckets add and
+    /// min/max/sum are associative-commutative, merge order never affects
+    /// the result.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Exact mean of the samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) to bucket resolution: the upper
+    /// edge of the bucket containing the quantile sample (clamped to the
+    /// exact max). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based nearest-rank.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return Some(upper.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Order-free aggregation of [`Metrics`] across a batch of trials.
+///
+/// Parallel trial runners produce per-trial `Metrics` in nondeterministic
+/// *completion* order; every operation here is commutative and associative,
+/// so aggregates built per worker and [`merge`](MetricsAggregate::merge)d
+/// equal the aggregate a sequential loop would build.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsAggregate {
+    /// Trials folded in.
+    pub trials: u64,
+    /// Distribution of per-trial total messages sent.
+    pub msgs_sent: LogHistogram,
+    /// Distribution of per-trial total bits sent.
+    pub bits_sent: LogHistogram,
+    /// Distribution of per-trial executed rounds.
+    pub rounds: LogHistogram,
+    /// Distribution of per-trial crash counts.
+    pub crashes: LogHistogram,
+    /// Largest per-edge-per-round bit load seen in any trial.
+    pub max_edge_bits_per_round: u64,
+    /// Trials that violated the configured CONGEST bound at least once.
+    pub congest_violating_trials: u64,
+    /// Total CONGEST violations across all trials.
+    pub congest_violations: u64,
+}
+
+impl MetricsAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        MetricsAggregate::default()
+    }
+
+    /// Folds in one trial's metrics; `congest_violations` comes from the
+    /// engine's [`RunResult`](crate::engine::RunResult), which checks the
+    /// bound as it runs.
+    pub fn record(&mut self, m: &Metrics, congest_violations: u64) {
+        self.trials += 1;
+        self.msgs_sent.record(m.msgs_sent);
+        self.bits_sent.record(m.bits_sent);
+        self.rounds.record(u64::from(m.rounds));
+        self.crashes.record(m.crash_count() as u64);
+        self.max_edge_bits_per_round = self.max_edge_bits_per_round.max(m.max_edge_bits_per_round);
+        self.congest_violating_trials += u64::from(congest_violations > 0);
+        self.congest_violations += congest_violations;
+    }
+
+    /// Folds another aggregate into this one (commutative, associative).
+    pub fn merge(&mut self, other: &MetricsAggregate) {
+        self.trials += other.trials;
+        self.msgs_sent.merge(&other.msgs_sent);
+        self.bits_sent.merge(&other.bits_sent);
+        self.rounds.merge(&other.rounds);
+        self.crashes.merge(&other.crashes);
+        self.max_edge_bits_per_round = self
+            .max_edge_bits_per_round
+            .max(other.max_edge_bits_per_round);
+        self.congest_violating_trials += other.congest_violating_trials;
+        self.congest_violations += other.congest_violations;
+    }
+
+    /// Builds an aggregate from per-trial `(Metrics, congest_violations)`
+    /// pairs in one pass.
+    pub fn collect<'a, I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a Metrics, u64)>,
+    {
+        let mut agg = MetricsAggregate::new();
+        for (m, v) in iter {
+            agg.record(m, v);
+        }
+        agg
     }
 }
 
@@ -142,5 +314,77 @@ mod tests {
         m.record_crash(NodeId(1), 2);
         assert_eq!(m.crashes, vec![(NodeId(3), 1), (NodeId(1), 2)]);
         assert_eq!(m.crash_count(), 2);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_bit_length() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.counts[0], 1); // value 0
+        assert_eq!(h.counts[1], 1); // value 1
+        assert_eq!(h.counts[2], 2); // values 2,3
+        assert_eq!(h.counts[3], 2); // values 4,7
+        assert_eq!(h.counts[4], 1); // value 8
+        assert_eq!(h.counts[64], 1); // u64::MAX
+    }
+
+    #[test]
+    fn log_histogram_quantiles_bracket_the_data() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        let median = h.quantile(0.5).unwrap();
+        // Bucket resolution: the true median 500 lies in [256, 512).
+        assert!((256..=511).contains(&median), "median bucket edge {median}");
+        assert!(LogHistogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential_record() {
+        let values = [3u64, 0, 17, 17, 92, 4096, 5];
+        let mut whole = LogHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let (lo, hi) = values.split_at(3);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        lo.iter().for_each(|&v| a.record(v));
+        hi.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn aggregate_merge_is_order_free() {
+        let trial = |msgs: u64, rounds: u32, viol: u64| {
+            let mut m = Metrics::new();
+            m.msgs_sent = msgs;
+            m.bits_sent = msgs * 64;
+            m.rounds = rounds;
+            (m, viol)
+        };
+        let trials = [trial(10, 2, 0), trial(500, 5, 3), trial(80, 3, 1)];
+        let seq = MetricsAggregate::collect(trials.iter().map(|(m, v)| (m, *v)));
+        // Fold in a different order via two partial aggregates.
+        let mut left = MetricsAggregate::new();
+        left.record(&trials[2].0, trials[2].1);
+        let mut right = MetricsAggregate::new();
+        right.record(&trials[0].0, trials[0].1);
+        right.record(&trials[1].0, trials[1].1);
+        left.merge(&right);
+        assert_eq!(left, seq);
+        assert_eq!(seq.trials, 3);
+        assert_eq!(seq.congest_violations, 4);
+        assert_eq!(seq.congest_violating_trials, 2);
+        assert_eq!(seq.msgs_sent.max(), Some(500));
     }
 }

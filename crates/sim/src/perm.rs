@@ -181,7 +181,10 @@ mod tests {
         let same = (0..512).filter(|&x| a.apply(x) == b.apply(x)).count();
         // Two independent random permutations of 512 agree in ~1 position in
         // expectation; 30 would be astronomically unlikely.
-        assert!(same < 30, "permutations too similar: {same} fixed agreements");
+        assert!(
+            same < 30,
+            "permutations too similar: {same} fixed agreements"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ fn gauntlet<F>(name: &str, params: &Params, mut make_adv: F)
 where
     F: FnMut() -> Box<dyn Adversary<LeMsg>>,
 {
-    let cfg = SimConfig::new(N).seed(31337).max_rounds(params.le_round_budget());
+    let cfg = SimConfig::new(N)
+        .seed(31337)
+        .max_rounds(params.le_round_budget());
     let mut ok = 0;
     let mut faulty_leader = 0;
     let mut msgs = Vec::new();
@@ -71,10 +73,7 @@ fn main() -> Result<(), ParamsError> {
         Box::new(MinRankCrasher::new(f))
     });
     gauntlet("aggressive assassin x4", &params, || {
-        Box::new(MinRankCrasher {
-            f,
-            per_round: 4,
-        })
+        Box::new(MinRankCrasher { f, per_round: 4 })
     });
 
     println!();

@@ -42,7 +42,12 @@ fn main() -> Result<(), ParamsError> {
             &mut adv,
         );
         let o = AgreeOutcome::evaluate(&r);
-        (o.success, o.agreed_value, r.metrics.msgs_sent, r.metrics.rounds)
+        (
+            o.success,
+            o.agreed_value,
+            r.metrics.msgs_sent,
+            r.metrics.rounds,
+        )
     });
     for t in &outcomes {
         if t.value.0 {
@@ -71,9 +76,9 @@ fn main() -> Result<(), ParamsError> {
     println!();
 
     // ---- explicit phase: everyone must know ----
-    let cfg = SimConfig::new(n)
-        .seed(77)
-        .max_rounds(ftc::core::explicit::ExplicitAgreeNode::round_budget(&params));
+    let cfg = SimConfig::new(n).seed(77).max_rounds(
+        ftc::core::explicit::ExplicitAgreeNode::round_budget(&params),
+    );
     let mut adv = ZeroHolderCrasher::new(params.max_faults());
     let r = run(
         &cfg,

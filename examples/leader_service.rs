@@ -55,9 +55,7 @@ fn main() -> Result<(), ParamsError> {
             "{:>6} {:>8} {:>12} {:>8} {:>10} {:>12}",
             epoch,
             dead.len(),
-            outcome
-                .leader_node
-                .map_or("-".into(), |l| l.to_string()),
+            outcome.leader_node.map_or("-".into(), |l| l.to_string()),
             outcome.success,
             result.metrics.msgs_sent,
             total_msgs
@@ -81,9 +79,7 @@ fn main() -> Result<(), ParamsError> {
 
     println!();
     let naive = u64::from(N) * u64::from(N - 1) * u64::from(EPOCHS);
-    println!(
-        "total coordination traffic: {total_msgs} messages across {EPOCHS} epochs;"
-    );
+    println!("total coordination traffic: {total_msgs} messages across {EPOCHS} epochs;");
     println!(
         "a broadcast election would have cost ~{naive} ({}x more).",
         naive / total_msgs.max(1)

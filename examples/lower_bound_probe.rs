@@ -38,7 +38,11 @@ fn main() -> Result<(), ParamsError> {
             .record_trace(true);
         let results = run_trials(&cfg, trials, |c| {
             let mut adv = EagerCrash::new(params.max_faults());
-            let r = run(c, |id| AgreeNode::new(params.clone(), id.0 % 2 == 0), &mut adv);
+            let r = run(
+                c,
+                |id| AgreeNode::new(params.clone(), id.0 % 2 == 0),
+                &mut adv,
+            );
             let o = AgreeOutcome::evaluate(&r);
             let analysis = InfluenceAnalysis::full(r.trace.as_ref().expect("trace on"));
             (

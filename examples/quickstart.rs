@@ -23,7 +23,9 @@ fn main() -> Result<(), ParamsError> {
     println!();
 
     // ---- implicit leader election under mid-protocol random crashes ----
-    let cfg = SimConfig::new(n).seed(7).max_rounds(params.le_round_budget());
+    let cfg = SimConfig::new(n)
+        .seed(7)
+        .max_rounds(params.le_round_budget());
     let mut adversary = RandomCrash::new(faults, 40);
     let result = run(&cfg, |_| LeNode::new(params.clone()), &mut adversary);
     let outcome = LeOutcome::evaluate(&result);
@@ -49,7 +51,11 @@ fn main() -> Result<(), ParamsError> {
     );
     println!(
         "  leader is {} (non-faulty with probability ≥ α = {alpha})",
-        if outcome.leader_is_faulty { "faulty (may crash later)" } else { "non-faulty" }
+        if outcome.leader_is_faulty {
+            "faulty (may crash later)"
+        } else {
+            "non-faulty"
+        }
     );
     println!();
 

@@ -32,7 +32,9 @@ fn main() -> Result<(), ParamsError> {
         let f = params.max_faults();
 
         // Paper protocol, adversarial random crash schedule.
-        let cfg = SimConfig::new(N).seed(1234).max_rounds(params.le_round_budget());
+        let cfg = SimConfig::new(N)
+            .seed(1234)
+            .max_rounds(params.le_round_budget());
         let sub = run_trials(&cfg, TRIALS, |c| {
             let mut adv = RandomCrash::new(f, 40);
             let params = params.clone();

@@ -24,6 +24,7 @@ struct Opts {
     adversary: String,
     caps: Vec<Option<u32>>,
     csv: bool,
+    jobs: usize,
 }
 
 impl Default for Opts {
@@ -37,6 +38,7 @@ impl Default for Opts {
             adversary: "random".into(),
             caps: vec![None, Some(64), Some(16), Some(4), Some(1)],
             csv: false,
+            jobs: 0,
         }
     }
 }
@@ -47,7 +49,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     while i < args.len() {
         let flag = args[i].as_str();
         let value = |i: usize| -> Result<&String, String> {
-            args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag {
             "--n" => {
@@ -81,7 +84,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         if c == "none" {
                             Ok(None)
                         } else {
-                            c.parse::<u32>().map(Some).map_err(|e| format!("--caps: {e}"))
+                            c.parse::<u32>()
+                                .map(Some)
+                                .map_err(|e| format!("--caps: {e}"))
                         }
                     })
                     .collect::<Result<_, _>>()?;
@@ -90,6 +95,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--csv" => {
                 o.csv = true;
                 i += 1;
+            }
+            "--jobs" => {
+                o.jobs = value(i)?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                i += 2;
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -103,7 +112,11 @@ fn le_adversary(kind: &str, f: usize) -> Result<Box<dyn Adversary<LeMsg>>, Strin
         "eager" => Box::new(EagerCrash::new(f)),
         "random" => Box::new(RandomCrash::new(f, 60)),
         "targeted" => Box::new(MinRankCrasher::new(f)),
-        other => return Err(format!("unknown adversary {other} (none|eager|random|targeted)")),
+        other => {
+            return Err(format!(
+                "unknown adversary {other} (none|eager|random|targeted)"
+            ))
+        }
     })
 }
 
@@ -113,14 +126,20 @@ fn agree_adversary(kind: &str, f: usize) -> Result<Box<dyn Adversary<AgreeMsg>>,
         "eager" => Box::new(EagerCrash::new(f)),
         "random" => Box::new(RandomCrash::new(f, 20)),
         "targeted" => Box::new(ZeroHolderCrasher::new(f)),
-        other => return Err(format!("unknown adversary {other} (none|eager|random|targeted)")),
+        other => {
+            return Err(format!(
+                "unknown adversary {other} (none|eager|random|targeted)"
+            ))
+        }
     })
 }
 
 fn cmd_le(o: &Opts) -> Result<(), String> {
     let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
     let f = params.max_faults();
-    let cfg = SimConfig::new(o.n).seed(o.seed).max_rounds(params.le_round_budget());
+    let cfg = SimConfig::new(o.n)
+        .seed(o.seed)
+        .max_rounds(params.le_round_budget());
     if o.csv {
         println!("trial,seed,success,leader_rank,msgs,bits,rounds,crashes");
     }
@@ -220,7 +239,7 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
 }
 
 fn cmd_sweep(o: &Opts) -> Result<(), String> {
-    let points = sweep_agreement(o.n, o.alpha, &o.caps, o.trials, o.seed);
+    let points = sweep_agreement(o.n, o.alpha, &o.caps, o.trials, o.seed, o.jobs);
     if o.csv {
         println!("cap,mean_msgs,suppressed,threshold_ratio,failure_rate,trials");
         for p in &points {
@@ -282,7 +301,7 @@ fn cmd_trace(o: &Opts) -> Result<(), String> {
 fn usage() -> &'static str {
     "usage: ftc <le|agree|sweep|trace> [--n N] [--alpha A] [--seed S] \
      [--trials T] [--zeros Z] [--adversary none|eager|random|targeted] \
-     [--caps c1,c2,none] [--csv]"
+     [--caps c1,c2,none] [--csv] [--jobs J]"
 }
 
 fn main() -> ExitCode {
@@ -332,8 +351,10 @@ mod tests {
 
     #[test]
     fn flags_override_defaults() {
-        let o = parse_opts(&args("--n 256 --alpha 0.25 --trials 3 --csv --adversary eager"))
-            .unwrap();
+        let o = parse_opts(&args(
+            "--n 256 --alpha 0.25 --trials 3 --csv --adversary eager",
+        ))
+        .unwrap();
         assert_eq!(o.n, 256);
         assert_eq!(o.alpha, 0.25);
         assert_eq!(o.trials, 3);

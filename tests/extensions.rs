@@ -9,7 +9,9 @@ use ftc::prelude::*;
 fn byzantine_zero_forger_violates_validity_only_with_b_positive() {
     let p = Params::new(256, 0.9).expect("valid");
     // b = 0: clean run, validity holds.
-    let cfg = SimConfig::new(256).seed(7).max_rounds(p.agreement_round_budget());
+    let cfg = SimConfig::new(256)
+        .seed(7)
+        .max_rounds(p.agreement_round_budget());
     let mut adv = ZeroForger::new(0);
     let r = run(&cfg, |_| AgreeNode::new(p.clone(), true), &mut adv);
     let o = AgreeOutcome::evaluate(&r);
@@ -38,7 +40,9 @@ fn byzantine_zero_forger_violates_validity_only_with_b_positive() {
 fn byzantine_equivocation_elects_phantom_ranks() {
     let p = Params::new(256, 0.9).expect("valid");
     for seed in 0..5 {
-        let cfg = SimConfig::new(256).seed(seed).max_rounds(p.le_round_budget());
+        let cfg = SimConfig::new(256)
+            .seed(seed)
+            .max_rounds(p.le_round_budget());
         let mut adv = EquivocatingClaimant::new(1);
         let r = run(&cfg, |_| LeNode::new(p.clone()), &mut adv);
         let o = LeOutcome::evaluate(&r);
@@ -59,7 +63,9 @@ fn adaptive_killer_contrast_with_static_budget() {
     let mut static_ok = 0;
     let mut adaptive_ok = 0;
     for seed in 0..6 {
-        let cfg = SimConfig::new(512).seed(seed).max_rounds(p.le_round_budget());
+        let cfg = SimConfig::new(512)
+            .seed(seed)
+            .max_rounds(p.le_round_budget());
         let mut adv = EagerCrash::new(budget);
         if LeOutcome::evaluate(&run(&cfg, |_| LeNode::new(p.clone()), &mut adv)).success {
             static_ok += 1;
@@ -83,7 +89,11 @@ fn mild_edge_failures_are_absorbed_by_referee_redundancy() {
             .max_rounds(p.agreement_round_budget())
             .edge_failure_prob(0.02);
         let mut adv = RandomCrash::new(p.max_faults(), 20);
-        let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 8 == 0), &mut adv);
+        let r = run(
+            &cfg,
+            |id| AgreeNode::new(p.clone(), id.0 % 8 == 0),
+            &mut adv,
+        );
         if AgreeOutcome::evaluate(&r).success {
             ok += 1;
         }
@@ -96,15 +106,25 @@ fn extensions_off_reproduce_the_base_model_exactly() {
     // A config with all extension knobs at their defaults must produce
     // bit-identical metrics to an explicitly zeroed one.
     let p = Params::new(256, 0.5).expect("valid");
-    let base = SimConfig::new(256).seed(11).max_rounds(p.agreement_round_budget());
+    let base = SimConfig::new(256)
+        .seed(11)
+        .max_rounds(p.agreement_round_budget());
     let mut zeroed = base.clone();
     zeroed.edge_failure_prob = 0.0;
     zeroed.send_cap = None;
 
     let mut a1 = EagerCrash::new(p.max_faults());
     let mut a2 = EagerCrash::new(p.max_faults());
-    let r1 = run(&base, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut a1);
-    let r2 = run(&zeroed, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut a2);
+    let r1 = run(
+        &base,
+        |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+        &mut a1,
+    );
+    let r2 = run(
+        &zeroed,
+        |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+        &mut a2,
+    );
     assert_eq!(r1.metrics.msgs_sent, r2.metrics.msgs_sent);
     assert_eq!(r1.metrics.msgs_delivered, r2.metrics.msgs_delivered);
     assert_eq!(r1.metrics.msgs_lost_edges, 0);

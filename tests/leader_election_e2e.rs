@@ -15,7 +15,9 @@ fn run_le_with(
     seed: u64,
     adv: &mut dyn Adversary<LeMsg>,
 ) -> ftc::sim::engine::RunResult<LeNode> {
-    let cfg = SimConfig::new(p.n()).seed(seed).max_rounds(p.le_round_budget());
+    let cfg = SimConfig::new(p.n())
+        .seed(seed)
+        .max_rounds(p.le_round_budget());
     run(&cfg, |_| LeNode::new(p.clone()), adv)
 }
 

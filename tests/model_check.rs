@@ -94,7 +94,11 @@ fn dense_two_crash_agreement_safety() {
                 &mut adv,
             );
             let o = AgreeOutcome::evaluate(&r);
-            assert!(o.consistent, "split under crashes({a},{b}): {:?}", o.decisions);
+            assert!(
+                o.consistent,
+                "split under crashes({a},{b}): {:?}",
+                o.decisions
+            );
         }
     }
 }

@@ -1,88 +1,94 @@
-//! Property-based tests (proptest) on the protocols and the substrate.
+//! Property-based tests on the protocols and the substrate.
 //!
-//! Strategy-generated fault plans, input vectors, seeds and network sizes;
-//! the safety clauses of Definitions 1–2 and the simulator's structural
+//! Generated fault plans, input vectors, seeds and network sizes; the
+//! safety clauses of Definitions 1–2 and the simulator's structural
 //! invariants must hold for every generated case.
+//!
+//! The generator is a self-contained seeded harness (the build environment
+//! is fully offline, so `proptest` is unavailable): every case derives from
+//! `CASE_SEED_BASE` through the same salted-stream scheme the simulator
+//! itself uses, which makes a failing case reproducible by its printed
+//! case index alone.
 
 use ftc::prelude::*;
 use ftc::sim::adversary::DeliveryFilter;
-use ftc::sim::perm::Perm;
+use ftc::sim::perm::{stream_seed, Perm};
 use ftc::sim::ports::PortMap;
-use proptest::prelude::*;
+use rand::prelude::*;
 
-/// A generated crash: node index (as fraction), round, filter choice.
-#[derive(Clone, Debug)]
-struct GenCrash {
-    node_frac: f64,
-    round: u32,
-    filter_kind: u8,
-    keep: usize,
+/// Base seed for all generated cases; bump to explore a fresh corpus.
+const CASE_SEED_BASE: u64 = 0x5EED_CA5E;
+
+/// Runs `check` on `cases` generated inputs, each with its own derived RNG.
+/// Panics with the case index on the first failure so it can be replayed.
+fn for_cases(cases: u64, check: impl Fn(u64, &mut SmallRng)) {
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(stream_seed(CASE_SEED_BASE, case));
+        check(case, &mut rng);
+    }
 }
 
-fn crash_strategy(max_round: u32) -> impl Strategy<Value = GenCrash> {
-    (0.0..1.0f64, 0..max_round, 0u8..4, 0usize..64).prop_map(
-        |(node_frac, round, filter_kind, keep)| GenCrash {
-            node_frac,
-            round,
-            filter_kind,
-            keep,
-        },
-    )
-}
-
-fn build_plan(n: u32, crashes: &[GenCrash]) -> FaultPlan {
+/// A generated crash schedule: up to `max_crashes` distinct nodes, random
+/// rounds in `[0, max_round)`, random delivery filters.
+fn gen_plan(rng: &mut SmallRng, n: u32, max_crashes: usize, max_round: u32) -> FaultPlan {
     let mut plan = FaultPlan::new();
     let mut used = std::collections::HashSet::new();
-    for c in crashes {
-        let node = NodeId(((c.node_frac * f64::from(n)) as u32).min(n - 1));
+    for _ in 0..rng.random_range(0..=max_crashes) {
+        let node = NodeId(rng.random_range(0..n));
         if !used.insert(node) {
             continue; // a node crashes at most once
         }
-        let filter = match c.filter_kind {
+        let filter = match rng.random_range(0..4u8) {
             0 => DeliveryFilter::DeliverAll,
             1 => DeliveryFilter::DropAll,
-            2 => DeliveryFilter::KeepFirst(c.keep),
+            2 => DeliveryFilter::KeepFirst(rng.random_range(0..64usize)),
             _ => DeliveryFilter::DeliverEachWithProbability(0.5),
         };
-        plan = plan.crash(node, c.round, filter);
+        plan = plan.crash(node, rng.random_range(0..max_round), filter);
     }
     plan
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Agreement safety: for ANY generated fault plan and input vector,
-    /// decided survivors never disagree and never invent values.
-    #[test]
-    fn agreement_safety_under_arbitrary_fault_plans(
-        seed in 0u64..10_000,
-        input_stride in 1u32..8,
-        crashes in prop::collection::vec(crash_strategy(30), 0..20),
-    ) {
+/// Agreement safety: for ANY generated fault plan and input vector,
+/// decided survivors never disagree and never invent values.
+#[test]
+fn agreement_safety_under_arbitrary_fault_plans() {
+    for_cases(24, |case, rng| {
         let n = 64u32;
         let p = Params::new(n, 0.6).expect("valid");
-        let plan = build_plan(n, &crashes);
+        let seed = rng.random_range(0..10_000u64);
+        let input_stride = rng.random_range(1..8u32);
+        let plan = gen_plan(rng, n, 20, 30);
         let mut adv = ScriptedCrash::new(plan);
-        let cfg = SimConfig::new(n).seed(seed).max_rounds(p.agreement_round_budget());
-        let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % input_stride != 0), &mut adv);
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(p.agreement_round_budget());
+        let r = run(
+            &cfg,
+            |id| AgreeNode::new(p.clone(), id.0 % input_stride != 0),
+            &mut adv,
+        );
         let o = AgreeOutcome::evaluate(&r);
         // Liveness may legitimately fail under extreme plans; safety never:
-        prop_assert!(o.consistent, "split decision: {:?}", o.decisions);
+        assert!(
+            o.consistent,
+            "case {case}: split decision: {:?}",
+            o.decisions
+        );
         if let Some(v) = o.agreed_value {
-            prop_assert!(o.valid, "agreed {v} is nobody's input");
+            assert!(o.valid, "case {case}: agreed {v} is nobody's input");
         }
-    }
+    });
+}
 
-    /// Leader-election safety: never two alive ELECTED nodes.
-    #[test]
-    fn le_uniqueness_under_arbitrary_fault_plans(
-        seed in 0u64..10_000,
-        crashes in prop::collection::vec(crash_strategy(60), 0..16),
-    ) {
+/// Leader-election safety: never two alive ELECTED nodes.
+#[test]
+fn le_uniqueness_under_arbitrary_fault_plans() {
+    for_cases(24, |case, rng| {
         let n = 64u32;
         let p = Params::new(n, 0.6).expect("valid");
-        let plan = build_plan(n, &crashes);
+        let seed = rng.random_range(0..10_000u64);
+        let plan = gen_plan(rng, n, 16, 60);
         let mut adv = ScriptedCrash::new(plan);
         let cfg = SimConfig::new(n).seed(seed).max_rounds(p.le_round_budget());
         let r = run(&cfg, |_| LeNode::new(p.clone()), &mut adv);
@@ -91,83 +97,112 @@ proptest! {
             .filter(|(_, s)| s.status() == LeStatus::Elected)
             .map(|(id, _)| id)
             .collect();
-        prop_assert!(elected.len() <= 1, "two alive leaders: {elected:?}");
-    }
+        assert!(
+            elected.len() <= 1,
+            "case {case}: two alive leaders: {elected:?}"
+        );
+    });
+}
 
-    /// The Feistel permutation is a bijection for arbitrary domain/seed.
-    #[test]
-    fn perm_is_bijective(domain in 1u64..5000, seed in any::<u64>()) {
+/// The Feistel permutation is a bijection for arbitrary domain/seed.
+#[test]
+fn perm_is_bijective() {
+    for_cases(32, |case, rng| {
+        let domain = rng.random_range(1..5000u64);
+        let seed: u64 = rng.random();
         let p = Perm::new(domain, seed);
         let mut seen = vec![false; domain as usize];
         for x in 0..domain {
             let y = p.apply(x);
-            prop_assert!(y < domain);
-            prop_assert!(!seen[y as usize], "collision at {y}");
+            assert!(y < domain, "case {case}: image out of domain");
+            assert!(!seen[y as usize], "case {case}: collision at {y}");
             seen[y as usize] = true;
-            prop_assert_eq!(p.invert(y), x);
+            assert_eq!(p.invert(y), x, "case {case}: inverse mismatch");
         }
-    }
+    });
+}
 
-    /// Port maps never wire a node to itself and invert consistently.
-    #[test]
-    fn portmap_wiring_is_sane(n in 2u32..300, node_frac in 0.0..1.0f64, seed in any::<u64>()) {
-        let node = NodeId(((node_frac * f64::from(n)) as u32).min(n - 1));
+/// Port maps never wire a node to itself and invert consistently.
+#[test]
+fn portmap_wiring_is_sane() {
+    for_cases(32, |case, rng| {
+        let n = rng.random_range(2..300u32);
+        let node = NodeId(rng.random_range(0..n));
+        let seed: u64 = rng.random();
         let pm = PortMap::new(n, node, seed);
         for port in 0..n - 1 {
             let peer = pm.peer(Port(port));
-            prop_assert!(peer != node);
-            prop_assert!(peer.0 < n);
-            prop_assert_eq!(pm.port_to(peer), Port(port));
+            assert!(peer != node, "case {case}: self-wired port {port}");
+            assert!(peer.0 < n, "case {case}: peer out of range");
+            assert_eq!(pm.port_to(peer), Port(port), "case {case}: not inverse");
         }
-    }
+    });
+}
 
-    /// Engine conservation law: delivered + lost == sent; crashes only
-    /// among the faulty set; determinism of the metrics.
-    #[test]
-    fn engine_conservation_and_determinism(
-        seed in 0u64..10_000,
-        f in 0usize..32,
-        horizon in 1u32..20,
-    ) {
+/// Engine conservation law: delivered + lost == sent; crashes only among
+/// the faulty set; determinism of the metrics.
+#[test]
+fn engine_conservation_and_determinism() {
+    for_cases(16, |case, rng| {
         let n = 64u32;
         let p = Params::new(n, 0.6).expect("valid");
-        let cfg = SimConfig::new(n).seed(seed).max_rounds(p.agreement_round_budget());
+        let seed = rng.random_range(0..10_000u64);
+        let f = rng.random_range(0..32usize);
+        let horizon = rng.random_range(1..20u32);
+        let cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(p.agreement_round_budget());
         let run_once = || {
             let mut adv = RandomCrash::new(f, horizon);
-            run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv)
+            run(
+                &cfg,
+                |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+                &mut adv,
+            )
         };
         let r1 = run_once();
         let r2 = run_once();
-        prop_assert_eq!(r1.metrics.msgs_sent, r2.metrics.msgs_sent);
-        prop_assert_eq!(r1.metrics.rounds, r2.metrics.rounds);
-        prop_assert_eq!(
+        assert_eq!(r1.metrics.msgs_sent, r2.metrics.msgs_sent, "case {case}");
+        assert_eq!(r1.metrics.rounds, r2.metrics.rounds, "case {case}");
+        assert_eq!(
             r1.metrics.msgs_sent,
-            r1.metrics.msgs_delivered + r1.metrics.msgs_lost()
+            r1.metrics.msgs_delivered + r1.metrics.msgs_lost(),
+            "case {case}"
         );
-        prop_assert!(r1.metrics.crash_count() <= f);
-        for (id, _) in r1.metrics.crashes.iter().map(|(id, rd)| (id, rd)) {
-            prop_assert!(r1.faulty.contains(*id));
+        assert!(r1.metrics.crash_count() <= f, "case {case}");
+        for (id, _) in &r1.metrics.crashes {
+            assert!(r1.faulty.contains(*id), "case {case}");
         }
-    }
+    });
+}
 
-    /// Ranks always land in the documented domain.
-    #[test]
-    fn rank_domain_property(n in 2u32..=65_535, seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        let r = Rank::draw(&mut rng, n);
-        prop_assert!(r.0 >= 1);
-        prop_assert!(r.0 <= u64::from(n).pow(4));
-    }
+/// Ranks always land in the documented domain.
+#[test]
+fn rank_domain_property() {
+    for_cases(64, |case, rng| {
+        let n = rng.random_range(2..=65_535u32);
+        let mut draw_rng = SmallRng::seed_from_u64(rng.random());
+        let r = Rank::draw(&mut draw_rng, n);
+        assert!(r.0 >= 1, "case {case}: rank {} below domain", r.0);
+        assert!(
+            r.0 <= u64::from(n).pow(4),
+            "case {case}: rank {} above n^4",
+            r.0
+        );
+    });
+}
 
-    /// Summary statistics are internally consistent for arbitrary samples.
-    #[test]
-    fn summary_invariants(values in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+/// Summary statistics are internally consistent for arbitrary samples.
+#[test]
+fn summary_invariants() {
+    for_cases(48, |case, rng| {
+        let len = rng.random_range(1..200usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.random_range(-1e6..1e6f64)).collect();
         let s = Summary::of(&values);
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert!(s.median <= s.p95 && s.p95 <= s.max);
-        prop_assert!(s.std_dev >= 0.0);
-        prop_assert_eq!(s.count, values.len());
-    }
+        assert!(s.min <= s.median && s.median <= s.max, "case {case}");
+        assert!(s.min <= s.mean && s.mean <= s.max, "case {case}");
+        assert!(s.median <= s.p95 && s.p95 <= s.max, "case {case}");
+        assert!(s.std_dev >= 0.0, "case {case}");
+        assert_eq!(s.count, values.len(), "case {case}");
+    });
 }

@@ -29,8 +29,15 @@ fn congest_compliance_of_both_protocols() {
             .max_rounds(p.agreement_round_budget())
             .congest_bits(budget_bits);
         let mut adv = RandomCrash::new(p.max_faults(), 10);
-        let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv);
-        assert_eq!(r.congest_violations, 0, "agreement exceeded CONGEST at n={n}");
+        let r = run(
+            &cfg,
+            |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+            &mut adv,
+        );
+        assert_eq!(
+            r.congest_violations, 0,
+            "agreement exceeded CONGEST at n={n}"
+        );
     }
 }
 
@@ -58,8 +65,14 @@ fn agreement_bits_equal_two_per_message() {
     // Theorem 5.1 counts *bits*; the implementation sends 2-bit messages,
     // so bits == 2 × messages exactly.
     let p = Params::new(512, 1.0).expect("valid");
-    let cfg = SimConfig::new(512).seed(2).max_rounds(p.agreement_round_budget());
-    let r = run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut NoFaults);
+    let cfg = SimConfig::new(512)
+        .seed(2)
+        .max_rounds(p.agreement_round_budget());
+    let r = run(
+        &cfg,
+        |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+        &mut NoFaults,
+    );
     assert_eq!(r.metrics.bits_sent, 2 * r.metrics.msgs_sent);
 }
 
@@ -120,7 +133,10 @@ fn starved_le_run_exhibits_disjoint_deciding_clouds() {
             break;
         }
     }
-    assert!(found_split, "no disjoint-cloud execution in 10 starved runs");
+    assert!(
+        found_split,
+        "no disjoint-cloud execution in 10 starved runs"
+    );
 }
 
 #[test]
@@ -150,14 +166,22 @@ fn send_cap_reduces_spend_without_breaking_accounting() {
             .max_rounds(p.agreement_round_budget())
             .send_cap(4);
         let mut adv = EagerCrash::new(p.max_faults());
-        run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv)
+        run(
+            &cfg,
+            |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+            &mut adv,
+        )
     };
     let free = {
         let cfg = SimConfig::new(512)
             .seed(4)
             .max_rounds(p.agreement_round_budget());
         let mut adv = EagerCrash::new(p.max_faults());
-        run(&cfg, |id| AgreeNode::new(p.clone(), id.0 % 2 == 0), &mut adv)
+        run(
+            &cfg,
+            |id| AgreeNode::new(p.clone(), id.0 % 2 == 0),
+            &mut adv,
+        )
     };
     assert!(capped.metrics.msgs_sent < free.metrics.msgs_sent);
     assert!(capped.metrics.msgs_suppressed > 0);

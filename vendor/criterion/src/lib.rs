@@ -1,0 +1,268 @@
+//! Offline vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The workspace pinned `criterion = "0.8"`, which is unavailable in the
+//! offline build environment, so this crate provides the macro/builder
+//! surface the benches use (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`) on top of a deliberately simple wall-clock harness:
+//!
+//! * one warm-up iteration, then `sample_size` timed iterations;
+//! * reports min / mean / max per-iteration time to stdout;
+//! * benchmarks only execute under `cargo bench` (cargo passes `--bench` to
+//!   `harness = false` targets). Under `cargo test`, which also builds and
+//!   runs these executables, every benchmark is skipped so the test suite
+//!   stays fast.
+//!
+//! No statistics, plots, or baselines — this is a smoke-and-stopwatch
+//! harness, good enough to compare orders of magnitude and to keep the
+//! bench targets compiling and honest in CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter, e.g. a network size.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration time of the last `iter` call, if any.
+    last: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        self.last = Some(Sample {
+            min,
+            mean: total / self.sample_size as u32,
+            max,
+        });
+    }
+}
+
+/// The harness entry point, mirroring upstream's type of the same name.
+pub struct Criterion {
+    enabled: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Parses the CLI: benchmarks run only when cargo passed `--bench`
+    /// (i.e. under `cargo bench`); a positional argument filters by name.
+    fn default() -> Self {
+        let mut enabled = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => enabled = true,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { enabled, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benches a standalone function (an implicit single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.label.clone());
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+
+    fn should_run(&self, full_name: &str) -> bool {
+        self.enabled
+            && self
+                .filter
+                .as_deref()
+                .map_or(true, |f| full_name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed iterations per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if id.label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        if !self.criterion.should_run(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        match b.last {
+            Some(s) => println!(
+                "{full:<48} min {:>12?}  mean {:>12?}  max {:>12?}  ({} iters)",
+                s.min, s.mean, s.max, self.sample_size
+            ),
+            None => println!("{full:<48} (no measurement: closure never called iter)"),
+        }
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring upstream's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_harness_skips_benchmarks() {
+        // Unit tests are not invoked with --bench, so nothing may run.
+        let mut c = Criterion::default();
+        assert!(!c.enabled);
+        let mut ran = false;
+        c.bench_function("never", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(!ran, "benchmark executed without --bench");
+    }
+
+    #[test]
+    fn bencher_records_all_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            last: None,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 6, "1 warm-up + 5 samples");
+        let s = b.last.expect("sample recorded");
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("alpha_0.5").label, "alpha_0.5");
+    }
+}

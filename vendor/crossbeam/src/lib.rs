@@ -1,0 +1,108 @@
+//! Offline vendored stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, exposing the one API this workspace uses: **scoped threads**.
+//!
+//! Since Rust 1.63 the standard library ships `std::thread::scope`, which
+//! provides the same guarantee crossbeam's scoped threads pioneered:
+//! spawned threads may borrow from the enclosing stack frame because the
+//! scope joins them before returning. This shim maps crossbeam's historical
+//! `crossbeam::scope(|s| s.spawn(|_| ...))` surface onto the std
+//! implementation.
+//!
+//! One behavioural difference, documented rather than papered over: if a
+//! spawned thread panics, upstream crossbeam returns `Err(payload)` from
+//! `scope`, whereas `std::thread::scope` resumes the panic on the scope's
+//! thread. Callers here all treat a worker panic as fatal (`.expect(...)`),
+//! so the difference is unobservable beyond the panic message.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread machinery (`crossbeam::thread` subset).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope or a join: `Err` carries a panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle to the scope, passed to both the scope closure and (by
+    /// crossbeam convention) every spawned thread's closure.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle awaiting one spawned thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle so
+        /// it can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_locals() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        crate::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle_works() {
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        crate::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hit.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(hit.into_inner());
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let v = crate::scope(|s| s.spawn(|_| 7u32).join().unwrap()).unwrap();
+        assert_eq!(v, 7);
+    }
+}

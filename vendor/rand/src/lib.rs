@@ -1,0 +1,252 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate.
+//!
+//! The workspace pinned `rand = "0.10"`, which does not exist on crates.io,
+//! and the build environment has no registry access at all. Rather than gate
+//! every simulator feature on an unavailable dependency, this crate vendors
+//! the *exact API subset the workspace uses* — nothing more:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable PRNG (xoshiro256++, the
+//!   same algorithm real `rand` uses for `SmallRng` on 64-bit targets);
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion, as upstream;
+//! * [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`] — the
+//!   post-0.9 method names the codebase is written against;
+//! * [`seq::index::sample`] — uniform index sampling without replacement.
+//!
+//! Determinism is the only contract the simulator relies on: every stream is
+//! a pure function of its seed, and that holds here exactly as it does
+//! upstream. Statistical quality matches upstream's `SmallRng` (it is the
+//! same generator); the distributions are *not* guaranteed to be
+//! bit-identical to upstream's, which is irrelevant to the experiments as
+//! all published numbers are (re)generated with this implementation.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// Convenient glob import, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+/// Types that can seed themselves from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A source of randomness plus the derived sampling methods the workspace
+/// uses. Method names follow `rand` ≥ 0.9 (`random*`, not `gen*`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of a standard-distributable type.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        f64_from_bits(self.next_u64()) < p
+    }
+}
+
+/// A uniform `f64` in `[0, 1)` from 53 random bits.
+#[inline]
+fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, span)` by Lemire's widening-multiply rejection
+/// method (unbiased). `span == 0` means the full `u64` domain.
+#[inline]
+pub(crate) fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types producible uniformly from raw generator output ("standard"
+/// distribution in `rand` terms).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f64_from_bits(rng.next_u64())
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                // span == 0 encodes the full 2^64 domain for u64/usize.
+                let span = (end as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(1);
+                start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * f64_from_bits(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let z: u8 = rng.random_range(0..4u8);
+            assert!(z < 4);
+            let f: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "p=0.3 gave {hits}/100000");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn random_bool_rejects_bad_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        rng.random_bool(1.5);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        // span wraps to 0 — must not panic or loop forever.
+        let _: u64 = rng.random_range(0..=u64::MAX);
+    }
+}

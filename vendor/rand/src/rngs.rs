@@ -1,0 +1,70 @@
+//! Concrete generators. Only [`SmallRng`] is provided — the single
+//! generator the simulator uses.
+
+use crate::{Rng, SeedableRng};
+
+/// xoshiro256++ — the algorithm upstream `rand` uses for `SmallRng` on
+/// 64-bit platforms. Small state, excellent statistical quality, and very
+/// fast; **not** cryptographically secure, exactly like upstream.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    /// SplitMix64 seed expansion (upstream's scheme): four successive
+    /// SplitMix64 outputs initialise the state, which is never all-zero.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_never_all_zero() {
+        // SplitMix64 of any seed produces a non-degenerate state.
+        for seed in [0u64, 1, u64::MAX] {
+            let rng = SmallRng::seed_from_u64(seed);
+            assert_ne!(rng.s, [0, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn output_passes_a_crude_bit_balance_check() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64_000 bits, expect ~32_000 ones; 6 sigma ≈ 760.
+        assert!((31_000..33_000).contains(&ones), "bit bias: {ones}");
+    }
+}

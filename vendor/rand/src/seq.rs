@@ -1,0 +1,118 @@
+//! Sequence sampling helpers (`rand::seq` subset).
+
+/// Index sampling without replacement (`rand::seq::index` subset).
+pub mod index {
+    use crate::{uniform_u64, Rng};
+
+    /// Distinct indices drawn from `0..length`, in sampling order.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Consumes the sample into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`.
+    ///
+    /// Small samples use Floyd's algorithm (`O(amount²)` scans but no
+    /// `O(length)` allocation); large samples use a partial Fisher–Yates
+    /// shuffle. Both are uniform over subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} of {length} indices"
+        );
+        // Crossover mirrors upstream's heuristic: Floyd's combination
+        // sampling when the sample is a small fraction of the domain.
+        if amount * 8 < length {
+            let mut picked: Vec<usize> = Vec::with_capacity(amount);
+            for j in (length - amount)..length {
+                let t = uniform_u64(rng, (j + 1) as u64) as usize;
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            IndexVec(picked)
+        } else {
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + uniform_u64(rng, (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::SmallRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = SmallRng::seed_from_u64(5);
+            for &(length, amount) in &[(10usize, 10usize), (1000, 5), (64, 60), (1, 1), (9, 0)] {
+                let s = sample(&mut rng, length, amount);
+                assert_eq!(s.len(), amount);
+                let mut v = s.into_vec();
+                v.sort_unstable();
+                v.dedup();
+                assert_eq!(v.len(), amount, "duplicates for ({length},{amount})");
+                assert!(v.iter().all(|&i| i < length));
+            }
+        }
+
+        #[test]
+        fn every_index_is_reachable() {
+            let mut rng = SmallRng::seed_from_u64(6);
+            let mut hit = [false; 20];
+            for _ in 0..400 {
+                for i in sample(&mut rng, 20, 2) {
+                    hit[i] = true;
+                }
+            }
+            assert!(hit.iter().all(|&h| h), "unreachable indices: {hit:?}");
+        }
+
+        #[test]
+        #[should_panic(expected = "cannot sample")]
+        fn oversampling_panics() {
+            let mut rng = SmallRng::seed_from_u64(5);
+            sample(&mut rng, 3, 4);
+        }
+    }
+}
