@@ -4,7 +4,7 @@
 //! ranks are `4·log₂ n` bits (domain `[1, n⁴]`), everything else is
 //! constant-size tags.
 
-use ftc_sim::payload::Payload;
+use ftc_sim::payload::{Payload, Wire};
 
 use crate::rank::Rank;
 
@@ -66,6 +66,61 @@ impl Payload for LeMsg {
     }
 }
 
+impl Wire for LeMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            LeMsg::Register { rank } => {
+                buf.push(0);
+                buf.extend_from_slice(&rank.0.to_le_bytes());
+            }
+            LeMsg::ForwardRank { rank } => {
+                buf.push(1);
+                buf.extend_from_slice(&rank.0.to_le_bytes());
+            }
+            LeMsg::Propose { id, value } => {
+                buf.push(2);
+                buf.extend_from_slice(&id.0.to_le_bytes());
+                buf.extend_from_slice(&value.0.to_le_bytes());
+            }
+            LeMsg::Echo { value, claimed } => {
+                buf.push(3);
+                buf.extend_from_slice(&value.0.to_le_bytes());
+                buf.push(u8::from(*claimed));
+            }
+            LeMsg::Announce { leader } => {
+                buf.push(4);
+                buf.extend_from_slice(&leader.0.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (&tag, rest) = bytes.split_first()?;
+        let rank =
+            |b: &[u8]| -> Option<Rank> { Some(Rank(u64::from_le_bytes(b.try_into().ok()?))) };
+        match tag {
+            0 => Some(LeMsg::Register { rank: rank(rest)? }),
+            1 => Some(LeMsg::ForwardRank { rank: rank(rest)? }),
+            2 if rest.len() == 16 => Some(LeMsg::Propose {
+                id: rank(&rest[..8])?,
+                value: rank(&rest[8..])?,
+            }),
+            3 if rest.len() == 9 => Some(LeMsg::Echo {
+                value: rank(&rest[..8])?,
+                claimed: match rest[8] {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            }),
+            4 => Some(LeMsg::Announce {
+                leader: rank(rest)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Messages of the fault-tolerant agreement protocol (Section V-A).
 ///
 /// All messages carry a single bit of value (plus a registration tag),
@@ -89,6 +144,29 @@ impl Payload for AgreeMsg {
         match self {
             AgreeMsg::RegisterOne | AgreeMsg::Zero => 2,
             AgreeMsg::Announce(_) => 3,
+        }
+    }
+}
+
+impl Wire for AgreeMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            AgreeMsg::RegisterOne => buf.push(0),
+            AgreeMsg::Zero => buf.push(1),
+            AgreeMsg::Announce(v) => {
+                buf.push(2);
+                buf.push(u8::from(*v));
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(AgreeMsg::RegisterOne),
+            [1] => Some(AgreeMsg::Zero),
+            [2, 0] => Some(AgreeMsg::Announce(false)),
+            [2, 1] => Some(AgreeMsg::Announce(true)),
+            _ => None,
         }
     }
 }
@@ -124,6 +202,51 @@ mod tests {
         assert_eq!(AgreeMsg::Zero.size_bits(), 2);
         assert_eq!(AgreeMsg::RegisterOne.size_bits(), 2);
         assert_eq!(AgreeMsg::Announce(true).size_bits(), 3);
+    }
+
+    #[test]
+    fn wire_roundtrips_every_variant() {
+        let le = [
+            LeMsg::Register { rank: Rank(7) },
+            LeMsg::ForwardRank {
+                rank: Rank(u64::MAX),
+            },
+            LeMsg::Propose {
+                id: Rank(3),
+                value: Rank(9),
+            },
+            LeMsg::Echo {
+                value: Rank(12),
+                claimed: true,
+            },
+            LeMsg::Echo {
+                value: Rank(0),
+                claimed: false,
+            },
+            LeMsg::Announce { leader: Rank(42) },
+        ];
+        for m in &le {
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            assert_eq!(LeMsg::decode(&buf).as_ref(), Some(m), "{m:?}");
+        }
+        let ag = [
+            AgreeMsg::RegisterOne,
+            AgreeMsg::Zero,
+            AgreeMsg::Announce(false),
+            AgreeMsg::Announce(true),
+        ];
+        for m in &ag {
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            assert_eq!(AgreeMsg::decode(&buf).as_ref(), Some(m), "{m:?}");
+        }
+        // Malformed inputs are rejected, not misparsed.
+        assert_eq!(LeMsg::decode(&[]), None);
+        assert_eq!(LeMsg::decode(&[0, 1, 2]), None);
+        assert_eq!(LeMsg::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0]), None);
+        assert_eq!(AgreeMsg::decode(&[2, 7]), None);
+        assert_eq!(AgreeMsg::decode(&[]), None);
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl Params {
     /// # Errors
     ///
     /// Returns [`ParamsError`] if `n < 2`, `α ∉ (0, 1]`, or
-    /// `α < log²n/n` (the paper's resilience limit).
+    /// `α < log²n/n` (the paper's resilience limit — enforced whenever
+    /// the floor is below 1; see [`Params::min_alpha`] for the tiny-`n`
+    /// exception).
     pub fn new(n: u32, alpha: f64) -> Result<Self, ParamsError> {
         if n < 2 {
             return Err(ParamsError::NetworkTooSmall);
@@ -99,11 +101,22 @@ impl Params {
         })
     }
 
-    /// The paper's minimum admissible `α` for a given `n`: `log₂²n / n`,
-    /// clamped to 1.
+    /// The enforced minimum `α` for a given `n`: the paper's resilience
+    /// floor `log₂²n / n`, or `0` when that floor exceeds 1.
+    ///
+    /// For tiny networks (`n ≤ 16`) the floor is above 1, i.e. the
+    /// paper's admissible range `[log²n/n, 1]` is empty — the asymptotic
+    /// regime simply has not kicked in yet. Rather than reject every `α`,
+    /// such networks accept the full `(0, 1]` range and run best-effort:
+    /// the algorithms stay correct, only the whp guarantees are vacuous.
     pub fn min_alpha(n: u32) -> f64 {
         let log2n = (f64::from(n)).log2();
-        (log2n * log2n / f64::from(n)).min(1.0)
+        let floor = log2n * log2n / f64::from(n);
+        if floor >= 1.0 {
+            0.0
+        } else {
+            floor
+        }
     }
 
     /// Overrides the candidate-probability constant (paper: 6, Lemma 1).
@@ -234,6 +247,22 @@ mod tests {
         let p = Params::new(8, 1.0).unwrap();
         assert!(p.candidate_probability() <= 1.0);
         assert!(p.referee_count() <= 7);
+    }
+
+    #[test]
+    fn tiny_networks_escape_the_resilience_floor() {
+        // log₂²n/n > 1 for n ≤ 16: the paper's admissible α-range is
+        // empty, so any α ∈ (0, 1] is accepted (best-effort regime).
+        assert_eq!(Params::min_alpha(8), 0.0);
+        assert_eq!(Params::min_alpha(16), 0.0);
+        assert!(Params::new(8, 0.5).is_ok());
+        assert!(Params::new(16, 0.25).is_ok());
+        // From n = 32 on the floor is real again.
+        assert!(Params::min_alpha(32) > 0.75);
+        assert!(matches!(
+            Params::new(32, 0.5),
+            Err(ParamsError::AlphaBelowResilience { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The wire format: length-prefixed frames carrying one protocol message.
+//!
+//! A frame is what one model message becomes on a real link:
+//!
+//! ```text
+//! [len: u32 LE] [round: u32 LE] [src: u32 LE] [seq: u32 LE] [payload...]
+//! ```
+//!
+//! where `len` counts everything after itself (12 header bytes + payload).
+//! `round` lets receivers assemble round-synchronous inboxes out of a
+//! stream that may run ahead (a fast sender can enter round `r+1` while a
+//! slow receiver is still collecting round `r`). `(src, seq)` gives
+//! receivers a canonical inbox order — ascending `(src, seq)` — that
+//! matches the in-process engine's delivery order exactly, so network runs
+//! replay simulator runs. `src` is a transport-level address (like an IP
+//! address); protocols never see it — the receiver maps it to a local KT0
+//! port through its own private permutation.
+
+use std::io::{self, Read, Write};
+
+use ftc_sim::ids::{NodeId, Round};
+
+/// Frame header bytes following the length prefix.
+pub const HEADER_LEN: usize = 12;
+
+/// Hard cap on one frame's declared length; anything larger is treated as
+/// stream corruption rather than allocated.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// One protocol message in flight on a transport link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The synchronous round this message belongs to.
+    pub round: Round,
+    /// The sending node (transport address, invisible to protocols).
+    pub src: NodeId,
+    /// Position of this message within the sender's round — receivers sort
+    /// by `(src, seq)` to reproduce the engine's inbox order.
+    pub seq: u32,
+    /// The [`ftc_sim::payload::Wire`]-encoded protocol message.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Total bytes this frame occupies on the wire (prefix + header +
+    /// payload) — the unit of real byte accounting.
+    pub fn encoded_len(&self) -> u64 {
+        (4 + HEADER_LEN + self.payload.len()) as u64
+    }
+
+    /// Serialises the frame into `buf` (appended).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let len = (HEADER_LEN + self.payload.len()) as u32;
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&self.round.to_le_bytes());
+        buf.extend_from_slice(&self.src.0.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Writes the frame to `w` as one `write_all` (one syscall per frame
+    /// in the common case, which matters with `TCP_NODELAY`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<u64> {
+        let mut buf = Vec::with_capacity(4 + HEADER_LEN + self.payload.len());
+        self.encode(&mut buf);
+        w.write_all(&buf)?;
+        Ok(buf.len() as u64)
+    }
+
+    /// Reads one frame from `r`.
+    ///
+    /// Returns `Ok(None)` on clean end-of-stream (the peer closed between
+    /// frames — how a crash teardown looks from the receiving side), an
+    /// error on truncation mid-frame or on a corrupt length.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        // A clean EOF before any length byte is a closed link, not an error.
+        match r.read(&mut len_buf) {
+            Ok(0) => return Ok(None),
+            Ok(k) => r.read_exact(&mut len_buf[k..])?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                r.read_exact(&mut len_buf)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt frame length {len}"),
+            ));
+        }
+        let mut rest = vec![0u8; len];
+        r.read_exact(&mut rest)?;
+        let word = |i: usize| u32::from_le_bytes(rest[i..i + 4].try_into().unwrap());
+        Ok(Some(Frame {
+            round: word(0),
+            src: NodeId(word(4)),
+            seq: word(8),
+            payload: rest[HEADER_LEN..].to_vec(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(round: Round, src: u32, seq: u32, payload: &[u8]) -> Frame {
+        Frame {
+            round,
+            src: NodeId(src),
+            seq,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_a_stream() {
+        let frames = [
+            frame(0, 3, 0, b""),
+            frame(7, 0, 2, b"\x01"),
+            frame(u32::MAX, 255, u32::MAX, &[0xAB; 100]),
+        ];
+        let mut stream = Vec::new();
+        let mut bytes = 0u64;
+        for f in &frames {
+            bytes += f.write_to(&mut stream).unwrap();
+            assert_eq!(
+                bytes,
+                stream.len() as u64,
+                "write_to reports exact wire bytes"
+            );
+            assert_eq!(f.encoded_len(), 16 + f.payload.len() as u64);
+        }
+        let mut r = &stream[..];
+        for f in &frames {
+            assert_eq!(Frame::read_from(&mut r).unwrap().as_ref(), Some(f));
+        }
+        // Clean EOF after the last frame reads as a closed link.
+        assert_eq!(Frame::read_from(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut stream = Vec::new();
+        frame(1, 2, 3, b"abcdef").write_to(&mut stream).unwrap();
+        stream.truncate(stream.len() - 2);
+        let mut r = &stream[..];
+        assert!(Frame::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_before_allocating() {
+        // Declared length below the header size.
+        let mut r: &[u8] = &5u32.to_le_bytes();
+        assert!(Frame::read_from(&mut r).is_err());
+        // Declared length absurdly large.
+        let big = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let mut r: &[u8] = &big;
+        assert!(Frame::read_from(&mut r).is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! The round synchronizer: drives [`Protocol`] state machines over a real
+//! transport, reproducing the in-process engine bit for bit.
+//!
+//! ## Architecture
+//!
+//! The model's *data plane* (protocol messages between nodes) moves over
+//! the transport as [`Frame`]s. The *control plane* — the adversary, its
+//! delivery filters, liveness, and all accounting — is inherently global
+//! (the model's adversary sees the whole round's traffic before choosing
+//! crashes), so it runs in one coordinator built on the same
+//! [`ControlCore`] the simulator uses. Per round:
+//!
+//! 1. **activate** — every alive node runs its protocol against the inbox
+//!    assembled from last round's frames and submits its queued sends to
+//!    the coordinator;
+//! 2. **adjudicate** — the coordinator routes the sends through the KT0
+//!    port permutations, consults the adversary, applies crash filters and
+//!    closes the round's books ([`ControlCore::finish_round`]);
+//! 3. **transmit** — each node physically sends its surviving messages as
+//!    frames; a node crashed this round sends its filter-surviving frames
+//!    and then tears its endpoint down (mid-round socket teardown — the
+//!    wire form of crash-with-partial-delivery);
+//! 4. **collect** — each surviving node blocks until the frames the
+//!    coordinator told it to expect have arrived, reassembling them into
+//!    next round's inbox in canonical `(src, seq)` order.
+//!
+//! Nodes are multiplexed onto a worker pool. Because every decision is
+//! centralized and submissions are keyed by node id, results are
+//! independent of the worker count — `workers = 1` and `workers = 4`
+//! produce identical executions (asserted by `tests/net_equivalence.rs`).
+//!
+//! ## Why this cannot deadlock
+//!
+//! Within a round, every worker transmits *all* its nodes' frames before
+//! collecting for *any* of them, transmits never block (channel sends are
+//! unbounded; TCP receivers drain sockets into unbounded intake queues from
+//! dedicated reader threads), and the coordinator's phase barriers order
+//! activation before adjudication before transmission. Every frame a node
+//! waits for has therefore already been sent, or will be sent by a worker
+//! that is still transmitting and never blocks first.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread;
+
+use ftc_sim::adversary::{Adversary, Envelope};
+use ftc_sim::engine::{RunResult, SimConfig};
+use ftc_sim::ids::{NodeId, Port, Round};
+use ftc_sim::node::NodeHarness;
+use ftc_sim::payload::Wire;
+use ftc_sim::protocol::{Incoming, Protocol};
+use ftc_sim::round::{network_ports, resolve_sends, ControlCore};
+
+use crate::channel::{self};
+use crate::frame::Frame;
+use crate::tcp;
+use crate::transport::{Endpoint, RoundAssembler};
+
+/// Transport-level accounting of one cluster run, on top of the model
+/// metrics in [`RunResult`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetMetrics {
+    /// Total bytes pushed onto the wire (length prefixes + frame headers +
+    /// encoded payloads), summed over all nodes.
+    pub wire_bytes: u64,
+    /// Total frames transmitted.
+    pub frames_sent: u64,
+}
+
+/// A completed cluster run: the model-level result (identical to what
+/// [`ftc_sim::engine::run`] returns for the same `(SimConfig, seed)`) plus
+/// transport-level byte accounting.
+#[derive(Debug)]
+pub struct NetRunResult<P> {
+    /// The model-level result; `run.metrics.wire_bytes` is filled in from
+    /// the transport accounting.
+    pub run: RunResult<P>,
+    /// Transport-level accounting.
+    pub net: NetMetrics,
+}
+
+/// One node's round submission to the coordinator: its queued sends, still
+/// in KT0 port space (the coordinator routes them).
+struct Submission<M> {
+    node: NodeId,
+    sends: Vec<(Port, M)>,
+    suppressed: u64,
+    terminated: bool,
+}
+
+/// The coordinator's round verdict for one node.
+struct Command {
+    /// Frames to transmit, already routed and filtered.
+    frames: Vec<(NodeId, Frame)>,
+    /// How many frames to expect for this round's collect phase.
+    expect: usize,
+    /// This node crashed this round: transmit, then tear down.
+    crashed: bool,
+    /// The run is over after this round: transmit nothing, collect nothing.
+    stop: bool,
+}
+
+/// What a worker hands back when all its nodes are done.
+struct WorkerReport<P> {
+    wire_bytes: u64,
+    frames_sent: u64,
+    states: Vec<(NodeId, P)>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeStatus {
+    Active,
+    Crashed,
+    Stopped,
+}
+
+/// One node as owned by a worker thread.
+struct WorkerNode<P: Protocol, E> {
+    id: NodeId,
+    harness: NodeHarness<P>,
+    endpoint: E,
+    commands: Receiver<Command>,
+    assembler: RoundAssembler,
+    inbox: Vec<Incoming<P::Msg>>,
+    status: NodeStatus,
+    expect: usize,
+}
+
+/// Runs `cfg` over an in-process channel mesh with `workers` worker
+/// threads. Infallible transport, any `n ≥ 2`.
+///
+/// See [`run_over`] for semantics and panics.
+pub fn run_over_channel<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    run_over(cfg, workers, factory, adversary, channel::mesh(cfg.n))
+}
+
+/// Runs `cfg` over a localhost TCP mesh (real sockets) with `workers`
+/// worker threads. Limited to [`tcp::MAX_TCP_NODES`] nodes.
+///
+/// Fails if the mesh cannot be built; see [`run_over`] for run semantics.
+pub fn run_over_tcp<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+) -> std::io::Result<NetRunResult<P>>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = tcp::mesh(cfg.n)?;
+    Ok(run_over(cfg, workers, factory, adversary, endpoints))
+}
+
+/// Runs one execution of `cfg` over `endpoints` (one per node, in id
+/// order), multiplexing nodes onto `workers` threads.
+///
+/// The result is bit-identical to [`ftc_sim::engine::run`] with the same
+/// configuration — same elected leaders, same decisions, same message and
+/// round counts, same crash schedule — because both drivers share the
+/// model's control plane and seed derivation. On top, `wire_bytes` /
+/// `frames_sent` report what the run actually cost on the wire.
+///
+/// # Panics
+///
+/// Panics on invalid configurations ([`SimConfig::validate`],
+/// `max_rounds == 0`, endpoint count mismatch), if the adversary violates
+/// the model, or if the transport fails mid-run (a torn socket outside the
+/// crash schedule is a bug, not a model event — the model's faults are
+/// *injected*, never spontaneous).
+pub fn run_over<P, F, A, E>(
+    cfg: &SimConfig,
+    workers: usize,
+    mut factory: F,
+    adversary: &mut A,
+    endpoints: Vec<E>,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+    E: Endpoint,
+{
+    cfg.validate().expect("invalid SimConfig");
+    assert!(cfg.max_rounds > 0, "cluster runs need at least one round");
+    let nn = cfg.n as usize;
+    assert_eq!(endpoints.len(), nn, "need exactly one endpoint per node");
+    let workers = workers.clamp(1, nn);
+
+    let ports = network_ports(cfg);
+    let mut core = ControlCore::new::<P::Msg, _>(cfg, adversary);
+
+    let (submit_tx, submit_rx) = channel::<Submission<P::Msg>>();
+    let (report_tx, report_rx) = channel::<WorkerReport<P>>();
+    let mut command_txs: Vec<Sender<Command>> = Vec::with_capacity(nn);
+    let mut pools: Vec<Vec<WorkerNode<P, E>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, endpoint) in endpoints.into_iter().enumerate() {
+        let id = NodeId(i as u32);
+        let (tx, rx) = channel();
+        command_txs.push(tx);
+        pools[i % workers].push(WorkerNode {
+            id,
+            harness: NodeHarness::new(cfg, id, factory(id)),
+            endpoint,
+            commands: rx,
+            assembler: RoundAssembler::new(),
+            inbox: Vec::new(),
+            status: NodeStatus::Active,
+            expect: 0,
+        });
+    }
+
+    let mut states: Vec<Option<P>> = (0..nn).map(|_| None).collect();
+    let mut net = NetMetrics::default();
+
+    thread::scope(|scope| {
+        for pool in pools {
+            let submit_tx = submit_tx.clone();
+            let report_tx = report_tx.clone();
+            scope.spawn(move || worker_loop(pool, submit_tx, report_tx));
+        }
+        drop(submit_tx);
+        drop(report_tx);
+
+        let mut terminated = vec![false; nn];
+        for round in 0..cfg.max_rounds {
+            // --- activate: collect one submission per alive node. ---
+            let alive_before: Vec<NodeId> = (0..cfg.n)
+                .map(NodeId)
+                .filter(|&u| core.is_alive(u))
+                .collect();
+            let mut outgoing: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); nn];
+            let mut suppressed = 0u64;
+            for _ in 0..alive_before.len() {
+                let sub = submit_rx.recv().expect("a worker died mid-round");
+                suppressed += sub.suppressed;
+                terminated[sub.node.index()] = sub.terminated;
+                outgoing[sub.node.index()] = resolve_sends(&ports, sub.node, sub.sends);
+            }
+
+            // --- adjudicate. ---
+            let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
+
+            let mut expect = vec![0usize; nn];
+            for e in verdict.deliver.iter().flatten() {
+                expect[e.dst.index()] += 1;
+            }
+            let mut frames: Vec<Vec<(NodeId, Frame)>> = vec![Vec::new(); nn];
+            for (u, sends) in verdict.deliver.iter().enumerate() {
+                for (seq, e) in sends.iter().enumerate() {
+                    let mut payload = Vec::new();
+                    e.msg.encode(&mut payload);
+                    frames[u].push((
+                        e.dst,
+                        Frame {
+                            round,
+                            src: NodeId(u as u32),
+                            seq: seq as u32,
+                            payload,
+                        },
+                    ));
+                }
+            }
+
+            // Stop exactly when the engine's loop would: round limit hit,
+            // or a quiescent round (nothing delivered, all survivors
+            // terminated). The final round's messages are already fully
+            // accounted; physically shipping bytes no activation will ever
+            // read is skipped.
+            let stop = round + 1 == cfg.max_rounds
+                || (verdict.delivered == 0
+                    && (0..cfg.n)
+                        .map(NodeId)
+                        .filter(|&u| core.is_alive(u))
+                        .all(|u| terminated[u.index()]));
+
+            for &u in &alive_before {
+                let command = Command {
+                    frames: std::mem::take(&mut frames[u.index()]),
+                    expect: expect[u.index()],
+                    crashed: verdict.crashed.contains(&u),
+                    stop,
+                };
+                command_txs[u.index()]
+                    .send(command)
+                    .expect("a worker died mid-round");
+            }
+            if stop {
+                break;
+            }
+        }
+
+        while let Ok(report) = report_rx.recv() {
+            net.wire_bytes += report.wire_bytes;
+            net.frames_sent += report.frames_sent;
+            for (id, state) in report.states {
+                states[id.index()] = Some(state);
+            }
+        }
+    });
+
+    core.record_wire_bytes(net.wire_bytes);
+    let out = core.finish();
+    NetRunResult {
+        run: RunResult {
+            metrics: out.metrics,
+            states: states
+                .into_iter()
+                .map(|s| s.expect("worker returned no state for a node"))
+                .collect(),
+            crashed_at: out.crashed_at,
+            faulty: out.faulty,
+            trace: out.trace,
+            congest_violations: out.congest_violations,
+        },
+        net,
+    }
+}
+
+/// Drives one worker's share of the nodes, phase-locked to the
+/// coordinator, until every owned node has crashed or stopped.
+fn worker_loop<P, E>(
+    mut nodes: Vec<WorkerNode<P, E>>,
+    submit_tx: Sender<Submission<P::Msg>>,
+    report_tx: Sender<WorkerReport<P>>,
+) where
+    P: Protocol,
+    P::Msg: Wire,
+    E: Endpoint,
+{
+    let mut wire_bytes = 0u64;
+    let mut frames_sent = 0u64;
+    let mut round: Round = 0;
+    loop {
+        // Phase 1: activate and submit.
+        let mut any_active = false;
+        for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
+            any_active = true;
+            let activation = node.harness.activate(round, &node.inbox);
+            node.inbox.clear();
+            submit_tx
+                .send(Submission {
+                    node: node.id,
+                    sends: activation.sends,
+                    suppressed: activation.suppressed,
+                    terminated: activation.terminated,
+                })
+                .expect("coordinator gone");
+        }
+        if !any_active {
+            break;
+        }
+
+        // Phase 2: transmit for *all* owned nodes before collecting for
+        // *any* (the deadlock-freedom invariant — see module docs).
+        for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
+            let command = node.commands.recv().expect("coordinator gone");
+            if !command.stop {
+                for (dst, frame) in &command.frames {
+                    wire_bytes += node
+                        .endpoint
+                        .send(*dst, frame)
+                        .expect("transport send failed");
+                    frames_sent += 1;
+                }
+            }
+            if command.crashed {
+                node.endpoint.teardown();
+                node.status = NodeStatus::Crashed;
+            } else if command.stop {
+                node.status = NodeStatus::Stopped;
+            } else {
+                node.expect = command.expect;
+            }
+        }
+
+        // Phase 3: collect next round's inboxes.
+        for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
+            let frames = node
+                .assembler
+                .collect(round, node.expect, &mut node.endpoint)
+                .expect("transport recv failed");
+            node.inbox = frames
+                .into_iter()
+                .map(|f| Incoming {
+                    port: node.harness.port_from(f.src),
+                    msg: <P::Msg as Wire>::decode(&f.payload).expect("malformed frame payload"),
+                })
+                .collect();
+        }
+        round += 1;
+    }
+
+    let _ = report_tx.send(WorkerReport {
+        wire_bytes,
+        frames_sent,
+        states: nodes
+            .into_iter()
+            .map(|n| (n.id, n.harness.into_state()))
+            .collect(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_sim::adversary::{DeliveryFilter, EagerCrash, FaultPlan, NoFaults, ScriptedCrash};
+    use ftc_sim::engine::run;
+    use ftc_sim::protocol::Ctx;
+
+    /// Broadcasts its round number for 3 rounds and counts what it hears —
+    /// the same canary protocol the engine tests use.
+    struct Chatter {
+        heard: u64,
+        rounds: u32,
+    }
+
+    impl Protocol for Chatter {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(0);
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Incoming<u64>]) {
+            self.heard += inbox.iter().map(|m| m.msg + 1).sum::<u64>();
+            self.rounds += 1;
+            if self.rounds < 3 {
+                ctx.broadcast(u64::from(ctx.round()));
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.rounds >= 3
+        }
+    }
+
+    fn chatter(_: NodeId) -> Chatter {
+        Chatter {
+            heard: 0,
+            rounds: 0,
+        }
+    }
+
+    fn assert_matches_engine(
+        cfg: &SimConfig,
+        net: &NetRunResult<Chatter>,
+        sim: &RunResult<Chatter>,
+    ) {
+        assert_eq!(net.run.metrics.msgs_sent, sim.metrics.msgs_sent, "{cfg:?}");
+        assert_eq!(net.run.metrics.msgs_delivered, sim.metrics.msgs_delivered);
+        assert_eq!(net.run.metrics.bits_sent, sim.metrics.bits_sent);
+        assert_eq!(net.run.metrics.rounds, sim.metrics.rounds);
+        assert_eq!(net.run.crashed_at, sim.crashed_at);
+        let net_heard: Vec<u64> = net.run.states.iter().map(|s| s.heard).collect();
+        let sim_heard: Vec<u64> = sim.states.iter().map(|s| s.heard).collect();
+        assert_eq!(net_heard, sim_heard, "per-node observations diverged");
+    }
+
+    #[test]
+    fn channel_run_replays_the_engine_fault_free() {
+        let cfg = SimConfig::new(16).seed(5).max_rounds(10);
+        let sim = run(&cfg, chatter, &mut NoFaults);
+        for workers in [1, 3, 16] {
+            let net = run_over_channel(&cfg, workers, chatter, &mut NoFaults);
+            assert_matches_engine(&cfg, &net, &sim);
+            assert!(net.net.frames_sent > 0);
+            assert_eq!(net.run.metrics.wire_bytes, net.net.wire_bytes);
+            assert!(net.net.wire_bytes >= 16 * net.net.frames_sent);
+        }
+    }
+
+    #[test]
+    fn channel_run_replays_the_engine_under_crashes() {
+        let cfg = SimConfig::new(16).seed(7).max_rounds(10);
+        for workers in [1, 4] {
+            let mut sim_adv = EagerCrash::new(5);
+            let sim = run(&cfg, chatter, &mut sim_adv);
+            let mut net_adv = EagerCrash::new(5);
+            let net = run_over_channel(&cfg, workers, chatter, &mut net_adv);
+            assert_matches_engine(&cfg, &net, &sim);
+            assert_eq!(net.run.survivor_count(), sim.survivor_count());
+        }
+    }
+
+    #[test]
+    fn channel_run_respects_partial_delivery_filters() {
+        let plan = FaultPlan::new()
+            .crash(NodeId(2), 1, DeliveryFilter::KeepFirst(3))
+            .crash(
+                NodeId(5),
+                0,
+                DeliveryFilter::DeliverEachWithProbability(0.5),
+            );
+        let cfg = SimConfig::new(12).seed(3).max_rounds(8);
+        let mut sim_adv = ScriptedCrash::new(plan.clone());
+        let sim = run(&cfg, chatter, &mut sim_adv);
+        let mut net_adv = ScriptedCrash::new(plan);
+        let net = run_over_channel(&cfg, 2, chatter, &mut net_adv);
+        assert_matches_engine(&cfg, &net, &sim);
+    }
+
+    #[test]
+    fn tcp_run_replays_the_engine() {
+        let cfg = SimConfig::new(8).seed(11).max_rounds(10);
+        let plan = FaultPlan::new().crash(NodeId(1), 1, DeliveryFilter::KeepFirst(2));
+        let mut sim_adv = ScriptedCrash::new(plan.clone());
+        let sim = run(&cfg, chatter, &mut sim_adv);
+        let mut net_adv = ScriptedCrash::new(plan);
+        let net = run_over_tcp(&cfg, 4, chatter, &mut net_adv).expect("tcp mesh");
+        assert_matches_engine(&cfg, &net, &sim);
+        assert!(net.net.wire_bytes > 0);
+    }
+
+    #[test]
+    fn send_cap_and_suppression_survive_the_network_path() {
+        let cfg = SimConfig::new(8).seed(2).max_rounds(10).send_cap(5);
+        let sim = run(&cfg, chatter, &mut NoFaults);
+        let net = run_over_channel(&cfg, 3, chatter, &mut NoFaults);
+        assert_eq!(net.run.metrics.msgs_suppressed, sim.metrics.msgs_suppressed);
+        assert_matches_engine(&cfg, &net, &sim);
+    }
+
+    #[test]
+    #[should_panic(expected = "one endpoint per node")]
+    fn endpoint_count_must_match_network_size() {
+        let cfg = SimConfig::new(4).seed(0);
+        let endpoints = crate::channel::mesh(3);
+        let _ = run_over(&cfg, 1, chatter, &mut NoFaults, endpoints);
+    }
+}

@@ -15,27 +15,53 @@
 //! Executions are deterministic functions of `(SimConfig, seed)`: node
 //! randomness, topology wiring, adversary randomness and filter randomness
 //! all derive from independent seeded streams.
+//!
+//! The engine is one of two drivers of the model: the per-node state lives
+//! in [`crate::node::NodeHarness`] and the per-round control plane
+//! (adversary, filters, accounting) in [`crate::round::ControlCore`], both
+//! shared with the `ftc-net` socket runtime. The engine merely loops the
+//! two in process, which is why a network run with the same `(SimConfig,
+//! seed)` reproduces an engine run decision for decision.
 
-use std::collections::HashMap;
+use std::fmt;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-use crate::adversary::{Adversary, AdversaryView, Envelope, FaultySet};
+use crate::adversary::{Adversary, Envelope, FaultySet};
 use crate::ids::{NodeId, Round};
-use crate::metrics::{Metrics, RoundMetrics};
-use crate::payload::Payload;
-use crate::perm::stream_seed;
-use crate::ports::PortMap;
-use crate::protocol::{Ctx, Incoming, Protocol};
-use crate::trace::{Trace, TraceEvent};
+use crate::metrics::Metrics;
+use crate::node::NodeHarness;
+use crate::protocol::{Incoming, Protocol};
+use crate::round::{network_ports, resolve_sends, ControlCore};
+use crate::trace::Trace;
 
-/// Salt constants keeping the engine's RNG streams independent.
-const SALT_TOPOLOGY: u64 = 0x01;
-const SALT_NODES: u64 = 0x02;
-const SALT_ADVERSARY: u64 = 0x03;
-const SALT_FILTERS: u64 = 0x04;
-const SALT_EDGES: u64 = 0x05;
+/// Rejected [`SimConfig`] parameters, reported before anything runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `n < 2` — a complete network needs at least two nodes.
+    NetworkTooSmall {
+        /// The offending network size.
+        n: u32,
+    },
+    /// Edge failure probability outside `[0, 1)`.
+    EdgeFailureOutOfRange {
+        /// The offending probability.
+        p: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NetworkTooSmall { n } => {
+                write!(f, "network size must be at least 2, got {n}")
+            }
+            ConfigError::EdgeFailureOutOfRange { p } => {
+                write!(f, "edge failure probability must be in [0, 1), got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of a single execution.
 #[derive(Clone, Debug)]
@@ -75,11 +101,21 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2`.
+    /// Panics if `n < 2`. Front ends that want a recoverable error should
+    /// use [`SimConfig::try_new`].
     pub fn new(n: u32) -> Self {
-        assert!(n >= 2, "a complete network needs at least two nodes");
+        SimConfig::try_new(n).expect("a complete network needs at least two nodes")
+    }
+
+    /// Like [`SimConfig::new`] but rejects invalid sizes with an error
+    /// instead of panicking — the entry point for CLI / service front ends
+    /// that validate user input early.
+    pub fn try_new(n: u32) -> Result<Self, ConfigError> {
+        if n < 2 {
+            return Err(ConfigError::NetworkTooSmall { n });
+        }
         let log2n = 32 - n.leading_zeros();
-        SimConfig {
+        Ok(SimConfig {
             n,
             seed: 0,
             max_rounds: 8 * (log2n + 2),
@@ -88,7 +124,21 @@ impl SimConfig {
             congest_bits: None,
             send_cap: None,
             edge_failure_prob: 0.0,
+        })
+    }
+
+    /// Validates the assembled configuration (size, probabilities) in one
+    /// place, for front ends that mutate fields directly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::NetworkTooSmall { n: self.n });
         }
+        if !(0.0..1.0).contains(&self.edge_failure_prob) {
+            return Err(ConfigError::EdgeFailureOutOfRange {
+                p: self.edge_failure_prob,
+            });
+        }
+        Ok(())
     }
 
     /// Sets the master seed.
@@ -216,317 +266,74 @@ where
     let n = cfg.n;
     let nn = n as usize;
 
-    let topology_seed = stream_seed(cfg.seed, SALT_TOPOLOGY);
-    let ports: Vec<PortMap> = (0..n)
-        .map(|i| PortMap::new(n, NodeId(i), topology_seed))
+    let ports = network_ports(cfg);
+    let mut nodes: Vec<NodeHarness<P>> = (0..n)
+        .map(|i| NodeHarness::new(cfg, NodeId(i), factory(NodeId(i))))
         .collect();
-
-    let node_seed_base = stream_seed(cfg.seed, SALT_NODES);
-    let mut rngs: Vec<SmallRng> = (0..n)
-        .map(|i| SmallRng::seed_from_u64(stream_seed(node_seed_base, u64::from(i))))
-        .collect();
-    let mut adv_rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, SALT_ADVERSARY));
-    let mut filter_rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, SALT_FILTERS));
-
-    let mut states: Vec<P> = (0..n).map(|i| factory(NodeId(i))).collect();
-    let faulty = adversary.faulty_set(n, &mut adv_rng);
-    assert!(
-        faulty.iter().all(|id| id.index() < nn),
-        "faulty set references nodes outside the network"
-    );
-
-    let mut alive = vec![true; nn];
-    let mut crashed_at: Vec<Option<Round>> = vec![None; nn];
-    let mut metrics = Metrics::new();
-    let mut trace = cfg.record_trace.then(|| Trace::new(n));
-    let mut congest_violations: u64 = 0;
+    let mut core = ControlCore::new(cfg, adversary);
 
     let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); nn];
-    let mut next_inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); nn];
     let mut outgoing: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); nn];
-    let mut outbox: Vec<(crate::ids::Port, P::Msg)> = Vec::new();
-    let mut sends_used: Vec<u32> = vec![0; nn];
+    let mut terminated = vec![false; nn];
 
     for round in 0..cfg.max_rounds {
         // --- 1. activation: every alive node runs and queues messages. ---
+        let mut suppressed = 0u64;
         for u in 0..nn {
-            if !alive[u] {
+            if !core.is_alive(NodeId(u as u32)) {
                 continue;
             }
-            outbox.clear();
-            let mut ctx = Ctx {
-                node: NodeId(u as u32),
-                n,
-                round,
-                kt1: cfg.kt1,
-                ports: &ports[u],
-                rng: &mut rngs[u],
-                outbox: &mut outbox,
-            };
-            if round == 0 {
-                states[u].on_start(&mut ctx);
-            } else {
-                states[u].on_round(&mut ctx, &inboxes[u]);
-            }
-            // Enforce the per-node send budget, if any: keep only the
-            // first `remaining` queued messages of this activation.
-            if let Some(cap) = cfg.send_cap {
-                let remaining = cap.saturating_sub(sends_used[u]) as usize;
-                if outbox.len() > remaining {
-                    metrics.msgs_suppressed += (outbox.len() - remaining) as u64;
-                    outbox.truncate(remaining);
-                }
-                sends_used[u] += outbox.len() as u32;
-            }
-            let src = NodeId(u as u32);
-            for (port, msg) in outbox.drain(..) {
-                let dst = ports[u].peer(port);
-                let dst_port = ports[dst.index()].port_to(src);
-                outgoing[u].push(Envelope {
-                    src,
-                    dst,
-                    dst_port,
-                    msg,
-                });
-            }
+            let act = nodes[u].activate(round, &inboxes[u]);
+            suppressed += act.suppressed;
+            terminated[u] = act.terminated;
+            outgoing[u] = resolve_sends(&ports, NodeId(u as u32), act.sends);
             inboxes[u].clear();
         }
 
-        // --- 2a. Byzantine tampering (extension; no-op for crash-only
-        // adversaries). Forged sends replace the node's honest output.
-        let tampers = {
-            let view = AdversaryView {
-                round,
-                n,
-                faulty: &faulty,
-                alive: &alive,
-                outgoing: &outgoing,
-            };
-            adversary.tamper(&view, &mut adv_rng)
-        };
-        for t in tampers {
-            let i = t.node.index();
-            assert!(
-                faulty.contains(t.node),
-                "adversary tampered with non-faulty node {}",
-                t.node
-            );
-            assert!(alive[i], "adversary tampered with crashed node {}", t.node);
-            outgoing[i] = t
-                .sends
-                .into_iter()
-                .map(|(dst, msg)| {
-                    assert!(dst.0 < n, "forged message to node outside network");
-                    assert_ne!(dst, t.node, "forged message to self");
-                    Envelope {
-                        src: t.node,
-                        dst,
-                        dst_port: ports[dst.index()].port_to(t.node),
-                        msg,
-                    }
-                })
-                .collect();
-        }
+        // --- 2. control plane: tampering, crashes, filters, accounting. ---
+        let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
 
-        // --- 2b. adversary: crash directives for this round. ---
-        let directives = {
-            let view = AdversaryView {
-                round,
-                n,
-                faulty: &faulty,
-                alive: &alive,
-                outgoing: &outgoing,
-            };
-            adversary.on_round(&view, &mut adv_rng)
-        };
-
-        let mut crashes_this_round = 0u32;
-        let mut sent: u64 = 0;
-        let mut bits_sent: u64 = 0;
-        for node_out in outgoing.iter() {
-            sent += node_out.len() as u64;
-            bits_sent += node_out
-                .iter()
-                .map(|e| u64::from(e.msg.size_bits()))
-                .sum::<u64>();
-        }
-
-        // Record every *sent* message in the trace before filtering, so the
-        // communication graph also knows about suppressed sends.
-        if let Some(tr) = trace.as_mut() {
-            for e in outgoing.iter().flatten() {
-                tr.push(TraceEvent {
-                    round,
-                    src: e.src,
-                    dst: e.dst,
-                    delivered: true, // patched below if suppressed / dst dead
-                    bits: e.msg.size_bits(),
-                });
-            }
-        }
-        for d in directives {
-            let i = d.node.index();
-            assert!(
-                faulty.contains(d.node),
-                "adversary crashed non-faulty node {}",
-                d.node
-            );
-            assert!(alive[i], "adversary crashed {} twice", d.node);
-            alive[i] = false;
-            crashed_at[i] = Some(round);
-            metrics.record_crash(d.node, round);
-            crashes_this_round += 1;
-
-            if let Some(tr) = trace.as_mut() {
-                // Trace events were recorded optimistically; re-record the
-                // suppressed ones is complex, so instead rebuild: mark which
-                // of this node's sends survive by index.
-                let before: Vec<Envelope<P::Msg>> = outgoing[i].clone();
-                let mut kept = before.clone();
-                d.filter.apply(&mut kept, &mut filter_rng);
-                // Mark dropped ones in the trace (events of this round from
-                // this src). Match by (dst, position) multiset.
-                let mut kept_dsts: Vec<NodeId> = kept.iter().map(|e| e.dst).collect();
-                patch_trace_round(tr, round, d.node, &before, &mut kept_dsts);
-                outgoing[i] = kept;
-            } else {
-                d.filter.apply(&mut outgoing[i], &mut filter_rng);
-            }
-        }
-
-        // --- 3. delivery + accounting. ---
-        let mut delivered: u64 = 0;
-        let mut edge_bits: HashMap<(u32, u32), u64> = HashMap::new();
-        let edge_seed = stream_seed(cfg.seed, SALT_EDGES);
-        let edge_dead = |a: NodeId, b: NodeId| -> bool {
-            if cfg.edge_failure_prob <= 0.0 {
-                return false;
-            }
-            let key = (u64::from(a.0.min(b.0)) << 32) | u64::from(a.0.max(b.0));
-            let h = stream_seed(edge_seed, key);
-            (h as f64 / u64::MAX as f64) < cfg.edge_failure_prob
-        };
-        for node_out in outgoing.iter_mut() {
-            for e in node_out.drain(..) {
-                let bits = u64::from(e.msg.size_bits());
-                *edge_bits.entry((e.src.0, e.dst.0)).or_insert(0) += bits;
-                if edge_dead(e.src, e.dst) {
-                    metrics.msgs_lost_edges += 1;
-                    if let Some(tr) = trace.as_mut() {
-                        mark_undelivered(tr, round, e.src, e.dst);
-                    }
-                } else if alive[e.dst.index()] {
-                    delivered += 1;
-                    next_inboxes[e.dst.index()].push(Incoming {
-                        port: e.dst_port,
-                        msg: e.msg,
-                    });
-                } else if let Some(tr) = trace.as_mut() {
-                    mark_undelivered(tr, round, e.src, e.dst);
-                }
-            }
-        }
-        let round_max_edge = edge_bits.values().copied().max().unwrap_or(0);
-        metrics.record_edge_bits(round_max_edge);
-        if let Some(budget) = cfg.congest_bits {
-            congest_violations += edge_bits
-                .values()
-                .filter(|&&b| b > u64::from(budget))
-                .count() as u64;
-        }
-
-        metrics.record_round(RoundMetrics {
-            sent,
-            delivered,
-            bits_sent,
-            crashes: crashes_this_round,
-        });
-
-        std::mem::swap(&mut inboxes, &mut next_inboxes);
-        for ib in next_inboxes.iter_mut() {
-            ib.clear();
+        // --- 3. delivery: surviving messages reach next-round inboxes. ---
+        for e in verdict.deliver.into_iter().flatten() {
+            inboxes[e.dst.index()].push(Incoming {
+                port: e.dst_port,
+                msg: e.msg,
+            });
         }
 
         // --- 4. early quiescence. ---
-        if delivered == 0 {
+        if verdict.delivered == 0 {
             let all_done = (0..nn)
-                .filter(|&u| alive[u])
-                .all(|u| states[u].is_terminated());
+                .filter(|&u| core.is_alive(NodeId(u as u32)))
+                .all(|u| terminated[u]);
             if all_done {
                 break;
             }
         }
     }
 
+    let states = nodes.into_iter().map(NodeHarness::into_state).collect();
+    let out = core.finish();
     RunResult {
-        metrics,
+        metrics: out.metrics,
         states,
-        crashed_at,
-        faulty,
-        trace,
-        congest_violations,
-    }
-}
-
-/// Marks as undelivered the trace events of `round` from `src` whose
-/// destination does not appear in `kept_dsts` (multiset semantics).
-fn patch_trace_round<M>(
-    tr: &mut Trace,
-    round: Round,
-    src: NodeId,
-    before: &[Envelope<M>],
-    kept_dsts: &mut Vec<NodeId>,
-) {
-    // Figure out which destinations were dropped.
-    let mut dropped: Vec<NodeId> = Vec::new();
-    for e in before {
-        if let Some(pos) = kept_dsts.iter().position(|&d| d == e.dst) {
-            kept_dsts.swap_remove(pos);
-        } else {
-            dropped.push(e.dst);
-        }
-    }
-    if dropped.is_empty() {
-        return;
-    }
-    // Patch matching events from the back (this round's events are at the
-    // tail of the trace).
-    let events = tr.events_mut();
-    for ev in events.iter_mut().rev() {
-        if ev.round != round {
-            break;
-        }
-        if ev.src == src && ev.delivered {
-            if let Some(pos) = dropped.iter().position(|&d| d == ev.dst) {
-                ev.delivered = false;
-                dropped.swap_remove(pos);
-                if dropped.is_empty() {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Marks one trace event of `round` `src → dst` as undelivered (receiver
-/// already crashed).
-fn mark_undelivered(tr: &mut Trace, round: Round, src: NodeId, dst: NodeId) {
-    for ev in tr.events_mut().iter_mut().rev() {
-        if ev.round != round {
-            break;
-        }
-        if ev.src == src && ev.dst == dst && ev.delivered {
-            ev.delivered = false;
-            return;
-        }
+        crashed_at: out.crashed_at,
+        faulty: out.faulty,
+        trace: out.trace,
+        congest_violations: out.congest_violations,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{DeliveryFilter, EagerCrash, FaultPlan, NoFaults, ScriptedCrash};
+    use crate::adversary::{
+        AdversaryView, CrashDirective, DeliveryFilter, EagerCrash, FaultPlan, NoFaults,
+        ScriptedCrash,
+    };
     use crate::ids::Port;
+    use crate::protocol::Ctx;
+    use rand::rngs::SmallRng;
 
     /// Each node broadcasts its round number as `u64` for 3 rounds and
     /// counts what it hears.
@@ -759,6 +566,27 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_tiny_networks() {
+        assert_eq!(
+            SimConfig::try_new(1).unwrap_err(),
+            ConfigError::NetworkTooSmall { n: 1 }
+        );
+        assert_eq!(
+            SimConfig::try_new(0).unwrap_err(),
+            ConfigError::NetworkTooSmall { n: 0 }
+        );
+        let cfg = SimConfig::try_new(2).unwrap();
+        assert_eq!(cfg.n, 2);
+        assert!(cfg.validate().is_ok());
+        let mut bad = cfg;
+        bad.edge_failure_prob = 1.5;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::EdgeFailureOutOfRange { .. })
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "non-faulty")]
     fn crashing_non_faulty_node_panics() {
         struct Evil;
@@ -770,8 +598,8 @@ mod tests {
                 &mut self,
                 _v: &AdversaryView<'_, u64>,
                 _r: &mut SmallRng,
-            ) -> Vec<crate::adversary::CrashDirective> {
-                vec![crate::adversary::CrashDirective {
+            ) -> Vec<CrashDirective> {
+                vec![CrashDirective {
                     node: NodeId(0),
                     filter: DeliveryFilter::DropAll,
                 }]

@@ -56,10 +56,12 @@ pub mod adversary;
 pub mod engine;
 pub mod ids;
 pub mod metrics;
+pub mod node;
 pub mod payload;
 pub mod perm;
 pub mod ports;
 pub mod protocol;
+pub mod round;
 pub mod runner;
 pub mod stats;
 pub mod trace;
@@ -70,12 +72,14 @@ pub mod prelude {
         Adversary, AdversaryView, CrashDirective, DeliveryFilter, EagerCrash, FaultPlan, FaultySet,
         NoFaults, RandomCrash, ScriptedCrash,
     };
-    pub use crate::engine::{run, RunResult, SimConfig};
+    pub use crate::engine::{run, ConfigError, RunResult, SimConfig};
     pub use crate::ids::{NodeId, Port, Round};
     pub use crate::metrics::{LogHistogram, Metrics, MetricsAggregate};
-    pub use crate::payload::Payload;
+    pub use crate::node::{Activation, NodeHarness};
+    pub use crate::payload::{Payload, Wire};
     pub use crate::ports::PortMap;
     pub use crate::protocol::{Ctx, Incoming, Protocol};
+    pub use crate::round::{ControlCore, ControlOutput, RoundVerdict};
     pub use crate::runner::{
         run_trials, run_trials_jobs, run_trials_with, AbortHandle, ParRunner, TrialBatch,
         TrialOutcome, TrialPlan,

@@ -48,6 +48,11 @@ pub struct Metrics {
     /// Messages lost to dead edges
     /// ([`crate::engine::SimConfig::edge_failure_prob`]).
     pub msgs_lost_edges: u64,
+    /// Bytes actually pushed onto the wire (frame headers, encoded
+    /// payloads, round markers). Only real transports (`ftc-net`) set
+    /// this; the in-process engine leaves it at 0 — the model's cost
+    /// measures are `msgs_sent` / `bits_sent`.
+    pub wire_bytes: u64,
 }
 
 impl Metrics {
@@ -215,6 +220,9 @@ pub struct MetricsAggregate {
     pub rounds: LogHistogram,
     /// Distribution of per-trial crash counts.
     pub crashes: LogHistogram,
+    /// Distribution of per-trial wire bytes (all-zero for engine runs;
+    /// real transports feed actual per-edge byte accounting in here).
+    pub wire_bytes: LogHistogram,
     /// Largest per-edge-per-round bit load seen in any trial.
     pub max_edge_bits_per_round: u64,
     /// Trials that violated the configured CONGEST bound at least once.
@@ -238,6 +246,7 @@ impl MetricsAggregate {
         self.bits_sent.record(m.bits_sent);
         self.rounds.record(u64::from(m.rounds));
         self.crashes.record(m.crash_count() as u64);
+        self.wire_bytes.record(m.wire_bytes);
         self.max_edge_bits_per_round = self.max_edge_bits_per_round.max(m.max_edge_bits_per_round);
         self.congest_violating_trials += u64::from(congest_violations > 0);
         self.congest_violations += congest_violations;
@@ -250,6 +259,7 @@ impl MetricsAggregate {
         self.bits_sent.merge(&other.bits_sent);
         self.rounds.merge(&other.rounds);
         self.crashes.merge(&other.crashes);
+        self.wire_bytes.merge(&other.wire_bytes);
         self.max_edge_bits_per_round = self
             .max_edge_bits_per_round
             .max(other.max_edge_bits_per_round);

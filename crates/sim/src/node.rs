@@ -1,0 +1,235 @@
+//! Per-node protocol driving, independent of the execution substrate.
+//!
+//! A [`NodeHarness`] owns everything that is *local* to one node of the
+//! model: its protocol state machine, its private seeded randomness, its
+//! KT0 port permutation and its send budget. The in-process engine keeps
+//! `n` harnesses in one loop; the `ftc-net` runtime gives each harness to a
+//! node thread that talks real sockets. Both derive identical per-node
+//! state from `(SimConfig, NodeId)`, which is what makes a network run
+//! replay a simulator run exactly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::SimConfig;
+use crate::ids::{NodeId, Port, Round};
+use crate::perm::stream_seed;
+use crate::ports::PortMap;
+use crate::protocol::{Ctx, Incoming, Protocol};
+use crate::round::{SALT_NODES, SALT_TOPOLOGY};
+
+/// The result of one activation of a node.
+#[derive(Debug)]
+pub struct Activation<M> {
+    /// The messages the node queued this round, in send order, already
+    /// capped by the node's send budget.
+    pub sends: Vec<(Port, M)>,
+    /// Sends dropped against the budget this activation.
+    pub suppressed: u64,
+    /// The node's quiescence hint after the activation.
+    pub terminated: bool,
+}
+
+/// One node of the model: protocol state + ports + private randomness.
+#[derive(Debug)]
+pub struct NodeHarness<P: Protocol> {
+    node: NodeId,
+    n: u32,
+    kt1: bool,
+    ports: PortMap,
+    rng: SmallRng,
+    state: P,
+    send_cap: Option<u32>,
+    sends_used: u32,
+}
+
+impl<P: Protocol> NodeHarness<P> {
+    /// Builds node `node`'s harness for a run of `cfg`, wrapping `state`.
+    ///
+    /// The port permutation and the RNG stream are derived from
+    /// `(cfg.seed, node)` exactly as the engine derives them, so harnesses
+    /// built independently (e.g. one per thread) still agree with an
+    /// engine run of the same configuration.
+    pub fn new(cfg: &SimConfig, node: NodeId, state: P) -> Self {
+        let topology_seed = stream_seed(cfg.seed, SALT_TOPOLOGY);
+        let node_seed_base = stream_seed(cfg.seed, SALT_NODES);
+        NodeHarness {
+            node,
+            n: cfg.n,
+            kt1: cfg.kt1,
+            ports: PortMap::new(cfg.n, node, topology_seed),
+            rng: SmallRng::seed_from_u64(stream_seed(node_seed_base, u64::from(node.0))),
+            state,
+            send_cap: cfg.send_cap,
+            sends_used: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Runs one activation: `on_start` at round 0, `on_round` with `inbox`
+    /// afterwards. Applies the per-node send budget to the queued sends.
+    pub fn activate(&mut self, round: Round, inbox: &[Incoming<P::Msg>]) -> Activation<P::Msg> {
+        let mut outbox = Vec::new();
+        let mut ctx = Ctx {
+            node: self.node,
+            n: self.n,
+            round,
+            kt1: self.kt1,
+            ports: &self.ports,
+            rng: &mut self.rng,
+            outbox: &mut outbox,
+        };
+        if round == 0 {
+            self.state.on_start(&mut ctx);
+        } else {
+            self.state.on_round(&mut ctx, inbox);
+        }
+        // Enforce the per-node send budget, if any: keep only the first
+        // `remaining` queued messages of this activation.
+        let mut suppressed = 0u64;
+        if let Some(cap) = self.send_cap {
+            let remaining = cap.saturating_sub(self.sends_used) as usize;
+            if outbox.len() > remaining {
+                suppressed = (outbox.len() - remaining) as u64;
+                outbox.truncate(remaining);
+            }
+            self.sends_used += outbox.len() as u32;
+        }
+        Activation {
+            sends: outbox,
+            suppressed,
+            terminated: self.state.is_terminated(),
+        }
+    }
+
+    /// Resolves queued sends to `(destination, message)` pairs through this
+    /// node's own port permutation — what a network node does before
+    /// putting frames on the wire.
+    pub fn route(&self, sends: Vec<(Port, P::Msg)>) -> Vec<(NodeId, P::Msg)> {
+        sends
+            .into_iter()
+            .map(|(port, msg)| (self.ports.peer(port), msg))
+            .collect()
+    }
+
+    /// The local port a message from `src` arrives on — what a network
+    /// node computes when a frame carries its sender's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is this node itself or out of range.
+    pub fn port_from(&self, src: NodeId) -> Port {
+        self.ports.port_to(src)
+    }
+
+    /// Read access to the protocol state.
+    pub fn state(&self) -> &P {
+        &self.state
+    }
+
+    /// Consumes the harness, returning the final protocol state.
+    pub fn into_state(self) -> P {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Broadcasts `round` every activation, terminated after 2 rounds.
+    struct Echoer {
+        rounds: u32,
+        heard: usize,
+    }
+
+    impl Protocol for Echoer {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(0);
+        }
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>, inbox: &[Incoming<u64>]) {
+            self.rounds += 1;
+            self.heard += inbox.len();
+        }
+        fn is_terminated(&self) -> bool {
+            self.rounds >= 2
+        }
+    }
+
+    #[test]
+    fn activation_runs_start_then_rounds() {
+        let cfg = SimConfig::new(8).seed(3);
+        let mut h = NodeHarness::new(
+            &cfg,
+            NodeId(1),
+            Echoer {
+                rounds: 0,
+                heard: 0,
+            },
+        );
+        let a0 = h.activate(0, &[]);
+        assert_eq!(a0.sends.len(), 7);
+        assert!(!a0.terminated);
+        let inbox = vec![Incoming {
+            port: Port(0),
+            msg: 9u64,
+        }];
+        let a1 = h.activate(1, &inbox);
+        assert!(a1.sends.is_empty());
+        let a2 = h.activate(2, &inbox);
+        assert!(a2.terminated);
+        assert_eq!(h.state().heard, 2);
+    }
+
+    #[test]
+    fn send_cap_suppresses_excess() {
+        let cfg = SimConfig::new(8).seed(3).send_cap(4);
+        let mut h = NodeHarness::new(
+            &cfg,
+            NodeId(0),
+            Echoer {
+                rounds: 0,
+                heard: 0,
+            },
+        );
+        let a = h.activate(0, &[]);
+        assert_eq!(a.sends.len(), 4);
+        assert_eq!(a.suppressed, 3);
+    }
+
+    #[test]
+    fn routing_agrees_with_network_ports() {
+        let cfg = SimConfig::new(16).seed(11);
+        let ports = crate::round::network_ports(&cfg);
+        let h = NodeHarness::new(
+            &cfg,
+            NodeId(5),
+            Echoer {
+                rounds: 0,
+                heard: 0,
+            },
+        );
+        let routed = h.route(vec![(Port(2), 1u64), (Port(9), 2)]);
+        assert_eq!(routed[0].0, ports[5].peer(Port(2)));
+        assert_eq!(routed[1].0, ports[5].peer(Port(9)));
+        // Receiver-side port resolution is the inverse wiring.
+        let peer = routed[0].0;
+        let recv = NodeHarness::new(
+            &cfg,
+            peer,
+            Echoer {
+                rounds: 0,
+                heard: 0,
+            },
+        );
+        assert_eq!(
+            recv.port_from(NodeId(5)),
+            ports[peer.index()].port_to(NodeId(5))
+        );
+    }
+}

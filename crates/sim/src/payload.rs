@@ -38,6 +38,53 @@ impl Payload for u64 {
     }
 }
 
+/// A payload that can cross a real wire.
+///
+/// The simulator moves messages between nodes as Rust values and never
+/// needs this; the `ftc-net` runtime serialises them into length-prefixed
+/// frames. Encodings are hand-rolled (no serde in the tree): they only
+/// need to round-trip (`decode(encode(m)) == m`), not to be canonical or
+/// cross-version stable. [`Payload::size_bits`] stays the *model* cost —
+/// the wire encoding may be byte-aligned and larger.
+pub trait Wire: Payload {
+    /// Appends this message's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one message from `bytes`, which holds exactly one encoding.
+    ///
+    /// Returns `None` on malformed input (truncated frame, unknown tag).
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
 /// Number of bits needed to encode a value drawn from `[0, bound)`.
 ///
 /// Convenience for implementing [`Payload::size_bits`] on messages carrying
@@ -74,6 +121,24 @@ mod tests {
         assert_eq!(bits_for(2), 1);
         assert_eq!(bits_for(4), 2);
         assert_eq!(bits_for(1 << 20), 20);
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        fn rt<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(T::decode(&buf), Some(v));
+        }
+        rt(());
+        rt(true);
+        rt(false);
+        rt(0u64);
+        rt(u64::MAX);
+        rt(0xDEAD_BEEFu64);
+        assert_eq!(<bool as Wire>::decode(&[7]), None);
+        assert_eq!(<u64 as Wire>::decode(&[1, 2]), None);
+        assert_eq!(<() as Wire>::decode(&[0]), None);
     }
 
     #[test]

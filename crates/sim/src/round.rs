@@ -1,0 +1,544 @@
+//! The transport-agnostic round control core.
+//!
+//! [`crate::engine::run`] (the in-process simulator) and the `ftc-net`
+//! runtime (real sockets) execute the *same* model: per round, every alive
+//! node is activated, the adversary inspects the round's traffic and issues
+//! crash directives, delivery filters drop an adversarial subset of each
+//! crashing node's messages, and the survivors are delivered. Everything in
+//! that sentence except the activation and the physical delivery is
+//! *control-plane* logic, and it is deterministic in `(SimConfig, seed)`.
+//!
+//! [`ControlCore`] packages exactly that control plane: the faulty set, the
+//! liveness ledger, the adversary/filter RNG streams, metrics, CONGEST and
+//! trace accounting. A driver (engine or network synchronizer) feeds it the
+//! round's outgoing envelopes and gets back the envelopes to actually
+//! deliver plus the crash events to enact (in a socket runtime: mid-round
+//! connection teardown). Because both drivers share this type and the seed
+//! derivation below, a network execution reproduces the simulator's
+//! decisions bit for bit.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::adversary::{Adversary, AdversaryView, Envelope, FaultySet};
+use crate::engine::SimConfig;
+use crate::ids::{NodeId, Port, Round};
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::payload::Payload;
+use crate::perm::stream_seed;
+use crate::ports::PortMap;
+use crate::trace::{Trace, TraceEvent};
+
+/// Salt constants keeping the run's RNG streams independent. Shared by the
+/// engine and the per-node harness so every driver derives the same
+/// topology, node randomness, adversary schedule and filter randomness
+/// from one master seed.
+pub(crate) const SALT_TOPOLOGY: u64 = 0x01;
+pub(crate) const SALT_NODES: u64 = 0x02;
+pub(crate) const SALT_ADVERSARY: u64 = 0x03;
+pub(crate) const SALT_FILTERS: u64 = 0x04;
+pub(crate) const SALT_EDGES: u64 = 0x05;
+
+/// The topology seed of a run: every node's port permutation derives from
+/// it (see [`PortMap::new`]).
+pub fn topology_seed(cfg: &SimConfig) -> u64 {
+    stream_seed(cfg.seed, SALT_TOPOLOGY)
+}
+
+/// The port permutations of the whole network, in node-id order.
+///
+/// Each [`PortMap`] is `O(1)` memory (lazy Feistel permutation), so this is
+/// cheap even for large `n`. Drivers that resolve destination ports
+/// centrally (the engine, the net coordinator) build one of these.
+pub fn network_ports(cfg: &SimConfig) -> Vec<PortMap> {
+    let seed = topology_seed(cfg);
+    (0..cfg.n)
+        .map(|i| PortMap::new(cfg.n, NodeId(i), seed))
+        .collect()
+}
+
+/// Resolves one node's queued `(port, msg)` sends into routed envelopes,
+/// exactly as the engine does: `dst` from the sender's permutation,
+/// `dst_port` from the receiver's.
+pub fn resolve_sends<M>(ports: &[PortMap], src: NodeId, sends: Vec<(Port, M)>) -> Vec<Envelope<M>> {
+    sends
+        .into_iter()
+        .map(|(port, msg)| {
+            let dst = ports[src.index()].peer(port);
+            Envelope {
+                src,
+                dst,
+                dst_port: ports[dst.index()].port_to(src),
+                msg,
+            }
+        })
+        .collect()
+}
+
+/// What the control core decided for one round.
+#[derive(Debug)]
+pub struct RoundVerdict<M> {
+    /// Per sender (node-id order): the envelopes that survived crash
+    /// filters *and* are deliverable (receiver alive, edge alive). A
+    /// driver delivers exactly these — iterating senders in id order and
+    /// each sender's list in order reproduces the engine's inbox order.
+    pub deliver: Vec<Vec<Envelope<M>>>,
+    /// Nodes that crashed this round, in directive order. A socket driver
+    /// tears down their connections after transmitting their filtered
+    /// sends; they must never be activated again.
+    pub crashed: Vec<NodeId>,
+    /// Messages delivered this round (`deliver` flattened length).
+    pub delivered: u64,
+}
+
+/// Everything the control core accumulated over a finished run.
+#[derive(Debug)]
+pub struct ControlOutput {
+    /// Accounting (messages, bits, rounds, congestion, crashes).
+    pub metrics: Metrics,
+    /// For each node, the round it crashed in (`None` = survived).
+    pub crashed_at: Vec<Option<Round>>,
+    /// The faulty set the adversary committed to.
+    pub faulty: FaultySet,
+    /// The message trace, when recording was enabled.
+    pub trace: Option<Trace>,
+    /// Rounds × edges over the configured CONGEST budget (0 if unchecked).
+    pub congest_violations: u64,
+}
+
+/// The deterministic control plane of one execution: faulty set, liveness,
+/// adversary consultation, delivery filtering, and all accounting.
+///
+/// Drivers call [`ControlCore::finish_round`] once per round with the
+/// round's outgoing traffic and then enact the returned
+/// [`RoundVerdict`]; [`ControlCore::finish`] yields the final books.
+#[derive(Debug)]
+pub struct ControlCore {
+    n: u32,
+    alive: Vec<bool>,
+    crashed_at: Vec<Option<Round>>,
+    faulty: FaultySet,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    congest_bits: Option<u32>,
+    congest_violations: u64,
+    edge_failure_prob: f64,
+    edge_seed: u64,
+    adv_rng: SmallRng,
+    filter_rng: SmallRng,
+}
+
+impl ControlCore {
+    /// Builds the control plane for one run and asks `adversary` for its
+    /// static faulty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the faulty set references nodes outside the network.
+    pub fn new<M, A>(cfg: &SimConfig, adversary: &mut A) -> Self
+    where
+        M: Payload,
+        A: Adversary<M> + ?Sized,
+    {
+        let n = cfg.n;
+        let nn = n as usize;
+        let mut adv_rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, SALT_ADVERSARY));
+        let filter_rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, SALT_FILTERS));
+        let faulty = adversary.faulty_set(n, &mut adv_rng);
+        assert!(
+            faulty.iter().all(|id| id.index() < nn),
+            "faulty set references nodes outside the network"
+        );
+        ControlCore {
+            n,
+            alive: vec![true; nn],
+            crashed_at: vec![None; nn],
+            faulty,
+            metrics: Metrics::new(),
+            trace: cfg.record_trace.then(|| Trace::new(n)),
+            congest_bits: cfg.congest_bits,
+            congest_violations: 0,
+            edge_failure_prob: cfg.edge_failure_prob,
+            edge_seed: stream_seed(cfg.seed, SALT_EDGES),
+            adv_rng,
+            filter_rng,
+        }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether `node` is still alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// The liveness ledger, indexed by node.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of still-alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The adversary's static faulty set.
+    pub fn faulty(&self) -> &FaultySet {
+        &self.faulty
+    }
+
+    /// Runs the control plane for one round over the traffic the alive
+    /// nodes queued (`outgoing`, indexed by sender; entries of dead nodes
+    /// must be empty). Consults the adversary (tamper, then crash
+    /// directives), applies delivery filters, accounts metrics / CONGEST /
+    /// trace, and returns what to deliver and whom to crash.
+    ///
+    /// `suppressed` is the number of sends the nodes dropped against their
+    /// send budget this round (see [`SimConfig::send_cap`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adversary violates the model (crashing or tampering
+    /// with a non-faulty or already-crashed node).
+    pub fn finish_round<M, A>(
+        &mut self,
+        round: Round,
+        outgoing: &mut [Vec<Envelope<M>>],
+        suppressed: u64,
+        adversary: &mut A,
+        ports: &[PortMap],
+    ) -> RoundVerdict<M>
+    where
+        M: Payload,
+        A: Adversary<M> + ?Sized,
+    {
+        let n = self.n;
+        self.metrics.msgs_suppressed += suppressed;
+
+        // --- Byzantine tampering (extension; no-op for crash-only
+        // adversaries). Forged sends replace the node's honest output.
+        let tampers = {
+            let view = AdversaryView {
+                round,
+                n,
+                faulty: &self.faulty,
+                alive: &self.alive,
+                outgoing,
+            };
+            adversary.tamper(&view, &mut self.adv_rng)
+        };
+        for t in tampers {
+            let i = t.node.index();
+            assert!(
+                self.faulty.contains(t.node),
+                "adversary tampered with non-faulty node {}",
+                t.node
+            );
+            assert!(
+                self.alive[i],
+                "adversary tampered with crashed node {}",
+                t.node
+            );
+            outgoing[i] = t
+                .sends
+                .into_iter()
+                .map(|(dst, msg)| {
+                    assert!(dst.0 < n, "forged message to node outside network");
+                    assert_ne!(dst, t.node, "forged message to self");
+                    Envelope {
+                        src: t.node,
+                        dst,
+                        dst_port: ports[dst.index()].port_to(t.node),
+                        msg,
+                    }
+                })
+                .collect();
+        }
+
+        // --- adversary: crash directives for this round. ---
+        let directives = {
+            let view = AdversaryView {
+                round,
+                n,
+                faulty: &self.faulty,
+                alive: &self.alive,
+                outgoing,
+            };
+            adversary.on_round(&view, &mut self.adv_rng)
+        };
+
+        let mut crashes_this_round = 0u32;
+        let mut crashed = Vec::new();
+        let mut sent: u64 = 0;
+        let mut bits_sent: u64 = 0;
+        for node_out in outgoing.iter() {
+            sent += node_out.len() as u64;
+            bits_sent += node_out
+                .iter()
+                .map(|e| u64::from(e.msg.size_bits()))
+                .sum::<u64>();
+        }
+
+        // Record every *sent* message in the trace before filtering, so the
+        // communication graph also knows about suppressed sends.
+        if let Some(tr) = self.trace.as_mut() {
+            for e in outgoing.iter().flatten() {
+                tr.push(TraceEvent {
+                    round,
+                    src: e.src,
+                    dst: e.dst,
+                    delivered: true, // patched below if suppressed / dst dead
+                    bits: e.msg.size_bits(),
+                });
+            }
+        }
+        for d in directives {
+            let i = d.node.index();
+            assert!(
+                self.faulty.contains(d.node),
+                "adversary crashed non-faulty node {}",
+                d.node
+            );
+            assert!(self.alive[i], "adversary crashed {} twice", d.node);
+            self.alive[i] = false;
+            self.crashed_at[i] = Some(round);
+            self.metrics.record_crash(d.node, round);
+            crashes_this_round += 1;
+            crashed.push(d.node);
+
+            if let Some(tr) = self.trace.as_mut() {
+                // Trace events were recorded optimistically; re-recording
+                // the suppressed ones is complex, so instead rebuild: mark
+                // which of this node's sends survive by index.
+                let before: Vec<Envelope<M>> = outgoing[i].clone();
+                let mut kept = before.clone();
+                d.filter.apply(&mut kept, &mut self.filter_rng);
+                // Mark dropped ones in the trace (events of this round from
+                // this src). Match by (dst, position) multiset.
+                let mut kept_dsts: Vec<NodeId> = kept.iter().map(|e| e.dst).collect();
+                patch_trace_round(tr, round, d.node, &before, &mut kept_dsts);
+                outgoing[i] = kept;
+            } else {
+                d.filter.apply(&mut outgoing[i], &mut self.filter_rng);
+            }
+        }
+
+        // --- delivery + accounting. ---
+        let mut delivered: u64 = 0;
+        let mut edge_bits: HashMap<(u32, u32), u64> = HashMap::new();
+        let edge_seed = self.edge_seed;
+        let edge_failure_prob = self.edge_failure_prob;
+        let edge_dead = |a: NodeId, b: NodeId| -> bool {
+            if edge_failure_prob <= 0.0 {
+                return false;
+            }
+            let key = (u64::from(a.0.min(b.0)) << 32) | u64::from(a.0.max(b.0));
+            let h = stream_seed(edge_seed, key);
+            (h as f64 / u64::MAX as f64) < edge_failure_prob
+        };
+        let mut deliver: Vec<Vec<Envelope<M>>> = Vec::with_capacity(outgoing.len());
+        for node_out in outgoing.iter_mut() {
+            let mut kept = Vec::new();
+            for e in node_out.drain(..) {
+                let bits = u64::from(e.msg.size_bits());
+                *edge_bits.entry((e.src.0, e.dst.0)).or_insert(0) += bits;
+                if edge_dead(e.src, e.dst) {
+                    self.metrics.msgs_lost_edges += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        mark_undelivered(tr, round, e.src, e.dst);
+                    }
+                } else if self.alive[e.dst.index()] {
+                    delivered += 1;
+                    kept.push(e);
+                } else if let Some(tr) = self.trace.as_mut() {
+                    mark_undelivered(tr, round, e.src, e.dst);
+                }
+            }
+            deliver.push(kept);
+        }
+        let round_max_edge = edge_bits.values().copied().max().unwrap_or(0);
+        self.metrics.record_edge_bits(round_max_edge);
+        if let Some(budget) = self.congest_bits {
+            self.congest_violations += edge_bits
+                .values()
+                .filter(|&&b| b > u64::from(budget))
+                .count() as u64;
+        }
+
+        self.metrics.record_round(RoundMetrics {
+            sent,
+            delivered,
+            bits_sent,
+            crashes: crashes_this_round,
+        });
+
+        RoundVerdict {
+            deliver,
+            crashed,
+            delivered,
+        }
+    }
+
+    /// Records the total number of bytes the run pushed onto the wire
+    /// (frame headers + encoded payloads + round markers). The engine
+    /// leaves this at 0; socket drivers report real byte counts.
+    pub fn record_wire_bytes(&mut self, bytes: u64) {
+        self.metrics.wire_bytes += bytes;
+    }
+
+    /// Closes the books: final metrics, crash ledger, faulty set, trace.
+    pub fn finish(self) -> ControlOutput {
+        ControlOutput {
+            metrics: self.metrics,
+            crashed_at: self.crashed_at,
+            faulty: self.faulty,
+            trace: self.trace,
+            congest_violations: self.congest_violations,
+        }
+    }
+}
+
+/// Marks as undelivered the trace events of `round` from `src` whose
+/// destination does not appear in `kept_dsts` (multiset semantics).
+fn patch_trace_round<M>(
+    tr: &mut Trace,
+    round: Round,
+    src: NodeId,
+    before: &[Envelope<M>],
+    kept_dsts: &mut Vec<NodeId>,
+) {
+    // Figure out which destinations were dropped.
+    let mut dropped: Vec<NodeId> = Vec::new();
+    for e in before {
+        if let Some(pos) = kept_dsts.iter().position(|&d| d == e.dst) {
+            kept_dsts.swap_remove(pos);
+        } else {
+            dropped.push(e.dst);
+        }
+    }
+    if dropped.is_empty() {
+        return;
+    }
+    // Patch matching events from the back (this round's events are at the
+    // tail of the trace).
+    let events = tr.events_mut();
+    for ev in events.iter_mut().rev() {
+        if ev.round != round {
+            break;
+        }
+        if ev.src == src && ev.delivered {
+            if let Some(pos) = dropped.iter().position(|&d| d == ev.dst) {
+                ev.delivered = false;
+                dropped.swap_remove(pos);
+                if dropped.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Marks one trace event of `round` `src → dst` as undelivered (receiver
+/// already crashed).
+fn mark_undelivered(tr: &mut Trace, round: Round, src: NodeId, dst: NodeId) {
+    for ev in tr.events_mut().iter_mut().rev() {
+        if ev.round != round {
+            break;
+        }
+        if ev.src == src && ev.dst == dst && ev.delivered {
+            ev.delivered = false;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{DeliveryFilter, FaultPlan, NoFaults, ScriptedCrash};
+
+    fn envelopes(ports: &[PortMap], src: NodeId, msgs: &[(Port, u64)]) -> Vec<Envelope<u64>> {
+        resolve_sends(ports, src, msgs.to_vec())
+    }
+
+    #[test]
+    fn network_ports_agree_with_portmap() {
+        let cfg = SimConfig::new(16).seed(9);
+        let ports = network_ports(&cfg);
+        assert_eq!(ports.len(), 16);
+        let direct = PortMap::new(16, NodeId(3), topology_seed(&cfg));
+        for p in 0..15 {
+            assert_eq!(ports[3].peer(Port(p)), direct.peer(Port(p)));
+        }
+    }
+
+    #[test]
+    fn resolve_matches_receiver_side_port() {
+        let cfg = SimConfig::new(8).seed(4);
+        let ports = network_ports(&cfg);
+        let env = envelopes(&ports, NodeId(2), &[(Port(0), 7u64), (Port(3), 8)]);
+        for e in &env {
+            assert_eq!(e.src, NodeId(2));
+            assert_ne!(e.dst, NodeId(2));
+            // The receiver, resolving the sender id through its own
+            // permutation, lands on the same port the engine precomputed.
+            assert_eq!(ports[e.dst.index()].port_to(e.src), e.dst_port);
+        }
+    }
+
+    #[test]
+    fn fault_free_round_delivers_everything() {
+        let cfg = SimConfig::new(4).seed(1);
+        let ports = network_ports(&cfg);
+        let mut core = ControlCore::new::<u64, _>(&cfg, &mut NoFaults);
+        let mut outgoing: Vec<Vec<Envelope<u64>>> = (0..4)
+            .map(|u| envelopes(&ports, NodeId(u), &[(Port(0), u64::from(u))]))
+            .collect();
+        let v = core.finish_round(0, &mut outgoing, 0, &mut NoFaults, &ports);
+        assert_eq!(v.delivered, 4);
+        assert!(v.crashed.is_empty());
+        assert_eq!(v.deliver.iter().flatten().count(), 4);
+        let out = core.finish();
+        assert_eq!(out.metrics.msgs_sent, 4);
+        assert_eq!(out.metrics.msgs_delivered, 4);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn scripted_crash_drops_messages_and_marks_ledger() {
+        let cfg = SimConfig::new(4).seed(1);
+        let ports = network_ports(&cfg);
+        let plan = FaultPlan::new().crash(NodeId(0), 0, DeliveryFilter::DropAll);
+        let mut adv = ScriptedCrash::new(plan);
+        let mut core = ControlCore::new::<u64, _>(&cfg, &mut adv);
+        let mut outgoing: Vec<Vec<Envelope<u64>>> = (0..4)
+            .map(|u| envelopes(&ports, NodeId(u), &[(Port(0), 1u64), (Port(1), 2)]))
+            .collect();
+        let v = core.finish_round(0, &mut outgoing, 0, &mut adv, &ports);
+        assert_eq!(v.crashed, vec![NodeId(0)]);
+        assert!(!core.is_alive(NodeId(0)));
+        // Node 0's two sends were dropped; sends *to* node 0 die too.
+        assert!(v.delivered < 8);
+        assert!(v.deliver[0].is_empty());
+        assert!(v.deliver.iter().flatten().all(|e| e.dst != NodeId(0)));
+        let out = core.finish();
+        assert_eq!(out.crashed_at[0], Some(0));
+        assert_eq!(out.metrics.msgs_sent, 8); // paid for even if dropped
+        assert_eq!(out.metrics.msgs_delivered, v.delivered);
+    }
+
+    #[test]
+    fn suppressed_sends_are_accounted() {
+        let cfg = SimConfig::new(4).seed(0);
+        let ports = network_ports(&cfg);
+        let mut core = ControlCore::new::<u64, _>(&cfg, &mut NoFaults);
+        let mut outgoing: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); 4];
+        core.finish_round(0, &mut outgoing, 7, &mut NoFaults, &ports);
+        assert_eq!(core.finish().metrics.msgs_suppressed, 7);
+    }
+}

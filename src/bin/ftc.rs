@@ -1,11 +1,17 @@
 //! `ftc` — command-line front end for the protocols and experiments.
 //!
 //! ```text
-//! ftc le     --n 4096 --alpha 0.5 --adversary random --trials 10 [--csv]
-//! ftc agree  --n 4096 --alpha 0.5 --zeros 0.05 --adversary targeted [--csv]
-//! ftc sweep  --n 2048 --alpha 0.5 --caps 64,16,4,1 --trials 24 [--csv]
-//! ftc trace  --n 512  --alpha 0.5 --seed 7          # influence-cloud report
+//! ftc le      --n 4096 --alpha 0.5 --adversary random --trials 10 [--format csv]
+//! ftc agree   --n 4096 --alpha 0.5 --zeros 0.05 --adversary targeted [--format json]
+//! ftc sweep   --n 2048 --alpha 0.5 --caps 64,16,4,1 --trials 24 [--format csv]
+//! ftc trace   --n 512  --alpha 0.5 --seed 7          # influence-cloud report
+//! ftc cluster --n 8 --alpha 0.5 --proto le --seed 1 --transport tcp
 //! ```
+//!
+//! `cluster` runs the same protocols over a real transport (`ftc-net`):
+//! localhost TCP sockets or in-process channels, with crash injection as
+//! mid-round socket teardown. Simulator and cluster emit the same row
+//! shapes, so `--format csv|json` output is interchangeable downstream.
 //!
 //! All subcommands are deterministic given `--seed`.
 
@@ -23,8 +29,11 @@ struct Opts {
     zeros: f64,
     adversary: String,
     caps: Vec<Option<u32>>,
-    csv: bool,
+    format: Format,
     jobs: usize,
+    proto: String,
+    transport: String,
+    workers: usize,
 }
 
 impl Default for Opts {
@@ -37,8 +46,11 @@ impl Default for Opts {
             zeros: 0.05,
             adversary: "random".into(),
             caps: vec![None, Some(64), Some(16), Some(4), Some(1)],
-            csv: false,
+            format: Format::Human,
             jobs: 0,
+            proto: "le".into(),
+            transport: "tcp".into(),
+            workers: 4,
         }
     }
 }
@@ -92,12 +104,38 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .collect::<Result<_, _>>()?;
                 i += 2;
             }
+            "--format" => {
+                o.format = Format::parse(value(i)?)?;
+                i += 2;
+            }
+            // Backwards-compatible alias for `--format csv`.
             "--csv" => {
-                o.csv = true;
+                o.format = Format::Csv;
                 i += 1;
             }
             "--jobs" => {
                 o.jobs = value(i)?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                i += 2;
+            }
+            "--proto" => {
+                o.proto = value(i)?.clone();
+                if !matches!(o.proto.as_str(), "le" | "agree") {
+                    return Err(format!("unknown protocol {} (le|agree)", o.proto));
+                }
+                i += 2;
+            }
+            "--transport" => {
+                o.transport = value(i)?.clone();
+                if !matches!(o.transport.as_str(), "tcp" | "channel") {
+                    return Err(format!("unknown transport {} (tcp|channel)", o.transport));
+                }
+                i += 2;
+            }
+            "--workers" => {
+                o.workers = value(i)?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if o.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
                 i += 2;
             }
             other => return Err(format!("unknown flag {other}")),
@@ -140,9 +178,21 @@ fn cmd_le(o: &Opts) -> Result<(), String> {
     let cfg = SimConfig::new(o.n)
         .seed(o.seed)
         .max_rounds(params.le_round_budget());
-    if o.csv {
-        println!("trial,seed,success,leader_rank,msgs,bits,rounds,crashes");
-    }
+    let mut writer = o.format.is_machine().then(|| {
+        RowWriter::new(
+            o.format,
+            &[
+                "trial",
+                "seed",
+                "success",
+                "leader_rank",
+                "msgs",
+                "bits",
+                "rounds",
+                "crashes",
+            ],
+        )
+    });
     let mut successes = 0;
     let results = run_trials(&cfg, o.trials, |c| {
         let mut adv = le_adversary(&o.adversary, f).expect("validated");
@@ -155,21 +205,20 @@ fn cmd_le(o: &Opts) -> Result<(), String> {
         if *ok {
             successes += 1;
         }
-        if o.csv {
-            println!(
-                "{},{},{},{},{},{},{},{}",
-                t.trial,
-                t.seed,
-                ok,
-                leader.map_or(0, |r| r.0),
-                m.msgs_sent,
-                m.bits_sent,
-                m.rounds,
-                m.crash_count()
-            );
+        if let Some(w) = writer.as_mut() {
+            w.emit(&[
+                Value::UInt(t.trial),
+                Value::UInt(t.seed),
+                Value::Bool(*ok),
+                Value::UInt(leader.map_or(0, |r| r.0)),
+                Value::UInt(m.msgs_sent),
+                Value::UInt(m.bits_sent),
+                Value::UInt(u64::from(m.rounds)),
+                Value::UInt(m.crash_count() as u64),
+            ]);
         }
     }
-    if !o.csv {
+    if writer.is_none() {
         let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
         let rounds = Summary::of_iter(results.iter().map(|t| f64::from(t.value.2.rounds)));
         println!(
@@ -194,15 +243,20 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
     let cfg = SimConfig::new(o.n)
         .seed(o.seed)
         .max_rounds(params.agreement_round_budget());
-    if o.csv {
-        println!("trial,seed,success,value,msgs,bits,rounds");
-    }
+    let mut writer = o.format.is_machine().then(|| {
+        RowWriter::new(
+            o.format,
+            &[
+                "trial", "seed", "success", "value", "msgs", "bits", "rounds",
+            ],
+        )
+    });
     let mut successes = 0;
     let results = run_trials(&cfg, o.trials, |c| {
         let mut adv = agree_adversary(&o.adversary, f).expect("validated");
         let r = run(
             c,
-            |id| AgreeNode::new(params.clone(), !(stride != u32::MAX && id.0 % stride == 0)),
+            |id| AgreeNode::new(params.clone(), !(stride != u32::MAX && id.0.is_multiple_of(stride))),
             adv.as_mut(),
         );
         let out = AgreeOutcome::evaluate(&r);
@@ -213,20 +267,19 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
         if *ok {
             successes += 1;
         }
-        if o.csv {
-            println!(
-                "{},{},{},{},{},{},{}",
-                t.trial,
-                t.seed,
-                ok,
-                value.map_or(-1, i64::from),
-                m.msgs_sent,
-                m.bits_sent,
-                m.rounds
-            );
+        if let Some(w) = writer.as_mut() {
+            w.emit(&[
+                Value::UInt(t.trial),
+                Value::UInt(t.seed),
+                Value::Bool(*ok),
+                Value::Int(value.map_or(-1, i64::from)),
+                Value::UInt(m.msgs_sent),
+                Value::UInt(m.bits_sent),
+                Value::UInt(u64::from(m.rounds)),
+            ]);
         }
     }
-    if !o.csv {
+    if writer.is_none() {
         let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
         println!(
             "agreement: n={} alpha={} zeros={} adversary={} trials={}",
@@ -240,18 +293,27 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
 
 fn cmd_sweep(o: &Opts) -> Result<(), String> {
     let points = sweep_agreement(o.n, o.alpha, &o.caps, o.trials, o.seed, o.jobs);
-    if o.csv {
-        println!("cap,mean_msgs,suppressed,threshold_ratio,failure_rate,trials");
+    if o.format.is_machine() {
+        let mut w = RowWriter::new(
+            o.format,
+            &[
+                "cap",
+                "mean_msgs",
+                "suppressed",
+                "threshold_ratio",
+                "failure_rate",
+                "trials",
+            ],
+        );
         for p in &points {
-            println!(
-                "{},{:.1},{:.1},{:.4},{:.4},{}",
-                p.cap.map_or(-1, i64::from),
-                p.mean_messages,
-                p.mean_suppressed,
-                p.threshold_ratio,
-                p.failure_rate,
-                p.trials
-            );
+            w.emit(&[
+                Value::Int(p.cap.map_or(-1, i64::from)),
+                Value::Float(p.mean_messages),
+                Value::Float(p.mean_suppressed),
+                Value::Float(p.threshold_ratio),
+                Value::Float(p.failure_rate),
+                Value::UInt(p.trials),
+            ]);
         }
     } else {
         println!("send-cap sweep (agreement): n={} alpha={}", o.n, o.alpha);
@@ -298,10 +360,155 @@ fn cmd_trace(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// One cluster trial's observable outcome, protocol-agnostic.
+struct ClusterTrial {
+    success: bool,
+    /// Elected leader rank (LE) or agreed bit as 0/1 (agreement); -1 if none.
+    outcome: i64,
+    metrics: Metrics,
+    net: NetMetrics,
+}
+
+fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
+    let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
+    let f = params.max_faults();
+    // Validate size before any sockets are opened (n < 2 etc.).
+    let base = SimConfig::try_new(o.n).map_err(|e| e.to_string())?;
+    let over_tcp = o.transport == "tcp";
+    match o.proto.as_str() {
+        "le" => {
+            let cfg = base.seed(seed).max_rounds(params.le_round_budget());
+            let mut adv = le_adversary(&o.adversary, f)?;
+            let factory = |_| LeNode::new(params.clone());
+            let res = if over_tcp {
+                run_over_tcp(&cfg, o.workers, factory, adv.as_mut())
+                    .map_err(|e| format!("tcp cluster: {e}"))?
+            } else {
+                run_over_channel(&cfg, o.workers, factory, adv.as_mut())
+            };
+            let out = LeOutcome::evaluate(&res.run);
+            Ok(ClusterTrial {
+                success: out.success,
+                outcome: out.agreed_leader.map_or(-1, |r| r.0 as i64),
+                metrics: res.run.metrics,
+                net: res.net,
+            })
+        }
+        "agree" => {
+            let stride = if o.zeros <= 0.0 {
+                u32::MAX
+            } else {
+                (1.0 / o.zeros).round().max(1.0) as u32
+            };
+            let cfg = base.seed(seed).max_rounds(params.agreement_round_budget());
+            let mut adv = agree_adversary(&o.adversary, f)?;
+            let factory = |id: NodeId| {
+                AgreeNode::new(params.clone(), !(stride != u32::MAX && id.0.is_multiple_of(stride)))
+            };
+            let res = if over_tcp {
+                run_over_tcp(&cfg, o.workers, factory, adv.as_mut())
+                    .map_err(|e| format!("tcp cluster: {e}"))?
+            } else {
+                run_over_channel(&cfg, o.workers, factory, adv.as_mut())
+            };
+            let out = AgreeOutcome::evaluate(&res.run);
+            Ok(ClusterTrial {
+                success: out.success,
+                outcome: out.agreed_value.map_or(-1, i64::from),
+                metrics: res.run.metrics,
+                net: res.net,
+            })
+        }
+        other => Err(format!("unknown protocol {other} (le|agree)")),
+    }
+}
+
+fn cmd_cluster(o: &Opts) -> Result<(), String> {
+    let mut writer = o.format.is_machine().then(|| {
+        RowWriter::new(
+            o.format,
+            &[
+                "trial",
+                "seed",
+                "transport",
+                "proto",
+                "success",
+                "outcome",
+                "msgs",
+                "bits",
+                "rounds",
+                "crashes",
+                "wire_bytes",
+                "frames",
+            ],
+        )
+    });
+    let mut successes = 0u64;
+    let mut trials = Vec::new();
+    for trial in 0..o.trials.max(1) {
+        let seed = o.seed.wrapping_add(trial);
+        let t = cluster_trial(o, seed)?;
+        if t.success {
+            successes += 1;
+        }
+        if let Some(w) = writer.as_mut() {
+            w.emit(&[
+                Value::UInt(trial),
+                Value::UInt(seed),
+                Value::Str(o.transport.clone()),
+                Value::Str(o.proto.clone()),
+                Value::Bool(t.success),
+                Value::Int(t.outcome),
+                Value::UInt(t.metrics.msgs_sent),
+                Value::UInt(t.metrics.bits_sent),
+                Value::UInt(u64::from(t.metrics.rounds)),
+                Value::UInt(t.metrics.crash_count() as u64),
+                Value::UInt(t.net.wire_bytes),
+                Value::UInt(t.net.frames_sent),
+            ]);
+        }
+        trials.push(t);
+    }
+    if writer.is_none() {
+        let total = o.trials.max(1);
+        let msgs = Summary::of_iter(trials.iter().map(|t| t.metrics.msgs_sent as f64));
+        let wire = Summary::of_iter(trials.iter().map(|t| t.net.wire_bytes as f64));
+        println!(
+            "cluster ({}, {} protocol): n={} alpha={} adversary={} workers={} trials={total}",
+            o.transport, o.proto, o.n, o.alpha, o.adversary, o.workers
+        );
+        println!("  success: {successes}/{total}");
+        println!("  messages: mean {:.0} (p95 {:.0})", msgs.mean, msgs.p95);
+        println!("  wire bytes: mean {:.0} (p95 {:.0})", wire.mean, wire.p95);
+        if let Some(t) = trials.last() {
+            let what = if o.proto == "le" {
+                format!("leader rank {}", t.outcome)
+            } else {
+                format!("decision {}", t.outcome)
+            };
+            println!(
+                "  last trial: {} in {} rounds, {} crashes survived",
+                what,
+                t.metrics.rounds,
+                t.metrics.crash_count()
+            );
+        }
+    }
+    if successes < o.trials.max(1) {
+        return Err(format!(
+            "{} of {} cluster trials failed",
+            o.trials.max(1) - successes,
+            o.trials.max(1)
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage: ftc <le|agree|sweep|trace> [--n N] [--alpha A] [--seed S] \
+    "usage: ftc <le|agree|sweep|trace|cluster> [--n N] [--alpha A] [--seed S] \
      [--trials T] [--zeros Z] [--adversary none|eager|random|targeted] \
-     [--caps c1,c2,none] [--csv] [--jobs J]"
+     [--caps c1,c2,none] [--format human|csv|json] [--csv] [--jobs J] \
+     [--proto le|agree] [--transport tcp|channel] [--workers W]"
 }
 
 fn main() -> ExitCode {
@@ -322,6 +529,7 @@ fn main() -> ExitCode {
         "agree" => cmd_agree(&opts),
         "sweep" => cmd_sweep(&opts),
         "trace" => cmd_trace(&opts),
+        "cluster" => cmd_cluster(&opts),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {
@@ -346,20 +554,40 @@ mod tests {
         let o = parse_opts(&[]).unwrap();
         assert_eq!(o.n, 1024);
         assert_eq!(o.adversary, "random");
-        assert!(!o.csv);
+        assert_eq!(o.format, Format::Human);
+        assert_eq!(o.transport, "tcp");
+        assert_eq!(o.workers, 4);
     }
 
     #[test]
     fn flags_override_defaults() {
         let o = parse_opts(&args(
-            "--n 256 --alpha 0.25 --trials 3 --csv --adversary eager",
+            "--n 256 --alpha 0.25 --trials 3 --format json --adversary eager",
         ))
         .unwrap();
         assert_eq!(o.n, 256);
         assert_eq!(o.alpha, 0.25);
         assert_eq!(o.trials, 3);
-        assert!(o.csv);
+        assert_eq!(o.format, Format::Json);
         assert_eq!(o.adversary, "eager");
+    }
+
+    #[test]
+    fn csv_flag_is_an_alias_for_format_csv() {
+        let o = parse_opts(&args("--csv")).unwrap();
+        assert_eq!(o.format, Format::Csv);
+        assert!(parse_opts(&args("--format xml")).is_err());
+    }
+
+    #[test]
+    fn cluster_flags_are_validated_at_parse_time() {
+        let o = parse_opts(&args("--proto agree --transport channel --workers 2")).unwrap();
+        assert_eq!(o.proto, "agree");
+        assert_eq!(o.transport, "channel");
+        assert_eq!(o.workers, 2);
+        assert!(parse_opts(&args("--proto paxos")).is_err());
+        assert!(parse_opts(&args("--transport carrier-pigeon")).is_err());
+        assert!(parse_opts(&args("--workers 0")).is_err());
     }
 
     #[test]
@@ -392,5 +620,45 @@ mod tests {
         };
         cmd_le(&o).unwrap();
         cmd_agree(&o).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_small_cluster_run_over_channels() {
+        let o = Opts {
+            n: 16,
+            alpha: 0.5,
+            trials: 2,
+            transport: "channel".into(),
+            workers: 2,
+            adversary: "eager".into(),
+            ..Opts::default()
+        };
+        cmd_cluster(&o).unwrap();
+        let agree = Opts {
+            proto: "agree".into(),
+            ..o
+        };
+        cmd_cluster(&agree).unwrap();
+    }
+
+    #[test]
+    fn invalid_cluster_params_fail_fast_with_a_clear_error() {
+        // n below the model minimum.
+        let o = Opts {
+            n: 1,
+            transport: "channel".into(),
+            ..Opts::default()
+        };
+        let err = cmd_cluster(&o).unwrap_err();
+        assert!(err.contains("at least two"), "{err}");
+        // alpha below the paper's log²n/n floor.
+        let o = Opts {
+            n: 1024,
+            alpha: 0.001,
+            transport: "channel".into(),
+            ..Opts::default()
+        };
+        let err = cmd_cluster(&o).unwrap_err();
+        assert!(err.to_lowercase().contains("alpha"), "{err}");
     }
 }

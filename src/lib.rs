@@ -12,7 +12,10 @@
 //! * [`baselines`] — the Table-I comparison protocols (FloodSet,
 //!   broadcast LE, GK10-style, CK09-style gossip, Kutten et al.);
 //! * [`lowerbound`] — influence-cloud analysis and message-budget sweeps
-//!   for the `Ω(√n/α^{3/2})` lower bounds.
+//!   for the `Ω(√n/α^{3/2})` lower bounds;
+//! * [`net`] — the real message-passing runtime: the same protocols over
+//!   in-process channels or localhost TCP sockets, bit-identical to the
+//!   simulator for any `(SimConfig, seed)`.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -34,12 +37,17 @@
 pub use ftc_baselines as baselines;
 pub use ftc_core as core;
 pub use ftc_lowerbound as lowerbound;
+pub use ftc_net as net;
 pub use ftc_sim as sim;
+
+pub mod output;
 
 /// Everything, in one import.
 pub mod prelude {
+    pub use crate::output::{Format, RowWriter, Value};
     pub use ftc_baselines::prelude::*;
     pub use ftc_core::prelude::*;
     pub use ftc_lowerbound::prelude::*;
+    pub use ftc_net::prelude::*;
     pub use ftc_sim::prelude::*;
 }

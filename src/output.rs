@@ -1,0 +1,217 @@
+//! Machine-readable result rows shared by every `ftc` subcommand.
+//!
+//! Simulator runs (`le`, `agree`, `sweep`) and cluster runs (`cluster`)
+//! emit the same row shapes through one [`RowWriter`], so downstream
+//! tooling parses one format regardless of the execution substrate. Two
+//! machine formats are supported: CSV (header row + comma-joined values)
+//! and JSON Lines (one object per row, keys = column names).
+
+use std::fmt;
+
+/// Output format of a subcommand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Format {
+    /// Human-oriented summary prose (the default).
+    #[default]
+    Human,
+    /// Comma-separated values with a header row.
+    Csv,
+    /// JSON Lines: one JSON object per row.
+    Json,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "human" => Ok(Format::Human),
+            "csv" => Ok(Format::Csv),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format {other} (human|csv|json)")),
+        }
+    }
+
+    /// Whether this format emits per-trial rows (vs. a prose summary).
+    pub fn is_machine(self) -> bool {
+        self != Format::Human
+    }
+}
+
+/// One cell of a result row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A boolean flag (CSV: `true`/`false`).
+    Bool(bool),
+    /// A signed integer (sentinels like `-1` included).
+    Int(i64),
+    /// An unsigned counter.
+    UInt(u64),
+    /// A float, printed with full precision.
+    Float(f64),
+    /// A short identifier-like string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    /// CSV rendering. None of the row producers emit strings containing
+    /// commas or quotes, so no CSV quoting is performed.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl Value {
+    /// JSON rendering of this cell.
+    fn to_json(&self) -> String {
+        match self {
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(x) if x.is_finite() => x.to_string(),
+            Value::Float(_) => "null".into(),
+            Value::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+        }
+    }
+}
+
+/// Renders result rows in a fixed column order, in CSV or JSON Lines.
+#[derive(Debug)]
+pub struct RowWriter {
+    format: Format,
+    columns: Vec<&'static str>,
+    header_pending: bool,
+}
+
+impl RowWriter {
+    /// A writer for rows of the given `columns`.
+    pub fn new(format: Format, columns: &[&'static str]) -> Self {
+        RowWriter {
+            format,
+            columns: columns.to_vec(),
+            header_pending: format == Format::Csv,
+        }
+    }
+
+    /// Renders one row. The first CSV row is preceded by the header line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the column count, or if called on
+    /// a [`Format::Human`] writer (human output is free-form prose, not
+    /// rows).
+    pub fn render(&mut self, values: &[Value]) -> String {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row shape does not match columns"
+        );
+        match self.format {
+            Format::Human => panic!("RowWriter is for machine formats"),
+            Format::Csv => {
+                let row = values
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                if self.header_pending {
+                    self.header_pending = false;
+                    format!("{}\n{row}", self.columns.join(","))
+                } else {
+                    row
+                }
+            }
+            Format::Json => {
+                let fields = self
+                    .columns
+                    .iter()
+                    .zip(values)
+                    .map(|(c, v)| format!("\"{c}\":{}", v.to_json()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{{fields}}}")
+            }
+        }
+    }
+
+    /// Renders and prints one row to stdout.
+    pub fn emit(&mut self, values: &[Value]) {
+        println!("{}", self.render(values));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_format_names() {
+        assert_eq!(Format::parse("csv").unwrap(), Format::Csv);
+        assert_eq!(Format::parse("json").unwrap(), Format::Json);
+        assert_eq!(Format::parse("human").unwrap(), Format::Human);
+        assert!(Format::parse("xml").is_err());
+        assert!(Format::Csv.is_machine());
+        assert!(!Format::Human.is_machine());
+    }
+
+    #[test]
+    fn csv_emits_header_once() {
+        let mut w = RowWriter::new(Format::Csv, &["trial", "ok", "msgs"]);
+        assert_eq!(
+            w.render(&[Value::UInt(0), Value::Bool(true), Value::UInt(42)]),
+            "trial,ok,msgs\n0,true,42"
+        );
+        assert_eq!(
+            w.render(&[Value::UInt(1), Value::Bool(false), Value::UInt(7)]),
+            "1,false,7"
+        );
+    }
+
+    #[test]
+    fn json_lines_are_self_describing() {
+        let mut w = RowWriter::new(Format::Json, &["trial", "proto", "rate"]);
+        assert_eq!(
+            w.render(&[Value::UInt(3), Value::Str("le".into()), Value::Float(0.25)]),
+            "{\"trial\":3,\"proto\":\"le\",\"rate\":0.25}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nonfinite_floats() {
+        let mut w = RowWriter::new(Format::Json, &["s", "x"]);
+        assert_eq!(
+            w.render(&[Value::Str("a\"b\\c\nd".into()), Value::Float(f64::NAN)]),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"x\":null}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row shape")]
+    fn mismatched_row_width_panics() {
+        let mut w = RowWriter::new(Format::Csv, &["a", "b"]);
+        let _ = w.render(&[Value::UInt(1)]);
+    }
+}

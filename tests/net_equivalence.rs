@@ -1,0 +1,213 @@
+//! Transport equivalence: the network runtime replays the simulator.
+//!
+//! The defining property of `ftc-net` is that a cluster run is
+//! bit-identical to an engine run of the same `(SimConfig, seed)` — same
+//! elected leader, same agreement decision, same message/bit/round counts,
+//! same crash schedule — independent of the transport and of how many
+//! worker threads multiplex the nodes. These tests pin that property for
+//! both of the paper's protocols under several seeds and adversaries, at
+//! 1 and 4 workers (the acceptance configuration), on the channel
+//! transport, plus TCP smoke coverage at n = 8.
+
+use ftc::prelude::*;
+
+const N: u32 = 64;
+// n = 64 sits above the paper's resilience floor log₂²n/n = 0.5625, so
+// the canonical alpha = 0.5 is inadmissible here; 0.75 keeps a hefty
+// 16-crash budget while staying inside the guaranteed regime.
+const ALPHA: f64 = 0.75;
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+/// Everything observable that must match between substrates.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    success: bool,
+    outcome: Option<u64>,
+    msgs_sent: u64,
+    msgs_delivered: u64,
+    bits_sent: u64,
+    rounds: u32,
+    crashed_at: Vec<Option<u32>>,
+}
+
+fn le_fingerprint(r: &RunResult<LeNode>) -> Fingerprint {
+    let out = LeOutcome::evaluate(r);
+    Fingerprint {
+        success: out.success,
+        outcome: out.agreed_leader.map(|rank| rank.0),
+        msgs_sent: r.metrics.msgs_sent,
+        msgs_delivered: r.metrics.msgs_delivered,
+        bits_sent: r.metrics.bits_sent,
+        rounds: r.metrics.rounds,
+        crashed_at: r.crashed_at.clone(),
+    }
+}
+
+fn agree_fingerprint(r: &RunResult<AgreeNode>) -> Fingerprint {
+    let out = AgreeOutcome::evaluate(r);
+    Fingerprint {
+        success: out.success,
+        outcome: out.agreed_value.map(u64::from),
+        msgs_sent: r.metrics.msgs_sent,
+        msgs_delivered: r.metrics.msgs_delivered,
+        bits_sent: r.metrics.bits_sent,
+        rounds: r.metrics.rounds,
+        crashed_at: r.crashed_at.clone(),
+    }
+}
+
+fn le_adversary(kind: &str, f: usize) -> Box<dyn Adversary<LeMsg>> {
+    match kind {
+        "none" => Box::new(NoFaults),
+        "eager" => Box::new(EagerCrash::new(f)),
+        "random" => Box::new(RandomCrash::new(f, 60)),
+        "targeted" => Box::new(MinRankCrasher::new(f)),
+        other => panic!("unknown adversary {other}"),
+    }
+}
+
+fn agree_adversary(kind: &str, f: usize) -> Box<dyn Adversary<AgreeMsg>> {
+    match kind {
+        "none" => Box::new(NoFaults),
+        "eager" => Box::new(EagerCrash::new(f)),
+        "random" => Box::new(RandomCrash::new(f, 20)),
+        "targeted" => Box::new(ZeroHolderCrasher::new(f)),
+        other => panic!("unknown adversary {other}"),
+    }
+}
+
+#[test]
+fn leader_election_matches_engine_on_channel_transport() {
+    let params = Params::new(N, ALPHA).unwrap();
+    let f = params.max_faults();
+    for adversary in ["none", "eager", "random", "targeted"] {
+        for seed in [1u64, 7, 99] {
+            let cfg = SimConfig::new(N)
+                .seed(seed)
+                .max_rounds(params.le_round_budget());
+            let sim = run(
+                &cfg,
+                |_| LeNode::new(params.clone()),
+                le_adversary(adversary, f).as_mut(),
+            );
+            let expected = le_fingerprint(&sim);
+            for workers in WORKER_COUNTS {
+                let net = run_over_channel(
+                    &cfg,
+                    workers,
+                    |_| LeNode::new(params.clone()),
+                    le_adversary(adversary, f).as_mut(),
+                );
+                assert_eq!(
+                    le_fingerprint(&net.run),
+                    expected,
+                    "LE diverged: adversary={adversary} seed={seed} workers={workers}"
+                );
+                assert_eq!(net.run.metrics.wire_bytes, net.net.wire_bytes);
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_matches_engine_on_channel_transport() {
+    let params = Params::new(N, ALPHA).unwrap();
+    let f = params.max_faults();
+    // Every 8th node holds input 0, the rest hold 1.
+    let input = |id: NodeId| !id.0.is_multiple_of(8);
+    for adversary in ["none", "eager", "random", "targeted"] {
+        for seed in [2u64, 13] {
+            let cfg = SimConfig::new(N)
+                .seed(seed)
+                .max_rounds(params.agreement_round_budget());
+            let sim = run(
+                &cfg,
+                |id| AgreeNode::new(params.clone(), input(id)),
+                agree_adversary(adversary, f).as_mut(),
+            );
+            let expected = agree_fingerprint(&sim);
+            for workers in WORKER_COUNTS {
+                let net = run_over_channel(
+                    &cfg,
+                    workers,
+                    |id| AgreeNode::new(params.clone(), input(id)),
+                    agree_adversary(adversary, f).as_mut(),
+                );
+                assert_eq!(
+                    agree_fingerprint(&net.run),
+                    expected,
+                    "agreement diverged: adversary={adversary} seed={seed} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_wire_accounting() {
+    // Outcomes are covered above; wire bytes must also be schedule-free.
+    let params = Params::new(N, ALPHA).unwrap();
+    let cfg = SimConfig::new(N)
+        .seed(5)
+        .max_rounds(params.le_round_budget());
+    let f = params.max_faults();
+    let baseline = run_over_channel(
+        &cfg,
+        1,
+        |_| LeNode::new(params.clone()),
+        le_adversary("eager", f).as_mut(),
+    );
+    for workers in [2, 4, 8] {
+        let net = run_over_channel(
+            &cfg,
+            workers,
+            |_| LeNode::new(params.clone()),
+            le_adversary("eager", f).as_mut(),
+        );
+        assert_eq!(net.net.wire_bytes, baseline.net.wire_bytes);
+        assert_eq!(net.net.frames_sent, baseline.net.frames_sent);
+    }
+}
+
+#[test]
+fn tcp_smoke_leader_election_n8() {
+    // The acceptance configuration: n = 8, alpha = 0.5 (tiny-n
+    // best-effort regime), over real sockets.
+    let n = 8;
+    let params = Params::new(n, 0.5).unwrap();
+    let cfg = SimConfig::new(n)
+        .seed(1)
+        .max_rounds(params.le_round_budget());
+    let sim = run(&cfg, |_| LeNode::new(params.clone()), &mut NoFaults);
+    let net = run_over_tcp(&cfg, 4, |_| LeNode::new(params.clone()), &mut NoFaults)
+        .expect("tcp mesh at n=8");
+    assert_eq!(le_fingerprint(&net.run), le_fingerprint(&sim));
+    let out = LeOutcome::evaluate(&net.run);
+    assert!(out.success, "exactly one leader over real sockets");
+    assert!(net.net.wire_bytes > 0);
+}
+
+#[test]
+fn tcp_smoke_agreement_n8_with_crashes() {
+    let n = 8;
+    let params = Params::new(n, 0.5).unwrap();
+    let f = params.max_faults();
+    let cfg = SimConfig::new(n)
+        .seed(3)
+        .max_rounds(params.agreement_round_budget());
+    let input = |id: NodeId| id.0 != 0;
+    let sim = run(
+        &cfg,
+        |id| AgreeNode::new(params.clone(), input(id)),
+        agree_adversary("eager", f).as_mut(),
+    );
+    let net = run_over_tcp(
+        &cfg,
+        4,
+        |id| AgreeNode::new(params.clone(), input(id)),
+        agree_adversary("eager", f).as_mut(),
+    )
+    .expect("tcp mesh at n=8");
+    assert_eq!(agree_fingerprint(&net.run), agree_fingerprint(&sim));
+    assert!(AgreeOutcome::evaluate(&net.run).success);
+}
