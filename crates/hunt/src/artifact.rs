@@ -1,0 +1,235 @@
+//! Replayable counterexample bundles.
+//!
+//! An [`Artifact`] is the hunt's unit of evidence: everything needed to
+//! re-execute a found schedule byte-for-byte — protocol, parameters,
+//! the exact [`SimConfig`] (including the probe seed), the schedule — plus
+//! what the hunt observed, so replay is a *check*, not just a rerun.
+//! `ftc replay` re-executes the bundle on the sim engine or an `ftc-net`
+//! runtime and diffs the fresh fingerprint against the recorded one;
+//! a committed artifact thereby pins the PR-3 bit-equivalence guarantee to
+//! a concrete adversarial schedule in CI.
+
+use ftc_core::prelude::Params;
+use ftc_sim::engine::SimConfig;
+use ftc_sim::json::{Json, JsonError};
+use ftc_sim::prelude::FaultPlan;
+
+use crate::objective::{Bounds, Objective};
+use crate::proto::{observe, Fingerprint, Observation, ProtoKind, Substrate};
+
+/// Current artifact schema version.
+pub const ARTIFACT_VERSION: u64 = 1;
+
+/// A self-contained, replayable counterexample.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Schema version (see [`ARTIFACT_VERSION`]).
+    pub version: u64,
+    /// The protocol the schedule attacks.
+    pub proto: ProtoKind,
+    /// The objective the schedule was hunted under.
+    pub objective: Objective,
+    /// Resilience parameter the protocol ran with.
+    pub alpha: f64,
+    /// Agreement input density (ignored for LE, recorded regardless).
+    pub zeros: f64,
+    /// Exact execution config; `seed` is the counterexample probe seed.
+    pub config: SimConfig,
+    /// The (shrunk) crash schedule.
+    pub schedule: FaultPlan,
+    /// Objective score the hunt observed.
+    pub score: f64,
+    /// Whether the observation was an actual counterexample (vs. merely
+    /// the worst schedule the budget found).
+    pub hit: bool,
+    /// The recorded execution fingerprint replay must reproduce.
+    pub fingerprint: Fingerprint,
+}
+
+/// The result of replaying an artifact on one substrate.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// What the replay ran on.
+    pub substrate: Substrate,
+    /// The fresh observation.
+    pub observation: Observation,
+    /// Whether the fresh fingerprint equals the recorded one.
+    pub fingerprint_matches: bool,
+    /// Whether the objective's hit verdict was reproduced.
+    pub verdict_matches: bool,
+}
+
+impl ReplayReport {
+    /// Replay succeeded: same bytes, same verdict.
+    pub fn ok(&self) -> bool {
+        self.fingerprint_matches && self.verdict_matches
+    }
+}
+
+impl Artifact {
+    /// The protocol parameters the artifact's runs use.
+    pub fn params(&self) -> Result<Params, String> {
+        Params::new(self.config.n, self.alpha).map_err(|e| format!("bad artifact params: {e}"))
+    }
+
+    /// JSON encoding (compact, deterministic key order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::UInt(self.version)),
+            ("proto".into(), Json::Str(self.proto.name().into())),
+            ("objective".into(), Json::Str(self.objective.name().into())),
+            ("alpha".into(), Json::Num(self.alpha)),
+            ("zeros".into(), Json::Num(self.zeros)),
+            ("config".into(), self.config.to_json()),
+            ("schedule".into(), self.schedule.to_json()),
+            (
+                "observed".into(),
+                Json::Obj(vec![
+                    ("score".into(), Json::Num(self.score)),
+                    ("hit".into(), Json::Bool(self.hit)),
+                    ("fingerprint".into(), self.fingerprint.to_json()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decodes an artifact from its [`Artifact::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v.field("version")?.as_u64()?;
+        if version != ARTIFACT_VERSION {
+            return Err(JsonError {
+                message: format!("unsupported artifact version {version}"),
+            });
+        }
+        let err = |message: String| JsonError { message };
+        let observed = v.field("observed")?;
+        Ok(Artifact {
+            version,
+            proto: ProtoKind::parse(v.field("proto")?.as_str()?).map_err(err)?,
+            objective: Objective::parse(v.field("objective")?.as_str()?).map_err(err)?,
+            alpha: v.field("alpha")?.as_f64()?,
+            zeros: v.field("zeros")?.as_f64()?,
+            config: SimConfig::from_json(v.field("config")?)?,
+            schedule: FaultPlan::from_json(v.field("schedule")?)?,
+            score: observed.field("score")?.as_f64()?,
+            hit: observed.field("hit")?.as_bool()?,
+            fingerprint: Fingerprint::from_json(observed.field("fingerprint")?)?,
+        })
+    }
+
+    /// Renders the artifact as a JSON string (plus trailing newline, so
+    /// committed artifacts diff cleanly).
+    pub fn render(&self) -> String {
+        let mut s = self.to_json().render();
+        s.push('\n');
+        s
+    }
+
+    /// Parses an artifact from a JSON string.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let v = Json::parse(s).map_err(|e| format!("artifact JSON: {}", e.message))?;
+        Artifact::from_json(&v).map_err(|e| format!("artifact: {}", e.message))
+    }
+
+    /// Re-executes the bundle on `substrate` and diffs against the record.
+    pub fn replay(&self, substrate: Substrate) -> Result<ReplayReport, String> {
+        let params = self.params()?;
+        let observation = observe(
+            self.proto,
+            &params,
+            &self.config,
+            self.zeros,
+            &self.schedule,
+            substrate,
+        )?;
+        let bounds = Bounds::for_proto(self.proto, &params);
+        let fingerprint_matches = observation.fingerprint == self.fingerprint;
+        let verdict_matches = self.objective.hit(&observation, &bounds) == self.hit;
+        Ok(ReplayReport {
+            substrate,
+            observation,
+            fingerprint_matches,
+            verdict_matches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_sim::adversary::DeliveryFilter;
+    use ftc_sim::ids::NodeId;
+
+    fn sample_artifact() -> Artifact {
+        let params = Params::new(16, 0.5).unwrap();
+        let config = SimConfig::new(16)
+            .seed(0xDEAD_BEEF_CAFE_F00D)
+            .max_rounds(params.le_round_budget());
+        let schedule = FaultPlan::new()
+            .crash(NodeId(3), 0, DeliveryFilter::DropAll)
+            .crash(NodeId(11), 2, DeliveryFilter::KeepFirst(1));
+        let obs = observe(
+            ProtoKind::Le,
+            &params,
+            &config,
+            0.05,
+            &schedule,
+            Substrate::Engine,
+        )
+        .unwrap();
+        let bounds = Bounds::for_proto(ProtoKind::Le, &params);
+        Artifact {
+            version: ARTIFACT_VERSION,
+            proto: ProtoKind::Le,
+            objective: Objective::Failure,
+            alpha: 0.5,
+            zeros: 0.05,
+            config,
+            schedule,
+            score: Objective::Failure.score(&obs),
+            hit: Objective::Failure.hit(&obs, &bounds),
+            fingerprint: obs.fingerprint,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let art = sample_artifact();
+        let back = Artifact::parse(&art.render()).unwrap();
+        assert_eq!(back.version, art.version);
+        assert_eq!(back.proto, art.proto);
+        assert_eq!(back.objective, art.objective);
+        assert_eq!(back.alpha, art.alpha);
+        assert_eq!(back.config.seed, art.config.seed);
+        assert_eq!(back.schedule.entries(), art.schedule.entries());
+        assert_eq!(back.fingerprint, art.fingerprint);
+        assert_eq!(back.hit, art.hit);
+        // And the rendering is deterministic.
+        assert_eq!(back.render(), art.render());
+    }
+
+    #[test]
+    fn replay_matches_on_engine_and_channel() {
+        let art = sample_artifact();
+        let engine = art.replay(Substrate::Engine).unwrap();
+        assert!(engine.ok(), "engine replay diverged: {engine:?}");
+        let channel = art.replay(Substrate::Channel(2)).unwrap();
+        assert!(channel.ok(), "channel replay diverged: {channel:?}");
+    }
+
+    #[test]
+    fn replay_detects_tampered_fingerprints() {
+        let mut art = sample_artifact();
+        art.fingerprint.msgs_sent += 1;
+        let report = art.replay(Substrate::Engine).unwrap();
+        assert!(!report.fingerprint_matches);
+    }
+
+    #[test]
+    fn version_gate_rejects_future_schemas() {
+        let mut art = sample_artifact();
+        art.version = 99;
+        let s = art.render();
+        assert!(Artifact::parse(&s).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Schedule generators and mutators over [`FaultPlan`] space.
+//!
+//! Three ways to produce a candidate, all deterministic in the RNG they
+//! are handed (the search layer derives that RNG from the per-candidate
+//! trial seed, which is what keeps the whole hunt `--jobs`-invariant):
+//!
+//! * [`random_plan`] — uniform faulty set, uniform crash rounds, uniform
+//!   per-crash delivery filters;
+//! * [`guided_plan`] — like `random_plan`, but the faulty set and crash
+//!   rounds are biased toward high-influence `(node, round)` pairs mined
+//!   from a reference trace by `ftc_lowerbound::crash_targets` — the
+//!   hunter's approximation of the Section IV-B adversary that crashes
+//!   cloud-bridging senders mid-broadcast;
+//! * [`mutate_plan`] — one local edit (retarget, retime, refilter, add,
+//!   or drop a crash entry) for hill-climbing / annealing.
+
+use ftc_lowerbound::prelude::CrashTarget;
+use ftc_sim::adversary::DeliveryFilter;
+use ftc_sim::ids::{NodeId, Round};
+use ftc_sim::prelude::FaultPlan;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The search-space box a generator draws from.
+#[derive(Clone, Debug)]
+pub struct PlanSpace {
+    /// Ring size.
+    pub n: u32,
+    /// Maximum number of crash entries (the paper's `f <= (1-alpha) n`).
+    pub max_faults: usize,
+    /// Crash rounds are drawn from `0..round_budget`.
+    pub round_budget: u32,
+    /// Influence-ranked `(node, round)` crash targets; empty disables
+    /// guidance and [`guided_plan`] degenerates to [`random_plan`].
+    pub targets: Vec<CrashTarget>,
+}
+
+impl PlanSpace {
+    /// A space with no trace guidance.
+    pub fn new(n: u32, max_faults: usize, round_budget: u32) -> Self {
+        PlanSpace {
+            n,
+            max_faults: max_faults.min(n.saturating_sub(1) as usize),
+            round_budget: round_budget.max(1),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Installs influence-cloud crash targets for [`guided_plan`].
+    pub fn with_targets(mut self, targets: Vec<CrashTarget>) -> Self {
+        self.targets = targets;
+        self
+    }
+}
+
+/// Draws a delivery filter, spanning every [`DeliveryFilter`] variant so
+/// the search can reach partial-delivery counterexamples, not just clean
+/// stop failures.
+pub fn random_filter(rng: &mut SmallRng, n: u32) -> DeliveryFilter {
+    match rng.random_range(0..5u8) {
+        0 => DeliveryFilter::DeliverAll,
+        1 => DeliveryFilter::DropAll,
+        2 => DeliveryFilter::KeepFirst(rng.random_range(0..=4u32) as usize),
+        3 => DeliveryFilter::DeliverEachWithProbability(rng.random_range(0.0..1.0)),
+        _ => {
+            let k = rng.random_range(0..=3usize);
+            let dsts = rand::seq::index::sample(rng, n as usize, k)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect();
+            DeliveryFilter::KeepToDestinations(dsts)
+        }
+    }
+}
+
+fn push_entry(
+    entries: &mut Vec<(NodeId, Round, DeliveryFilter)>,
+    node: NodeId,
+    round: Round,
+    filter: DeliveryFilter,
+) {
+    // FaultPlan semantics: one crash round per node; first entry wins the
+    // faulty-set slot, so keep nodes distinct here.
+    if entries.iter().all(|(existing, _, _)| *existing != node) {
+        entries.push((node, round, filter));
+    }
+}
+
+/// A uniformly random schedule: `1..=max_faults` distinct nodes, each
+/// crashing at a uniform round with a uniform filter.
+pub fn random_plan(rng: &mut SmallRng, space: &PlanSpace) -> FaultPlan {
+    let faults = rng.random_range(1..=space.max_faults.max(1));
+    let nodes = rand::seq::index::sample(rng, space.n as usize, faults);
+    let mut entries = Vec::with_capacity(faults);
+    for i in nodes {
+        let round = rng.random_range(0..space.round_budget);
+        let filter = random_filter(rng, space.n);
+        push_entry(&mut entries, NodeId(i as u32), round, filter);
+    }
+    FaultPlan::from_entries(entries)
+}
+
+/// A trace-guided schedule: each crash slot is filled from the influence
+/// ranking with probability 3/4 (weighted toward the head of the list,
+/// crashing at the target's referee round), else uniformly. Falls back to
+/// [`random_plan`] when the space carries no targets.
+pub fn guided_plan(rng: &mut SmallRng, space: &PlanSpace) -> FaultPlan {
+    if space.targets.is_empty() {
+        return random_plan(rng, space);
+    }
+    let faults = rng.random_range(1..=space.max_faults.max(1));
+    let mut entries = Vec::with_capacity(faults);
+    for _ in 0..faults {
+        if rng.random_bool(0.75) {
+            // Geometric-ish head bias: halve the candidate window until it
+            // sticks, so rank-0 targets are crashed most often.
+            let mut window = space.targets.len();
+            while window > 1 && rng.random_bool(0.5) {
+                window = window.div_ceil(2);
+            }
+            let t = &space.targets[rng.random_range(0..window)];
+            push_entry(&mut entries, t.node, t.round, random_filter(rng, space.n));
+        } else {
+            let node = NodeId(rng.random_range(0..space.n));
+            let round = rng.random_range(0..space.round_budget);
+            push_entry(&mut entries, node, round, random_filter(rng, space.n));
+        }
+    }
+    if entries.is_empty() {
+        return random_plan(rng, space);
+    }
+    FaultPlan::from_entries(entries)
+}
+
+/// One local edit of `plan`: retime, refilter, or retarget an existing
+/// crash entry, add a fresh one, or drop one. Never returns an empty plan.
+pub fn mutate_plan(rng: &mut SmallRng, plan: &FaultPlan, space: &PlanSpace) -> FaultPlan {
+    let entries = plan.entries();
+    if entries.is_empty() {
+        return random_plan(rng, space);
+    }
+    let idx = rng.random_range(0..entries.len());
+    let (node, round, _) = entries[idx].clone();
+    match rng.random_range(0..5u8) {
+        // Retime: nudge the crash round.
+        0 => {
+            let delta = rng.random_range(1..=3u32);
+            let round = if rng.random_bool(0.5) {
+                round.saturating_sub(delta)
+            } else {
+                (round + delta).min(space.round_budget - 1)
+            };
+            plan.with_entry(idx, (node, round, entries[idx].2.clone()))
+        }
+        // Refilter: redraw the delivery filter.
+        1 => plan.with_entry(idx, (node, round, random_filter(rng, space.n))),
+        // Retarget: move the crash to a node not already in the plan.
+        2 => {
+            let fresh = NodeId(rng.random_range(0..space.n));
+            if entries.iter().any(|(existing, _, _)| *existing == fresh) {
+                plan.with_entry(idx, (node, round, random_filter(rng, space.n)))
+            } else {
+                plan.with_entry(idx, (fresh, round, entries[idx].2.clone()))
+            }
+        }
+        // Grow: add a crash if the budget allows.
+        3 if entries.len() < space.max_faults => {
+            let fresh = NodeId(rng.random_range(0..space.n));
+            if entries.iter().any(|(existing, _, _)| *existing == fresh) {
+                plan.with_entry(idx, (node, round, random_filter(rng, space.n)))
+            } else {
+                let round = rng.random_range(0..space.round_budget);
+                let filter = random_filter(rng, space.n);
+                plan.clone().crash(fresh, round, filter)
+            }
+        }
+        // Shrink: drop a crash, keeping the plan non-empty.
+        _ if entries.len() > 1 => plan.without_entry(idx),
+        _ => plan.with_entry(idx, (node, round, random_filter(rng, space.n))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> PlanSpace {
+        PlanSpace::new(32, 8, 24)
+    }
+
+    fn check_invariants(plan: &FaultPlan, space: &PlanSpace) {
+        let entries = plan.entries();
+        assert!(!entries.is_empty());
+        assert!(entries.len() <= space.max_faults);
+        let mut nodes: Vec<u32> = entries.iter().map(|(node, _, _)| node.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), entries.len(), "duplicate crash node");
+        for (node, round, _) in entries {
+            assert!(node.0 < space.n);
+            assert!(*round < space.round_budget);
+        }
+    }
+
+    #[test]
+    fn random_plans_stay_in_space() {
+        let space = space();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            check_invariants(&random_plan(&mut rng, &space), &space);
+        }
+    }
+
+    #[test]
+    fn guided_plans_prefer_targets() {
+        let targets = vec![
+            CrashTarget {
+                node: NodeId(7),
+                round: 3,
+                weight: 10.0,
+            },
+            CrashTarget {
+                node: NodeId(21),
+                round: 5,
+                weight: 4.0,
+            },
+        ];
+        let space = space().with_targets(targets);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut targeted = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let plan = guided_plan(&mut rng, &space);
+            check_invariants(&plan, &space);
+            for (node, _, _) in plan.entries() {
+                total += 1;
+                if node.0 == 7 || node.0 == 21 {
+                    targeted += 1;
+                }
+            }
+        }
+        // 2 of 32 nodes would get ~6% of crashes unbiased; guidance should
+        // push them far past that.
+        assert!(
+            targeted * 3 > total,
+            "guidance too weak: {targeted}/{total} crashes on targets"
+        );
+    }
+
+    #[test]
+    fn guided_without_targets_is_random() {
+        let space = space();
+        let mut a = SmallRng::seed_from_u64(13);
+        let mut b = SmallRng::seed_from_u64(13);
+        assert_eq!(
+            guided_plan(&mut a, &space).entries(),
+            random_plan(&mut b, &space).entries()
+        );
+    }
+
+    #[test]
+    fn mutations_preserve_invariants_and_usually_differ() {
+        let space = space();
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mut plan = random_plan(&mut rng, &space);
+        let mut changed = 0usize;
+        for _ in 0..300 {
+            let next = mutate_plan(&mut rng, &plan, &space);
+            check_invariants(&next, &space);
+            if next.entries() != plan.entries() {
+                changed += 1;
+            }
+            plan = next;
+        }
+        assert!(changed > 250, "mutator mostly no-ops: {changed}/300");
+    }
+}

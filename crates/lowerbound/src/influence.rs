@@ -161,6 +161,66 @@ impl InfluenceAnalysis {
     }
 }
 
+/// A crash target suggested by influence analysis: a node whose messages
+/// shape many other nodes' views, paired with the round in which crashing
+/// it first bites (its first send round) and a ranking weight.
+///
+/// This is the adversary-search guidance API: `ftc-hunt`'s trace-guided
+/// strategy probes a fault-free execution, asks for the top-`k` targets,
+/// and biases its schedule candidates towards crashing exactly these
+/// `(node, round)` pairs — initiators and referee-like hubs, at the moment
+/// their influence cloud starts growing — instead of sampling victims
+/// uniformly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashTarget {
+    /// The suggested victim.
+    pub node: NodeId,
+    /// The round its influence starts (crash here or earlier to erase it).
+    pub round: Round,
+    /// Ranking weight (higher = more influential), deterministic for a
+    /// given trace: delivered out-degree, doubled for initiators.
+    pub weight: f64,
+}
+
+/// Ranks the `k` most influential senders of `trace` as crash targets, in
+/// decreasing weight (ties broken by node id, so the ranking is a pure
+/// function of the trace).
+pub fn crash_targets(trace: &Trace, k: usize) -> Vec<CrashTarget> {
+    let nn = trace.n() as usize;
+    let analysis = InfluenceAnalysis::full(trace);
+    let mut out_degree = vec![0u64; nn];
+    let mut first_send: Vec<Option<Round>> = vec![None; nn];
+    for ev in trace.events() {
+        let s = &mut first_send[ev.src.index()];
+        if s.is_none_or(|cur| ev.round < cur) {
+            *s = Some(ev.round);
+        }
+        if ev.delivered {
+            out_degree[ev.src.index()] += 1;
+        }
+    }
+    let mut targets: Vec<CrashTarget> = (0..nn)
+        .filter_map(|u| {
+            let round = first_send[u]?;
+            let initiator = analysis.initiators.contains(&NodeId::from(u));
+            let weight = out_degree[u] as f64 * if initiator { 2.0 } else { 1.0 };
+            (weight > 0.0).then_some(CrashTarget {
+                node: NodeId::from(u),
+                round,
+                weight,
+            })
+        })
+        .collect();
+    targets.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .expect("finite weights")
+            .then(a.node.cmp(&b.node))
+    });
+    targets.truncate(k);
+    targets
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +344,20 @@ mod tests {
         let full = InfluenceAnalysis::full(&trace);
         let early = InfluenceAnalysis::up_to(&trace, 0);
         assert!(early.cloud_members(NodeId(0)).len() <= full.cloud_members(NodeId(0)).len());
+    }
+
+    #[test]
+    fn crash_targets_rank_influential_senders_first() {
+        let trace = run_wave(128, &[0, 64], 2);
+        let targets = crash_targets(&trace, 4);
+        assert!(!targets.is_empty());
+        // The wave starters send 3 messages each and are initiators, so
+        // they outrank the single-forward relay nodes.
+        assert!(targets[0].node == NodeId(0) || targets[0].node == NodeId(64));
+        assert_eq!(targets[0].round, 0);
+        assert!(targets.windows(2).all(|w| w[0].weight >= w[1].weight));
+        assert_eq!(targets, crash_targets(&trace, 4), "ranking must be pure");
+        assert!(crash_targets(&trace, 1).len() == 1);
     }
 
     #[test]

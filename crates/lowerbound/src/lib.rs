@@ -21,5 +21,5 @@ pub mod influence;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::capped::{sweep_agreement, sweep_leader_election, SweepPoint};
-    pub use crate::influence::InfluenceAnalysis;
+    pub use crate::influence::{crash_targets, CrashTarget, InfluenceAnalysis};
 }

@@ -365,6 +365,39 @@ impl FaultPlan {
         self
     }
 
+    /// Builds a plan from explicit entries (the mutation/serde entry point:
+    /// search strategies edit entry vectors and rebuild plans from them).
+    pub fn from_entries(entries: Vec<(NodeId, Round, DeliveryFilter)>) -> Self {
+        FaultPlan { entries }
+    }
+
+    /// The scheduled `(node, round, filter)` triples, in insertion order.
+    pub fn entries(&self) -> &[(NodeId, Round, DeliveryFilter)] {
+        &self.entries
+    }
+
+    /// A copy of the plan with entry `idx` removed (shrinker hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn without_entry(&self, idx: usize) -> Self {
+        let mut entries = self.entries.clone();
+        entries.remove(idx);
+        FaultPlan { entries }
+    }
+
+    /// A copy of the plan with entry `idx` replaced (mutation hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn with_entry(&self, idx: usize, entry: (NodeId, Round, DeliveryFilter)) -> Self {
+        let mut entries = self.entries.clone();
+        entries[idx] = entry;
+        FaultPlan { entries }
+    }
+
     /// Number of scheduled crashes.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -386,6 +419,11 @@ impl ScriptedCrash {
     /// Executes exactly the crashes in `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         ScriptedCrash { plan }
+    }
+
+    /// The plan this adversary executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
     }
 }
 

@@ -1,0 +1,668 @@
+//! Minimal self-contained JSON for schedule portability.
+//!
+//! Counterexample schedules found by the adversary-search harness
+//! (`ftc-hunt`) must travel between processes and substrates: a schedule
+//! hunted on the sim engine is replayed on the `ftc-net` cluster runtime,
+//! possibly on another machine. The workspace vendors no serde, so this
+//! module provides the few hundred lines of JSON the artifact format
+//! actually needs: a [`Json`] value type, a strict parser, a compact
+//! renderer, and conversions for the schedule types
+//! ([`DeliveryFilter`], [`FaultPlan`], [`SimConfig`]).
+//!
+//! Integers are kept exact: a `u64` seed round-trips bit-for-bit (values
+//! are only widened to `f64` when they carry a fraction or exponent),
+//! which matters because every seed in this codebase is a full-width
+//! `splitmix64` output.
+
+use std::fmt;
+
+use crate::adversary::{DeliveryFilter, FaultPlan};
+use crate::engine::SimConfig;
+use crate::ids::NodeId;
+
+/// A JSON value. Integers are stored exactly ([`Json::UInt`]/[`Json::Int`]);
+/// only fractional or exponent-formed numbers become [`Json::Num`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal (exact, full `u64` range).
+    UInt(u64),
+    /// A negative integer literal (exact).
+    Int(i64),
+    /// A fractional / exponent number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved (render is deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse or schema error, with enough context to act on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Json::get`] but with a descriptive error for absent keys.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The value as a `u64` (exact integers only).
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::UInt(u) => Ok(*u),
+            Json::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(JsonError::new(format!(
+                "expected unsigned integer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as an `f64` (any number).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::UInt(u) => Ok(*u as f64),
+            Json::Int(i) => Ok(*i as f64),
+            Json::Num(x) => Ok(*x),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Compact single-line rendering (no insignificant whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x:?}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing content is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing content at byte {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(JsonError::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(JsonError::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("non-ascii \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not paired; the renderer never
+                            // emits them, so reject rather than mis-decode.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| JsonError::new("surrogate \\u escape"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| JsonError::new("truncated utf-8"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number bytes"))?;
+        if !fractional {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// --- Schedule serde -------------------------------------------------------
+
+impl DeliveryFilter {
+    /// JSON encoding, tagged by `kind`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            DeliveryFilter::DeliverAll => {
+                Json::Obj(vec![("kind".into(), Json::Str("deliver_all".into()))])
+            }
+            DeliveryFilter::DropAll => {
+                Json::Obj(vec![("kind".into(), Json::Str("drop_all".into()))])
+            }
+            DeliveryFilter::KeepFirst(k) => Json::Obj(vec![
+                ("kind".into(), Json::Str("keep_first".into())),
+                ("k".into(), Json::UInt(*k as u64)),
+            ]),
+            DeliveryFilter::DeliverEachWithProbability(p) => Json::Obj(vec![
+                ("kind".into(), Json::Str("deliver_each".into())),
+                ("p".into(), Json::Num(*p)),
+            ]),
+            DeliveryFilter::KeepToDestinations(dsts) => Json::Obj(vec![
+                ("kind".into(), Json::Str("keep_to".into())),
+                (
+                    "dsts".into(),
+                    Json::Arr(dsts.iter().map(|d| Json::UInt(u64::from(d.0))).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Decodes a filter from its [`DeliveryFilter::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("kind")?.as_str()? {
+            "deliver_all" => Ok(DeliveryFilter::DeliverAll),
+            "drop_all" => Ok(DeliveryFilter::DropAll),
+            "keep_first" => Ok(DeliveryFilter::KeepFirst(v.field("k")?.as_u64()? as usize)),
+            "deliver_each" => Ok(DeliveryFilter::DeliverEachWithProbability(
+                v.field("p")?.as_f64()?,
+            )),
+            "keep_to" => {
+                let dsts = v
+                    .field("dsts")?
+                    .as_arr()?
+                    .iter()
+                    .map(|d| d.as_u64().map(|u| NodeId(u as u32)))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(DeliveryFilter::KeepToDestinations(dsts))
+            }
+            other => Err(JsonError::new(format!("unknown filter kind `{other}`"))),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// JSON encoding: an array of `{node, round, filter}` entries.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.entries()
+                .iter()
+                .map(|(node, round, filter)| {
+                    Json::Obj(vec![
+                        ("node".into(), Json::UInt(u64::from(node.0))),
+                        ("round".into(), Json::UInt(u64::from(*round))),
+                        ("filter".into(), filter.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes a plan from its [`FaultPlan::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let entries = v
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                Ok((
+                    NodeId(e.field("node")?.as_u64()? as u32),
+                    e.field("round")?.as_u64()? as u32,
+                    DeliveryFilter::from_json(e.field("filter")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(FaultPlan::from_entries(entries))
+    }
+}
+
+impl SimConfig {
+    /// JSON encoding of every configuration knob.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".into(), Json::UInt(u64::from(self.n))),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("max_rounds".into(), Json::UInt(u64::from(self.max_rounds))),
+            ("kt1".into(), Json::Bool(self.kt1)),
+            ("record_trace".into(), Json::Bool(self.record_trace)),
+            (
+                "congest_bits".into(),
+                self.congest_bits
+                    .map_or(Json::Null, |b| Json::UInt(u64::from(b))),
+            ),
+            (
+                "send_cap".into(),
+                self.send_cap
+                    .map_or(Json::Null, |c| Json::UInt(u64::from(c))),
+            ),
+            (
+                "edge_failure_prob".into(),
+                Json::Num(self.edge_failure_prob),
+            ),
+        ])
+    }
+
+    /// Decodes and validates a configuration from its
+    /// [`SimConfig::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut cfg = SimConfig::try_new(v.field("n")?.as_u64()? as u32)
+            .map_err(|e| JsonError::new(e.to_string()))?;
+        cfg.seed = v.field("seed")?.as_u64()?;
+        cfg.max_rounds = v.field("max_rounds")?.as_u64()? as u32;
+        cfg.kt1 = v.field("kt1")?.as_bool()?;
+        cfg.record_trace = v.field("record_trace")?.as_bool()?;
+        cfg.congest_bits = match v.field("congest_bits")? {
+            Json::Null => None,
+            other => Some(other.as_u64()? as u32),
+        };
+        cfg.send_cap = match v.field("send_cap")? {
+            Json::Null => None,
+            other => Some(other.as_u64()? as u32),
+        };
+        cfg.edge_failure_prob = v.field("edge_failure_prob")?.as_f64()?;
+        cfg.validate().map_err(|e| JsonError::new(e.to_string()))?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\\n\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.render()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn full_u64_integers_stay_exact() {
+        let seed = u64::MAX - 12345;
+        let v = Json::parse(&Json::UInt(seed).render()).unwrap();
+        assert_eq!(v.as_u64().unwrap(), seed);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x\"y","d":-1,"e":0.25}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        assert_eq!(v.field("d").unwrap(), &Json::Int(-1));
+        assert_eq!(v.get("missing"), None);
+        assert!(v.field("missing").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    fn random_filter(rng: &mut SmallRng) -> DeliveryFilter {
+        match rng.random_range(0..5u8) {
+            0 => DeliveryFilter::DeliverAll,
+            1 => DeliveryFilter::DropAll,
+            2 => DeliveryFilter::KeepFirst(rng.random_range(0..64)),
+            3 => DeliveryFilter::DeliverEachWithProbability(
+                f64::from(rng.random_range(0..=100u32)) / 100.0,
+            ),
+            _ => DeliveryFilter::KeepToDestinations(
+                (0..rng.random_range(0..6u32))
+                    .map(|_| NodeId(rng.random_range(0..32)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The satellite's round-trip property: arbitrary plans survive
+    /// serialisation, so schedules are portable across sim and cluster.
+    #[test]
+    fn fault_plan_round_trip_property() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for _ in 0..200 {
+            let entries: Vec<_> = (0..rng.random_range(0..10u32))
+                .map(|_| {
+                    (
+                        NodeId(rng.random_range(0..32)),
+                        rng.random_range(0..20u32),
+                        random_filter(&mut rng),
+                    )
+                })
+                .collect();
+            let plan = FaultPlan::from_entries(entries);
+            let json = plan.to_json().render();
+            let back = FaultPlan::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back.entries(), plan.entries(), "{json}");
+        }
+    }
+
+    #[test]
+    fn sim_config_round_trips_including_options() {
+        let mut cfg = SimConfig::new(48)
+            .seed(0xDEAD_BEEF_DEAD_BEEF)
+            .max_rounds(33);
+        cfg.kt1 = true;
+        cfg.record_trace = true;
+        cfg.congest_bits = Some(96);
+        cfg.send_cap = Some(5);
+        cfg.edge_failure_prob = 0.125;
+        let back = SimConfig::from_json(&Json::parse(&cfg.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back.n, cfg.n);
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.max_rounds, cfg.max_rounds);
+        assert_eq!(back.kt1, cfg.kt1);
+        assert_eq!(back.record_trace, cfg.record_trace);
+        assert_eq!(back.congest_bits, cfg.congest_bits);
+        assert_eq!(back.send_cap, cfg.send_cap);
+        assert_eq!(back.edge_failure_prob, cfg.edge_failure_prob);
+        // A plain default config round-trips too (None options).
+        let plain = SimConfig::new(8);
+        let back = SimConfig::from_json(&Json::parse(&plain.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back.send_cap, None);
+        assert_eq!(back.congest_bits, None);
+    }
+
+    #[test]
+    fn invalid_configs_fail_schema_validation() {
+        let v = Json::parse(r#"{"n":1,"seed":0,"max_rounds":4,"kt1":false,"record_trace":false,"congest_bits":null,"send_cap":null,"edge_failure_prob":0.0}"#).unwrap();
+        assert!(SimConfig::from_json(&v).is_err());
+        let bad_filter = Json::parse(r#"{"kind":"martian"}"#).unwrap();
+        assert!(DeliveryFilter::from_json(&bad_filter).is_err());
+    }
+}

@@ -55,6 +55,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod ids;
+pub mod json;
 pub mod metrics;
 pub mod node;
 pub mod payload;
@@ -74,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::engine::{run, ConfigError, RunResult, SimConfig};
     pub use crate::ids::{NodeId, Port, Round};
+    pub use crate::json::{Json, JsonError};
     pub use crate::metrics::{LogHistogram, Metrics, MetricsAggregate};
     pub use crate::node::{Activation, NodeHarness};
     pub use crate::payload::{Payload, Wire};

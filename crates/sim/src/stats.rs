@@ -52,6 +52,17 @@ impl Summary {
         }
     }
 
+    /// Non-panicking variant of [`Summary::of`]: `None` for an empty
+    /// sample. Front ends that accept a user-supplied trial count should
+    /// use this (an empty batch is a config error, not a crash site).
+    pub fn try_of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            None
+        } else {
+            Some(Summary::of(values))
+        }
+    }
+
     /// Summarises any iterator of numbers convertible to `f64`.
     pub fn of_iter<I, V>(values: I) -> Self
     where
@@ -60,6 +71,16 @@ impl Summary {
     {
         let v: Vec<f64> = values.into_iter().map(Into::into).collect();
         Summary::of(&v)
+    }
+
+    /// Non-panicking variant of [`Summary::of_iter`].
+    pub fn try_of_iter<I, V>(values: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<f64>,
+    {
+        let v: Vec<f64> = values.into_iter().map(Into::into).collect();
+        Summary::try_of(&v)
     }
 }
 
@@ -205,6 +226,15 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn empty_summary_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn try_of_is_total() {
+        assert_eq!(Summary::try_of(&[]), None);
+        assert_eq!(Summary::try_of_iter(std::iter::empty::<f64>()), None);
+        let s = Summary::try_of(&[2.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(Summary::try_of_iter([2.0f64, 4.0]).unwrap().mean, 3.0);
     }
 
     #[test]

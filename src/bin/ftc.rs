@@ -6,12 +6,21 @@
 //! ftc sweep   --n 2048 --alpha 0.5 --caps 64,16,4,1 --trials 24 [--format csv]
 //! ftc trace   --n 512  --alpha 0.5 --seed 7          # influence-cloud report
 //! ftc cluster --n 8 --alpha 0.5 --proto le --seed 1 --transport tcp
+//! ftc hunt    --n 64 --alpha 0.5 --proto le --objective failure --budget 256
+//! ftc replay  results/le-failure.counterexample.json --transport channel
 //! ```
 //!
 //! `cluster` runs the same protocols over a real transport (`ftc-net`):
 //! localhost TCP sockets or in-process channels, with crash injection as
 //! mid-round socket teardown. Simulator and cluster emit the same row
 //! shapes, so `--format csv|json` output is interchangeable downstream.
+//!
+//! `hunt` searches the crash-schedule space for a schedule that breaks the
+//! chosen objective (`ftc-hunt`), ddmin-shrinks the worst one it finds,
+//! cross-checks it on the sim engine and the channel runtime, and (with
+//! `--out`) writes a replayable counterexample artifact. `replay`
+//! re-executes such an artifact and fails if the recorded fingerprint or
+//! verdict is not reproduced bit-for-bit.
 //!
 //! All subcommands are deterministic given `--seed`.
 
@@ -34,6 +43,13 @@ struct Opts {
     proto: String,
     transport: String,
     workers: usize,
+    objective: String,
+    strategy: String,
+    budget: u64,
+    probes: u64,
+    out: Option<String>,
+    /// Non-flag arguments (e.g. the artifact path for `replay`).
+    positional: Vec<String>,
 }
 
 impl Default for Opts {
@@ -51,6 +67,12 @@ impl Default for Opts {
             proto: "le".into(),
             transport: "tcp".into(),
             workers: 4,
+            objective: "failure".into(),
+            strategy: "random".into(),
+            budget: 256,
+            probes: 3,
+            out: None,
+            positional: Vec::new(),
         }
     }
 }
@@ -79,6 +101,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--trials" => {
                 o.trials = value(i)?.parse().map_err(|e| format!("--trials: {e}"))?;
+                if o.trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
                 i += 2;
             }
             "--zeros" => {
@@ -115,6 +140,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--jobs" => {
                 o.jobs = value(i)?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if o.jobs == 0 {
+                    return Err(
+                        "--jobs must be at least 1 (omit the flag to use every core)".into(),
+                    );
+                }
                 i += 2;
             }
             "--proto" => {
@@ -137,6 +167,38 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--workers must be at least 1".into());
                 }
                 i += 2;
+            }
+            "--objective" => {
+                o.objective = value(i)?.clone();
+                Objective::parse(&o.objective)?;
+                i += 2;
+            }
+            "--strategy" => {
+                o.strategy = value(i)?.clone();
+                Strategy::parse(&o.strategy)?;
+                i += 2;
+            }
+            "--budget" => {
+                o.budget = value(i)?.parse().map_err(|e| format!("--budget: {e}"))?;
+                if o.budget == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--probes" => {
+                o.probes = value(i)?.parse().map_err(|e| format!("--probes: {e}"))?;
+                if o.probes == 0 {
+                    return Err("--probes must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--out" => {
+                o.out = Some(value(i)?.clone());
+                i += 2;
+            }
+            other if !other.starts_with('-') => {
+                o.positional.push(other.into());
+                i += 1;
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -256,7 +318,12 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
         let mut adv = agree_adversary(&o.adversary, f).expect("validated");
         let r = run(
             c,
-            |id| AgreeNode::new(params.clone(), !(stride != u32::MAX && id.0.is_multiple_of(stride))),
+            |id| {
+                AgreeNode::new(
+                    params.clone(),
+                    !(stride != u32::MAX && id.0.is_multiple_of(stride)),
+                )
+            },
             adv.as_mut(),
         );
         let out = AgreeOutcome::evaluate(&r);
@@ -403,7 +470,10 @@ fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
             let cfg = base.seed(seed).max_rounds(params.agreement_round_budget());
             let mut adv = agree_adversary(&o.adversary, f)?;
             let factory = |id: NodeId| {
-                AgreeNode::new(params.clone(), !(stride != u32::MAX && id.0.is_multiple_of(stride)))
+                AgreeNode::new(
+                    params.clone(),
+                    !(stride != u32::MAX && id.0.is_multiple_of(stride)),
+                )
             };
             let res = if over_tcp {
                 run_over_tcp(&cfg, o.workers, factory, adv.as_mut())
@@ -504,11 +574,211 @@ fn cmd_cluster(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn substrate_name(s: Substrate) -> &'static str {
+    match s {
+        Substrate::Engine => "engine",
+        Substrate::Channel(_) => "channel",
+        Substrate::Tcp(_) => "tcp",
+    }
+}
+
+/// The `ftc-net` substrate selected by `--transport`/`--workers`.
+fn net_substrate(o: &Opts) -> Substrate {
+    if o.transport == "tcp" {
+        Substrate::Tcp(o.workers)
+    } else {
+        Substrate::Channel(o.workers)
+    }
+}
+
+fn cmd_hunt(o: &Opts) -> Result<(), String> {
+    let proto = ProtoKind::parse(&o.proto)?;
+    let objective = Objective::parse(&o.objective)?;
+    let strategy = Strategy::parse(&o.strategy)?;
+    let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
+    let cfg = SimConfig::try_new(o.n)
+        .map_err(|e| e.to_string())?
+        .max_rounds(proto.round_budget(&params));
+    let spec = HuntSpec {
+        proto,
+        objective,
+        params,
+        cfg,
+        zeros: o.zeros,
+        budget: o.budget,
+        probes: o.probes,
+        seed: o.seed,
+        jobs: o.jobs,
+        strategy,
+    };
+    let report = run_hunt(&spec)?;
+    if let Some(w) = o.format.is_machine().then(|| {
+        RowWriter::new(
+            o.format,
+            &["generation", "best_score", "hits", "champion_score"],
+        )
+    }) {
+        let mut w = w;
+        for g in &report.generations {
+            w.emit(&[
+                Value::UInt(g.generation),
+                Value::Float(g.best_score),
+                Value::UInt(g.hits),
+                Value::Float(g.champion_score),
+            ]);
+        }
+    }
+
+    let champ = &report.champion;
+    let reduced = shrink(
+        &spec,
+        &report.bounds,
+        champ.probe_seed,
+        champ.score,
+        &champ.plan,
+    );
+    let mut art_cfg = spec.cfg.clone();
+    art_cfg.seed = champ.probe_seed;
+    let artifact = Artifact {
+        version: ARTIFACT_VERSION,
+        proto,
+        objective,
+        alpha: o.alpha,
+        zeros: o.zeros,
+        config: art_cfg,
+        schedule: reduced.plan.clone(),
+        score: objective.score(&reduced.observation),
+        hit: objective.hit(&reduced.observation, &report.bounds),
+        fingerprint: reduced.observation.fingerprint.clone(),
+    };
+    // Cross-check before emitting: the artifact must replay bit-for-bit on
+    // the engine and on the real channel runtime (PR-3 bit-equivalence).
+    for substrate in [Substrate::Engine, Substrate::Channel(o.workers)] {
+        let check = artifact.replay(substrate)?;
+        if !check.ok() {
+            return Err(format!(
+                "hunted schedule does not replay on {}: {check:?}",
+                substrate_name(substrate)
+            ));
+        }
+    }
+    if !o.format.is_machine() {
+        println!(
+            "hunt: proto={} objective={} strategy={} n={} alpha={} seed={}",
+            proto.name(),
+            objective.name(),
+            strategy.name(),
+            o.n,
+            o.alpha,
+            o.seed
+        );
+        println!(
+            "  evaluated {} schedules in {} generations, {} hit the objective",
+            report.evaluated,
+            report.generations.len(),
+            report.hits
+        );
+        println!(
+            "  bounds: whp message bound {:.0}, round budget {}",
+            report.bounds.message_bound, report.bounds.round_budget
+        );
+        println!(
+            "  champion: score {} ({}) at trial {}, probe seed {}",
+            champ.score,
+            if artifact.hit {
+                "counterexample"
+            } else {
+                "no counterexample"
+            },
+            champ.trial,
+            champ.probe_seed
+        );
+        println!(
+            "  shrunk: {} -> {} crash entries ({} reduction probes)",
+            reduced.entries_before, reduced.entries_after, reduced.probes
+        );
+        println!("  replay: engine ok, channel ok");
+    }
+    if let Some(path) = &o.out {
+        std::fs::write(path, artifact.render()).map_err(|e| format!("{path}: {e}"))?;
+        if !o.format.is_machine() {
+            println!("  artifact written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_replay(o: &Opts) -> Result<(), String> {
+    let path = o
+        .positional
+        .first()
+        .ok_or("replay needs an artifact file: ftc replay <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let artifact = Artifact::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let substrates = [Substrate::Engine, net_substrate(o)];
+    let mut writer = o.format.is_machine().then(|| {
+        RowWriter::new(
+            o.format,
+            &[
+                "substrate",
+                "fingerprint_ok",
+                "verdict_ok",
+                "success",
+                "msgs",
+                "rounds",
+            ],
+        )
+    });
+    let mut failures = 0u32;
+    for substrate in substrates {
+        let report = artifact.replay(substrate)?;
+        if !report.ok() {
+            failures += 1;
+        }
+        if let Some(w) = writer.as_mut() {
+            w.emit(&[
+                Value::Str(substrate_name(substrate).into()),
+                Value::Bool(report.fingerprint_matches),
+                Value::Bool(report.verdict_matches),
+                Value::Bool(report.observation.fingerprint.success),
+                Value::UInt(report.observation.fingerprint.msgs_sent),
+                Value::UInt(u64::from(report.observation.fingerprint.rounds)),
+            ]);
+        } else {
+            println!(
+                "replay {} on {}: fingerprint {}, verdict {} (score {}, hit {})",
+                path,
+                substrate_name(substrate),
+                if report.fingerprint_matches {
+                    "reproduced"
+                } else {
+                    "DIVERGED"
+                },
+                if report.verdict_matches {
+                    "reproduced"
+                } else {
+                    "DIVERGED"
+                },
+                artifact.score,
+                artifact.hit
+            );
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} replay substrate(s) diverged"));
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage: ftc <le|agree|sweep|trace|cluster> [--n N] [--alpha A] [--seed S] \
-     [--trials T] [--zeros Z] [--adversary none|eager|random|targeted] \
-     [--caps c1,c2,none] [--format human|csv|json] [--csv] [--jobs J] \
-     [--proto le|agree] [--transport tcp|channel] [--workers W]"
+    "usage: ftc <le|agree|sweep|trace|cluster|hunt|replay> [--n N] [--alpha A] \
+     [--seed S] [--trials T] [--zeros Z] \
+     [--adversary none|eager|random|targeted] [--caps c1,c2,none] \
+     [--format human|csv|json] [--csv] [--jobs J] [--proto le|agree] \
+     [--transport tcp|channel] [--workers W] \
+     [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
+     [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
+     ftc replay <artifact.json> [--transport tcp|channel] [--workers W]"
 }
 
 fn main() -> ExitCode {
@@ -530,6 +800,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "trace" => cmd_trace(&opts),
         "cluster" => cmd_cluster(&opts),
+        "hunt" => cmd_hunt(&opts),
+        "replay" => cmd_replay(&opts),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {
@@ -600,6 +872,76 @@ mod tests {
     fn unknown_flag_is_an_error() {
         assert!(parse_opts(&args("--bogus 1")).is_err());
         assert!(parse_opts(&args("--n")).is_err());
+    }
+
+    #[test]
+    fn zero_trials_and_zero_jobs_are_rejected_at_parse_time() {
+        let err = parse_opts(&args("--trials 0")).unwrap_err();
+        assert!(err.contains("--trials"), "{err}");
+        let err = parse_opts(&args("--jobs 0")).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(parse_opts(&args("--trials 1 --jobs 1")).is_ok());
+    }
+
+    #[test]
+    fn hunt_flags_parse_and_validate() {
+        let o = parse_opts(&args(
+            "--objective max-messages --strategy anneal --budget 32 --probes 2 --out /tmp/a.json",
+        ))
+        .unwrap();
+        assert_eq!(o.objective, "max-messages");
+        assert_eq!(o.strategy, "anneal");
+        assert_eq!(o.budget, 32);
+        assert_eq!(o.probes, 2);
+        assert_eq!(o.out.as_deref(), Some("/tmp/a.json"));
+        assert!(parse_opts(&args("--objective world-peace")).is_err());
+        assert!(parse_opts(&args("--strategy bfs")).is_err());
+        assert!(parse_opts(&args("--budget 0")).is_err());
+        assert!(parse_opts(&args("--probes 0")).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_are_collected() {
+        let o = parse_opts(&args("results/ce.json --workers 2")).unwrap();
+        assert_eq!(o.positional, vec!["results/ce.json".to_string()]);
+        assert_eq!(o.workers, 2);
+    }
+
+    #[test]
+    fn end_to_end_hunt_then_replay() {
+        let out = std::env::temp_dir().join(format!("ftc-hunt-cli-{}.json", std::process::id()));
+        let o = Opts {
+            n: 16,
+            alpha: 0.5,
+            seed: 9,
+            budget: 8,
+            probes: 1,
+            proto: "le".into(),
+            objective: "max-messages".into(),
+            transport: "channel".into(),
+            workers: 2,
+            jobs: 1,
+            out: Some(out.to_string_lossy().into_owned()),
+            ..Opts::default()
+        };
+        cmd_hunt(&o).unwrap();
+        let replay = Opts {
+            positional: vec![out.to_string_lossy().into_owned()],
+            ..o
+        };
+        cmd_replay(&replay).unwrap();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn replay_of_a_missing_file_is_a_clean_error() {
+        let o = Opts {
+            positional: vec!["/nonexistent/ce.json".into()],
+            ..Opts::default()
+        };
+        assert!(cmd_replay(&o).is_err());
+        // No positional argument at all.
+        assert!(cmd_replay(&Opts::default()).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   for the `Ω(√n/α^{3/2})` lower bounds;
 //! * [`net`] — the real message-passing runtime: the same protocols over
 //!   in-process channels or localhost TCP sockets, bit-identical to the
-//!   simulator for any `(SimConfig, seed)`.
+//!   simulator for any `(SimConfig, seed)`;
+//! * [`hunt`] — adversary search: hunts, shrinks, and replays worst-case
+//!   crash schedules as committed counterexample artifacts.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -36,6 +38,7 @@
 
 pub use ftc_baselines as baselines;
 pub use ftc_core as core;
+pub use ftc_hunt as hunt;
 pub use ftc_lowerbound as lowerbound;
 pub use ftc_net as net;
 pub use ftc_sim as sim;
@@ -47,6 +50,7 @@ pub mod prelude {
     pub use crate::output::{Format, RowWriter, Value};
     pub use ftc_baselines::prelude::*;
     pub use ftc_core::prelude::*;
+    pub use ftc_hunt::prelude::*;
     pub use ftc_lowerbound::prelude::*;
     pub use ftc_net::prelude::*;
     pub use ftc_sim::prelude::*;

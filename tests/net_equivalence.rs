@@ -170,6 +170,46 @@ fn worker_count_does_not_change_wire_accounting() {
 }
 
 #[test]
+fn committed_counterexample_replays_identically_across_worker_counts() {
+    // `results/le-failure.counterexample.json` is a hunted, ddmin-shrunk
+    // schedule under which leader election *fails* at the recorded seed
+    // (a single node going silent in the late referee window). Replaying
+    // it must reproduce the recorded fingerprint and verdict on the
+    // engine and on the channel mesh at every worker count — the hunt
+    // subsystem's acceptance property, pinned to a committed artifact.
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/le-failure.counterexample.json"
+    ))
+    .expect("committed counterexample artifact");
+    let artifact = Artifact::parse(&text).expect("artifact parses");
+    assert!(
+        artifact.hit,
+        "the committed artifact is a real counterexample"
+    );
+
+    let engine = artifact.replay(Substrate::Engine).expect("engine replay");
+    assert!(engine.ok(), "engine replay diverged: {engine:?}");
+    assert!(
+        !engine.observation.fingerprint.success,
+        "the counterexample must still make the protocol fail"
+    );
+    for workers in WORKER_COUNTS {
+        let net = artifact
+            .replay(Substrate::Channel(workers))
+            .expect("channel replay");
+        assert!(
+            net.ok(),
+            "channel replay diverged at workers={workers}: {net:?}"
+        );
+        assert_eq!(
+            net.observation, engine.observation,
+            "channel observation differs from engine at workers={workers}"
+        );
+    }
+}
+
+#[test]
 fn tcp_smoke_leader_election_n8() {
     // The acceptance configuration: n = 8, alpha = 0.5 (tiny-n
     // best-effort regime), over real sockets.
