@@ -10,15 +10,16 @@
 //! static-adversary bounds of this paper and the adaptive-adversary line
 //! of work (Bar-Joseph & Ben-Or '98; Hajiaghayi et al. STOC'22).
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_adaptive -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{print_table, ExpOpts};
-use ftc_core::adversaries::{AdaptiveCandidateKiller, MinRankCrasher};
-use ftc_core::leader_election::{LeNode, LeOutcome};
 use ftc_core::params::Params;
-use ftc_sim::prelude::*;
+use ftc_lab::{run_campaign, Adv, CampaignSpec, CellSpec, LabSubstrate, Workload};
 
 const ALPHA: f64 = 0.5;
 
@@ -34,44 +35,28 @@ fn main() {
     );
     println!();
 
+    let schedules = [
+        ("static: eager mass crash", Adv::Eager),
+        ("static: random timing", Adv::Random(60)),
+        ("static: min-rank assassin", Adv::Targeted),
+        ("ADAPTIVE: candidate killer", Adv::AdaptiveKiller),
+    ];
+    let mut spec = CampaignSpec::new("fig-adaptive");
+    for &(label, adv) in &schedules {
+        spec = spec.cell(
+            CellSpec::new(Workload::Le { adv }, n, ALPHA, opts.seed(0xE11), trials).label(label),
+        );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+
     let mut rows = Vec::new();
-
-    let mut measure =
-        |label: &str, mk: &(dyn Fn() -> Box<dyn Adversary<ftc_core::messages::LeMsg>> + Sync)| {
-            let batch = ParRunner::new(TrialPlan::new(opts.seed(0xE11), trials).jobs(opts.jobs))
-                .run(|_, seed| {
-                    let cfg = SimConfig::new(n)
-                        .seed(seed)
-                        .max_rounds(params.le_round_budget());
-                    let mut adv = mk();
-                    let r = run(&cfg, |_| LeNode::new(params.clone()), adv.as_mut());
-                    (
-                        LeOutcome::evaluate(&r).success,
-                        r.metrics.crash_count() as u64,
-                    )
-                });
-            let ok = batch.values().filter(|(success, _)| *success).count();
-            let crashes: u64 = batch.values().map(|(_, c)| c).sum();
-            rows.push(vec![
-                label.to_string(),
-                format!("{ok}/{trials}"),
-                format!("{:.0}", crashes as f64 / trials as f64),
-            ]);
-        };
-
-    measure("static: eager mass crash", &|| {
-        Box::new(EagerCrash::new(budget))
-    });
-    measure("static: random timing", &|| {
-        Box::new(RandomCrash::new(budget, 60))
-    });
-    measure("static: min-rank assassin", &|| {
-        Box::new(MinRankCrasher::new(budget))
-    });
-    measure("ADAPTIVE: candidate killer", &|| {
-        Box::new(AdaptiveCandidateKiller::new(budget))
-    });
-
+    for (cell, &(label, _)) in record.cells.iter().zip(&schedules) {
+        rows.push(vec![
+            label.to_string(),
+            format!("{}/{trials}", cell.successes),
+            format!("{:.0}", cell.crashes.mean),
+        ]);
+    }
     print_table(
         &["adversary", "election success", "mean crashes used"],
         &rows,

@@ -10,46 +10,68 @@
 //! * an equivocating pair of forged leadership claims makes candidates
 //!   elect a phantom (and possibly two different phantoms).
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_byzantine -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{print_table, ExpOpts};
-use ftc_core::agreement::{AgreeNode, AgreeStatus};
-use ftc_core::byzantine::{EquivocatingClaimant, ZeroForger};
-use ftc_core::leader_election::{LeNode, LeOutcome};
-use ftc_core::params::Params;
-use ftc_sim::prelude::*;
+use ftc_lab::{run_campaign, CampaignSpec, CellSpec, LabSubstrate, Workload};
+
+const BS: [u32; 4] = [0, 1, 2, 4];
 
 fn main() {
     let opts = ExpOpts::parse();
     let n = opts.pick(1024u32, 256);
     let trials = opts.trials(20);
-    let params = Params::new(n, 0.9).expect("valid");
     println!(
         "E12: Byzantine corruption vs the crash-fault protocols, n = {n}, {trials} trials ({})",
         opts.banner()
     );
     println!();
 
+    let mut spec = CampaignSpec::new("fig-byzantine");
+    for &b in &BS {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::AgreeByzantine { b },
+                n,
+                0.9,
+                opts.seed(0xB12),
+                trials,
+            )
+            .label("agree"),
+        );
+    }
+    for &b in &BS {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::LeByzantine { b },
+                n,
+                0.9,
+                opts.seed(0x12B),
+                trials,
+            )
+            .label("le"),
+        );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let series = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .collect::<Vec<_>>()
+    };
+
     println!("— agreement, all honest inputs = 1, b forged-zero senders —");
     let mut rows = Vec::new();
-    for &b in &[0usize, 1, 2, 4] {
-        let batch = ParRunner::new(TrialPlan::new(opts.seed(0xB12), trials).jobs(opts.jobs)).run(
-            |_, seed| {
-                let cfg = SimConfig::new(n)
-                    .seed(seed)
-                    .max_rounds(params.agreement_round_budget());
-                let mut adv = ZeroForger::new(b);
-                let r = run(&cfg, |_| AgreeNode::new(params.clone(), true), &mut adv);
-                let honest_zero = r
-                    .surviving_states()
-                    .filter(|(id, _)| !r.faulty.contains(*id))
-                    .any(|(_, s)| s.status() == AgreeStatus::Decided(false));
-                honest_zero
-            },
-        );
-        let validity_violations = batch.values().filter(|v| **v).count();
+    for (cell, &b) in series("agree").iter().zip(&BS) {
+        // The cell's success predicate is "validity held", so the
+        // violation count is the complement.
+        let validity_violations = trials - cell.successes;
         rows.push(vec![
             b.to_string(),
             format!("{validity_violations}/{trials}"),
@@ -60,18 +82,8 @@ fn main() {
 
     println!("— leader election, b equivocating claimants —");
     let mut rows = Vec::new();
-    for &b in &[0usize, 1, 2, 4] {
-        let batch = ParRunner::new(TrialPlan::new(opts.seed(0x12B), trials).jobs(opts.jobs)).run(
-            |_, seed| {
-                let cfg = SimConfig::new(n)
-                    .seed(seed)
-                    .max_rounds(params.le_round_budget());
-                let mut adv = EquivocatingClaimant::new(b);
-                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
-                !LeOutcome::evaluate(&r).success
-            },
-        );
-        let broken = batch.values().filter(|v| **v).count();
+    for (cell, &b) in series("le").iter().zip(&BS) {
+        let broken = trials - cell.successes;
         rows.push(vec![b.to_string(), format!("{broken}/{trials}")]);
     }
     print_table(&["byzantine nodes", "elections destroyed"], &rows);

@@ -8,17 +8,19 @@
 //! silently vanish — and measure how far `p` can rise before the
 //! guarantees crumble, with crash faults still active on top.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_edge_failures -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{fmt_count, print_table, ExpOpts};
-use ftc_core::agreement::{AgreeNode, AgreeOutcome};
-use ftc_core::leader_election::{LeNode, LeOutcome};
 use ftc_core::params::Params;
-use ftc_sim::prelude::*;
+use ftc_lab::{run_campaign, CampaignSpec, CellSpec, LabSubstrate, Workload};
 
 const ALPHA: f64 = 0.5;
+const PS: [f64; 7] = [0.0, 0.05, 0.2, 0.4, 0.6, 0.8, 0.9];
 
 fn main() {
     let opts = ExpOpts::parse();
@@ -32,46 +34,41 @@ fn main() {
     );
     println!();
 
+    let mut spec = CampaignSpec::new("fig-edge-failures");
+    for &p in &PS {
+        spec = spec
+            .cell(
+                CellSpec::new(Workload::LeEdge { p }, n, ALPHA, opts.seed(0xE13), trials)
+                    .label("le"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::AgreeEdge { p },
+                    n,
+                    ALPHA,
+                    opts.seed(0x13E),
+                    trials,
+                )
+                .label("agree"),
+            );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let series = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .collect::<Vec<_>>()
+    };
+
     let mut rows = Vec::new();
-    for &p in &[0.0, 0.05, 0.2, 0.4, 0.6, 0.8, 0.9] {
-        let le_batch = ParRunner::new(TrialPlan::new(opts.seed(0xE13), trials).jobs(opts.jobs))
-            .run(|_, seed| {
-                let mut cfg = SimConfig::new(n)
-                    .seed(seed)
-                    .max_rounds(params.le_round_budget());
-                if p > 0.0 {
-                    cfg = cfg.edge_failure_prob(p);
-                }
-                let mut adv = RandomCrash::new(f, 40);
-                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
-                (LeOutcome::evaluate(&r).success, r.metrics.msgs_lost_edges)
-            });
-        let le_ok = le_batch.values().filter(|(ok, _)| *ok).count();
-        let lost: u64 = le_batch.values().map(|(_, l)| l).sum();
-
-        let ag_batch = ParRunner::new(TrialPlan::new(opts.seed(0x13E), trials).jobs(opts.jobs))
-            .run(|_, seed| {
-                let mut cfg = SimConfig::new(n)
-                    .seed(seed)
-                    .max_rounds(params.agreement_round_budget());
-                if p > 0.0 {
-                    cfg = cfg.edge_failure_prob(p);
-                }
-                let mut adv = RandomCrash::new(f, 20);
-                let r = run(
-                    &cfg,
-                    |id| AgreeNode::new(params.clone(), id.0 % 8 == 0),
-                    &mut adv,
-                );
-                AgreeOutcome::evaluate(&r).success
-            });
-        let ag_ok = ag_batch.values().filter(|ok| **ok).count();
-
+    for ((le, ag), &p) in series("le").iter().zip(series("agree")).zip(&PS) {
+        let lost = le.extra("lost_edges").map_or(0.0, |s| s.mean);
         rows.push(vec![
             format!("{p:.2}"),
-            format!("{le_ok}/{trials}"),
-            format!("{ag_ok}/{trials}"),
-            fmt_count(lost as f64 / trials as f64),
+            format!("{}/{trials}", le.successes),
+            format!("{}/{trials}", ag.successes),
+            fmt_count(lost),
         ]);
     }
     print_table(

@@ -6,17 +6,16 @@
 //! sweep verifies: explicit cost grows linearly in `n` (fit exponent ≈ 1)
 //! while the implicit part stays ≈ `√n`.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_explicit -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{fmt_count, print_table, ExpOpts};
-use ftc_core::explicit::{
-    ExplicitAgreeNode, ExplicitAgreeOutcome, ExplicitLeNode, ExplicitLeOutcome,
-};
-use ftc_core::leader_election::LeNode;
 use ftc_core::params::Params;
-use ftc_sim::prelude::*;
+use ftc_lab::{run_campaign, CampaignSpec, CellSpec, LabSubstrate, Workload};
 use ftc_sim::stats::fit_power_law;
 
 const ALPHA: f64 = 0.5;
@@ -31,63 +30,69 @@ fn main() {
     );
     println!();
 
+    let mut spec = CampaignSpec::new("fig-explicit");
+    for &n in &sizes {
+        spec = spec
+            .cell(
+                CellSpec::new(Workload::LeExplicit, n, ALPHA, opts.seed(0xE7), trials)
+                    .label("le-explicit"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::LeImplicitExplicitBudget,
+                    n,
+                    ALPHA,
+                    opts.seed(0xE7),
+                    trials,
+                )
+                .label("le-implicit"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::AgreeExplicit { zeros: 0.05 },
+                    n,
+                    ALPHA,
+                    opts.seed(0x7E),
+                    trials,
+                )
+                .label("agree-explicit"),
+            );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let series = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .collect::<Vec<_>>()
+    };
+
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut le_ys = Vec::new();
     let mut announce_ys = Vec::new();
-    for &n in &sizes {
+    for (((le, implicit), ag), &n) in series("le-explicit")
+        .iter()
+        .zip(series("le-implicit"))
+        .zip(series("agree-explicit"))
+        .zip(&sizes)
+    {
         let params = Params::new(n, ALPHA).expect("valid");
-        let f = params.max_faults();
-
-        let cfg = SimConfig::new(n)
-            .seed(opts.seed(0xE7))
-            .max_rounds(ExplicitLeNode::round_budget(&params));
-        let le = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
-            let mut adv = RandomCrash::new(f, 40);
-            let r = run(c, |_| ExplicitLeNode::new(params.clone()), &mut adv);
-            let o = ExplicitLeOutcome::evaluate(&r);
-            (o.success, r.metrics.msgs_sent)
-        });
-        let le_ok = le.iter().filter(|t| t.value.0).count();
-        let le_msgs = le.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
-
+        let le_msgs = le.msgs.mean;
         // The implicit phase alone, same seeds/adversary: the difference
         // is the cost of the announcement broadcast.
-        let implicit = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
-            let mut adv = RandomCrash::new(f, 40);
-            let r = run(c, |_| LeNode::new(params.clone()), &mut adv);
-            r.metrics.msgs_sent
-        });
-        let implicit_msgs = implicit.iter().map(|t| t.value as f64).sum::<f64>() / trials as f64;
-        let announce_msgs = (le_msgs - implicit_msgs).max(1.0);
+        let announce_msgs = (le_msgs - implicit.msgs.mean).max(1.0);
         announce_ys.push(announce_msgs);
-
-        let cfg = SimConfig::new(n)
-            .seed(opts.seed(0x7E))
-            .max_rounds(ExplicitAgreeNode::round_budget(&params));
-        let ag = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
-            let mut adv = RandomCrash::new(f, 20);
-            let r = run(
-                c,
-                |id| ExplicitAgreeNode::new(params.clone(), id.0 % 20 != 0),
-                &mut adv,
-            );
-            let o = ExplicitAgreeOutcome::evaluate(&r);
-            (o.success, r.metrics.msgs_sent)
-        });
-        let ag_ok = ag.iter().filter(|t| t.value.0).count();
-        let ag_msgs = ag.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
-
         xs.push(f64::from(n));
         le_ys.push(le_msgs);
         let bound = f64::from(n) * params.ln_n() / ALPHA;
         rows.push(vec![
             n.to_string(),
             fmt_count(le_msgs),
-            fmt_count(announce_ys.last().copied().unwrap_or(0.0)),
-            format!("{le_ok}/{trials}"),
-            fmt_count(ag_msgs),
-            format!("{ag_ok}/{trials}"),
+            fmt_count(announce_msgs),
+            format!("{}/{trials}", le.successes),
+            fmt_count(ag.msgs.mean),
+            format!("{}/{trials}", ag.successes),
             fmt_count(bound),
         ]);
     }

@@ -8,14 +8,15 @@
 //! which must stay polylogarithmic (i.e. grow far slower than any power
 //! of `n`) as `n` scales.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_faultfree_gap -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_baselines::augustine_agreement::{augustine_round_budget, AugustineNode, AugustineOutcome};
-use ftc_baselines::kutten_le::{kutten_round_budget, KuttenLeNode, KuttenOutcome};
-use ftc_bench::{fmt_count, measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
-use ftc_sim::prelude::*;
+use ftc_bench::{fmt_count, print_table, ExpOpts};
+use ftc_lab::{run_campaign, Adv, CampaignSpec, CellSpec, LabSubstrate, Workload};
 use ftc_sim::stats::fit_power_law;
 
 fn main() {
@@ -28,41 +29,70 @@ fn main() {
     );
     println!();
 
+    let mut spec = CampaignSpec::new("fig-faultfree-gap");
+    for &n in &sizes {
+        spec = spec
+            .cell(
+                CellSpec::new(Workload::LeKutten, n, 0.5, opts.seed(0xE9), trials).label("kutten"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Le {
+                        adv: Adv::Random(60),
+                    },
+                    n,
+                    0.5,
+                    opts.seed(0x9E),
+                    trials,
+                )
+                .label("le-ft"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::AgreeAugustine { zeros: 1.0 / 16.0 },
+                    n,
+                    0.5,
+                    opts.seed(0x9B),
+                    trials,
+                )
+                .label("augustine"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Agree {
+                        zeros: 1.0 / 16.0,
+                        adv: Adv::Random(20),
+                    },
+                    n,
+                    0.5,
+                    opts.seed(0xB9),
+                    trials,
+                )
+                .label("agree-ft"),
+            );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let series = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .collect::<Vec<_>>()
+    };
+
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ratios = Vec::new();
-    for &n in &sizes {
-        // Fault-free comparator: Kutten et al. one-shot election.
-        let cfg = SimConfig::new(n)
-            .seed(opts.seed(0xE9))
-            .max_rounds(kutten_round_budget());
-        let ff = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
-            let r = run(c, |_| KuttenLeNode::new(), &mut NoFaults);
-            let o = KuttenOutcome::evaluate(&r);
-            (o.success, r.metrics.msgs_sent)
-        });
-        let ff_ok = ff.iter().filter(|t| t.value.0).count();
-        let ff_msgs = ff.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
-
-        // Fault-tolerant protocol under half faults.
-        let ft = measure_le(
-            n,
-            0.5,
-            AdversaryKind::Random(60),
-            trials,
-            opts.seed(0x9E),
-            opts.jobs,
-        );
-
-        let ratio = ft.msgs.mean / ff_msgs;
+    for ((ff, ft), &n) in series("kutten").iter().zip(series("le-ft")).zip(&sizes) {
+        let ratio = ft.msgs.mean / ff.msgs.mean;
         xs.push(f64::from(n));
         ratios.push(ratio);
         rows.push(vec![
             n.to_string(),
-            fmt_count(ff_msgs),
-            format!("{ff_ok}/{trials}"),
+            fmt_count(ff.msgs.mean),
+            format!("{}/{trials}", ff.successes),
             fmt_count(ft.msgs.mean),
-            format!("{:.2}", ft.success_rate),
+            format!("{:.2}", ft.success_rate()),
             format!("{ratio:.1}"),
         ]);
     }
@@ -91,36 +121,20 @@ fn main() {
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ratios = Vec::new();
-    for &n in &sizes {
-        let cfg = SimConfig::new(n)
-            .seed(opts.seed(0x9B))
-            .max_rounds(augustine_round_budget());
-        let ff = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
-            let r = run(c, |id| AugustineNode::new(id.0 % 16 != 0), &mut NoFaults);
-            let o = AugustineOutcome::evaluate(&r);
-            (o.success, r.metrics.msgs_sent)
-        });
-        let ff_ok = ff.iter().filter(|t| t.value.0).count();
-        let ff_msgs = ff.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
-
-        let ft = measure_agreement(
-            n,
-            0.5,
-            1.0 / 16.0,
-            AdversaryKind::Random(20),
-            trials,
-            opts.seed(0xB9),
-            opts.jobs,
-        );
-        let ratio = ft.msgs.mean / ff_msgs;
+    for ((ff, ft), &n) in series("augustine")
+        .iter()
+        .zip(series("agree-ft"))
+        .zip(&sizes)
+    {
+        let ratio = ft.msgs.mean / ff.msgs.mean;
         xs.push(f64::from(n));
         ratios.push(ratio);
         rows.push(vec![
             n.to_string(),
-            fmt_count(ff_msgs),
-            format!("{ff_ok}/{trials}"),
+            fmt_count(ff.msgs.mean),
+            format!("{}/{trials}", ff.successes),
             fmt_count(ft.msgs.mean),
-            format!("{:.2}", ft.success_rate),
+            format!("{:.2}", ft.success_rate()),
             format!("{ratio:.1}"),
         ]);
     }

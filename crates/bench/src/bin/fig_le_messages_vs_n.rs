@@ -6,12 +6,19 @@
 //! up at these sizes), decisively below the linear baseline's 1.0 and the
 //! broadcast baseline's 2.0.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_le_messages_vs_n -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, measure_le, print_table, AdversaryKind, ExpOpts};
+use ftc_bench::{fmt_count, print_table, ExpOpts};
 use ftc_core::params::Params;
+use ftc_lab::{
+    run_campaign, Adv, CampaignSpec, CellSpec, CheckAxis, CheckMetric, ExponentCheck, LabSubstrate,
+    Workload,
+};
 use ftc_sim::stats::fit_power_law;
 
 const ALPHA: f64 = 0.5;
@@ -27,22 +34,46 @@ fn main() {
     );
     println!();
 
+    let mut spec = CampaignSpec::new("fig-le-messages-vs-n");
+    for &n in &sizes {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Le {
+                    adv: Adv::Random(60),
+                },
+                n,
+                ALPHA,
+                seed,
+                trials,
+            )
+            .label("le"),
+        );
+    }
+    spec = spec.check(ExponentCheck {
+        name: "le-msgs-sublinear".into(),
+        series: "le".into(),
+        metric: CheckMetric::Msgs,
+        axis: CheckAxis::N,
+        min: 0.3,
+        max: 1.05,
+    });
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &n in &sizes {
+    for (cell, &n) in record.cells.iter().zip(&sizes) {
         let params = Params::new(n, ALPHA).expect("valid");
-        let m = measure_le(n, ALPHA, AdversaryKind::Random(60), trials, seed, opts.jobs);
         xs.push(f64::from(n));
-        ys.push(m.msgs.mean);
+        ys.push(cell.msgs.mean);
         rows.push(vec![
             n.to_string(),
-            fmt_count(m.msgs.mean),
-            fmt_count(m.msgs.p95),
+            fmt_count(cell.msgs.mean),
+            fmt_count(cell.msgs.p95),
             fmt_count(params.le_message_bound()),
-            format!("{:.1}", m.msgs.mean / params.le_message_bound()),
+            format!("{:.1}", cell.msgs.mean / params.le_message_bound()),
             fmt_count(f64::from(n) * f64::from(n)),
-            format!("{:.2}", m.success_rate),
+            format!("{:.2}", cell.success_rate()),
         ]);
     }
     print_table(

@@ -7,13 +7,19 @@
 //! (See the `lower_bound_probe` example for the influence-cloud structure
 //! behind the failures.)
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment. Each cap keeps the
+//! historical per-cap seed salt, so the numbers match the pre-campaign
+//! sweep helpers bit-for-bit.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_lowerbound -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{fmt_count, print_table, ExpOpts};
 use ftc_core::params::Params;
-use ftc_lowerbound::capped::{sweep_agreement, sweep_leader_election, SweepPoint};
+use ftc_lab::{run_campaign, CampaignSpec, CellSpec, LabSubstrate, Workload};
+use ftc_sim::stats::Summary;
 
 const ALPHA: f64 = 0.5;
 const CAPS: [Option<u32>; 10] = [
@@ -29,16 +35,20 @@ const CAPS: [Option<u32>; 10] = [
     Some(0),
 ];
 
-fn rows_of(points: &[SweepPoint]) -> Vec<Vec<String>> {
+fn cap_salt(cap: Option<u32>) -> u64 {
+    cap.map_or(u64::MAX, u64::from)
+}
+
+fn rows_of(points: &[(Option<u32>, &Summary, f64, f64, f64)]) -> Vec<Vec<String>> {
     points
         .iter()
-        .map(|p| {
+        .map(|(cap, msgs, suppressed, threshold_ratio, failure_rate)| {
             vec![
-                p.cap.map_or("unlimited".into(), |c| c.to_string()),
-                fmt_count(p.mean_messages),
-                fmt_count(p.mean_suppressed),
-                format!("{:.2}", p.threshold_ratio),
-                format!("{:.2}", p.failure_rate),
+                cap.map_or("unlimited".into(), |c| c.to_string()),
+                fmt_count(msgs.mean),
+                fmt_count(*suppressed),
+                format!("{threshold_ratio:.2}"),
+                format!("{failure_rate:.2}"),
             ]
         })
         .collect()
@@ -58,8 +68,51 @@ fn main() {
     println!("(inputs split 50/50 for agreement; (1-alpha)n eager crashes)");
     println!();
 
+    let mut spec = CampaignSpec::new("fig-lowerbound");
+    for &cap in &CAPS {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::AgreeCapped { cap },
+                n,
+                ALPHA,
+                opts.seed(0xE8) ^ cap_salt(cap),
+                trials,
+            )
+            .label("agree"),
+        );
+    }
+    for &cap in &CAPS {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::LeCapped { cap },
+                n,
+                ALPHA,
+                opts.seed(0x8E) ^ cap_salt(cap),
+                trials,
+            )
+            .label("le"),
+        );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let points = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .zip(&CAPS)
+            .map(|(c, &cap)| {
+                (
+                    cap,
+                    &c.msgs,
+                    c.extra("suppressed").map_or(0.0, |s| s.mean),
+                    c.msgs.mean / threshold,
+                    1.0 - c.success_rate(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
     println!("— agreement (Theorem 5.2) —");
-    let pts = sweep_agreement(n, ALPHA, &CAPS, trials, opts.seed(0xE8), opts.jobs);
     print_table(
         &[
             "cap/node",
@@ -68,12 +121,11 @@ fn main() {
             "x threshold",
             "failure rate",
         ],
-        &rows_of(&pts),
+        &rows_of(&points("agree")),
     );
     println!();
 
     println!("— leader election (Theorem 4.2) —");
-    let pts = sweep_leader_election(n, ALPHA, &CAPS, trials, opts.seed(0x8E), opts.jobs);
     print_table(
         &[
             "cap/node",
@@ -82,7 +134,7 @@ fn main() {
             "x threshold",
             "failure rate",
         ],
-        &rows_of(&pts),
+        &rows_of(&points("le")),
     );
 
     println!();

@@ -5,11 +5,18 @@
 //! growth `α^{-5/2}` for leader election and `α^{-3/2}` for agreement; the
 //! fitted exponents on `1/α` should land near 2.5 and 1.5 respectively.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_messages_vs_alpha -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{fmt_count, measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
+use ftc_bench::{fmt_count, print_table, ExpOpts};
+use ftc_lab::{
+    run_campaign, Adv, CampaignSpec, CellSpec, CheckAxis, CheckMetric, ExponentCheck, LabSubstrate,
+    Workload,
+};
 use ftc_sim::stats::fit_power_law;
 
 const ALPHAS: [f64; 4] = [1.0, 0.5, 0.25, 0.125];
@@ -30,21 +37,60 @@ fn main() {
     println!("faults f = (1-alpha)*n, random crash schedule");
     println!();
 
+    let mut spec = CampaignSpec::new("fig-messages-vs-alpha");
+    for &alpha in &ALPHAS {
+        spec = spec
+            .cell(
+                CellSpec::new(
+                    Workload::Le {
+                        adv: Adv::Random(60),
+                    },
+                    n,
+                    alpha,
+                    seed,
+                    trials,
+                )
+                .label("le"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Agree {
+                        zeros: 0.05,
+                        adv: Adv::Random(20),
+                    },
+                    n,
+                    alpha,
+                    seed,
+                    trials,
+                )
+                .label("agree"),
+            );
+    }
+    spec = spec.check(ExponentCheck {
+        name: "le-msgs-vs-inv-alpha".into(),
+        series: "le".into(),
+        metric: CheckMetric::Msgs,
+        axis: CheckAxis::InvAlpha,
+        min: 1.0,
+        max: 3.5,
+    });
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let les: Vec<_> = record
+        .cells
+        .iter()
+        .filter(|c| c.cell.label == "le")
+        .collect();
+    let ags: Vec<_> = record
+        .cells
+        .iter()
+        .filter(|c| c.cell.label == "agree")
+        .collect();
+
     let mut rows = Vec::new();
     let mut inv_alpha = Vec::new();
     let mut le_msgs = Vec::new();
     let mut ag_msgs = Vec::new();
-    for &alpha in &ALPHAS {
-        let le = measure_le(n, alpha, AdversaryKind::Random(60), trials, seed, opts.jobs);
-        let ag = measure_agreement(
-            n,
-            alpha,
-            0.05,
-            AdversaryKind::Random(20),
-            trials,
-            seed,
-            opts.jobs,
-        );
+    for ((le, ag), &alpha) in les.iter().zip(&ags).zip(&ALPHAS) {
         inv_alpha.push(1.0 / alpha);
         le_msgs.push(le.msgs.mean);
         ag_msgs.push(ag.msgs.mean);
@@ -52,9 +98,9 @@ fn main() {
             format!("{alpha}"),
             fmt_count((1.0 - alpha) * f64::from(n)),
             fmt_count(le.msgs.mean),
-            format!("{:.2}", le.success_rate),
+            format!("{:.2}", le.success_rate()),
             fmt_count(ag.msgs.mean),
-            format!("{:.2}", ag.success_rate),
+            format!("{:.2}", ag.success_rate()),
         ]);
     }
     print_table(

@@ -5,23 +5,23 @@
 //! `O(log k)` bits per message and up to `log k` improvement waves —
 //! so message *bits* grow with `log k` while success stays whp.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_multivalue -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{fmt_count, print_table, ExpOpts};
-use ftc_core::multi_agreement::{MultiAgreeNode, MultiOutcome};
-use ftc_core::params::Params;
-use ftc_sim::prelude::*;
+use ftc_lab::{run_campaign, CampaignSpec, CellSpec, LabSubstrate, Workload};
 
 const ALPHA: f64 = 0.5;
+const KS: [u32; 5] = [2, 16, 256, 4096, 65536];
 
 fn main() {
     let opts = ExpOpts::parse();
     let n = opts.pick(2048u32, 512);
     let trials = opts.trials(10);
-    let params = Params::new(n, ALPHA).expect("valid");
-    let f = params.max_faults();
     println!(
         "E14: multi-valued agreement, n = {n}, alpha = {ALPHA}, {trials} trials ({})",
         opts.banner()
@@ -29,37 +29,30 @@ fn main() {
     println!("(inputs uniform in 0..k; (1-alpha)n random crashes)");
     println!();
 
-    let mut rows = Vec::new();
-    for &k in &[2u32, 16, 256, 4096, 65536] {
-        let cfg = SimConfig::new(n)
-            .seed(opts.seed(0xE14))
-            .max_rounds(params.agreement_round_budget());
-        let results = run_trials_jobs(&cfg, trials, opts.jobs, |c| {
-            let mut adv = RandomCrash::new(f, 20);
-            let r = run(
-                c,
-                |id| MultiAgreeNode::new(params.clone(), k, (id.0.wrapping_mul(2654435761)) % k),
-                &mut adv,
-            );
-            let o = MultiOutcome::evaluate(&r);
-            (
-                o.success,
-                r.metrics.msgs_sent,
-                r.metrics.bits_sent,
-                r.metrics.rounds,
+    let mut spec = CampaignSpec::new("fig-multivalue");
+    for &k in &KS {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::MultiValue { k },
+                n,
+                ALPHA,
+                opts.seed(0xE14),
+                trials,
             )
-        });
-        let ok = results.iter().filter(|t| t.value.0).count();
-        let msgs = results.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials as f64;
-        let bits = results.iter().map(|t| t.value.2 as f64).sum::<f64>() / trials as f64;
-        let rounds = results.iter().map(|t| f64::from(t.value.3)).sum::<f64>() / trials as f64;
+            .label("multi"),
+        );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+
+    let mut rows = Vec::new();
+    for (cell, &k) in record.cells.iter().zip(&KS) {
         rows.push(vec![
             k.to_string(),
-            format!("{ok}/{trials}"),
-            fmt_count(msgs),
-            fmt_count(bits),
-            format!("{:.1}", bits / msgs),
-            format!("{rounds:.0}"),
+            format!("{}/{trials}", cell.successes),
+            fmt_count(cell.msgs.mean),
+            fmt_count(cell.bits.mean),
+            format!("{:.1}", cell.bits.mean / cell.msgs.mean),
+            format!("{:.0}", cell.rounds.mean),
         ]);
     }
     print_table(

@@ -5,11 +5,15 @@
 //! grow like `1/α`). The paper's almost-matching lower bound is
 //! `Ω(log n/log log n)` of reference \[25\].
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_rounds -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
+use ftc_bench::{print_table, ExpOpts};
+use ftc_lab::{run_campaign, Adv, CampaignSpec, CellSpec, LabSubstrate, Workload};
 
 fn main() {
     let opts = ExpOpts::parse();
@@ -24,25 +28,75 @@ fn main() {
         opts.banner()
     );
     println!();
-    let mut rows = Vec::new();
+
+    const ALPHAS: [f64; 4] = [1.0, 0.5, 0.25, 0.125];
+    let mut spec = CampaignSpec::new("fig-rounds");
     for &n in &sizes {
-        let le = measure_le(n, 0.5, AdversaryKind::Targeted, trials, seed_a, opts.jobs);
-        let ag = measure_agreement(
-            n,
-            0.5,
-            0.05,
-            AdversaryKind::Targeted,
-            trials,
-            seed_a,
-            opts.jobs,
-        );
+        spec = spec
+            .cell(
+                CellSpec::new(Workload::Le { adv: Adv::Targeted }, n, 0.5, seed_a, trials)
+                    .label("le-a"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Agree {
+                        zeros: 0.05,
+                        adv: Adv::Targeted,
+                    },
+                    n,
+                    0.5,
+                    seed_a,
+                    trials,
+                )
+                .label("agree-a"),
+            );
+    }
+    for &alpha in &ALPHAS {
+        spec = spec
+            .cell(
+                CellSpec::new(
+                    Workload::Le {
+                        adv: Adv::Random(60),
+                    },
+                    nb,
+                    alpha,
+                    seed_b,
+                    trials,
+                )
+                .label("le-b"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Agree {
+                        zeros: 0.05,
+                        adv: Adv::Random(20),
+                    },
+                    nb,
+                    alpha,
+                    seed_b,
+                    trials,
+                )
+                .label("agree-b"),
+            );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let series = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .collect::<Vec<_>>()
+    };
+
+    let mut rows = Vec::new();
+    for ((le, ag), &n) in series("le-a").iter().zip(series("agree-a")).zip(&sizes) {
         rows.push(vec![
             n.to_string(),
             format!("{:.1}", f64::from(n).log2()),
             format!("{:.0}", le.rounds.mean),
             format!("{:.0}", le.rounds.max),
             format!("{:.0}", ag.rounds.mean),
-            format!("{:.2}", le.success_rate.min(ag.success_rate)),
+            format!("{:.2}", le.success_rate().min(ag.success_rate())),
         ]);
     }
     print_table(
@@ -68,29 +122,12 @@ fn main() {
     println!("E4b: rounds vs alpha (n = {nb})");
     println!();
     let mut rows = Vec::new();
-    for &alpha in &[1.0, 0.5, 0.25, 0.125] {
-        let le = measure_le(
-            nb,
-            alpha,
-            AdversaryKind::Random(60),
-            trials,
-            seed_b,
-            opts.jobs,
-        );
-        let ag = measure_agreement(
-            nb,
-            alpha,
-            0.05,
-            AdversaryKind::Random(20),
-            trials,
-            seed_b,
-            opts.jobs,
-        );
+    for ((le, ag), &alpha) in series("le-b").iter().zip(series("agree-b")).zip(&ALPHAS) {
         rows.push(vec![
             format!("{alpha}"),
             format!("{:.0}", le.rounds.mean),
             format!("{:.0}", ag.rounds.mean),
-            format!("{:.2}", le.success_rate.min(ag.success_rate)),
+            format!("{:.2}", le.success_rate().min(ag.success_rate())),
         ]);
     }
     print_table(

@@ -10,71 +10,17 @@
 //! Plus the D2/D3 ablations: halving the constants must visibly erode the
 //! guarantees.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_sampling_lemmas -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
 use ftc_bench::{print_table, ExpOpts};
-use ftc_core::params::Params;
-use ftc_core::sampling::draw_committee;
-use ftc_sim::runner::{ParRunner, TrialPlan};
-use rand::prelude::*;
-use rand::rngs::SmallRng;
-use std::collections::HashSet;
+use ftc_lab::{run_campaign, CampaignSpec, CellSpec, LabSubstrate, Workload};
 
 const ALPHA: f64 = 0.5;
-
-struct LemmaStats {
-    committee_in_band: u64,
-    committee_nonfaulty: u64,
-    pairs_connected: u64,
-    mean_committee: f64,
-}
-
-fn run_lemmas(params: &Params, trials: u64, seed_base: u64, jobs: usize) -> LemmaStats {
-    let n = params.n() as usize;
-    let f = params.max_faults();
-    let lo = 2.0 * params.ln_n() / params.alpha();
-    let hi = 12.0 * params.ln_n() / params.alpha();
-    let batch = ParRunner::new(TrialPlan::new(seed_base, trials).jobs(jobs)).run(|_, seed| {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let faulty: HashSet<usize> = rand::seq::index::sample(&mut rng, n, f)
-            .into_iter()
-            .collect();
-        let (cands, refs) = draw_committee(&mut rng, params);
-        let committee = cands.len() as f64;
-        let in_band = committee >= lo && committee <= hi;
-        let nonfaulty = cands.iter().any(|c| !faulty.contains(c));
-        // Lemma 3: every pair shares a *non-faulty* referee.
-        let ref_sets: Vec<HashSet<usize>> = refs
-            .iter()
-            .map(|r| r.iter().copied().filter(|x| !faulty.contains(x)).collect())
-            .collect();
-        let mut all_pairs = true;
-        'outer: for i in 0..cands.len() {
-            for j in i + 1..cands.len() {
-                if ref_sets[i].is_disjoint(&ref_sets[j]) {
-                    all_pairs = false;
-                    break 'outer;
-                }
-            }
-        }
-        (committee, in_band, nonfaulty, all_pairs)
-    });
-    let mut stats = LemmaStats {
-        committee_in_band: 0,
-        committee_nonfaulty: 0,
-        pairs_connected: 0,
-        mean_committee: 0.0,
-    };
-    for (committee, in_band, nonfaulty, all_pairs) in batch.values() {
-        stats.mean_committee += committee / trials as f64;
-        stats.committee_in_band += u64::from(*in_band);
-        stats.committee_nonfaulty += u64::from(*nonfaulty);
-        stats.pairs_connected += u64::from(*all_pairs);
-    }
-    stats
-}
 
 fn main() {
     let opts = ExpOpts::parse();
@@ -87,24 +33,39 @@ fn main() {
     println!("(faulty set: (1-alpha)n uniformly random nodes per trial)");
     println!();
 
-    let mut rows = Vec::new();
-    for (label, cf, rf) in [
+    let configs = [
         ("paper (c=6, r=2)", 6.0, 2.0),
         ("D2: half candidates", 3.0, 2.0),
         ("D3: half referees", 6.0, 1.0),
         ("D3: quarter referees", 6.0, 0.5),
-    ] {
-        let params = Params::new(n, ALPHA)
-            .expect("valid")
-            .with_candidate_factor(cf)
-            .with_referee_factor(rf);
-        let s = run_lemmas(&params, trials, opts.seed(0xE10), opts.jobs);
+    ];
+    let mut spec = CampaignSpec::new("fig-sampling-lemmas");
+    for &(label, cf, rf) in &configs {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::SamplingLemmas {
+                    candidate_factor: cf,
+                    referee_factor: rf,
+                },
+                n,
+                ALPHA,
+                opts.seed(0xE10),
+                trials,
+            )
+            .label(label),
+        );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+
+    let mut rows = Vec::new();
+    for (cell, &(label, _, _)) in record.cells.iter().zip(&configs) {
+        let rate = |name: &str| cell.extra(name).map_or(0.0, |s| s.mean);
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}", s.mean_committee),
-            format!("{:.3}", s.committee_in_band as f64 / trials as f64),
-            format!("{:.3}", s.committee_nonfaulty as f64 / trials as f64),
-            format!("{:.3}", s.pairs_connected as f64 / trials as f64),
+            format!("{:.1}", rate("committee")),
+            format!("{:.3}", rate("in_band")),
+            format!("{:.3}", rate("nonfaulty")),
+            format!("{:.3}", rate("pairs")),
         ]);
     }
     print_table(

@@ -7,14 +7,16 @@
 //! D4): starving the protocol of iterations must surface failures under
 //! the targeted adversary.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin fig_success -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_bench::{measure_agreement, measure_le, print_table, AdversaryKind, ExpOpts};
-use ftc_core::leader_election::{LeNode, LeOutcome};
+use ftc_bench::{print_table, ExpOpts};
 use ftc_core::params::Params;
-use ftc_sim::prelude::*;
+use ftc_lab::{run_campaign, Adv, CampaignSpec, CellSpec, LabSubstrate, Workload};
 use ftc_sim::stats::wilson_interval;
 
 const ALPHA: f64 = 0.5;
@@ -29,21 +31,69 @@ fn main() {
     );
     println!();
     let kinds = [
-        AdversaryKind::None,
-        AdversaryKind::Eager,
-        AdversaryKind::Random(60),
-        AdversaryKind::Targeted,
+        ("fault-free", Adv::None),
+        ("eager", Adv::Eager),
+        ("random", Adv::Random(60)),
+        ("targeted", Adv::Targeted),
     ];
+    let input_densities: [(&str, f64); 5] = [
+        ("all ones", 0.0),
+        ("one zero in n", 1.0 / f64::from(n)),
+        ("5% zeros", 0.05),
+        ("half zeros", 0.5),
+        ("all zeros", 1.0),
+    ];
+    let d4_trials = opts.trials(20);
+    const D4_FACTORS: [f64; 4] = [14.0, 1.0, 0.1, 0.02];
+
+    let mut spec = CampaignSpec::new("fig-success");
+    for &(label, adv) in &kinds {
+        spec = spec.cell(
+            CellSpec::new(Workload::Le { adv }, n, ALPHA, opts.seed(0xE5), trials).label(label),
+        );
+    }
+    for &(label, zero_frac) in &input_densities {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Agree {
+                    zeros: zero_frac,
+                    adv: Adv::Targeted,
+                },
+                n,
+                ALPHA,
+                opts.seed(0xE6),
+                trials,
+            )
+            .label(label),
+        );
+    }
+    for &factor in &D4_FACTORS {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::LeIter {
+                    factor,
+                    per_round: 4,
+                },
+                n,
+                0.25,
+                opts.seed(0xD4),
+                d4_trials,
+            )
+            .label("d4"),
+        );
+    }
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let mut cells = record.cells.iter();
+
     let mut rows = Vec::new();
-    for kind in kinds {
-        let m = measure_le(n, ALPHA, kind, trials, opts.seed(0xE5), opts.jobs);
-        let succ = (m.success_rate * trials as f64).round() as u64;
-        let (lo, hi) = wilson_interval(succ, trials);
+    for &(label, _) in &kinds {
+        let m = cells.next().expect("cell");
+        let (lo, hi) = wilson_interval(m.successes, trials);
         rows.push(vec![
-            kind.label().to_string(),
-            format!("{}/{}", succ, trials),
+            label.to_string(),
+            format!("{}/{}", m.successes, trials),
             format!("[{lo:.2},{hi:.2}]"),
-            format!("{:.2}", m.faulty_leader_rate),
+            format!("{:.2}", m.faulty_leader_rate()),
         ]);
     }
     print_table(
@@ -61,25 +111,11 @@ fn main() {
     println!("E6: agreement success across input densities ({trials} trials each)");
     println!();
     let mut rows = Vec::new();
-    for &(label, zero_frac) in &[
-        ("all ones", 0.0),
-        ("one zero in n", 1.0 / f64::from(n)),
-        ("5% zeros", 0.05),
-        ("half zeros", 0.5),
-        ("all zeros", 1.0),
-    ] {
-        let m = measure_agreement(
-            n,
-            ALPHA,
-            zero_frac,
-            AdversaryKind::Targeted,
-            trials,
-            opts.seed(0xE6),
-            opts.jobs,
-        );
+    for &(label, _) in &input_densities {
+        let m = cells.next().expect("cell");
         rows.push(vec![
             label.to_string(),
-            format!("{:.2}", m.success_rate),
+            format!("{:.2}", m.success_rate()),
             format!("{:.0}", m.msgs.mean),
             format!("{:.0}", m.rounds.mean),
         ]);
@@ -96,27 +132,15 @@ fn main() {
     println!("D4 ablation: iteration budget vs success (alpha = 0.25, assassin x4)");
     println!();
     let mut rows = Vec::new();
-    let d4_trials = opts.trials(20);
-    for &factor in &[14.0, 1.0, 0.1, 0.02] {
+    for &factor in &D4_FACTORS {
+        let m = cells.next().expect("cell");
         let params = Params::new(n, 0.25)
             .expect("valid")
             .with_iteration_factor(factor);
-        let f = params.max_faults();
-        let batch = ParRunner::new(TrialPlan::new(opts.seed(0xD4), d4_trials).jobs(opts.jobs)).run(
-            |_, seed| {
-                let cfg = SimConfig::new(n)
-                    .seed(seed)
-                    .max_rounds(params.le_round_budget());
-                let mut adv = ftc_core::adversaries::MinRankCrasher { f, per_round: 4 };
-                let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
-                LeOutcome::evaluate(&r).success
-            },
-        );
-        let ok = batch.values().filter(|ok| **ok).count();
         rows.push(vec![
             format!("{factor}"),
             params.iterations().to_string(),
-            format!("{}/{}", ok, d4_trials),
+            format!("{}/{}", m.successes, d4_trials),
         ]);
     }
     print_table(&["iteration factor", "iterations", "success"], &rows);

@@ -8,21 +8,27 @@
 //! messages while tolerating the most faults, at the price of implicit
 //! output and polylog rounds.
 //!
+//! Declares its grid as an [`ftc_lab`] campaign — `ftc lab run` can
+//! execute, persist, and diff the same experiment.
+//!
 //! ```sh
 //! cargo run --release -p ftc-bench --bin table1 -- [--jobs N] [--trials N] [--seed N] [--smoke]
 //! ```
 
-use ftc_baselines::prelude::*;
-use ftc_bench::{average_trials, fmt_count, print_table, ExpOpts};
-use ftc_core::prelude::*;
-use ftc_sim::prelude::*;
+use ftc_bench::{fmt_count, print_table, ExpOpts};
+use ftc_lab::{
+    run_campaign, Adv, CampaignSpec, CellSpec, CheckAxis, CheckMetric, ExponentCheck, LabSubstrate,
+    Workload,
+};
+
+/// Input density of the agreement rows: zeros at every id divisible by 7.
+const SEVENTH: f64 = 1.0 / 7.0;
 
 fn main() {
     let opts = ExpOpts::parse();
     let n = opts.pick(4096u32, 1024);
     let trials = opts.trials(10);
     let seed = opts.seed(0xE1);
-    let jobs = opts.jobs;
     println!(
         "Table I reproduction — agreement protocols, n = {n}, {trials} trials each ({})",
         opts.banner()
@@ -30,140 +36,203 @@ fn main() {
     println!("(crash schedule: uniformly random crash rounds over the protocol's run)");
     println!();
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-
-    // --- folklore FloodSet: any f, O(n²) msgs, f+1 rounds, explicit ---
-    {
-        let f = (n - 1) as usize / 2; // run at n/2 for comparable fault load
-        let r = average_trials(trials, seed ^ 0x1000, jobs, |s| {
-            let cfg = SimConfig::new(n)
-                .seed(s)
-                .max_rounds(flood_round_budget(f as u32));
-            let mut adv = RandomCrash::new(f, f as u32);
-            let res = run(
-                &cfg,
-                |id| FloodAgreeNode::new(f as u32, id.0 % 7 != 0),
-                &mut adv,
-            );
-            let o = FloodOutcome::evaluate(&res);
-            (o.success, res.metrics.msgs_sent, res.metrics.rounds)
-        });
-        rows.push(vec![
-            "FloodSet (folklore)".into(),
-            "any f".into(),
-            "KT0".into(),
-            "O(f)".into(),
-            "O(n^2)".into(),
-            format!("{:.0}", r.rounds),
-            fmt_count(r.msgs),
-            format!("{}/{}", r.success, trials),
-        ]);
-    }
-
-    // --- Gilbert–Kowalski SODA'10 style: f < n/2, O(n) msgs, KT1 ---
-    {
-        let f = (n as usize / 2) - 1;
-        let r = average_trials(trials, seed ^ 0x2000, jobs, |s| {
-            let cfg = SimConfig::new(n)
-                .seed(s)
-                .kt1(true)
-                .max_rounds(gk_round_budget(n));
-            let mut adv = RandomCrash::new(f, 20);
-            let res = run(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv);
-            let o = GkOutcome::evaluate(&res);
-            (o.success, res.metrics.msgs_sent, res.metrics.rounds)
-        });
-        rows.push(vec![
-            "Gilbert-Kowalski'10 style [24]".into(),
-            "n/2 - 1".into(),
-            "KT1".into(),
-            "O(log n)".into(),
-            "O(n)".into(),
-            format!("{:.0}", r.rounds),
-            fmt_count(r.msgs),
-            format!("{}/{}", r.success, trials),
-        ]);
-    }
-
-    // --- Chlebus–Kowalski SPAA'09 style gossip: linear f, O(n log n) ---
-    {
-        let f = n as usize / 2;
-        let r = average_trials(trials, seed ^ 0x3000, jobs, |s| {
-            let cfg = SimConfig::new(n).seed(s).max_rounds(gossip_round_budget(n));
-            let mut adv = RandomCrash::new(f, 10);
-            let res = run(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv);
-            let o = GossipOutcome::evaluate(&res);
-            (o.success, res.metrics.msgs_sent, res.metrics.rounds)
-        });
-        rows.push(vec![
-            "Chlebus-Kowalski'09 style [36]".into(),
-            "c*n (c<1)".into(),
-            "KT0".into(),
-            "O(log n)*".into(),
-            "O(n log n)*".into(),
-            format!("{:.0}", r.rounds),
-            fmt_count(r.msgs),
-            format!("{}/{}", r.success, trials),
-        ]);
-    }
-
-    // --- this paper, α = 1/2 (same fault load as the other rows) ---
+    let sizes = opts.pick(vec![2048u32, 8192, 32768], vec![1024, 2048]);
+    let mut spec = CampaignSpec::new("table1")
+        .cell(
+            CellSpec::new(
+                Workload::Flood {
+                    faults: u64::from(n - 1) / 2,
+                },
+                n,
+                0.5,
+                seed ^ 0x1000,
+                trials,
+            )
+            .label("flood"),
+        )
+        .cell(
+            CellSpec::new(
+                Workload::Gk {
+                    faults: u64::from(n) / 2 - 1,
+                },
+                n,
+                0.5,
+                seed ^ 0x2000,
+                trials,
+            )
+            .label("gk"),
+        )
+        .cell(
+            CellSpec::new(
+                Workload::Gossip {
+                    faults: u64::from(n) / 2,
+                },
+                n,
+                0.5,
+                seed ^ 0x3000,
+                trials,
+            )
+            .label("gossip"),
+        );
     for &alpha in &[0.5, 0.125] {
-        let params = Params::new(n, alpha).expect("valid");
-        let f = params.max_faults();
-        let r = average_trials(trials, seed ^ 0x4000, jobs, |s| {
-            let cfg = SimConfig::new(n)
-                .seed(s)
-                .max_rounds(params.agreement_round_budget());
-            let mut adv = RandomCrash::new(f, 20);
-            let res = run(
-                &cfg,
-                |id| AgreeNode::new(params.clone(), id.0 % 7 != 0),
-                &mut adv,
-            );
-            let o = AgreeOutcome::evaluate(&res);
-            (o.success, res.metrics.msgs_sent, res.metrics.rounds)
-        });
-        rows.push(vec![
-            format!("this paper (implicit, a={alpha})"),
-            "n - log^2 n".into(),
-            "KT0 anon".into(),
-            "O(log n/a)".into(),
-            "O(sqrt(n) log^1.5 n/a^1.5)".into(),
-            format!("{:.0}", r.rounds),
-            fmt_count(r.msgs),
-            format!("{}/{}", r.success, trials),
-        ]);
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Agree {
+                    zeros: SEVENTH,
+                    adv: Adv::Random(20),
+                },
+                n,
+                alpha,
+                seed ^ 0x4000,
+                trials,
+            )
+            .label("ours"),
+        );
     }
+    spec = spec.cell(
+        CellSpec::new(
+            Workload::AgreeExplicit { zeros: SEVENTH },
+            n,
+            0.5,
+            seed ^ 0x5000,
+            trials,
+        )
+        .label("ours-explicit"),
+    );
+    // Scaling-fit series, one cell per size with the historical per-size
+    // seed salts.
+    for &sn in &sizes {
+        spec = spec
+            .cell(
+                CellSpec::new(
+                    Workload::Agree {
+                        zeros: SEVENTH,
+                        adv: Adv::Random(20),
+                    },
+                    sn,
+                    0.5,
+                    seed ^ 0x6000 ^ u64::from(sn),
+                    trials,
+                )
+                .label("fit-ours"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Gk {
+                        faults: u64::from(sn) / 4,
+                    },
+                    sn,
+                    0.5,
+                    seed ^ 0x7000 ^ u64::from(sn),
+                    trials,
+                )
+                .label("fit-gk"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Gossip {
+                        faults: u64::from(sn) / 4,
+                    },
+                    sn,
+                    0.5,
+                    seed ^ 0x8000 ^ u64::from(sn),
+                    trials,
+                )
+                .label("fit-gossip"),
+            );
+    }
+    spec = spec.check(ExponentCheck {
+        name: "ours-msgs-sublinear".into(),
+        series: "fit-ours".into(),
+        metric: CheckMetric::Msgs,
+        axis: CheckAxis::N,
+        min: 0.1,
+        max: 0.95,
+    });
+    let record = run_campaign(&spec, opts.jobs, LabSubstrate::Engine).expect("campaign");
+    let series = |label: &str| {
+        record
+            .cells
+            .iter()
+            .filter(|c| c.cell.label == label)
+            .collect::<Vec<_>>()
+    };
+    let measured = |cell: &ftc_lab::CellResult| {
+        vec![
+            format!("{:.0}", cell.rounds.mean),
+            fmt_count(cell.msgs.mean),
+            format!("{}/{}", cell.successes, trials),
+        ]
+    };
 
-    // --- this paper, explicit extension ---
-    {
-        let params = Params::new(n, 0.5).expect("valid");
-        let f = params.max_faults();
-        let r = average_trials(trials, seed ^ 0x5000, jobs, |s| {
-            let cfg = SimConfig::new(n)
-                .seed(s)
-                .max_rounds(ExplicitAgreeNode::round_budget(&params));
-            let mut adv = RandomCrash::new(f, 20);
-            let res = run(
-                &cfg,
-                |id| ExplicitAgreeNode::new(params.clone(), id.0 % 7 != 0),
-                &mut adv,
-            );
-            let o = ExplicitAgreeOutcome::evaluate(&res);
-            (o.success, res.metrics.msgs_sent, res.metrics.rounds)
-        });
-        rows.push(vec![
-            "this paper (explicit, a=0.5)".into(),
-            "n - log^2 n".into(),
-            "KT0 anon".into(),
-            "O(log n/a)".into(),
-            "O(n log n/a)".into(),
-            format!("{:.0}", r.rounds),
-            fmt_count(r.msgs),
-            format!("{}/{}", r.success, trials),
-        ]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    rows.push(
+        [
+            vec![
+                "FloodSet (folklore)".into(),
+                "any f".into(),
+                "KT0".into(),
+                "O(f)".into(),
+                "O(n^2)".into(),
+            ],
+            measured(series("flood")[0]),
+        ]
+        .concat(),
+    );
+    rows.push(
+        [
+            vec![
+                "Gilbert-Kowalski'10 style [24]".into(),
+                "n/2 - 1".into(),
+                "KT1".into(),
+                "O(log n)".into(),
+                "O(n)".into(),
+            ],
+            measured(series("gk")[0]),
+        ]
+        .concat(),
+    );
+    rows.push(
+        [
+            vec![
+                "Chlebus-Kowalski'09 style [36]".into(),
+                "c*n (c<1)".into(),
+                "KT0".into(),
+                "O(log n)*".into(),
+                "O(n log n)*".into(),
+            ],
+            measured(series("gossip")[0]),
+        ]
+        .concat(),
+    );
+    for (cell, &alpha) in series("ours").iter().zip(&[0.5, 0.125]) {
+        rows.push(
+            [
+                vec![
+                    format!("this paper (implicit, a={alpha})"),
+                    "n - log^2 n".into(),
+                    "KT0 anon".into(),
+                    "O(log n/a)".into(),
+                    "O(sqrt(n) log^1.5 n/a^1.5)".into(),
+                ],
+                measured(cell),
+            ]
+            .concat(),
+        );
     }
+    rows.push(
+        [
+            vec![
+                "this paper (explicit, a=0.5)".into(),
+                "n - log^2 n".into(),
+                "KT0 anon".into(),
+                "O(log n/a)".into(),
+                "O(n log n/a)".into(),
+            ],
+            measured(series("ours-explicit")[0]),
+        ]
+        .concat(),
+    );
 
     print_table(
         &[
@@ -194,72 +263,15 @@ fn main() {
     // --- scaling fit: measured growth exponents in n ---
     println!("scaling fit (messages vs n, alpha = 0.5, {trials} trials/point):");
     println!();
-    let sizes = opts.pick(vec![2048u32, 8192, 32768], vec![1024, 2048]);
     let mut fit_rows: Vec<Vec<String>> = Vec::new();
-    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
-
-    let mut ours = Vec::new();
-    for &n in &sizes {
-        let params = Params::new(n, 0.5).expect("valid");
-        let f = params.max_faults();
-        let r = average_trials(trials, seed ^ 0x6000 ^ u64::from(n), jobs, |s| {
-            let cfg = SimConfig::new(n)
-                .seed(s)
-                .max_rounds(params.agreement_round_budget());
-            let mut adv = RandomCrash::new(f, 20);
-            let res = run(
-                &cfg,
-                |id| AgreeNode::new(params.clone(), id.0 % 7 != 0),
-                &mut adv,
-            );
-            (
-                AgreeOutcome::evaluate(&res).success,
-                res.metrics.msgs_sent,
-                res.metrics.rounds,
-            )
-        });
-        ours.push(r.msgs);
-    }
-    series.push(("this paper (implicit)", ours));
-
-    let mut gk = Vec::new();
-    for &n in &sizes {
-        let r = average_trials(trials, seed ^ 0x7000 ^ u64::from(n), jobs, |s| {
-            let cfg = SimConfig::new(n)
-                .seed(s)
-                .kt1(true)
-                .max_rounds(gk_round_budget(n));
-            let mut adv = RandomCrash::new(n as usize / 4, 20);
-            let res = run(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv);
-            (
-                GkOutcome::evaluate(&res).success,
-                res.metrics.msgs_sent,
-                res.metrics.rounds,
-            )
-        });
-        gk.push(r.msgs);
-    }
-    series.push(("GK10-style", gk));
-
-    let mut gos = Vec::new();
-    for &n in &sizes {
-        let r = average_trials(trials, seed ^ 0x8000 ^ u64::from(n), jobs, |s| {
-            let cfg = SimConfig::new(n).seed(s).max_rounds(gossip_round_budget(n));
-            let mut adv = RandomCrash::new(n as usize / 4, 10);
-            let res = run(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv);
-            (
-                GossipOutcome::evaluate(&res).success,
-                res.metrics.msgs_sent,
-                res.metrics.rounds,
-            )
-        });
-        gos.push(r.msgs);
-    }
-    series.push(("CK09-style gossip", gos));
-
-    let xs: Vec<f64> = sizes.iter().map(|&n| f64::from(n)).collect();
-    for (name, ys) in &series {
-        let (exp, _) = ftc_sim::stats::fit_power_law(&xs, ys);
+    let xs: Vec<f64> = sizes.iter().map(|&sn| f64::from(sn)).collect();
+    for (name, label) in &[
+        ("this paper (implicit)", "fit-ours"),
+        ("GK10-style", "fit-gk"),
+        ("CK09-style gossip", "fit-gossip"),
+    ] {
+        let ys: Vec<f64> = series(label).iter().map(|c| c.msgs.mean).collect();
+        let (exp, _) = ftc_sim::stats::fit_power_law(&xs, &ys);
         fit_rows.push(vec![
             name.to_string(),
             fmt_count(ys[0]),

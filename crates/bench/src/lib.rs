@@ -15,22 +15,14 @@
 //! | `fig_faultfree_gap` | E9 | "same as fault-free" (Corollaries 1/3) |
 //! | `fig_sampling_lemmas` | E10 | Lemmas 1–3 concentration |
 //!
-//! This library crate hosts the shared measurement plumbing so the
-//! binaries stay declarative.
+//! Every binary declares its parameter grid as an `ftc_lab`
+//! [`CampaignSpec`](ftc_lab::CampaignSpec) and executes it through
+//! [`run_campaign`](ftc_lab::run_campaign) — the same campaigns `ftc lab
+//! run` can persist, diff, and gate on. This crate keeps only the shared
+//! presentation plumbing (CLI options, table rendering).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-use ftc_core::adversaries::{MinRankCrasher, ZeroHolderCrasher};
-use ftc_core::agreement::{AgreeNode, AgreeOutcome};
-use ftc_core::leader_election::{LeNode, LeOutcome};
-use ftc_core::messages::{AgreeMsg, LeMsg};
-use ftc_core::params::Params;
-use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
-use ftc_sim::engine::{run, SimConfig};
-use ftc_sim::ids::NodeId;
-use ftc_sim::runner::{run_trials_jobs, ParRunner, TrialPlan};
-use ftc_sim::stats::Summary;
 
 /// Trials per cell in `--smoke` mode (unless `--trials` overrides it).
 pub const SMOKE_TRIALS: u64 = 2;
@@ -185,191 +177,6 @@ pub enum ParseError {
     Bad(String),
 }
 
-/// Which crash schedule an experiment runs under.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AdversaryKind {
-    /// No crashes.
-    None,
-    /// All faulty nodes crash at round 0 before sending.
-    Eager,
-    /// Random crash rounds within the given horizon.
-    Random(u32),
-    /// The paper's worst case: assassinate the current minimum proposer
-    /// (LE) / the current zero-forwarder (agreement).
-    Targeted,
-}
-
-impl AdversaryKind {
-    /// Human-readable label for tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            AdversaryKind::None => "fault-free",
-            AdversaryKind::Eager => "eager",
-            AdversaryKind::Random(_) => "random",
-            AdversaryKind::Targeted => "targeted",
-        }
-    }
-
-    fn le_adversary(self, f: usize) -> Box<dyn Adversary<LeMsg>> {
-        match self {
-            AdversaryKind::None => Box::new(NoFaults),
-            AdversaryKind::Eager => Box::new(EagerCrash::new(f)),
-            AdversaryKind::Random(h) => Box::new(RandomCrash::new(f, h)),
-            AdversaryKind::Targeted => Box::new(MinRankCrasher::new(f)),
-        }
-    }
-
-    fn agree_adversary(self, f: usize) -> Box<dyn Adversary<AgreeMsg>> {
-        match self {
-            AdversaryKind::None => Box::new(NoFaults),
-            AdversaryKind::Eager => Box::new(EagerCrash::new(f)),
-            AdversaryKind::Random(h) => Box::new(RandomCrash::new(f, h)),
-            AdversaryKind::Targeted => Box::new(ZeroHolderCrasher::new(f)),
-        }
-    }
-}
-
-/// Aggregated measurements of one experimental cell.
-#[derive(Clone, Debug)]
-pub struct Measurement {
-    /// Fraction of trials satisfying the problem definition.
-    pub success_rate: f64,
-    /// Among successful LE trials, fraction whose leader is faulty.
-    pub faulty_leader_rate: f64,
-    /// Messages sent.
-    pub msgs: Summary,
-    /// Bits sent.
-    pub bits: Summary,
-    /// Rounds executed.
-    pub rounds: Summary,
-    /// Trials run.
-    pub trials: u64,
-}
-
-/// Measures the paper's implicit leader election, fanning trials over
-/// `jobs` worker threads (`0` = one per core). Results are a function of
-/// the arguments only — never of `jobs`.
-pub fn measure_le(
-    n: u32,
-    alpha: f64,
-    kind: AdversaryKind,
-    trials: u64,
-    seed: u64,
-    jobs: usize,
-) -> Measurement {
-    let params = Params::new(n, alpha).expect("valid params");
-    let f = params.max_faults();
-    let cfg = SimConfig::new(n)
-        .seed(seed)
-        .max_rounds(params.le_round_budget());
-    let out = run_trials_jobs(&cfg, trials, jobs, |c| {
-        let mut adv = kind.le_adversary(f);
-        let r = run(c, |_| LeNode::new(params.clone()), adv.as_mut());
-        let o = LeOutcome::evaluate(&r);
-        (
-            o.success,
-            o.success && o.leader_is_faulty,
-            r.metrics.msgs_sent,
-            r.metrics.bits_sent,
-            r.metrics.rounds,
-        )
-    });
-    aggregate(out.iter().map(|t| t.value))
-}
-
-/// Measures the paper's implicit agreement with a `zero_fraction` of
-/// 0-inputs spread round-robin; `jobs` as in [`measure_le`].
-pub fn measure_agreement(
-    n: u32,
-    alpha: f64,
-    zero_fraction: f64,
-    kind: AdversaryKind,
-    trials: u64,
-    seed: u64,
-    jobs: usize,
-) -> Measurement {
-    let params = Params::new(n, alpha).expect("valid params");
-    let f = params.max_faults();
-    let stride = if zero_fraction <= 0.0 {
-        u32::MAX
-    } else {
-        (1.0 / zero_fraction).round().max(1.0) as u32
-    };
-    let cfg = SimConfig::new(n)
-        .seed(seed)
-        .max_rounds(params.agreement_round_budget());
-    let out = run_trials_jobs(&cfg, trials, jobs, |c| {
-        let mut adv = kind.agree_adversary(f);
-        let inputs = |id: NodeId| !(stride != u32::MAX && id.0 % stride == 0);
-        let r = run(
-            c,
-            |id| AgreeNode::new(params.clone(), inputs(id)),
-            adv.as_mut(),
-        );
-        let o = AgreeOutcome::evaluate(&r);
-        (
-            o.success,
-            false,
-            r.metrics.msgs_sent,
-            r.metrics.bits_sent,
-            r.metrics.rounds,
-        )
-    });
-    aggregate(out.iter().map(|t| t.value))
-}
-
-/// Success count and mean cost of one experiment row (Table I style).
-#[derive(Clone, Copy, Debug)]
-pub struct RowResult {
-    /// Trials that met the row's success predicate.
-    pub success: u64,
-    /// Mean messages per trial.
-    pub msgs: f64,
-    /// Mean rounds per trial.
-    pub rounds: f64,
-}
-
-/// Runs `job` once per derived trial seed, in parallel over `jobs` worker
-/// threads, and averages the `(success, msgs, rounds)` triples. The seed
-/// passed to `job` is `stream_seed(base_seed, trial + 1)` — feed it to
-/// [`SimConfig::seed`] so the trial is reproducible in isolation.
-pub fn average_trials<F>(trials: u64, base_seed: u64, jobs: usize, job: F) -> RowResult
-where
-    F: Fn(u64) -> (bool, u64, u32) + Sync,
-{
-    let batch =
-        ParRunner::new(TrialPlan::new(base_seed, trials).jobs(jobs)).run(|_, seed| job(seed));
-    let n = batch.len().max(1) as f64;
-    let mut success = 0u64;
-    let mut msgs = 0.0;
-    let mut rounds = 0.0;
-    for (ok, m, r) in batch.values() {
-        success += u64::from(*ok);
-        msgs += *m as f64;
-        rounds += f64::from(*r);
-    }
-    RowResult {
-        success,
-        msgs: msgs / n,
-        rounds: rounds / n,
-    }
-}
-
-fn aggregate(values: impl Iterator<Item = (bool, bool, u64, u64, u32)>) -> Measurement {
-    let v: Vec<_> = values.collect();
-    let trials = v.len() as u64;
-    let successes = v.iter().filter(|x| x.0).count();
-    let faulty_leaders = v.iter().filter(|x| x.1).count();
-    Measurement {
-        success_rate: successes as f64 / trials.max(1) as f64,
-        faulty_leader_rate: faulty_leaders as f64 / successes.max(1) as f64,
-        msgs: Summary::of_iter(v.iter().map(|x| x.2 as f64)),
-        bits: Summary::of_iter(v.iter().map(|x| x.3 as f64)),
-        rounds: Summary::of_iter(v.iter().map(|x| f64::from(x.4))),
-        trials,
-    }
-}
-
 /// Prints a fixed-width table: a header row and data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -424,43 +231,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn measure_le_reports_sane_numbers() {
-        let m = measure_le(128, 0.5, AdversaryKind::Eager, 4, 42, 0);
-        assert_eq!(m.trials, 4);
-        assert!(m.success_rate >= 0.75, "{m:?}");
-        assert!(m.msgs.mean > 0.0);
-        assert!(m.rounds.mean > 0.0);
-    }
-
-    #[test]
-    fn measure_agreement_reports_sane_numbers() {
-        let m = measure_agreement(128, 0.5, 0.1, AdversaryKind::Random(10), 4, 42, 0);
-        assert_eq!(m.trials, 4);
-        assert!(m.success_rate >= 0.75, "{m:?}");
-        assert!(m.bits.mean >= m.msgs.mean);
-    }
-
-    #[test]
-    fn measurements_are_jobs_invariant() {
-        let at = |jobs| measure_le(128, 0.5, AdversaryKind::Random(10), 6, 7, jobs);
-        let one = at(1);
-        let eight = at(8);
-        assert_eq!(one.success_rate, eight.success_rate);
-        assert_eq!(one.msgs.mean, eight.msgs.mean);
-        assert_eq!(one.rounds.mean, eight.rounds.mean);
-    }
-
-    #[test]
-    fn average_trials_is_jobs_invariant() {
-        let job = |seed: u64| (seed % 3 != 0, seed % 100, (seed % 7) as u32);
-        let a = average_trials(50, 11, 1, job);
-        let b = average_trials(50, 11, 8, job);
-        assert_eq!(a.success, b.success);
-        assert_eq!(a.msgs, b.msgs);
-        assert_eq!(a.rounds, b.rounds);
-    }
-
-    #[test]
     fn exp_opts_parse_all_flags() {
         fn args(s: &str) -> std::vec::IntoIter<String> {
             s.split_whitespace()
@@ -508,13 +278,6 @@ mod tests {
     }
 
     #[test]
-    fn adversary_kinds_have_labels() {
-        assert_eq!(AdversaryKind::None.label(), "fault-free");
-        assert_eq!(AdversaryKind::Random(5).label(), "random");
-        assert_eq!(AdversaryKind::Targeted.label(), "targeted");
-    }
-
-    #[test]
     fn fmt_count_groups_thousands() {
         assert_eq!(fmt_count(1234567.0), "1,234,567");
         assert_eq!(fmt_count(999.0), "999");
@@ -527,5 +290,26 @@ mod tests {
             &["a", "bb"],
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
+    }
+
+    #[test]
+    fn lab_campaign_replaces_measurement_plumbing() {
+        // The old measure_le helper lived here; its semantics are pinned
+        // by ftc-lab (see lab's le_cell_matches_bench_measurement_semantics
+        // test). This guards that a bench binary's minimal campaign still
+        // runs through the lab entry point.
+        use ftc_lab::{run_campaign, Adv, CampaignSpec, CellSpec, LabSubstrate, Workload};
+        let spec = CampaignSpec::new("bench-unit").cell(CellSpec::new(
+            Workload::Le {
+                adv: Adv::Random(10),
+            },
+            128,
+            0.5,
+            42,
+            2,
+        ));
+        let record = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap();
+        assert_eq!(record.cells.len(), 1);
+        assert!(record.cells[0].msgs.mean > 0.0);
     }
 }

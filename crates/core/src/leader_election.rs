@@ -21,7 +21,7 @@
 //! network. A crashed node is never elected (it may crash *after* the
 //! election; the leader is non-faulty with probability ≥ α).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ftc_sim::ids::{NodeId, Port, Round};
 use ftc_sim::prelude::*;
@@ -86,8 +86,10 @@ struct RefereeState {
     /// Ports of the candidates that registered with this referee.
     candidates: Vec<Port>,
     /// First-seen arrival port of each known rank (to avoid echoing a
-    /// candidate its own rank during pre-processing).
-    rank_origin: HashMap<Rank, Port>,
+    /// candidate its own rank during pre-processing). Ordered map: the
+    /// forward queue is built by iterating the keys, so the container's
+    /// iteration order must be deterministic for runs to replay exactly.
+    rank_origin: BTreeMap<Rank, Port>,
     /// Pending `(destination port, rank)` forwards, drained at one message
     /// per port per round (CONGEST).
     forward_queue: VecDeque<(Port, Rank)>,
@@ -691,5 +693,31 @@ mod tests {
             "edge load {}",
             result.metrics.max_edge_bits_per_round
         );
+    }
+
+    #[test]
+    fn capped_run_metrics_replay_exactly() {
+        // Regression: referee forwarding once iterated a HashMap to build
+        // its forward queue, so the number of *attempted* sends varied
+        // between identical runs. Delivered messages were unaffected, but
+        // under a send cap the suppressed counter (and with edge failures
+        // the lost counter) drifted. Every metric must replay bit-exact.
+        let params = Params::new(256, 0.5).unwrap();
+        let run_once = || {
+            let cfg = SimConfig::new(256)
+                .seed(0x8E)
+                .max_rounds(params.le_round_budget())
+                .send_cap(48)
+                .edge_failure_prob(0.3);
+            let mut adv = EagerCrash::new(params.max_faults());
+            run(&cfg, |_| LeNode::new(params.clone()), &mut adv)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.metrics.msgs_sent, b.metrics.msgs_sent);
+        assert_eq!(a.metrics.msgs_suppressed, b.metrics.msgs_suppressed);
+        assert_eq!(a.metrics.msgs_lost_edges, b.metrics.msgs_lost_edges);
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(a.metrics.bits_sent, b.metrics.bits_sent);
     }
 }

@@ -1,0 +1,161 @@
+//! Benchmark trajectory export: `BENCH_leader_election.json` and
+//! `BENCH_agreement.json` at the repo root.
+//!
+//! Each file is an append-only trajectory of campaign runs: one entry
+//! per (spec hash, record id) pair, carrying the per-cell success rate,
+//! message/round summaries, wall clock and throughput, plus provenance
+//! (git rev, seed). Re-exporting an unchanged run is a no-op; a changed
+//! measurement (new code, new spec) appends, so the file accumulates the
+//! perf history of the protocols across the repo's life.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ftc_sim::json::{Json, JsonError};
+
+use crate::run::CampaignRecord;
+
+/// Repo-root file for the leader-election trajectory.
+pub const BENCH_LE: &str = "BENCH_leader_election.json";
+/// Repo-root file for the agreement trajectory.
+pub const BENCH_AGREE: &str = "BENCH_agreement.json";
+
+fn cell_entry(cell: &crate::run::CellResult) -> Json {
+    Json::Obj(vec![
+        ("label".into(), Json::Str(cell.cell.label.clone())),
+        ("n".into(), Json::UInt(u64::from(cell.cell.n))),
+        ("alpha".into(), Json::Num(cell.cell.alpha)),
+        ("seed".into(), Json::UInt(cell.cell.seed)),
+        ("trials".into(), Json::UInt(cell.cell.trials)),
+        ("success_rate".into(), Json::Num(cell.success_rate())),
+        ("msgs".into(), cell.msgs.to_json()),
+        ("rounds".into(), cell.rounds.to_json()),
+        ("wall_s".into(), Json::Num(cell.wall_s)),
+        ("trials_per_s".into(), Json::Num(cell.throughput())),
+    ])
+}
+
+fn record_entry(record: &CampaignRecord) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::Str(record.id())),
+        ("name".into(), Json::Str(record.spec.name.clone())),
+        ("spec_hash".into(), Json::Str(record.spec_hash.clone())),
+        ("git_rev".into(), Json::Str(record.git_rev.clone())),
+        ("substrate".into(), Json::Str(record.substrate.clone())),
+        ("wall_s".into(), Json::Num(record.wall_s)),
+        (
+            "cells".into(),
+            Json::Arr(record.cells.iter().map(cell_entry).collect()),
+        ),
+        (
+            "checks".into(),
+            Json::Arr(
+                record
+                    .checks
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(c.check.name.clone())),
+                            ("exponent".into(), c.exponent.map_or(Json::Null, Json::Num)),
+                            ("pass".into(), Json::Bool(c.pass)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn load_entries(path: &Path) -> io::Result<Vec<Json>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(path)?;
+    let json = Json::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let schema_err = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    match json.field("schema").map(Json::as_str) {
+        Ok(Ok("ftc-lab-bench/v1")) => {}
+        _ => {
+            return Err(schema_err(format!(
+                "{} is not a bench trajectory",
+                path.display()
+            )))
+        }
+    }
+    json.field("entries")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .map_err(|e: JsonError| schema_err(e.to_string()))
+}
+
+/// Appends `record` to the trajectory at `path` (creating it if absent).
+/// Idempotent per record id: exporting the same measurement twice keeps
+/// one entry. Returns the number of entries now in the file.
+pub fn export(record: &CampaignRecord, path: &Path) -> io::Result<usize> {
+    let mut entries = load_entries(path)?;
+    let id = Json::Str(record.id());
+    if !entries.iter().any(|e| e.get("id") == Some(&id)) {
+        entries.push(record_entry(record));
+    }
+    let count = entries.len();
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("ftc-lab-bench/v1".into())),
+        ("protocol".into(), Json::Str(record.spec.name.clone())),
+        ("entries".into(), Json::Arr(entries)),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    fs::write(path, text)?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_campaign, LabSubstrate};
+    use crate::spec::{Adv, CampaignSpec, CellSpec, Workload};
+
+    fn record(seed: u64) -> CampaignRecord {
+        let spec = CampaignSpec::new("bench-unit").cell(CellSpec::new(
+            Workload::Le {
+                adv: Adv::Random(5),
+            },
+            16,
+            0.5,
+            seed,
+            2,
+        ));
+        run_campaign(&spec, 1, LabSubstrate::Engine).unwrap()
+    }
+
+    #[test]
+    fn export_appends_and_dedupes() {
+        let path = std::env::temp_dir().join(format!("ftc-lab-bench-{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        assert_eq!(export(&record(1), &path).unwrap(), 1);
+        assert_eq!(export(&record(1), &path).unwrap(), 1, "same id dedupes");
+        assert_eq!(export(&record(2), &path).unwrap(), 2, "new id appends");
+        let text = fs::read_to_string(&path).unwrap();
+        let json = Json::parse(&text).unwrap();
+        assert_eq!(
+            json.field("schema").unwrap().as_str().unwrap(),
+            "ftc-lab-bench/v1"
+        );
+        let entries = json.field("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 2);
+        let cell = &entries[0].field("cells").unwrap().as_arr().unwrap()[0];
+        assert!(cell.get("success_rate").is_some());
+        assert!(cell.field("msgs").unwrap().get("median").is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_trajectory_files_are_refused() {
+        let path = std::env::temp_dir().join(format!("ftc-lab-junk-{}.json", std::process::id()));
+        fs::write(&path, "{\"schema\":\"other\"}").unwrap();
+        assert!(export(&record(1), &path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+}

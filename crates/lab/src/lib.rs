@@ -1,0 +1,27 @@
+//! `ftc-lab`: declarative experiment campaigns over the fault-tolerant
+//! computation protocols.
+//!
+//! An experiment is data, not a binary: a [`CampaignSpec`] names a grid
+//! of cells (workload × n × α × adversary, each with a seed and trial
+//! budget) plus optional fitted-exponent assertions, and
+//! [`run_campaign`] expands the grid onto the deterministic parallel
+//! trial runner. The result is a [`CampaignRecord`] — a self-describing
+//! JSON document carrying the spec, its hash, per-cell [`Summary`]s and
+//! log-histograms, and wall-clock provenance — persisted in a
+//! content-addressed [`store`], compared cell-by-cell by [`diff`] with
+//! statistically justified tolerance bands, and gated in CI by
+//! [`diff::gate`] against committed baselines.
+//!
+//! [`Summary`]: ftc_sim::stats::Summary
+
+pub mod baseline;
+pub mod campaigns;
+pub mod diff;
+pub mod run;
+pub mod spec;
+pub mod store;
+
+pub use diff::{diff_records, CellDiff, DiffReport, Tolerance};
+pub use run::{run_campaign, run_cell, CampaignRecord, CellResult, CheckResult, LabSubstrate};
+pub use spec::{Adv, CampaignSpec, CellSpec, CheckAxis, CheckMetric, ExponentCheck, Workload};
+pub use store::Store;

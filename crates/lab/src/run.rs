@@ -1,0 +1,979 @@
+//! Campaign execution: expand the grid onto the deterministic trial
+//! runner and condense each cell into a stored result.
+//!
+//! Every cell fans its trials over [`ParRunner`] with the exact seed
+//! derivation the figure binaries always used (`stream_seed(seed, i+1)`),
+//! so a ported figure reproduces its historical numbers bit-for-bit and
+//! results are `--jobs`-invariant by construction. Wall-clock times are
+//! recorded but live outside the record's deterministic payload — two
+//! runs of the same spec at the same seed produce byte-identical
+//! deterministic renders (that is what `gate` compares and what the store
+//! content-addresses).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use ftc_baselines::prelude::*;
+use ftc_core::adversaries::{AdaptiveCandidateKiller, MinRankCrasher, ZeroHolderCrasher};
+use ftc_core::byzantine::{EquivocatingClaimant, ZeroForger};
+use ftc_core::prelude::*;
+use ftc_core::sampling::draw_committee;
+use ftc_net::prelude::*;
+use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
+use ftc_sim::engine::{run, RunResult, SimConfig};
+use ftc_sim::ids::NodeId;
+use ftc_sim::json::{Json, JsonError};
+use ftc_sim::metrics::LogHistogram;
+use ftc_sim::runner::{ParRunner, TrialPlan};
+use ftc_sim::stats::{fit_power_law, Summary};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use crate::spec::{
+    fnv1a64, input_stride, Adv, CampaignSpec, CellSpec, CheckAxis, CheckMetric, ExponentCheck,
+    Workload,
+};
+
+/// Which execution substrate runs the trials.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabSubstrate {
+    /// The in-process sim engine (default).
+    Engine,
+    /// The `ftc-net` in-process channel mesh with this many workers.
+    Channel(usize),
+    /// The `ftc-net` localhost TCP mesh with this many workers.
+    Tcp(usize),
+}
+
+impl LabSubstrate {
+    /// Store-record label.
+    pub fn name(self) -> String {
+        match self {
+            LabSubstrate::Engine => "engine".into(),
+            LabSubstrate::Channel(w) => format!("channel:{w}"),
+            LabSubstrate::Tcp(w) => format!("tcp:{w}"),
+        }
+    }
+}
+
+/// What one trial yields, uniformly across workloads.
+#[derive(Clone, Debug)]
+pub struct TrialValue {
+    /// The workload's success predicate.
+    pub success: bool,
+    /// Messages sent.
+    pub msgs: u64,
+    /// Bits sent.
+    pub bits: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Crash events.
+    pub crashes: u64,
+    /// Workload-specific extra measurements (fixed small set per
+    /// workload, e.g. `faulty_leader`, `suppressed`, `lost_edges`).
+    pub extras: Vec<(&'static str, f64)>,
+}
+
+fn value_of<T>(r: &RunResult<T>, success: bool, extras: Vec<(&'static str, f64)>) -> TrialValue {
+    TrialValue {
+        success,
+        msgs: r.metrics.msgs_sent,
+        bits: r.metrics.bits_sent,
+        rounds: r.metrics.rounds,
+        crashes: r.metrics.crash_count() as u64,
+        extras,
+    }
+}
+
+fn le_adversary(adv: Adv, f: usize) -> Box<dyn Adversary<LeMsg>> {
+    match adv {
+        Adv::None => Box::new(NoFaults),
+        Adv::Eager => Box::new(EagerCrash::new(f)),
+        Adv::Random(h) => Box::new(RandomCrash::new(f, h)),
+        Adv::Targeted => Box::new(MinRankCrasher::new(f)),
+        Adv::AdaptiveKiller => Box::new(AdaptiveCandidateKiller::new(f)),
+    }
+}
+
+fn agree_adversary(adv: Adv, f: usize) -> Box<dyn Adversary<AgreeMsg>> {
+    match adv {
+        Adv::None => Box::new(NoFaults),
+        Adv::Eager => Box::new(EagerCrash::new(f)),
+        Adv::Random(h) => Box::new(RandomCrash::new(f, h)),
+        Adv::Targeted => Box::new(ZeroHolderCrasher::new(f)),
+        Adv::AdaptiveKiller => panic!("the adaptive killer targets leader election only"),
+    }
+}
+
+/// Runs the LE workload on the chosen substrate (the PR-3 bit-equivalence
+/// guarantee makes the substrate invisible in the result).
+fn run_le<A: Adversary<LeMsg> + ?Sized>(
+    cfg: &SimConfig,
+    params: &Params,
+    adv: &mut A,
+    substrate: LabSubstrate,
+) -> Result<RunResult<LeNode>, String> {
+    let factory = |_| LeNode::new(params.clone());
+    Ok(match substrate {
+        LabSubstrate::Engine => run(cfg, factory, adv),
+        LabSubstrate::Channel(w) => run_over_channel(cfg, w, factory, adv).run,
+        LabSubstrate::Tcp(w) => {
+            run_over_tcp(cfg, w, factory, adv)
+                .map_err(|e| format!("tcp substrate: {e}"))?
+                .run
+        }
+    })
+}
+
+fn run_agree<A: Adversary<AgreeMsg> + ?Sized>(
+    cfg: &SimConfig,
+    params: &Params,
+    stride: u32,
+    adv: &mut A,
+    substrate: LabSubstrate,
+) -> Result<RunResult<AgreeNode>, String> {
+    let input = |id: NodeId| !(stride != u32::MAX && id.0.is_multiple_of(stride));
+    let factory = |id: NodeId| AgreeNode::new(params.clone(), input(id));
+    Ok(match substrate {
+        LabSubstrate::Engine => run(cfg, factory, adv),
+        LabSubstrate::Channel(w) => run_over_channel(cfg, w, factory, adv).run,
+        LabSubstrate::Tcp(w) => {
+            run_over_tcp(cfg, w, factory, adv)
+                .map_err(|e| format!("tcp substrate: {e}"))?
+                .run
+        }
+    })
+}
+
+/// Runs one trial of `cell` at a fully derived `seed`. Pure in its
+/// arguments; the cluster substrates are only supported for the plain
+/// `Le`/`Agree` workloads (checked up front by [`run_campaign`]).
+pub fn run_trial(
+    cell: &CellSpec,
+    seed: u64,
+    substrate: LabSubstrate,
+) -> Result<TrialValue, String> {
+    let n = cell.n;
+    let cfg = SimConfig::new(n).seed(seed);
+    Ok(match &cell.workload {
+        Workload::Le { adv } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let mut a = le_adversary(*adv, params.max_faults());
+            let cfg = cfg.max_rounds(params.le_round_budget());
+            let r = run_le(&cfg, &params, &mut *a, substrate)?;
+            let o = LeOutcome::evaluate(&r);
+            value_of(
+                &r,
+                o.success,
+                vec![(
+                    "faulty_leader",
+                    f64::from(u8::from(o.success && o.leader_is_faulty)),
+                )],
+            )
+        }
+        Workload::Agree { zeros, adv } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let mut a = agree_adversary(*adv, params.max_faults());
+            let cfg = cfg.max_rounds(params.agreement_round_budget());
+            let r = run_agree(&cfg, &params, input_stride(*zeros), &mut *a, substrate)?;
+            let o = AgreeOutcome::evaluate(&r);
+            value_of(&r, o.success, vec![])
+        }
+        Workload::LeIter { factor, per_round } => {
+            let params = Params::new(n, cell.alpha)
+                .expect("valid params")
+                .with_iteration_factor(*factor);
+            let f = params.max_faults();
+            let cfg = cfg.max_rounds(params.le_round_budget());
+            let mut adv = MinRankCrasher {
+                f,
+                per_round: *per_round as usize,
+            };
+            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            value_of(&r, LeOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::LeByzantine { b } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let cfg = cfg.max_rounds(params.le_round_budget());
+            let mut adv = EquivocatingClaimant::new(*b as usize);
+            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            value_of(&r, LeOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::AgreeByzantine { b } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let cfg = cfg.max_rounds(params.agreement_round_budget());
+            let mut adv = ZeroForger::new(*b as usize);
+            let r = run(&cfg, |_| AgreeNode::new(params.clone(), true), &mut adv);
+            // Success = validity holds: no honest survivor decided the
+            // forged 0 nobody input.
+            let honest_zero = r
+                .surviving_states()
+                .filter(|(id, _)| !r.faulty.contains(*id))
+                .any(|(_, s)| s.status() == AgreeStatus::Decided(false));
+            value_of(&r, !honest_zero, vec![])
+        }
+        Workload::LeEdge { p } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let mut cfg = cfg.max_rounds(params.le_round_budget());
+            if *p > 0.0 {
+                cfg = cfg.edge_failure_prob(*p);
+            }
+            let mut adv = RandomCrash::new(f, 40);
+            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let lost = r.metrics.msgs_lost_edges as f64;
+            value_of(
+                &r,
+                LeOutcome::evaluate(&r).success,
+                vec![("lost_edges", lost)],
+            )
+        }
+        Workload::AgreeEdge { p } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let mut cfg = cfg.max_rounds(params.agreement_round_budget());
+            if *p > 0.0 {
+                cfg = cfg.edge_failure_prob(*p);
+            }
+            let mut adv = RandomCrash::new(f, 20);
+            let r = run(
+                &cfg,
+                |id| AgreeNode::new(params.clone(), id.0 % 8 == 0),
+                &mut adv,
+            );
+            value_of(&r, AgreeOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::LeCapped { cap } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let mut cfg = cfg.max_rounds(params.le_round_budget());
+            if let Some(c) = cap {
+                cfg = cfg.send_cap(*c);
+            }
+            let mut adv = EagerCrash::new(f);
+            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let suppressed = r.metrics.msgs_suppressed as f64;
+            value_of(
+                &r,
+                LeOutcome::evaluate(&r).success,
+                vec![("suppressed", suppressed)],
+            )
+        }
+        Workload::AgreeCapped { cap } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let mut cfg = cfg.max_rounds(params.agreement_round_budget());
+            if let Some(c) = cap {
+                cfg = cfg.send_cap(*c);
+            }
+            let mut adv = EagerCrash::new(f);
+            let r = run(
+                &cfg,
+                |id| AgreeNode::new(params.clone(), id.0 % 2 == 0),
+                &mut adv,
+            );
+            let suppressed = r.metrics.msgs_suppressed as f64;
+            value_of(
+                &r,
+                AgreeOutcome::evaluate(&r).success,
+                vec![("suppressed", suppressed)],
+            )
+        }
+        Workload::LeExplicit => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let cfg = cfg.max_rounds(ExplicitLeNode::round_budget(&params));
+            let mut adv = RandomCrash::new(f, 40);
+            let r = run(&cfg, |_| ExplicitLeNode::new(params.clone()), &mut adv);
+            value_of(&r, ExplicitLeOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::LeImplicitExplicitBudget => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let cfg = cfg.max_rounds(ExplicitLeNode::round_budget(&params));
+            let mut adv = RandomCrash::new(f, 40);
+            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            value_of(&r, LeOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::AgreeExplicit { zeros } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let stride = input_stride(*zeros);
+            let cfg = cfg.max_rounds(ExplicitAgreeNode::round_budget(&params));
+            let mut adv = RandomCrash::new(f, 20);
+            let r = run(
+                &cfg,
+                |id| {
+                    ExplicitAgreeNode::new(
+                        params.clone(),
+                        !(stride != u32::MAX && id.0.is_multiple_of(stride)),
+                    )
+                },
+                &mut adv,
+            );
+            value_of(&r, ExplicitAgreeOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::LeKutten => {
+            let cfg = cfg.max_rounds(kutten_round_budget());
+            let r = run(&cfg, |_| KuttenLeNode::new(), &mut NoFaults);
+            value_of(&r, KuttenOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::AgreeAugustine { zeros } => {
+            let stride = input_stride(*zeros);
+            let cfg = cfg.max_rounds(augustine_round_budget());
+            let r = run(
+                &cfg,
+                |id: NodeId| {
+                    AugustineNode::new(!(stride != u32::MAX && id.0.is_multiple_of(stride)))
+                },
+                &mut NoFaults,
+            );
+            value_of(&r, AugustineOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::MultiValue { k } => {
+            let params = Params::new(n, cell.alpha).expect("valid params");
+            let f = params.max_faults();
+            let k = *k;
+            let cfg = cfg.max_rounds(params.agreement_round_budget());
+            let mut adv = RandomCrash::new(f, 20);
+            let r = run(
+                &cfg,
+                |id| MultiAgreeNode::new(params.clone(), k, (id.0.wrapping_mul(2654435761)) % k),
+                &mut adv,
+            );
+            value_of(&r, MultiOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::Flood { faults } => {
+            let f = *faults as usize;
+            let cfg = cfg.max_rounds(flood_round_budget(f as u32));
+            let mut adv = RandomCrash::new(f, f as u32);
+            let r = run(
+                &cfg,
+                |id| FloodAgreeNode::new(f as u32, id.0 % 7 != 0),
+                &mut adv,
+            );
+            value_of(&r, FloodOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::Gk { faults } => {
+            let cfg = cfg.kt1(true).max_rounds(gk_round_budget(n));
+            let mut adv = RandomCrash::new(*faults as usize, 20);
+            let r = run(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv);
+            value_of(&r, GkOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::Gossip { faults } => {
+            let cfg = cfg.max_rounds(gossip_round_budget(n));
+            let mut adv = RandomCrash::new(*faults as usize, 10);
+            let r = run(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv);
+            value_of(&r, GossipOutcome::evaluate(&r).success, vec![])
+        }
+        Workload::SamplingLemmas {
+            candidate_factor,
+            referee_factor,
+        } => {
+            let params = Params::new(n, cell.alpha)
+                .expect("valid params")
+                .with_candidate_factor(*candidate_factor)
+                .with_referee_factor(*referee_factor);
+            let f = params.max_faults();
+            let lo = 2.0 * params.ln_n() / params.alpha();
+            let hi = 12.0 * params.ln_n() / params.alpha();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let faulty: HashSet<usize> = rand::seq::index::sample(&mut rng, n as usize, f)
+                .into_iter()
+                .collect();
+            let (cands, refs) = draw_committee(&mut rng, &params);
+            let committee = cands.len() as f64;
+            let in_band = committee >= lo && committee <= hi;
+            let nonfaulty = cands.iter().any(|c| !faulty.contains(c));
+            let ref_sets: Vec<HashSet<usize>> = refs
+                .iter()
+                .map(|r| r.iter().copied().filter(|x| !faulty.contains(x)).collect())
+                .collect();
+            let mut all_pairs = true;
+            'outer: for i in 0..cands.len() {
+                for j in i + 1..cands.len() {
+                    if ref_sets[i].is_disjoint(&ref_sets[j]) {
+                        all_pairs = false;
+                        break 'outer;
+                    }
+                }
+            }
+            TrialValue {
+                success: in_band && nonfaulty && all_pairs,
+                msgs: 0,
+                bits: 0,
+                rounds: 0,
+                crashes: 0,
+                extras: vec![
+                    ("committee", committee),
+                    ("in_band", f64::from(u8::from(in_band))),
+                    ("nonfaulty", f64::from(u8::from(nonfaulty))),
+                    ("pairs", f64::from(u8::from(all_pairs))),
+                ],
+            }
+        }
+    })
+}
+
+/// Aggregated results of one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// The cell this aggregates (copied from the spec for
+    /// self-description).
+    pub cell: CellSpec,
+    /// Trials satisfying the workload's success predicate.
+    pub successes: u64,
+    /// Messages sent per trial.
+    pub msgs: Summary,
+    /// Bits sent per trial.
+    pub bits: Summary,
+    /// Rounds executed per trial.
+    pub rounds: Summary,
+    /// Crash events per trial.
+    pub crashes: Summary,
+    /// Base-2 log histogram of per-trial messages.
+    pub msgs_hist: LogHistogram,
+    /// Base-2 log histogram of per-trial rounds.
+    pub rounds_hist: LogHistogram,
+    /// Workload-specific extra summaries, in workload order.
+    pub extras: Vec<(String, Summary)>,
+    /// Wall-clock seconds for this cell (diagnostic; excluded from the
+    /// deterministic payload).
+    pub wall_s: f64,
+}
+
+impl CellResult {
+    /// Success fraction.
+    pub fn success_rate(&self) -> f64 {
+        self.successes as f64 / self.cell.trials.max(1) as f64
+    }
+
+    /// Trials per second of wall clock (diagnostic throughput figure).
+    pub fn throughput(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cell.trials as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Looks up an extra summary by name.
+    pub fn extra(&self, name: &str) -> Option<&Summary> {
+        self.extras.iter().find(|(k, _)| k == name).map(|(_, s)| s)
+    }
+
+    /// Among successful LE trials, the fraction whose leader is faulty
+    /// (the `faulty_leader` extra re-based onto successes).
+    pub fn faulty_leader_rate(&self) -> f64 {
+        self.extra("faulty_leader").map_or(0.0, |s| {
+            s.mean * self.cell.trials as f64 / self.successes.max(1) as f64
+        })
+    }
+
+    /// JSON encoding; `diag` controls whether wall-clock fields ride
+    /// along (they are stripped from the deterministic payload).
+    pub fn to_json(&self, diag: bool) -> Json {
+        let mut fields = vec![
+            ("label".into(), Json::Str(self.cell.label.clone())),
+            ("n".into(), Json::UInt(u64::from(self.cell.n))),
+            ("alpha".into(), Json::Num(self.cell.alpha)),
+            ("seed".into(), Json::UInt(self.cell.seed)),
+            ("trials".into(), Json::UInt(self.cell.trials)),
+            ("workload".into(), self.cell.workload.to_json()),
+            ("successes".into(), Json::UInt(self.successes)),
+            ("success_rate".into(), Json::Num(self.success_rate())),
+            ("msgs".into(), self.msgs.to_json()),
+            ("bits".into(), self.bits.to_json()),
+            ("rounds".into(), self.rounds.to_json()),
+            ("crashes".into(), self.crashes.to_json()),
+            ("msgs_hist".into(), self.msgs_hist.to_json()),
+            ("rounds_hist".into(), self.rounds_hist.to_json()),
+            (
+                "extras".into(),
+                Json::Obj(
+                    self.extras
+                        .iter()
+                        .map(|(k, s)| (k.clone(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+        ];
+        if diag {
+            fields.push(("wall_s".into(), Json::Num(self.wall_s)));
+            fields.push(("trials_per_s".into(), Json::Num(self.throughput())));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes from the [`CellResult::to_json`] form (diag fields
+    /// optional).
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let extras = match v.field("extras")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, s)| Ok((k.clone(), Summary::from_json(s)?)))
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            _ => {
+                return Err(JsonError {
+                    message: "extras must be an object".into(),
+                })
+            }
+        };
+        Ok(CellResult {
+            cell: CellSpec {
+                label: v.field("label")?.as_str()?.to_string(),
+                workload: Workload::from_json(v.field("workload")?)?,
+                n: v.field("n")?.as_u64()? as u32,
+                alpha: v.field("alpha")?.as_f64()?,
+                seed: v.field("seed")?.as_u64()?,
+                trials: v.field("trials")?.as_u64()?,
+            },
+            successes: v.field("successes")?.as_u64()?,
+            msgs: Summary::from_json(v.field("msgs")?)?,
+            bits: Summary::from_json(v.field("bits")?)?,
+            rounds: Summary::from_json(v.field("rounds")?)?,
+            crashes: Summary::from_json(v.field("crashes")?)?,
+            msgs_hist: LogHistogram::from_json(v.field("msgs_hist")?)?,
+            rounds_hist: LogHistogram::from_json(v.field("rounds_hist")?)?,
+            extras,
+            wall_s: v.get("wall_s").map_or(Ok(0.0), Json::as_f64)?,
+        })
+    }
+}
+
+/// Runs all trials of one cell and aggregates. Deterministic in
+/// `(cell, substrate)`; `jobs` only changes wall-clock.
+pub fn run_cell(
+    cell: &CellSpec,
+    jobs: usize,
+    substrate: LabSubstrate,
+) -> Result<CellResult, String> {
+    let start = Instant::now();
+    let batch = ParRunner::new(TrialPlan::new(cell.seed, cell.trials).jobs(jobs))
+        .run(|_, seed| run_trial(cell, seed, substrate));
+    let mut values = Vec::with_capacity(batch.len());
+    for v in batch.values() {
+        values.push(v.clone()?);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let summarise = |sel: &dyn Fn(&TrialValue) -> f64| {
+        Summary::try_of(&values.iter().map(sel).collect::<Vec<_>>())
+            .expect("cells have at least one trial")
+    };
+    let mut msgs_hist = LogHistogram::new();
+    let mut rounds_hist = LogHistogram::new();
+    for v in &values {
+        msgs_hist.record(v.msgs);
+        rounds_hist.record(u64::from(v.rounds));
+    }
+    // Extras keep the workload's fixed order; every trial of a cell
+    // reports the same set.
+    let extra_names: Vec<&'static str> = values
+        .first()
+        .map(|v| v.extras.iter().map(|(k, _)| *k).collect())
+        .unwrap_or_default();
+    let extras = extra_names
+        .iter()
+        .map(|name| {
+            let s = summarise(&|v: &TrialValue| {
+                v.extras
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, x)| *x)
+                    .unwrap_or(0.0)
+            });
+            (name.to_string(), s)
+        })
+        .collect();
+    Ok(CellResult {
+        cell: cell.clone(),
+        successes: values.iter().filter(|v| v.success).count() as u64,
+        msgs: summarise(&|v| v.msgs as f64),
+        bits: summarise(&|v| v.bits as f64),
+        rounds: summarise(&|v| f64::from(v.rounds)),
+        crashes: summarise(&|v| v.crashes as f64),
+        msgs_hist,
+        rounds_hist,
+        extras,
+        wall_s,
+    })
+}
+
+/// The verdict of one [`ExponentCheck`] against measured means.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckResult {
+    /// The check evaluated.
+    pub check: ExponentCheck,
+    /// Fitted exponent, `None` when the series was unfittable (fewer
+    /// than two cells or degenerate axis).
+    pub exponent: Option<f64>,
+    /// Points the fit used.
+    pub points: u64,
+    /// Whether the exponent landed inside `[min, max]`.
+    pub pass: bool,
+}
+
+impl CheckResult {
+    /// JSON encoding.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("check".into(), self.check.to_json()),
+            (
+                "exponent".into(),
+                self.exponent.map_or(Json::Null, Json::Num),
+            ),
+            ("points".into(), Json::UInt(self.points)),
+            ("pass".into(), Json::Bool(self.pass)),
+        ])
+    }
+
+    /// Decodes from the [`CheckResult::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CheckResult {
+            check: ExponentCheck::from_json(v.field("check")?)?,
+            exponent: match v.field("exponent")? {
+                Json::Null => None,
+                other => Some(other.as_f64()?),
+            },
+            points: v.field("points")?.as_u64()?,
+            pass: v.field("pass")?.as_bool()?,
+        })
+    }
+}
+
+fn evaluate_check(check: &ExponentCheck, cells: &[CellResult]) -> CheckResult {
+    let series: Vec<&CellResult> = cells
+        .iter()
+        .filter(|c| c.cell.label == check.series)
+        .collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .map(|c| match check.axis {
+            CheckAxis::N => f64::from(c.cell.n),
+            CheckAxis::InvAlpha => 1.0 / c.cell.alpha,
+        })
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .map(|c| match check.metric {
+            CheckMetric::Msgs => c.msgs.mean,
+            CheckMetric::Rounds => c.rounds.mean,
+        })
+        .collect();
+    let distinct_xs = {
+        let mut sorted: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    };
+    let fittable =
+        xs.len() >= 2 && distinct_xs >= 2 && xs.iter().chain(ys.iter()).all(|&v| v > 0.0);
+    let exponent = fittable.then(|| fit_power_law(&xs, &ys).0);
+    CheckResult {
+        check: check.clone(),
+        exponent,
+        points: xs.len() as u64,
+        pass: exponent.is_some_and(|e| e >= check.min && e <= check.max),
+    }
+}
+
+/// One persisted campaign run: the spec, its per-cell results, the check
+/// verdicts, and run provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignRecord {
+    /// The spec this run executed.
+    pub spec: CampaignSpec,
+    /// [`CampaignSpec::hash`] of `spec`.
+    pub spec_hash: String,
+    /// Execution substrate label.
+    pub substrate: String,
+    /// Per-cell results, aligned with `spec.cells`.
+    pub cells: Vec<CellResult>,
+    /// Exponent-check verdicts, aligned with `spec.checks`.
+    pub checks: Vec<CheckResult>,
+    /// Git revision of the producing tree (diagnostic).
+    pub git_rev: String,
+    /// Total wall-clock seconds (diagnostic).
+    pub wall_s: f64,
+}
+
+impl CampaignRecord {
+    /// JSON encoding. With `diag`, provenance and wall-clock figures ride
+    /// along; without, the render is the deterministic payload that the
+    /// store content-addresses and `gate` compares byte-for-byte.
+    pub fn to_json(&self, diag: bool) -> Json {
+        let mut fields = vec![
+            ("schema".into(), Json::Str("ftc-lab-record/v1".into())),
+            ("name".into(), Json::Str(self.spec.name.clone())),
+            ("spec_hash".into(), Json::Str(self.spec_hash.clone())),
+            ("substrate".into(), Json::Str(self.substrate.clone())),
+            ("spec".into(), self.spec.to_json()),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(|c| c.to_json(diag)).collect()),
+            ),
+            (
+                "checks".into(),
+                Json::Arr(self.checks.iter().map(CheckResult::to_json).collect()),
+            ),
+        ];
+        if diag {
+            fields.push((
+                "diag".into(),
+                Json::Obj(vec![
+                    ("git_rev".into(), Json::Str(self.git_rev.clone())),
+                    ("wall_s".into(), Json::Num(self.wall_s)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The deterministic payload (diag stripped), rendered.
+    pub fn deterministic_render(&self) -> String {
+        self.to_json(false).render()
+    }
+
+    /// Content address: `<name>-<fnv64 of the deterministic payload>`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{:016x}",
+            self.spec.name,
+            fnv1a64(self.deterministic_render().as_bytes())
+        )
+    }
+
+    /// Decodes from the [`CampaignRecord::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("schema")?.as_str()? {
+            "ftc-lab-record/v1" => {}
+            other => {
+                return Err(JsonError {
+                    message: format!("unknown record schema `{other}`"),
+                })
+            }
+        }
+        let (git_rev, wall_s) = match v.get("diag") {
+            Some(d) => (
+                d.field("git_rev")?.as_str()?.to_string(),
+                d.field("wall_s")?.as_f64()?,
+            ),
+            None => ("unknown".to_string(), 0.0),
+        };
+        Ok(CampaignRecord {
+            spec: CampaignSpec::from_json(v.field("spec")?)?,
+            spec_hash: v.field("spec_hash")?.as_str()?.to_string(),
+            substrate: v.field("substrate")?.as_str()?.to_string(),
+            cells: v
+                .field("cells")?
+                .as_arr()?
+                .iter()
+                .map(CellResult::from_json)
+                .collect::<Result<_, _>>()?,
+            checks: v
+                .field("checks")?
+                .as_arr()?
+                .iter()
+                .map(CheckResult::from_json)
+                .collect::<Result<_, _>>()?,
+            git_rev,
+            wall_s,
+        })
+    }
+}
+
+/// Best-effort git revision of the working tree ("unknown" outside a
+/// checkout). Diagnostic only — never part of the deterministic payload.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Executes a campaign: every cell on the chosen substrate, then the
+/// exponent checks over the measured means.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    jobs: usize,
+    substrate: LabSubstrate,
+) -> Result<CampaignRecord, String> {
+    if spec.cells.is_empty() {
+        return Err(format!("campaign `{}` has no cells", spec.name));
+    }
+    if let Some(cell) = spec.cells.iter().find(|c| c.trials == 0) {
+        return Err(format!("cell `{}` has zero trials", cell.label));
+    }
+    if substrate != LabSubstrate::Engine {
+        if let Some(cell) = spec
+            .cells
+            .iter()
+            .find(|c| !matches!(c.workload, Workload::Le { .. } | Workload::Agree { .. }))
+        {
+            return Err(format!(
+                "substrate `{}` only runs the plain le/agree workloads; cell `{}` is `{}`",
+                substrate.name(),
+                cell.label,
+                cell.workload.tag()
+            ));
+        }
+    }
+    let start = Instant::now();
+    let mut cells = Vec::with_capacity(spec.cells.len());
+    for cell in &spec.cells {
+        cells.push(run_cell(cell, jobs, substrate)?);
+    }
+    let checks = spec
+        .checks
+        .iter()
+        .map(|c| evaluate_check(c, &cells))
+        .collect();
+    Ok(CampaignRecord {
+        spec: spec.clone(),
+        spec_hash: spec.hash(),
+        substrate: substrate.name(),
+        cells,
+        checks,
+        git_rev: git_rev(),
+        wall_s: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_spec() -> CampaignSpec {
+        CampaignSpec::new("run-unit")
+            .cell(
+                CellSpec::new(
+                    Workload::Le {
+                        adv: Adv::Random(10),
+                    },
+                    128,
+                    0.5,
+                    11,
+                    3,
+                )
+                .label("le"),
+            )
+            .cell(
+                CellSpec::new(
+                    Workload::Le {
+                        adv: Adv::Random(10),
+                    },
+                    256,
+                    0.5,
+                    11,
+                    3,
+                )
+                .label("le"),
+            )
+            .check(ExponentCheck {
+                name: "le-msgs".into(),
+                series: "le".into(),
+                metric: CheckMetric::Msgs,
+                axis: CheckAxis::N,
+                min: -1.0,
+                max: 3.0,
+            })
+    }
+
+    #[test]
+    fn campaign_runs_and_is_jobs_invariant() {
+        let spec = smoke_spec();
+        let a = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap();
+        let b = run_campaign(&spec, 4, LabSubstrate::Engine).unwrap();
+        assert_eq!(a.deterministic_render(), b.deterministic_render());
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.cells[0].msgs.count, 3);
+        assert!(a.checks[0].pass, "{:?}", a.checks[0]);
+    }
+
+    #[test]
+    fn record_round_trips_with_and_without_diag() {
+        let record = run_campaign(&smoke_spec(), 0, LabSubstrate::Engine).unwrap();
+        let with = CampaignRecord::from_json(&Json::parse(&record.to_json(true).render()).unwrap())
+            .unwrap();
+        assert_eq!(with.deterministic_render(), record.deterministic_render());
+        assert_eq!(with.git_rev, record.git_rev);
+        let without =
+            CampaignRecord::from_json(&Json::parse(&record.deterministic_render()).unwrap())
+                .unwrap();
+        assert_eq!(without.git_rev, "unknown");
+        assert_eq!(without.id(), record.id());
+    }
+
+    #[test]
+    fn le_cell_matches_bench_measurement_semantics() {
+        // The lab cell must reproduce the exact numbers the figure
+        // binaries produced via run_trials_jobs: same seed derivation,
+        // same adversary construction.
+        let cell = CellSpec::new(
+            Workload::Le {
+                adv: Adv::Random(10),
+            },
+            128,
+            0.5,
+            7,
+            6,
+        );
+        let lab = run_cell(&cell, 1, LabSubstrate::Engine).unwrap();
+        // Reference: inline re-implementation of measure_le's closure.
+        let params = Params::new(128, 0.5).unwrap();
+        let f = params.max_faults();
+        let cfg = SimConfig::new(128)
+            .seed(7)
+            .max_rounds(params.le_round_budget());
+        let reference = ftc_sim::runner::run_trials_jobs(&cfg, 6, 1, |c| {
+            let mut adv = RandomCrash::new(f, 10);
+            let r = run(c, |_| LeNode::new(params.clone()), &mut adv);
+            (LeOutcome::evaluate(&r).success, r.metrics.msgs_sent)
+        });
+        let ref_msgs: Vec<f64> = reference.iter().map(|t| t.value.1 as f64).collect();
+        assert_eq!(lab.msgs, Summary::of(&ref_msgs));
+        assert_eq!(
+            lab.successes,
+            reference.iter().filter(|t| t.value.0).count() as u64
+        );
+    }
+
+    #[test]
+    fn substrate_is_invisible_in_results() {
+        let spec = CampaignSpec::new("substrate-unit").cell(CellSpec::new(
+            Workload::Le {
+                adv: Adv::Random(5),
+            },
+            16,
+            0.5,
+            3,
+            2,
+        ));
+        let engine = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap();
+        let channel = run_campaign(&spec, 1, LabSubstrate::Channel(2)).unwrap();
+        // Substrate label differs, so compare cells, not whole renders.
+        assert_eq!(
+            engine.cells[0].to_json(false).render(),
+            channel.cells[0].to_json(false).render()
+        );
+    }
+
+    #[test]
+    fn substrate_rejects_non_protocol_workloads() {
+        let spec = CampaignSpec::new("bad").cell(CellSpec::new(Workload::LeKutten, 16, 0.5, 3, 2));
+        assert!(run_campaign(&spec, 1, LabSubstrate::Channel(2)).is_err());
+        assert!(run_campaign(&spec, 1, LabSubstrate::Engine).is_ok());
+    }
+
+    #[test]
+    fn empty_and_zero_trial_campaigns_are_rejected() {
+        assert!(run_campaign(&CampaignSpec::new("empty"), 1, LabSubstrate::Engine).is_err());
+        let zero = CampaignSpec::new("zero").cell(CellSpec::new(Workload::LeKutten, 16, 0.5, 3, 0));
+        assert!(run_campaign(&zero, 1, LabSubstrate::Engine).is_err());
+    }
+}

@@ -1,0 +1,698 @@
+//! Campaign specifications: experiments as data.
+//!
+//! A [`CampaignSpec`] is the complete, serialisable description of one
+//! experiment: a list of [`CellSpec`]s (workload × `n` × `α` × seed ×
+//! trial budget) plus optional fitted-exponent assertions
+//! ([`ExponentCheck`]) that re-verify the paper's asymptotic claims
+//! against the measured means. Because the spec is plain data with a
+//! canonical JSON form, it has a stable content hash ([`CampaignSpec::hash`])
+//! — the key that makes stored results diffable across commits: two
+//! records with the same spec hash measured the same experiment.
+
+use ftc_sim::json::{Json, JsonError};
+
+/// Which crash schedule a cell runs under. Mirrors the schedules the
+/// figure binaries always used; `AdaptiveKiller` is the model-boundary
+/// adversary of E11 (leader election only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adv {
+    /// No crashes.
+    None,
+    /// All faulty nodes crash at round 0 before sending.
+    Eager,
+    /// Random crash rounds within the given horizon.
+    Random(u32),
+    /// The paper's worst case: assassinate the current minimum proposer
+    /// (LE) / the current zero-forwarder (agreement).
+    Targeted,
+    /// Adaptive candidate killer (breaks the static-adversary model;
+    /// leader election only).
+    AdaptiveKiller,
+}
+
+impl Adv {
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Adv::None => "fault-free",
+            Adv::Eager => "eager",
+            Adv::Random(_) => "random",
+            Adv::Targeted => "targeted",
+            Adv::AdaptiveKiller => "adaptive",
+        }
+    }
+
+    /// JSON encoding, tagged by `kind`.
+    pub fn to_json(self) -> Json {
+        let kind = |k: &str| ("kind".to_string(), Json::Str(k.into()));
+        match self {
+            Adv::None => Json::Obj(vec![kind("none")]),
+            Adv::Eager => Json::Obj(vec![kind("eager")]),
+            Adv::Random(h) => Json::Obj(vec![
+                kind("random"),
+                ("horizon".into(), Json::UInt(u64::from(h))),
+            ]),
+            Adv::Targeted => Json::Obj(vec![kind("targeted")]),
+            Adv::AdaptiveKiller => Json::Obj(vec![kind("adaptive_killer")]),
+        }
+    }
+
+    /// Decodes from the [`Adv::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("kind")?.as_str()? {
+            "none" => Ok(Adv::None),
+            "eager" => Ok(Adv::Eager),
+            "random" => Ok(Adv::Random(v.field("horizon")?.as_u64()? as u32)),
+            "targeted" => Ok(Adv::Targeted),
+            "adaptive_killer" => Ok(Adv::AdaptiveKiller),
+            other => Err(JsonError {
+                message: format!("unknown adversary kind `{other}`"),
+            }),
+        }
+    }
+}
+
+/// What one cell measures. Every variant corresponds to one trial closure
+/// that used to live inline in a `fig_*` binary; the variant carries
+/// exactly the knobs that closure had.
+///
+/// Input conventions: agreement-style workloads take a `zeros` fraction
+/// and spread the 0-inputs round-robin with stride `round(1/zeros)`
+/// (`0.0` = all ones), matching the CLI/hunt convention. `AgreeEdge`
+/// inverts the pattern (E13 historically ran mostly-zero inputs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// Implicit leader election (Theorem 4.1).
+    Le {
+        /// Crash schedule.
+        adv: Adv,
+    },
+    /// Implicit binary agreement (Theorem 5.1).
+    Agree {
+        /// Fraction of 0-inputs.
+        zeros: f64,
+        /// Crash schedule.
+        adv: Adv,
+    },
+    /// D4 ablation: LE with a scaled iteration budget under a multi-kill
+    /// assassin.
+    LeIter {
+        /// Multiplier on the paper's iteration constant.
+        factor: f64,
+        /// Assassin kills per round.
+        per_round: u32,
+    },
+    /// E12: LE with `b` equivocating Byzantine claimants.
+    LeByzantine {
+        /// Byzantine node count.
+        b: u32,
+    },
+    /// E12: agreement (all-ones inputs) with `b` forged-zero senders;
+    /// success means no honest validity violation.
+    AgreeByzantine {
+        /// Byzantine node count.
+        b: u32,
+    },
+    /// E13: LE with each edge dead independently with probability `p`.
+    LeEdge {
+        /// Edge failure probability.
+        p: f64,
+    },
+    /// E13: agreement under edge failures, inputs mostly zeros
+    /// (`id % 8 == 0` holds 1).
+    AgreeEdge {
+        /// Edge failure probability.
+        p: f64,
+    },
+    /// E8: LE under a per-node send cap (`None` = unlimited).
+    LeCapped {
+        /// Per-node send budget.
+        cap: Option<u32>,
+    },
+    /// E8: agreement under a per-node send cap, inputs split 50/50.
+    AgreeCapped {
+        /// Per-node send budget.
+        cap: Option<u32>,
+    },
+    /// E7: the explicit leader-election extension.
+    LeExplicit,
+    /// E7 comparator: the implicit protocol under the explicit budget and
+    /// adversary (the announce cost is the difference to `LeExplicit`).
+    LeImplicitExplicitBudget,
+    /// E7/E1: the explicit agreement extension.
+    AgreeExplicit {
+        /// Fraction of 0-inputs.
+        zeros: f64,
+    },
+    /// E9: Kutten et al. fault-free leader election.
+    LeKutten,
+    /// E9: Augustine et al. fault-free agreement.
+    AgreeAugustine {
+        /// Fraction of 0-inputs.
+        zeros: f64,
+    },
+    /// E14: multi-valued agreement over `{0..k}`.
+    MultiValue {
+        /// Input domain size.
+        k: u32,
+    },
+    /// E1: folklore FloodSet at `faults` random crashes.
+    Flood {
+        /// Crash budget.
+        faults: u64,
+    },
+    /// E1: Gilbert–Kowalski-style KT1 agreement at `faults` random crashes.
+    Gk {
+        /// Crash budget.
+        faults: u64,
+    },
+    /// E1: Chlebus–Kowalski-style gossip at `faults` random crashes.
+    Gossip {
+        /// Crash budget.
+        faults: u64,
+    },
+    /// E10: the sampling layer alone — Lemmas 1–3 concentration.
+    SamplingLemmas {
+        /// Candidate-probability constant (paper: 6).
+        candidate_factor: f64,
+        /// Referee-count constant (paper: 2).
+        referee_factor: f64,
+    },
+}
+
+impl Workload {
+    /// The JSON tag / default label of this workload.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Workload::Le { .. } => "le",
+            Workload::Agree { .. } => "agree",
+            Workload::LeIter { .. } => "le_iter",
+            Workload::LeByzantine { .. } => "le_byzantine",
+            Workload::AgreeByzantine { .. } => "agree_byzantine",
+            Workload::LeEdge { .. } => "le_edge",
+            Workload::AgreeEdge { .. } => "agree_edge",
+            Workload::LeCapped { .. } => "le_capped",
+            Workload::AgreeCapped { .. } => "agree_capped",
+            Workload::LeExplicit => "le_explicit",
+            Workload::LeImplicitExplicitBudget => "le_implicit_xbudget",
+            Workload::AgreeExplicit { .. } => "agree_explicit",
+            Workload::LeKutten => "le_kutten",
+            Workload::AgreeAugustine { .. } => "agree_augustine",
+            Workload::MultiValue { .. } => "multi_value",
+            Workload::Flood { .. } => "flood",
+            Workload::Gk { .. } => "gk",
+            Workload::Gossip { .. } => "gossip",
+            Workload::SamplingLemmas { .. } => "sampling_lemmas",
+        }
+    }
+
+    /// JSON encoding, tagged by `kind`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".to_string(), Json::Str(self.tag().into()))];
+        match self {
+            Workload::Le { adv } => fields.push(("adv".into(), adv.to_json())),
+            Workload::Agree { zeros, adv } => {
+                fields.push(("zeros".into(), Json::Num(*zeros)));
+                fields.push(("adv".into(), adv.to_json()));
+            }
+            Workload::LeIter { factor, per_round } => {
+                fields.push(("factor".into(), Json::Num(*factor)));
+                fields.push(("per_round".into(), Json::UInt(u64::from(*per_round))));
+            }
+            Workload::LeByzantine { b } | Workload::AgreeByzantine { b } => {
+                fields.push(("b".into(), Json::UInt(u64::from(*b))));
+            }
+            Workload::LeEdge { p } | Workload::AgreeEdge { p } => {
+                fields.push(("p".into(), Json::Num(*p)));
+            }
+            Workload::LeCapped { cap } | Workload::AgreeCapped { cap } => {
+                fields.push((
+                    "cap".into(),
+                    cap.map_or(Json::Null, |c| Json::UInt(u64::from(c))),
+                ));
+            }
+            Workload::LeExplicit | Workload::LeImplicitExplicitBudget | Workload::LeKutten => {}
+            Workload::AgreeExplicit { zeros } | Workload::AgreeAugustine { zeros } => {
+                fields.push(("zeros".into(), Json::Num(*zeros)));
+            }
+            Workload::MultiValue { k } => fields.push(("k".into(), Json::UInt(u64::from(*k)))),
+            Workload::Flood { faults } | Workload::Gk { faults } | Workload::Gossip { faults } => {
+                fields.push(("faults".into(), Json::UInt(*faults)));
+            }
+            Workload::SamplingLemmas {
+                candidate_factor,
+                referee_factor,
+            } => {
+                fields.push(("candidate_factor".into(), Json::Num(*candidate_factor)));
+                fields.push(("referee_factor".into(), Json::Num(*referee_factor)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes from the [`Workload::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let cap = |v: &Json| -> Result<Option<u32>, JsonError> {
+            match v.field("cap")? {
+                Json::Null => Ok(None),
+                other => Ok(Some(other.as_u64()? as u32)),
+            }
+        };
+        match v.field("kind")?.as_str()? {
+            "le" => Ok(Workload::Le {
+                adv: Adv::from_json(v.field("adv")?)?,
+            }),
+            "agree" => Ok(Workload::Agree {
+                zeros: v.field("zeros")?.as_f64()?,
+                adv: Adv::from_json(v.field("adv")?)?,
+            }),
+            "le_iter" => Ok(Workload::LeIter {
+                factor: v.field("factor")?.as_f64()?,
+                per_round: v.field("per_round")?.as_u64()? as u32,
+            }),
+            "le_byzantine" => Ok(Workload::LeByzantine {
+                b: v.field("b")?.as_u64()? as u32,
+            }),
+            "agree_byzantine" => Ok(Workload::AgreeByzantine {
+                b: v.field("b")?.as_u64()? as u32,
+            }),
+            "le_edge" => Ok(Workload::LeEdge {
+                p: v.field("p")?.as_f64()?,
+            }),
+            "agree_edge" => Ok(Workload::AgreeEdge {
+                p: v.field("p")?.as_f64()?,
+            }),
+            "le_capped" => Ok(Workload::LeCapped { cap: cap(v)? }),
+            "agree_capped" => Ok(Workload::AgreeCapped { cap: cap(v)? }),
+            "le_explicit" => Ok(Workload::LeExplicit),
+            "le_implicit_xbudget" => Ok(Workload::LeImplicitExplicitBudget),
+            "agree_explicit" => Ok(Workload::AgreeExplicit {
+                zeros: v.field("zeros")?.as_f64()?,
+            }),
+            "le_kutten" => Ok(Workload::LeKutten),
+            "agree_augustine" => Ok(Workload::AgreeAugustine {
+                zeros: v.field("zeros")?.as_f64()?,
+            }),
+            "multi_value" => Ok(Workload::MultiValue {
+                k: v.field("k")?.as_u64()? as u32,
+            }),
+            "flood" => Ok(Workload::Flood {
+                faults: v.field("faults")?.as_u64()?,
+            }),
+            "gk" => Ok(Workload::Gk {
+                faults: v.field("faults")?.as_u64()?,
+            }),
+            "gossip" => Ok(Workload::Gossip {
+                faults: v.field("faults")?.as_u64()?,
+            }),
+            "sampling_lemmas" => Ok(Workload::SamplingLemmas {
+                candidate_factor: v.field("candidate_factor")?.as_f64()?,
+                referee_factor: v.field("referee_factor")?.as_f64()?,
+            }),
+            other => Err(JsonError {
+                message: format!("unknown workload kind `{other}`"),
+            }),
+        }
+    }
+}
+
+/// One point of a campaign's parameter grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Free-form cell label; exponent checks and diffs select by it, so
+    /// keep it stable across runs (the series name, e.g. `"le/random"`).
+    pub label: String,
+    /// What to measure.
+    pub workload: Workload,
+    /// Network size.
+    pub n: u32,
+    /// Guaranteed non-faulty fraction.
+    pub alpha: f64,
+    /// Base seed; trial `i` runs at `stream_seed(seed, i + 1)`, exactly
+    /// the `ParRunner` derivation the figure binaries always used.
+    pub seed: u64,
+    /// Trials in this cell.
+    pub trials: u64,
+}
+
+impl CellSpec {
+    /// Creates a cell with the label defaulting to the workload tag.
+    pub fn new(workload: Workload, n: u32, alpha: f64, seed: u64, trials: u64) -> Self {
+        CellSpec {
+            label: workload.tag().to_string(),
+            workload,
+            n,
+            alpha,
+            seed,
+            trials,
+        }
+    }
+
+    /// Overrides the label (builder style).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// JSON encoding.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("workload".into(), self.workload.to_json()),
+            ("n".into(), Json::UInt(u64::from(self.n))),
+            ("alpha".into(), Json::Num(self.alpha)),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("trials".into(), Json::UInt(self.trials)),
+        ])
+    }
+
+    /// Decodes from the [`CellSpec::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CellSpec {
+            label: v.field("label")?.as_str()?.to_string(),
+            workload: Workload::from_json(v.field("workload")?)?,
+            n: v.field("n")?.as_u64()? as u32,
+            alpha: v.field("alpha")?.as_f64()?,
+            seed: v.field("seed")?.as_u64()?,
+            trials: v.field("trials")?.as_u64()?,
+        })
+    }
+}
+
+/// Which measured quantity a check fits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckMetric {
+    /// Mean messages sent per trial.
+    Msgs,
+    /// Mean rounds per trial.
+    Rounds,
+}
+
+impl CheckMetric {
+    fn name(self) -> &'static str {
+        match self {
+            CheckMetric::Msgs => "msgs",
+            CheckMetric::Rounds => "rounds",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "msgs" => Ok(CheckMetric::Msgs),
+            "rounds" => Ok(CheckMetric::Rounds),
+            other => Err(JsonError {
+                message: format!("unknown check metric `{other}`"),
+            }),
+        }
+    }
+}
+
+/// The x-axis a check fits against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckAxis {
+    /// Network size `n`.
+    N,
+    /// `1/α` (resilience dial).
+    InvAlpha,
+}
+
+impl CheckAxis {
+    fn name(self) -> &'static str {
+        match self {
+            CheckAxis::N => "n",
+            CheckAxis::InvAlpha => "inv_alpha",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "n" => Ok(CheckAxis::N),
+            "inv_alpha" => Ok(CheckAxis::InvAlpha),
+            other => Err(JsonError {
+                message: format!("unknown check axis `{other}`"),
+            }),
+        }
+    }
+}
+
+/// A fitted-exponent assertion: fit `metric ~ axis^e` over the cells
+/// labelled `series` and require `e ∈ [min, max]`.
+///
+/// This is how the store continuously re-verifies Theorem 1's shape: the
+/// LE message exponent on `n` must stay decisively sublinear (the paper's
+/// `Õ(n^{1-α/2})` with polylog slack), and rounds must stay polylog
+/// (near-zero power-law exponent).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExponentCheck {
+    /// Check name, unique within the campaign.
+    pub name: String,
+    /// Cell label selecting the series.
+    pub series: String,
+    /// Quantity to fit.
+    pub metric: CheckMetric,
+    /// X-axis.
+    pub axis: CheckAxis,
+    /// Inclusive lower bound on the fitted exponent.
+    pub min: f64,
+    /// Inclusive upper bound on the fitted exponent.
+    pub max: f64,
+}
+
+impl ExponentCheck {
+    /// JSON encoding.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("series".into(), Json::Str(self.series.clone())),
+            ("metric".into(), Json::Str(self.metric.name().into())),
+            ("axis".into(), Json::Str(self.axis.name().into())),
+            ("min".into(), Json::Num(self.min)),
+            ("max".into(), Json::Num(self.max)),
+        ])
+    }
+
+    /// Decodes from the [`ExponentCheck::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ExponentCheck {
+            name: v.field("name")?.as_str()?.to_string(),
+            series: v.field("series")?.as_str()?.to_string(),
+            metric: CheckMetric::parse(v.field("metric")?.as_str()?)?,
+            axis: CheckAxis::parse(v.field("axis")?.as_str()?)?,
+            min: v.field("min")?.as_f64()?,
+            max: v.field("max")?.as_f64()?,
+        })
+    }
+}
+
+/// A complete experiment campaign: the grid plus its assertions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (also the store-id prefix).
+    pub name: String,
+    /// The parameter grid.
+    pub cells: Vec<CellSpec>,
+    /// Fitted-exponent assertions over the grid.
+    pub checks: Vec<ExponentCheck>,
+}
+
+impl CampaignSpec {
+    /// Creates an empty campaign.
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            cells: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Adds a cell (builder style).
+    pub fn cell(mut self, cell: CellSpec) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Adds a check (builder style).
+    pub fn check(mut self, check: ExponentCheck) -> Self {
+        self.checks.push(check);
+        self
+    }
+
+    /// JSON encoding (the canonical form the spec hash covers).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(CellSpec::to_json).collect()),
+            ),
+            (
+                "checks".into(),
+                Json::Arr(self.checks.iter().map(ExponentCheck::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes from the [`CampaignSpec::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CampaignSpec {
+            name: v.field("name")?.as_str()?.to_string(),
+            cells: v
+                .field("cells")?
+                .as_arr()?
+                .iter()
+                .map(CellSpec::from_json)
+                .collect::<Result<_, _>>()?,
+            checks: v
+                .field("checks")?
+                .as_arr()?
+                .iter()
+                .map(ExponentCheck::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Content hash of the canonical JSON render (FNV-1a 64, hex).
+    ///
+    /// Two records are comparable iff their spec hashes agree; `gate`
+    /// refuses to compare across differing specs.
+    pub fn hash(&self) -> String {
+        format!("{:016x}", fnv1a64(self.to_json().render().as_bytes()))
+    }
+}
+
+/// FNV-1a 64-bit over a byte string. Stable, dependency-free, and good
+/// enough for content addressing human-scale result sets.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The round-robin 0-input stride for a `zeros` fraction (the CLI/hunt
+/// convention: node holds 1 unless `id % stride == 0`).
+pub fn input_stride(zeros: f64) -> u32 {
+    if zeros <= 0.0 {
+        u32::MAX
+    } else {
+        (1.0 / zeros).round().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> CampaignSpec {
+        CampaignSpec::new("unit")
+            .cell(CellSpec::new(
+                Workload::Le {
+                    adv: Adv::Random(60),
+                },
+                256,
+                0.5,
+                7,
+                4,
+            ))
+            .cell(
+                CellSpec::new(Workload::AgreeCapped { cap: Some(8) }, 128, 0.25, 9, 6)
+                    .label("agree/cap8"),
+            )
+            .check(ExponentCheck {
+                name: "le-msgs-vs-n".into(),
+                series: "le".into(),
+                metric: CheckMetric::Msgs,
+                axis: CheckAxis::N,
+                min: 0.3,
+                max: 0.9,
+            })
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = sample_spec();
+        let back =
+            CampaignSpec::from_json(&Json::parse(&spec.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn every_workload_round_trips() {
+        let workloads = vec![
+            Workload::Le { adv: Adv::None },
+            Workload::Le { adv: Adv::Eager },
+            Workload::Le {
+                adv: Adv::AdaptiveKiller,
+            },
+            Workload::Agree {
+                zeros: 0.05,
+                adv: Adv::Targeted,
+            },
+            Workload::LeIter {
+                factor: 0.1,
+                per_round: 4,
+            },
+            Workload::LeByzantine { b: 2 },
+            Workload::AgreeByzantine { b: 1 },
+            Workload::LeEdge { p: 0.4 },
+            Workload::AgreeEdge { p: 0.9 },
+            Workload::LeCapped { cap: None },
+            Workload::LeCapped { cap: Some(16) },
+            Workload::AgreeCapped { cap: Some(0) },
+            Workload::LeExplicit,
+            Workload::LeImplicitExplicitBudget,
+            Workload::AgreeExplicit { zeros: 0.05 },
+            Workload::LeKutten,
+            Workload::AgreeAugustine { zeros: 0.0625 },
+            Workload::MultiValue { k: 4096 },
+            Workload::Flood { faults: 127 },
+            Workload::Gk { faults: 127 },
+            Workload::Gossip { faults: 128 },
+            Workload::SamplingLemmas {
+                candidate_factor: 6.0,
+                referee_factor: 0.5,
+            },
+        ];
+        for w in workloads {
+            let back = Workload::from_json(&Json::parse(&w.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, w, "workload {w:?}");
+        }
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_content_sensitive() {
+        let spec = sample_spec();
+        assert_eq!(spec.hash(), spec.hash());
+        let mut other = spec.clone();
+        other.cells[0].seed ^= 1;
+        assert_ne!(spec.hash(), other.hash());
+        let mut renamed = spec.clone();
+        renamed.cells[1].label = "renamed".into();
+        assert_ne!(spec.hash(), renamed.hash());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn input_stride_matches_cli_convention() {
+        assert_eq!(input_stride(0.0), u32::MAX);
+        assert_eq!(input_stride(0.05), 20);
+        assert_eq!(input_stride(1.0 / 7.0), 7);
+        assert_eq!(input_stride(1.0), 1);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let bad = Json::parse(r#"{"kind":"paxos"}"#).unwrap();
+        assert!(Workload::from_json(&bad).is_err());
+        assert!(Adv::from_json(&bad).is_err());
+    }
+}

@@ -28,6 +28,9 @@ pub struct SweepPoint {
     pub cap: Option<u32>,
     /// Mean messages actually sent per trial.
     pub mean_messages: f64,
+    /// Full distribution of per-trial messages sent (median/p95 feed the
+    /// machine-format sweep columns).
+    pub messages: Summary,
     /// Mean messages the protocol wanted to send but the budget suppressed.
     pub mean_suppressed: f64,
     /// Spend relative to the lower-bound threshold `√n/α^{3/2}`.
@@ -129,14 +132,15 @@ fn summarise(
     outcomes: &[TrialOutcome<(u64, u64, bool)>],
 ) -> SweepPoint {
     let trials = outcomes.len() as u64;
-    let mean_messages =
-        outcomes.iter().map(|t| t.value.0 as f64).sum::<f64>() / trials.max(1) as f64;
+    let messages = Summary::of_iter(outcomes.iter().map(|t| t.value.0 as f64));
+    let mean_messages = messages.mean;
     let mean_suppressed =
         outcomes.iter().map(|t| t.value.1 as f64).sum::<f64>() / trials.max(1) as f64;
     let failures = outcomes.iter().filter(|t| !t.value.2).count();
     SweepPoint {
         cap,
         mean_messages,
+        messages,
         mean_suppressed,
         threshold_ratio: mean_messages / threshold,
         failure_rate: failures as f64 / trials.max(1) as f64,

@@ -19,6 +19,8 @@ use std::fmt;
 use crate::adversary::{DeliveryFilter, FaultPlan};
 use crate::engine::SimConfig;
 use crate::ids::NodeId;
+use crate::metrics::{LogHistogram, Metrics, RoundMetrics};
+use crate::stats::Summary;
 
 /// A JSON value. Integers are stored exactly ([`Json::UInt`]/[`Json::Int`]);
 /// only fractional or exponent-formed numbers become [`Json::Num`].
@@ -555,6 +557,178 @@ impl SimConfig {
     }
 }
 
+// --- Measurement serde ----------------------------------------------------
+//
+// The experiment-campaign store (`ftc-lab`) persists aggregated results as
+// self-describing JSON records; these conversions are its vocabulary. The
+// same exactness rule applies as for schedules: integer counters stay
+// integers, and floats go through Rust's shortest-round-trip `{:?}` form,
+// so encode→decode is the identity on every field.
+
+impl Summary {
+    /// JSON encoding of all seven summary statistics.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::UInt(self.count as u64)),
+            ("mean".into(), Json::Num(self.mean)),
+            ("std_dev".into(), Json::Num(self.std_dev)),
+            ("min".into(), Json::Num(self.min)),
+            ("max".into(), Json::Num(self.max)),
+            ("median".into(), Json::Num(self.median)),
+            ("p95".into(), Json::Num(self.p95)),
+        ])
+    }
+
+    /// Decodes a summary from its [`Summary::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            count: v.field("count")?.as_u64()? as usize,
+            mean: v.field("mean")?.as_f64()?,
+            std_dev: v.field("std_dev")?.as_f64()?,
+            min: v.field("min")?.as_f64()?,
+            max: v.field("max")?.as_f64()?,
+            median: v.field("median")?.as_f64()?,
+            p95: v.field("p95")?.as_f64()?,
+        })
+    }
+}
+
+impl LogHistogram {
+    /// JSON encoding. `sum` can exceed `u64` (it is a `u128` of per-trial
+    /// message totals), so it travels as a decimal string.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counts".into(),
+                Json::Arr(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("total".into(), Json::UInt(self.total)),
+            ("sum".into(), Json::Str(self.sum.to_string())),
+            ("min".into(), Json::UInt(self.min)),
+            ("max".into(), Json::UInt(self.max)),
+        ])
+    }
+
+    /// Decodes a histogram from its [`LogHistogram::to_json`] form,
+    /// checking the bucket count and that `total` equals the bucket sum.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let raw = v.field("counts")?.as_arr()?;
+        if raw.len() != 65 {
+            return Err(JsonError::new(format!(
+                "histogram needs 65 buckets, got {}",
+                raw.len()
+            )));
+        }
+        let mut counts = [0u64; 65];
+        for (slot, item) in counts.iter_mut().zip(raw.iter()) {
+            *slot = item.as_u64()?;
+        }
+        let total = v.field("total")?.as_u64()?;
+        if counts.iter().sum::<u64>() != total {
+            return Err(JsonError::new("histogram total disagrees with buckets"));
+        }
+        let sum = v
+            .field("sum")?
+            .as_str()?
+            .parse::<u128>()
+            .map_err(|_| JsonError::new("histogram sum must be a decimal u128"))?;
+        Ok(LogHistogram {
+            counts,
+            total,
+            sum,
+            min: v.field("min")?.as_u64()?,
+            max: v.field("max")?.as_u64()?,
+        })
+    }
+}
+
+impl Metrics {
+    /// JSON encoding of the full per-execution accounting.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rounds".into(), Json::UInt(u64::from(self.rounds))),
+            ("msgs_sent".into(), Json::UInt(self.msgs_sent)),
+            ("msgs_delivered".into(), Json::UInt(self.msgs_delivered)),
+            ("bits_sent".into(), Json::UInt(self.bits_sent)),
+            (
+                "max_edge_bits_per_round".into(),
+                Json::UInt(self.max_edge_bits_per_round),
+            ),
+            (
+                "per_round".into(),
+                Json::Arr(
+                    self.per_round
+                        .iter()
+                        .map(|rm| {
+                            Json::Obj(vec![
+                                ("sent".into(), Json::UInt(rm.sent)),
+                                ("delivered".into(), Json::UInt(rm.delivered)),
+                                ("bits_sent".into(), Json::UInt(rm.bits_sent)),
+                                ("crashes".into(), Json::UInt(u64::from(rm.crashes))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "crashes".into(),
+                Json::Arr(
+                    self.crashes
+                        .iter()
+                        .map(|&(node, round)| {
+                            Json::Arr(vec![
+                                Json::UInt(u64::from(node.0)),
+                                Json::UInt(u64::from(round)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("msgs_suppressed".into(), Json::UInt(self.msgs_suppressed)),
+            ("msgs_lost_edges".into(), Json::UInt(self.msgs_lost_edges)),
+            ("wire_bytes".into(), Json::UInt(self.wire_bytes)),
+        ])
+    }
+
+    /// Decodes metrics from their [`Metrics::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let per_round = v
+            .field("per_round")?
+            .as_arr()?
+            .iter()
+            .map(|rm| {
+                Ok(RoundMetrics {
+                    sent: rm.field("sent")?.as_u64()?,
+                    delivered: rm.field("delivered")?.as_u64()?,
+                    bits_sent: rm.field("bits_sent")?.as_u64()?,
+                    crashes: rm.field("crashes")?.as_u64()? as u32,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let crashes = v
+            .field("crashes")?
+            .as_arr()?
+            .iter()
+            .map(|pair| match pair.as_arr()? {
+                [node, round] => Ok((NodeId(node.as_u64()? as u32), round.as_u64()? as u32)),
+                _ => Err(JsonError::new("crash entry must be a [node, round] pair")),
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(Metrics {
+            rounds: v.field("rounds")?.as_u64()? as u32,
+            msgs_sent: v.field("msgs_sent")?.as_u64()?,
+            msgs_delivered: v.field("msgs_delivered")?.as_u64()?,
+            bits_sent: v.field("bits_sent")?.as_u64()?,
+            max_edge_bits_per_round: v.field("max_edge_bits_per_round")?.as_u64()?,
+            per_round,
+            crashes,
+            msgs_suppressed: v.field("msgs_suppressed")?.as_u64()?,
+            msgs_lost_edges: v.field("msgs_lost_edges")?.as_u64()?,
+            wire_bytes: v.field("wire_bytes")?.as_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,6 +830,99 @@ mod tests {
         let back = SimConfig::from_json(&Json::parse(&plain.to_json().render()).unwrap()).unwrap();
         assert_eq!(back.send_cap, None);
         assert_eq!(back.congest_bits, None);
+    }
+
+    /// Encode→decode identity for arbitrary summaries, including floats
+    /// with no short decimal form: `{:?}` rendering is shortest-round-trip,
+    /// so equality here is bit-exact.
+    #[test]
+    fn summary_round_trip_property() {
+        let mut rng = SmallRng::seed_from_u64(7171);
+        for _ in 0..200 {
+            let values: Vec<f64> = (0..rng.random_range(1..40u32))
+                .map(|_| rng.random_range(0..1u64 << 53) as f64 / 7.0)
+                .collect();
+            let s = Summary::of(&values);
+            let back = Summary::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    fn random_histogram(rng: &mut SmallRng) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for _ in 0..rng.random_range(0..50u32) {
+            // Bias toward huge samples so the u128 sum overflows u64.
+            h.record(rng.random::<u64>() >> rng.random_range(0..64u32));
+        }
+        h
+    }
+
+    #[test]
+    fn log_histogram_round_trip_property() {
+        let mut rng = SmallRng::seed_from_u64(9292);
+        for _ in 0..200 {
+            let h = random_histogram(&mut rng);
+            let back =
+                LogHistogram::from_json(&Json::parse(&h.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, h);
+        }
+        // The empty histogram (min = u64::MAX sentinel) survives too.
+        let empty = LogHistogram::new();
+        let back = LogHistogram::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.min(), None);
+    }
+
+    #[test]
+    fn log_histogram_schema_violations_are_rejected() {
+        let mut h = LogHistogram::new();
+        h.record(12);
+        let Json::Obj(mut fields) = h.to_json() else {
+            panic!("histogram must encode as object")
+        };
+        // Corrupt the total so it disagrees with the buckets.
+        for (k, v) in &mut fields {
+            if k == "total" {
+                *v = Json::UInt(99);
+            }
+        }
+        assert!(LogHistogram::from_json(&Json::Obj(fields)).is_err());
+        let short = Json::parse(r#"{"counts":[0,1],"total":1,"sum":"1","min":1,"max":1}"#).unwrap();
+        assert!(LogHistogram::from_json(&short).is_err());
+    }
+
+    fn random_metrics(rng: &mut SmallRng) -> Metrics {
+        let mut m = Metrics::new();
+        m.rounds = rng.random_range(0..200);
+        m.msgs_sent = rng.random();
+        m.msgs_delivered = rng.random();
+        m.bits_sent = rng.random();
+        m.max_edge_bits_per_round = rng.random();
+        m.per_round = (0..rng.random_range(0..8u32))
+            .map(|_| RoundMetrics {
+                sent: rng.random_range(0..1000),
+                delivered: rng.random_range(0..1000),
+                bits_sent: rng.random_range(0..64000),
+                crashes: rng.random_range(0..5),
+            })
+            .collect();
+        m.crashes = (0..rng.random_range(0..6u32))
+            .map(|_| (NodeId(rng.random_range(0..64)), rng.random_range(0..30u32)))
+            .collect();
+        m.msgs_suppressed = rng.random_range(0..100);
+        m.msgs_lost_edges = rng.random_range(0..100);
+        m.wire_bytes = rng.random();
+        m
+    }
+
+    #[test]
+    fn metrics_round_trip_property() {
+        let mut rng = SmallRng::seed_from_u64(31337);
+        for _ in 0..200 {
+            let m = random_metrics(&mut rng);
+            let back = Metrics::from_json(&Json::parse(&m.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, m);
+        }
     }
 
     #[test]

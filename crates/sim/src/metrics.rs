@@ -100,11 +100,11 @@ impl Metrics {
 /// bucket-wise, which is what makes per-worker aggregation order-free.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogHistogram {
-    counts: [u64; 65],
-    total: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
+    pub(crate) counts: [u64; 65],
+    pub(crate) total: u64,
+    pub(crate) sum: u128,
+    pub(crate) min: u64,
+    pub(crate) max: u64,
 }
 
 impl Default for LogHistogram {

@@ -118,7 +118,8 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if fewer than two points are given or any coordinate is `≤ 0`.
+/// Panics if fewer than two points are given, any coordinate is `≤ 0`, or
+/// all `x` values are equal (the slope would be undefined).
 pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
     assert!(xs.len() >= 2, "need at least two points to fit");
@@ -133,6 +134,7 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     let my = ly.iter().sum::<f64>() / n;
     let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
     let sxx: f64 = lx.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "need at least two distinct x values to fit");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     (slope, intercept.exp())
@@ -247,5 +249,80 @@ mod tests {
     #[should_panic(expected = "positive coordinates")]
     fn power_law_rejects_non_positive_points() {
         let _ = fit_power_law(&[1.0, 2.0], &[0.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn power_law_rejects_single_point() {
+        let _ = fit_power_law(&[4.0], &[9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched sample lengths")]
+    fn power_law_rejects_mismatched_lengths() {
+        let _ = fit_power_law(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct x values")]
+    fn power_law_rejects_degenerate_axis() {
+        // All-equal x coordinates leave the log–log slope undefined; a
+        // loud panic beats the silent NaN this used to produce.
+        let _ = fit_power_law(&[8.0, 8.0, 8.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn power_law_flat_line_fits_zero_exponent() {
+        let (e, c) = fit_power_law(&[1.0, 4.0, 16.0], &[5.0, 5.0, 5.0]);
+        assert!(e.abs() < 1e-12, "exponent {e}");
+        assert!((c - 5.0).abs() < 1e-9, "coefficient {c}");
+    }
+
+    #[test]
+    fn summary_of_all_equal_samples_is_degenerate_point() {
+        let s = Summary::of(&[4.0; 9]);
+        assert_eq!(s.count, 9);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (4.0, 4.0));
+        assert_eq!((s.median, s.p95), (4.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_interval_rejects_zero_trials() {
+        let _ = wilson_interval(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes than trials")]
+    fn wilson_interval_rejects_excess_successes() {
+        let _ = wilson_interval(5, 4);
+    }
+
+    #[test]
+    fn wilson_interval_extremes_stay_informative() {
+        // Zero successes: the lower bound clamps to 0 but the upper bound
+        // must stay strictly positive (that's the whole point of Wilson
+        // over the normal approximation near the boundary).
+        let (lo, hi) = wilson_interval(0, 20);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.3, "upper {hi}");
+        // All successes, mirrored (upper bound reaches 1 up to rounding).
+        let (lo, hi) = wilson_interval(20, 20);
+        assert!(hi > 1.0 - 1e-12 && hi <= 1.0, "upper {hi}");
+        assert!(lo > 0.7 && lo < 1.0, "lower {lo}");
+        // A single trial still yields a sane, wide interval.
+        let (lo, hi) = wilson_interval(1, 1);
+        assert!(hi > 1.0 - 1e-12 && hi <= 1.0, "upper {hi}");
+        assert!(lo > 0.0 && lo < 0.5, "lower {lo}");
+    }
+
+    #[test]
+    fn wilson_interval_tightens_with_sample_size() {
+        let (lo_small, hi_small) = wilson_interval(8, 10);
+        let (lo_big, hi_big) = wilson_interval(800, 1000);
+        assert!(hi_big - lo_big < hi_small - lo_small);
+        assert!(lo_big < 0.8 && 0.8 < hi_big);
     }
 }

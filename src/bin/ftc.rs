@@ -8,6 +8,8 @@
 //! ftc cluster --n 8 --alpha 0.5 --proto le --seed 1 --transport tcp
 //! ftc hunt    --n 64 --alpha 0.5 --proto le --objective failure --budget 256
 //! ftc replay  results/le-failure.counterexample.json --transport channel
+//! ftc lab     run gate-smoke --jobs 4
+//! ftc lab     gate results/store/gate-smoke-<hash>.json
 //! ```
 //!
 //! `cluster` runs the same protocols over a real transport (`ftc-net`):
@@ -48,6 +50,14 @@ struct Opts {
     budget: u64,
     probes: u64,
     out: Option<String>,
+    /// `lab`: run campaigns at smoke scale.
+    smoke: bool,
+    /// `lab`: results-store directory.
+    store: String,
+    /// `lab`: execution substrate (`engine`, `channel:W`, `tcp:W`).
+    substrate: String,
+    /// `lab diff`/`lab gate`: fractional tolerance band (absent = exact).
+    tolerance: Option<f64>,
     /// Non-flag arguments (e.g. the artifact path for `replay`).
     positional: Vec<String>,
 }
@@ -72,6 +82,10 @@ impl Default for Opts {
             budget: 256,
             probes: 3,
             out: None,
+            smoke: false,
+            store: "results/store".into(),
+            substrate: "engine".into(),
+            tolerance: None,
             positional: Vec::new(),
         }
     }
@@ -196,6 +210,27 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.out = Some(value(i)?.clone());
                 i += 2;
             }
+            "--smoke" => {
+                o.smoke = true;
+                i += 1;
+            }
+            "--store" => {
+                o.store = value(i)?.clone();
+                i += 2;
+            }
+            "--substrate" => {
+                o.substrate = value(i)?.clone();
+                parse_substrate(&o.substrate)?;
+                i += 2;
+            }
+            "--tolerance" => {
+                let t: f64 = value(i)?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                if t <= 0.0 || t.is_nan() {
+                    return Err("--tolerance must be positive".into());
+                }
+                o.tolerance = Some(t);
+                i += 2;
+            }
             other if !other.starts_with('-') => {
                 o.positional.push(other.into());
                 i += 1;
@@ -280,9 +315,9 @@ fn cmd_le(o: &Opts) -> Result<(), String> {
             ]);
         }
     }
+    let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
+    let rounds = Summary::of_iter(results.iter().map(|t| f64::from(t.value.2.rounds)));
     if writer.is_none() {
-        let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
-        let rounds = Summary::of_iter(results.iter().map(|t| f64::from(t.value.2.rounds)));
         println!(
             "leader election: n={} alpha={} adversary={} trials={}",
             o.n, o.alpha, o.adversary, o.trials
@@ -290,6 +325,12 @@ fn cmd_le(o: &Opts) -> Result<(), String> {
         println!("  success: {successes}/{}", o.trials);
         println!("  messages: mean {:.0} (p95 {:.0})", msgs.mean, msgs.p95);
         println!("  rounds: mean {:.0} (max {:.0})", rounds.mean, rounds.max);
+    } else {
+        let bits = Summary::of_iter(results.iter().map(|t| t.value.2.bits_sent as f64));
+        emit_summaries(
+            o.format,
+            &[("msgs", &msgs), ("bits", &bits), ("rounds", &rounds)],
+        );
     }
     Ok(())
 }
@@ -346,14 +387,17 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
             ]);
         }
     }
+    let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
     if writer.is_none() {
-        let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
         println!(
             "agreement: n={} alpha={} zeros={} adversary={} trials={}",
             o.n, o.alpha, o.zeros, o.adversary, o.trials
         );
         println!("  success: {successes}/{}", o.trials);
         println!("  messages: mean {:.0} (bits ≈ 2x)", msgs.mean);
+    } else {
+        let rounds = Summary::of_iter(results.iter().map(|t| f64::from(t.value.2.rounds)));
+        emit_summaries(o.format, &[("msgs", &msgs), ("rounds", &rounds)]);
     }
     Ok(())
 }
@@ -366,6 +410,8 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
             &[
                 "cap",
                 "mean_msgs",
+                "median_msgs",
+                "p95_msgs",
                 "suppressed",
                 "threshold_ratio",
                 "failure_rate",
@@ -376,6 +422,8 @@ fn cmd_sweep(o: &Opts) -> Result<(), String> {
             w.emit(&[
                 Value::Int(p.cap.map_or(-1, i64::from)),
                 Value::Float(p.mean_messages),
+                Value::Float(p.messages.median),
+                Value::Float(p.messages.p95),
                 Value::Float(p.mean_suppressed),
                 Value::Float(p.threshold_ratio),
                 Value::Float(p.failure_rate),
@@ -539,10 +587,17 @@ fn cmd_cluster(o: &Opts) -> Result<(), String> {
         }
         trials.push(t);
     }
+    let msgs = Summary::of_iter(trials.iter().map(|t| t.metrics.msgs_sent as f64));
+    let wire = Summary::of_iter(trials.iter().map(|t| t.net.wire_bytes as f64));
+    if writer.is_some() {
+        let rounds = Summary::of_iter(trials.iter().map(|t| f64::from(t.metrics.rounds)));
+        emit_summaries(
+            o.format,
+            &[("msgs", &msgs), ("wire_bytes", &wire), ("rounds", &rounds)],
+        );
+    }
     if writer.is_none() {
         let total = o.trials.max(1);
-        let msgs = Summary::of_iter(trials.iter().map(|t| t.metrics.msgs_sent as f64));
-        let wire = Summary::of_iter(trials.iter().map(|t| t.net.wire_bytes as f64));
         println!(
             "cluster ({}, {} protocol): n={} alpha={} adversary={} workers={} trials={total}",
             o.transport, o.proto, o.n, o.alpha, o.adversary, o.workers
@@ -770,6 +825,232 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--substrate engine|channel[:W]|tcp[:W]` for `lab run`.
+fn parse_substrate(s: &str) -> Result<LabSubstrate, String> {
+    let (kind, workers) = match s.split_once(':') {
+        Some((k, w)) => (
+            k,
+            w.parse::<usize>()
+                .map_err(|e| format!("--substrate workers: {e}"))?,
+        ),
+        None => (s, 4),
+    };
+    if kind != "engine" && workers == 0 {
+        return Err("--substrate workers must be at least 1".into());
+    }
+    match kind {
+        "engine" => Ok(LabSubstrate::Engine),
+        "channel" => Ok(LabSubstrate::Channel(workers)),
+        "tcp" => Ok(LabSubstrate::Tcp(workers)),
+        other => Err(format!(
+            "unknown substrate {other} (engine|channel[:W]|tcp[:W])"
+        )),
+    }
+}
+
+/// Resolves `lab run`'s campaign argument: a registry name, or a path to
+/// a JSON spec file.
+fn resolve_spec(arg: &str, smoke: bool) -> Result<CampaignSpec, String> {
+    if let Some(spec) = ftc::lab::campaigns::named(arg, smoke) {
+        return Ok(spec);
+    }
+    if std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
+        let json = ftc::sim::json::Json::parse(&text).map_err(|e| format!("{arg}: {e}"))?;
+        return CampaignSpec::from_json(&json).map_err(|e| format!("{arg}: {e}"));
+    }
+    Err(format!(
+        "`{arg}` is neither a known campaign ({}) nor a spec file",
+        ftc::lab::campaigns::names().join("|")
+    ))
+}
+
+fn print_record(record: &CampaignRecord, format: Format) {
+    if format == Format::Json {
+        println!("{}", record.to_json(true).render());
+        return;
+    }
+    println!(
+        "campaign {} (spec {}, substrate {}, git {})",
+        record.spec.name, record.spec_hash, record.substrate, record.git_rev
+    );
+    println!(
+        "  {:<16} {:>6} {:>6} {:>8} {:>12} {:>12} {:>12} {:>7} {:>8}",
+        "cell", "n", "alpha", "success", "msgs.mean", "msgs.median", "msgs.p95", "rounds", "wall_s"
+    );
+    for c in &record.cells {
+        println!(
+            "  {:<16} {:>6} {:>6} {:>7.0}% {:>12.0} {:>12.0} {:>12.0} {:>7.1} {:>8.2}",
+            c.cell.label,
+            c.cell.n,
+            c.cell.alpha,
+            c.success_rate() * 100.0,
+            c.msgs.mean,
+            c.msgs.median,
+            c.msgs.p95,
+            c.rounds.mean,
+            c.wall_s
+        );
+    }
+    for c in &record.checks {
+        println!(
+            "  check {}: exponent {} in [{}, {}] -> {}",
+            c.check.name,
+            c.exponent
+                .map_or("unfittable".into(), |e| format!("{e:.3}")),
+            c.check.min,
+            c.check.max,
+            if c.pass { "pass" } else { "FAIL" }
+        );
+    }
+}
+
+/// `ftc lab <run|list|show|diff|gate|baseline>`.
+fn cmd_lab(o: &Opts) -> Result<(), String> {
+    let verb = o
+        .positional
+        .first()
+        .ok_or("lab needs a verb: ftc lab <run|list|show|diff|gate|baseline>")?;
+    let store = Store::at(&o.store);
+    let arg = |k: usize, what: &str| {
+        o.positional
+            .get(k)
+            .cloned()
+            .ok_or_else(|| format!("lab {verb} needs {what}"))
+    };
+    match verb.as_str() {
+        "run" => {
+            let spec = resolve_spec(&arg(1, "a campaign name or spec file")?, o.smoke)?;
+            let substrate = parse_substrate(&o.substrate)?;
+            let record = run_campaign(&spec, o.jobs, substrate)?;
+            let id = store.put(&record).map_err(|e| e.to_string())?;
+            print_record(&record, o.format);
+            if o.format != Format::Json {
+                println!("  stored as {id} in {}", store.dir().display());
+            }
+            if record.checks.iter().any(|c| !c.pass) {
+                return Err("one or more exponent checks failed".into());
+            }
+            Ok(())
+        }
+        "list" => {
+            let entries = store.list().map_err(|e| e.to_string())?;
+            let mut w = o.format.is_machine().then(|| {
+                RowWriter::new(o.format, &["id", "spec_hash", "cells", "git_rev", "wall_s"])
+            });
+            for e in &entries {
+                if let Some(w) = w.as_mut() {
+                    w.emit(&[
+                        Value::Str(e.id.clone()),
+                        Value::Str(e.spec_hash.clone()),
+                        Value::UInt(e.cells as u64),
+                        Value::Str(e.git_rev.clone()),
+                        Value::Float(e.wall_s),
+                    ]);
+                } else {
+                    println!(
+                        "{}  spec {}  {} cells  git {}  {:.2}s",
+                        e.id, e.spec_hash, e.cells, e.git_rev, e.wall_s
+                    );
+                }
+            }
+            if entries.is_empty() && !o.format.is_machine() {
+                println!("no records in {}", store.dir().display());
+            }
+            Ok(())
+        }
+        "show" => {
+            let record = store
+                .resolve(&arg(1, "a record id (or unique prefix)")?)
+                .map_err(|e| e.to_string())?;
+            print_record(&record, o.format);
+            Ok(())
+        }
+        "diff" => {
+            let base = load_record_arg(&store, &arg(1, "a baseline record")?)?;
+            let fresh = load_record_arg(&store, &arg(2, "a fresh record")?)?;
+            let tol = o.tolerance.map_or_else(Tolerance::exact, Tolerance::banded);
+            report_diff(&base, &fresh, &tol)
+        }
+        "gate" => {
+            let base = load_record_arg(&store, &arg(1, "a baseline record or file")?)?;
+            let substrate = parse_substrate(&o.substrate)?;
+            let fresh = run_campaign(&base.spec, o.jobs, substrate)?;
+            let tol = o.tolerance.map_or_else(Tolerance::exact, Tolerance::banded);
+            report_diff(&base, &fresh, &tol)
+        }
+        "baseline" => {
+            let dir = std::path::Path::new(o.out.as_deref().unwrap_or("."));
+            std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
+            for (name, file) in [
+                ("le-scaling", ftc::lab::baseline::BENCH_LE),
+                ("agree-scaling", ftc::lab::baseline::BENCH_AGREE),
+            ] {
+                let spec = ftc::lab::campaigns::named(name, o.smoke).expect("registry name");
+                let record = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
+                let id = store.put(&record).map_err(|e| e.to_string())?;
+                let path = dir.join(file);
+                let entries =
+                    ftc::lab::baseline::export(&record, &path).map_err(|e| e.to_string())?;
+                print_record(&record, o.format);
+                if o.format != Format::Json {
+                    println!(
+                        "  stored as {id}; {} now holds {entries} entr{}",
+                        path.display(),
+                        if entries == 1 { "y" } else { "ies" }
+                    );
+                }
+                if record.checks.iter().any(|c| !c.pass) {
+                    return Err(format!("exponent check failed in {name}"));
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown lab verb {other} (run|list|show|diff|gate|baseline)"
+        )),
+    }
+}
+
+/// A record argument: a file path if one exists there, else a store id.
+fn load_record_arg(store: &Store, arg: &str) -> Result<CampaignRecord, String> {
+    let path = std::path::Path::new(arg);
+    if path.exists() {
+        Store::load_path(path).map_err(|e| format!("{arg}: {e}"))
+    } else {
+        store.resolve(arg).map_err(|e| e.to_string())
+    }
+}
+
+fn report_diff(
+    base: &CampaignRecord,
+    fresh: &CampaignRecord,
+    tol: &Tolerance,
+) -> Result<(), String> {
+    let report = diff_records(base, fresh, tol)?;
+    if report.ok() {
+        println!(
+            "ok: {} cells agree{}",
+            report.cells.len(),
+            if tol.exact {
+                " bit-for-bit"
+            } else {
+                " within tolerance"
+            }
+        );
+        Ok(())
+    } else {
+        for line in report.lines() {
+            eprintln!("drift: {line}");
+        }
+        Err(format!(
+            "{} mismatch(es) against baseline {}",
+            report.lines().len(),
+            base.id()
+        ))
+    }
+}
+
 fn usage() -> &'static str {
     "usage: ftc <le|agree|sweep|trace|cluster|hunt|replay> [--n N] [--alpha A] \
      [--seed S] [--trials T] [--zeros Z] \
@@ -778,7 +1059,13 @@ fn usage() -> &'static str {
      [--transport tcp|channel] [--workers W] \
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
      [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
-     ftc replay <artifact.json> [--transport tcp|channel] [--workers W]"
+     ftc replay <artifact.json> [--transport tcp|channel] [--workers W]\n\
+     ftc lab run <campaign|spec.json> [--smoke] [--jobs J] [--store DIR] \
+     [--substrate engine|channel:W|tcp:W] [--format human|json]\n\
+     ftc lab list|show <id> [--store DIR]\n\
+     ftc lab diff <baseline> <fresh> [--tolerance F]\n\
+     ftc lab gate <baseline> [--jobs J] [--tolerance F]\n\
+     ftc lab baseline [--smoke] [--jobs J] [--out DIR]"
 }
 
 fn main() -> ExitCode {
@@ -802,6 +1089,7 @@ fn main() -> ExitCode {
         "cluster" => cmd_cluster(&opts),
         "hunt" => cmd_hunt(&opts),
         "replay" => cmd_replay(&opts),
+        "lab" => cmd_lab(&opts),
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {

@@ -17,7 +17,11 @@
 //!   in-process channels or localhost TCP sockets, bit-identical to the
 //!   simulator for any `(SimConfig, seed)`;
 //! * [`hunt`] — adversary search: hunts, shrinks, and replays worst-case
-//!   crash schedules as committed counterexample artifacts.
+//!   crash schedules as committed counterexample artifacts;
+//! * [`lab`] — declarative experiment campaigns: parameter grids over the
+//!   protocols, a content-addressed results store under `results/store/`,
+//!   cell-by-cell diffs with statistical tolerance bands, and the CI perf
+//!   gate built on them.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -39,6 +43,7 @@
 pub use ftc_baselines as baselines;
 pub use ftc_core as core;
 pub use ftc_hunt as hunt;
+pub use ftc_lab as lab;
 pub use ftc_lowerbound as lowerbound;
 pub use ftc_net as net;
 pub use ftc_sim as sim;
@@ -47,10 +52,14 @@ pub mod output;
 
 /// Everything, in one import.
 pub mod prelude {
-    pub use crate::output::{Format, RowWriter, Value};
+    pub use crate::output::{emit_summaries, render_summaries, Format, RowWriter, Value};
     pub use ftc_baselines::prelude::*;
     pub use ftc_core::prelude::*;
     pub use ftc_hunt::prelude::*;
+    pub use ftc_lab::{
+        diff_records, run_campaign, Adv, CampaignRecord, CampaignSpec, CellSpec, CheckAxis,
+        CheckMetric, DiffReport, ExponentCheck, LabSubstrate, Store, Tolerance, Workload,
+    };
     pub use ftc_lowerbound::prelude::*;
     pub use ftc_net::prelude::*;
     pub use ftc_sim::prelude::*;

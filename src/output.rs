@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use ftc_sim::stats::Summary;
+
 /// Output format of a subcommand.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Format {
@@ -163,6 +165,39 @@ impl RowWriter {
     }
 }
 
+/// Column names of the trailing per-metric summary table every
+/// trial-emitting subcommand appends in machine formats.
+pub const SUMMARY_COLUMNS: [&str; 6] = ["metric", "mean", "median", "p95", "min", "max"];
+
+/// Renders the trailing summary table: one row per metric with its
+/// distribution quantiles. In CSV the table gets its own header line
+/// (separating it from the per-trial rows above); in JSON Lines each row
+/// carries a `metric` key, so consumers can split trial rows from
+/// summary rows on key shape alone.
+pub fn render_summaries(format: Format, metrics: &[(&str, &Summary)]) -> Vec<String> {
+    let mut w = RowWriter::new(format, &SUMMARY_COLUMNS);
+    metrics
+        .iter()
+        .map(|(name, s)| {
+            w.render(&[
+                Value::Str((*name).to_string()),
+                Value::Float(s.mean),
+                Value::Float(s.median),
+                Value::Float(s.p95),
+                Value::Float(s.min),
+                Value::Float(s.max),
+            ])
+        })
+        .collect()
+}
+
+/// Prints [`render_summaries`] to stdout.
+pub fn emit_summaries(format: Format, metrics: &[(&str, &Summary)]) {
+    for line in render_summaries(format, metrics) {
+        println!("{line}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +248,20 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut w = RowWriter::new(Format::Csv, &["a", "b"]);
         let _ = w.render(&[Value::UInt(1)]);
+    }
+
+    #[test]
+    fn summary_rows_surface_median_and_p95() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        let lines = render_summaries(Format::Csv, &[("msgs", &s)]);
+        assert_eq!(lines.len(), 1);
+        let mut parts = lines[0].lines();
+        assert_eq!(parts.next().unwrap(), "metric,mean,median,p95,min,max");
+        let row = parts.next().unwrap();
+        assert!(row.starts_with("msgs,"), "{row}");
+        assert!(row.contains(&format!(",{},", s.median)), "{row}");
+        let json = render_summaries(Format::Json, &[("rounds", &s)]);
+        assert!(json[0].contains("\"metric\":\"rounds\""), "{}", json[0]);
+        assert!(json[0].contains("\"p95\":"), "{}", json[0]);
     }
 }
