@@ -74,6 +74,61 @@ fn bench_port_lookup(c: &mut Criterion) {
     g.finish();
 }
 
+/// Full-broadcast chatter: every node broadcasts a word per round. This is
+/// the worst case for the delivery plane (`n·(n-1)` envelopes per round)
+/// and the scenario the committed `BENCH_engine.json` baseline tracks.
+struct Bcast {
+    rounds_done: u32,
+}
+
+impl Protocol for Bcast {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.broadcast(0);
+    }
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, _inbox: &[Incoming<u64>]) {
+        self.rounds_done += 1;
+        if self.rounds_done < 3 {
+            ctx.broadcast(u64::from(ctx.round()));
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.rounds_done >= 3
+    }
+}
+
+/// The hot-path scenarios the flat delivery plane optimises: fault-free
+/// broadcast (pooled buffers + span index), eager crashes (dead-edge
+/// cache) and probabilistic edge failures (flat edge accumulator).
+fn bench_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/hot_path");
+    g.sample_size(3);
+    for &n in &[256u32, 1024, 4096] {
+        let base = SimConfig::new(n).seed(11).max_rounds(5);
+        g.bench_with_input(BenchmarkId::new("broadcast", n), &n, |b, _| {
+            b.iter(|| {
+                let r = run(&base, |_| Bcast { rounds_done: 0 }, &mut NoFaults);
+                std::hint::black_box(r.metrics.msgs_delivered)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("eager_crash", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut adv = EagerCrash::new(n as usize / 2);
+                let r = run(&base, |_| Bcast { rounds_done: 0 }, &mut adv);
+                std::hint::black_box(r.metrics.msgs_delivered)
+            });
+        });
+        let edgy = base.clone().edge_failure_prob(0.3);
+        g.bench_with_input(BenchmarkId::new("edge_failure", n), &n, |b, _| {
+            b.iter(|| {
+                let r = run(&edgy, |_| Bcast { rounds_done: 0 }, &mut NoFaults);
+                std::hint::black_box(r.metrics.msgs_delivered)
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_trial_runner(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/parallel_trials");
     g.sample_size(10);
@@ -93,6 +148,7 @@ fn bench_trial_runner(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_round_engine,
+    bench_hot_path,
     bench_port_lookup,
     bench_trial_runner
 );

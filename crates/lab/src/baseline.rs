@@ -20,6 +20,9 @@ use crate::run::CampaignRecord;
 pub const BENCH_LE: &str = "BENCH_leader_election.json";
 /// Repo-root file for the agreement trajectory.
 pub const BENCH_AGREE: &str = "BENCH_agreement.json";
+/// Repo-root file for the engine hot-path throughput trajectory (the
+/// `engine-bench` campaign; gated by `ftc lab perf`).
+pub const BENCH_ENGINE: &str = "BENCH_engine.json";
 
 fn cell_entry(cell: &crate::run::CellResult) -> Json {
     Json::Obj(vec![
@@ -90,6 +93,163 @@ fn load_entries(path: &Path) -> io::Result<Vec<Json>> {
         .map_err(|e: JsonError| schema_err(e.to_string()))
 }
 
+/// Returns the most recent entry of the trajectory at `path`.
+pub fn latest_entry(path: &Path) -> io::Result<Json> {
+    load_entries(path)?.pop().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} has no entries", path.display()),
+        )
+    })
+}
+
+/// One cell's verdict from [`perf_gate`].
+#[derive(Clone, Debug)]
+pub struct PerfCellReport {
+    /// Cell label (e.g. `bcast`).
+    pub label: String,
+    /// Network size.
+    pub n: u64,
+    /// Baseline throughput, trials/s.
+    pub base_tps: f64,
+    /// Fresh throughput, trials/s.
+    pub fresh_tps: f64,
+    /// `fresh_tps / base_tps`, before normalisation.
+    pub ratio: f64,
+    /// Whether this cell clears the normalised floor.
+    pub pass: bool,
+}
+
+/// What [`perf_gate`] found: per-cell throughput verdicts plus any
+/// deterministic-payload drift between the baseline and the fresh run.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Per-cell verdicts, in campaign order.
+    pub cells: Vec<PerfCellReport>,
+    /// Median of the per-cell throughput ratios — the machine-speed
+    /// estimate the floor is relative to.
+    pub median_ratio: f64,
+    /// Allowed per-cell shortfall below the median ratio.
+    pub tolerance: f64,
+    /// Deterministic fields (success rate, message/round summaries) that
+    /// differ from the baseline. Non-empty means the comparison is about
+    /// different work, so the gate fails regardless of throughput.
+    pub mismatches: Vec<String>,
+}
+
+impl PerfReport {
+    /// True iff every cell passes and the deterministic payloads agree.
+    pub fn pass(&self) -> bool {
+        self.mismatches.is_empty() && self.cells.iter().all(|c| c.pass)
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let m = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[m]
+    } else {
+        (xs[m - 1] + xs[m]) / 2.0
+    }
+}
+
+/// Gates a fresh run of a bench campaign against a committed trajectory
+/// entry. Wall clocks differ across machines, so absolute throughput is
+/// not comparable; instead the per-cell ratios fresh/baseline are
+/// normalised by their median — a uniformly slower machine shifts every
+/// ratio equally and passes, while a hot-path regression drags specific
+/// cells below `median × (1 − tolerance)` and fails. Deterministic
+/// payload fields (success rate, message and round summaries) must match
+/// exactly: a drifted payload means the bench is no longer measuring the
+/// same work.
+pub fn perf_gate(
+    entry: &Json,
+    fresh: &CampaignRecord,
+    tolerance: f64,
+) -> Result<PerfReport, String> {
+    let field_str = |j: &Json, k: &str| -> Result<String, String> {
+        j.field(k)
+            .map(|v| v.render())
+            .map_err(|e| format!("baseline entry: {e}"))
+    };
+    let base_hash = entry
+        .field("spec_hash")
+        .and_then(Json::as_str)
+        .map_err(|e| format!("baseline entry: {e}"))?;
+    if base_hash != fresh.spec_hash {
+        return Err(format!(
+            "spec hash mismatch: baseline {base_hash}, fresh {} — the campaign changed; regenerate the baseline",
+            fresh.spec_hash
+        ));
+    }
+    let base_cells = entry
+        .field("cells")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("baseline entry: {e}"))?;
+    if base_cells.len() != fresh.cells.len() {
+        return Err(format!(
+            "cell count mismatch: baseline {}, fresh {}",
+            base_cells.len(),
+            fresh.cells.len()
+        ));
+    }
+    let mut mismatches = Vec::new();
+    let mut cells = Vec::with_capacity(fresh.cells.len());
+    for (base, fresh_cell) in base_cells.iter().zip(&fresh.cells) {
+        let label = base
+            .field("label")
+            .and_then(Json::as_str)
+            .map_err(|e| format!("baseline entry: {e}"))?
+            .to_string();
+        let mine = cell_entry(fresh_cell);
+        for key in [
+            "label",
+            "n",
+            "alpha",
+            "seed",
+            "trials",
+            "success_rate",
+            "msgs",
+            "rounds",
+        ] {
+            let (b, f) = (field_str(base, key)?, field_str(&mine, key)?);
+            if b != f {
+                mismatches.push(format!("cell {label}: {key} baseline {b} != fresh {f}"));
+            }
+        }
+        let base_tps = base
+            .field("trials_per_s")
+            .and_then(Json::as_f64)
+            .map_err(|e| format!("baseline entry: {e}"))?;
+        if base_tps <= 0.0 {
+            return Err(format!(
+                "cell {label}: baseline throughput {base_tps} is not positive"
+            ));
+        }
+        let fresh_tps = fresh_cell.throughput();
+        cells.push(PerfCellReport {
+            label,
+            n: u64::from(fresh_cell.cell.n),
+            base_tps,
+            fresh_tps,
+            ratio: fresh_tps / base_tps,
+            pass: true,
+        });
+    }
+    let median_ratio = median(cells.iter().map(|c| c.ratio).collect());
+    let floor = median_ratio * (1.0 - tolerance);
+    for c in &mut cells {
+        c.pass = c.ratio >= floor;
+    }
+    Ok(PerfReport {
+        cells,
+        median_ratio,
+        tolerance,
+        mismatches,
+    })
+}
+
 /// Appends `record` to the trajectory at `path` (creating it if absent).
 /// Idempotent per record id: exporting the same measurement twice keeps
 /// one entry. Returns the number of entries now in the file.
@@ -148,6 +308,85 @@ mod tests {
         let cell = &entries[0].field("cells").unwrap().as_arr().unwrap()[0];
         assert!(cell.get("success_rate").is_some());
         assert!(cell.field("msgs").unwrap().get("median").is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    fn bench_record() -> CampaignRecord {
+        let mut spec = CampaignSpec::new("perf-unit");
+        for (i, n) in [8u32, 16, 32].into_iter().enumerate() {
+            spec = spec.cell(
+                CellSpec::new(
+                    Workload::EngineBench {
+                        adv: Adv::None,
+                        p: 0.0,
+                        rounds: 3,
+                    },
+                    n,
+                    0.5,
+                    0xBE ^ i as u64,
+                    2,
+                )
+                .label("bcast"),
+            );
+        }
+        let mut record = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap();
+        // Pin wall clocks so the test reasons about ratios, not noise.
+        for (i, cell) in record.cells.iter_mut().enumerate() {
+            cell.wall_s = (i + 1) as f64;
+        }
+        record
+    }
+
+    #[test]
+    fn perf_gate_normalises_by_median_ratio() {
+        let path = std::env::temp_dir().join(format!("ftc-lab-perf-{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let base = bench_record();
+        export(&base, &path).unwrap();
+        let entry = latest_entry(&path).unwrap();
+
+        // A uniformly 3x slower machine shifts every ratio equally: pass.
+        let mut slow = base.clone();
+        for cell in &mut slow.cells {
+            cell.wall_s *= 3.0;
+        }
+        let report = perf_gate(&entry, &slow, 0.2).unwrap();
+        assert!(report.pass(), "uniform slowdown must pass: {report:?}");
+        assert!((report.median_ratio - 1.0 / 3.0).abs() < 1e-9);
+
+        // One cell regressing 2x while the rest hold drags only that
+        // cell below the normalised floor: fail, and name the cell.
+        let mut regressed = base.clone();
+        regressed.cells[1].wall_s *= 2.0;
+        let report = perf_gate(&entry, &regressed, 0.2).unwrap();
+        assert!(!report.pass());
+        assert!(report.cells[0].pass && report.cells[2].pass);
+        assert!(!report.cells[1].pass);
+        assert!(report.mismatches.is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn perf_gate_rejects_drift() {
+        let path = std::env::temp_dir().join(format!("ftc-lab-drift-{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let base = bench_record();
+        export(&base, &path).unwrap();
+        let entry = latest_entry(&path).unwrap();
+
+        // A different campaign is an error, not a throughput verdict.
+        let other = record(1);
+        assert!(perf_gate(&entry, &other, 0.2)
+            .unwrap_err()
+            .contains("spec hash mismatch"));
+
+        // Same spec but drifted deterministic payload fails the gate
+        // even at full throughput.
+        let mut drifted = base.clone();
+        drifted.cells[0].successes = 0;
+        let report = perf_gate(&entry, &drifted, 0.2).unwrap();
+        assert!(!report.pass());
+        assert!(report.mismatches.iter().any(|m| m.contains("success_rate")));
         let _ = fs::remove_file(&path);
     }
 

@@ -17,7 +17,13 @@ pub const GATE_SEED: u64 = 0x1AB;
 
 /// All registry names, for `ftc lab run --help`.
 pub fn names() -> &'static [&'static str] {
-    &["gate-smoke", "le-scaling", "agree-scaling", "alpha-sweep"]
+    &[
+        "gate-smoke",
+        "le-scaling",
+        "agree-scaling",
+        "alpha-sweep",
+        "engine-bench",
+    ]
 }
 
 /// Resolves a named campaign at the given scale.
@@ -27,6 +33,7 @@ pub fn named(name: &str, smoke: bool) -> Option<CampaignSpec> {
         "le-scaling" => Some(le_scaling(smoke)),
         "agree-scaling" => Some(agree_scaling(smoke)),
         "alpha-sweep" => Some(alpha_sweep(smoke)),
+        "engine-bench" => Some(engine_bench(smoke)),
         _ => None,
     }
 }
@@ -182,6 +189,69 @@ pub fn alpha_sweep(smoke: bool) -> CampaignSpec {
                 trials,
             )
             .label("le"),
+        );
+    }
+    spec
+}
+
+/// The engine hot-path benchmark: broadcast chatter at three sizes under
+/// the three schedules that stress distinct delivery paths (fault-free
+/// fast path, eager crashes, probabilistic edge failures). Message counts
+/// are deterministic (pinned by `lab gate` semantics); the committed
+/// `BENCH_engine.json` trajectory carries the throughput history that
+/// `ftc lab perf` gates against. Trial counts shrink as `n` grows but
+/// are chosen so every cell runs for seconds of wall clock — sub-second
+/// cells are jitter-dominated and too noisy for a 20% throughput gate
+/// (the criterion benches cover the larger sizes).
+pub fn engine_bench(smoke: bool) -> CampaignSpec {
+    let sizes: &[(u32, u64)] = if smoke {
+        &[(64, 8), (256, 4)]
+    } else {
+        &[(256, 128), (1024, 12), (2048, 6)]
+    };
+    let mut spec = CampaignSpec::new("engine-bench");
+    for &(n, trials) in sizes {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::EngineBench {
+                    adv: Adv::None,
+                    p: 0.0,
+                    rounds: 3,
+                },
+                n,
+                0.5,
+                GATE_SEED ^ 0x400 ^ u64::from(n),
+                trials,
+            )
+            .label("bcast"),
+        );
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::EngineBench {
+                    adv: Adv::Eager,
+                    p: 0.0,
+                    rounds: 3,
+                },
+                n,
+                0.5,
+                GATE_SEED ^ 0x500 ^ u64::from(n),
+                trials,
+            )
+            .label("eager"),
+        );
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::EngineBench {
+                    adv: Adv::None,
+                    p: 0.3,
+                    rounds: 3,
+                },
+                n,
+                0.5,
+                GATE_SEED ^ 0x600 ^ u64::from(n),
+                trials,
+            )
+            .label("edge"),
         );
     }
     spec

@@ -85,6 +85,47 @@ fn value_of<T>(r: &RunResult<T>, success: bool, extras: Vec<(&'static str, f64)>
     }
 }
 
+/// The engine-bench canary: every node broadcasts a word per round for a
+/// fixed number of rounds. Maximum delivery-path pressure (`n·(n-1)`
+/// envelopes per round, fault-free), deterministic message counts.
+struct BenchChatter {
+    rounds_done: u32,
+    budget: u32,
+    heard: u64,
+}
+
+impl ftc_sim::protocol::Protocol for BenchChatter {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut ftc_sim::protocol::Ctx<'_, u64>) {
+        ctx.broadcast(0);
+    }
+    fn on_round(
+        &mut self,
+        ctx: &mut ftc_sim::protocol::Ctx<'_, u64>,
+        inbox: &[ftc_sim::protocol::Incoming<u64>],
+    ) {
+        self.heard += inbox.len() as u64;
+        self.rounds_done += 1;
+        if self.rounds_done < self.budget {
+            ctx.broadcast(u64::from(ctx.round()));
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.rounds_done >= self.budget
+    }
+}
+
+fn bench_adversary(adv: Adv, f: usize) -> Box<dyn Adversary<u64>> {
+    match adv {
+        Adv::None => Box::new(NoFaults),
+        Adv::Eager => Box::new(EagerCrash::new(f)),
+        Adv::Random(h) => Box::new(RandomCrash::new(f, h)),
+        Adv::Targeted | Adv::AdaptiveKiller => {
+            panic!("the engine bench runs schedule-only adversaries (none|eager|random)")
+        }
+    }
+}
+
 fn le_adversary(adv: Adv, f: usize) -> Box<dyn Adversary<LeMsg>> {
     match adv {
         Adv::None => Box::new(NoFaults),
@@ -411,6 +452,27 @@ pub fn run_trial(
                     ("pairs", f64::from(u8::from(all_pairs))),
                 ],
             }
+        }
+        Workload::EngineBench { adv, p, rounds } => {
+            let f = ((1.0 - cell.alpha) * f64::from(n)) as usize;
+            let mut cfg = cfg.max_rounds(rounds + 2);
+            if *p > 0.0 {
+                cfg = cfg.edge_failure_prob(*p);
+            }
+            let mut a = bench_adversary(*adv, f);
+            let r = run(
+                &cfg,
+                |_| BenchChatter {
+                    rounds_done: 0,
+                    budget: *rounds,
+                    heard: 0,
+                },
+                &mut *a,
+            );
+            // Success = the run actually exercised the delivery path; the
+            // interesting output is msgs/bits (deterministic payload) and
+            // the cell's wall-clock throughput (diagnostic).
+            value_of(&r, r.metrics.msgs_delivered > 0, vec![])
         }
     })
 }

@@ -178,6 +178,18 @@ pub enum Workload {
         /// Referee-count constant (paper: 2).
         referee_factor: f64,
     },
+    /// Engine hot-path benchmark: a broadcast-heavy canary protocol whose
+    /// message counts pin the data plane bit-for-bit while the diagnostic
+    /// `trials_per_s` field measures raw engine throughput (the quantity
+    /// the `ftc lab perf` gate watches). Engine substrate only.
+    EngineBench {
+        /// Crash schedule.
+        adv: Adv,
+        /// Edge failure probability (`0.0` = reliable edges).
+        p: f64,
+        /// Broadcast rounds per trial.
+        rounds: u32,
+    },
 }
 
 impl Workload {
@@ -203,6 +215,7 @@ impl Workload {
             Workload::Gk { .. } => "gk",
             Workload::Gossip { .. } => "gossip",
             Workload::SamplingLemmas { .. } => "sampling_lemmas",
+            Workload::EngineBench { .. } => "engine_bench",
         }
     }
 
@@ -245,6 +258,11 @@ impl Workload {
             } => {
                 fields.push(("candidate_factor".into(), Json::Num(*candidate_factor)));
                 fields.push(("referee_factor".into(), Json::Num(*referee_factor)));
+            }
+            Workload::EngineBench { adv, p, rounds } => {
+                fields.push(("adv".into(), adv.to_json()));
+                fields.push(("p".into(), Json::Num(*p)));
+                fields.push(("rounds".into(), Json::UInt(u64::from(*rounds))));
             }
         }
         Json::Obj(fields)
@@ -308,6 +326,11 @@ impl Workload {
             "sampling_lemmas" => Ok(Workload::SamplingLemmas {
                 candidate_factor: v.field("candidate_factor")?.as_f64()?,
                 referee_factor: v.field("referee_factor")?.as_f64()?,
+            }),
+            "engine_bench" => Ok(Workload::EngineBench {
+                adv: Adv::from_json(v.field("adv")?)?,
+                p: v.field("p")?.as_f64()?,
+                rounds: v.field("rounds")?.as_u64()? as u32,
             }),
             other => Err(JsonError {
                 message: format!("unknown workload kind `{other}`"),
@@ -653,6 +676,16 @@ mod tests {
             Workload::SamplingLemmas {
                 candidate_factor: 6.0,
                 referee_factor: 0.5,
+            },
+            Workload::EngineBench {
+                adv: Adv::None,
+                p: 0.0,
+                rounds: 3,
+            },
+            Workload::EngineBench {
+                adv: Adv::Eager,
+                p: 0.3,
+                rounds: 5,
             },
         ];
         for w in workloads {

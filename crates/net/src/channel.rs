@@ -14,6 +14,7 @@
 use std::io;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::Duration;
 
 use ftc_sim::ids::NodeId;
 
@@ -26,16 +27,27 @@ pub struct ChannelEndpoint {
     node: NodeId,
     peers: Arc<Vec<Sender<Frame>>>,
     rx: Receiver<Frame>,
+    timeout: Duration,
     torn: bool,
 }
 
-/// Builds a fully-connected `n`-node channel mesh, returning the endpoints
-/// in node-id order.
+/// Builds a fully-connected `n`-node channel mesh with the default
+/// [`RECV_TIMEOUT`], returning the endpoints in node-id order.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2`.
 pub fn mesh(n: u32) -> Vec<ChannelEndpoint> {
+    mesh_with_timeout(n, RECV_TIMEOUT)
+}
+
+/// Like [`mesh`], but every endpoint's `recv` gives up after
+/// `recv_timeout` instead of the default [`RECV_TIMEOUT`].
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> Vec<ChannelEndpoint> {
     assert!(n >= 2, "a complete network needs at least two nodes");
     let mut txs = Vec::with_capacity(n as usize);
     let mut rxs = Vec::with_capacity(n as usize);
@@ -51,6 +63,7 @@ pub fn mesh(n: u32) -> Vec<ChannelEndpoint> {
             node: NodeId(i as u32),
             peers: Arc::clone(&peers),
             rx,
+            timeout: recv_timeout,
             torn: false,
         })
         .collect()
@@ -84,10 +97,10 @@ impl Endpoint for ChannelEndpoint {
                 "endpoint torn down",
             ));
         }
-        self.rx.recv_timeout(RECV_TIMEOUT).map_err(|e| match e {
+        self.rx.recv_timeout(self.timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => io::Error::new(
                 io::ErrorKind::TimedOut,
-                format!("node {} waited {RECV_TIMEOUT:?} for a frame", self.node),
+                format!("node {} waited {:?} for a frame", self.node, self.timeout),
             ),
             RecvTimeoutError::Disconnected => {
                 io::Error::new(io::ErrorKind::ConnectionAborted, "all peers gone")
@@ -133,6 +146,17 @@ mod tests {
         // whose peer halted.
         assert!(eps[1].send(NodeId(0), &frame(1, 0, b"")).is_ok());
         eps[0].teardown(); // idempotent
+    }
+
+    #[test]
+    fn custom_recv_timeout_fires_quickly() {
+        let mut eps = mesh_with_timeout(2, Duration::from_millis(10));
+        let start = std::time::Instant::now();
+        let err = eps[1].recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("10ms"), "{err}");
+        // Well under the 60 s default — the configured timeout is in force.
+        assert!(start.elapsed() < Duration::from_secs(10));
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub mod transport;
 pub mod prelude {
     pub use crate::channel::ChannelEndpoint;
     pub use crate::frame::Frame;
-    pub use crate::sync::{run_over, run_over_channel, run_over_tcp, NetMetrics, NetRunResult};
+    pub use crate::sync::{
+        run_over, run_over_channel, run_over_channel_with, run_over_tcp, run_over_tcp_with,
+        NetMetrics, NetRunResult,
+    };
     pub use crate::tcp::TcpEndpoint;
-    pub use crate::transport::{Endpoint, RoundAssembler};
+    pub use crate::transport::{Endpoint, RoundAssembler, RECV_TIMEOUT};
 }

@@ -41,6 +41,7 @@
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
+use std::time::Duration;
 
 use ftc_sim::adversary::{Adversary, Envelope};
 use ftc_sim::engine::{RunResult, SimConfig};
@@ -53,7 +54,7 @@ use ftc_sim::round::{network_ports, resolve_sends, ControlCore};
 use crate::channel::{self};
 use crate::frame::Frame;
 use crate::tcp;
-use crate::transport::{Endpoint, RoundAssembler};
+use crate::transport::{Endpoint, RoundAssembler, RECV_TIMEOUT};
 
 /// Transport-level accounting of one cluster run, on top of the model
 /// metrics in [`RunResult`].
@@ -85,6 +86,11 @@ struct Submission<M> {
     sends: Vec<(Port, M)>,
     suppressed: u64,
     terminated: bool,
+    /// A transport failure (e.g. a recv timeout) that wedged this node.
+    /// Reported through the submission channel — the coordinator blocks
+    /// there, so a silently dying worker would deadlock the lock-step
+    /// round loop instead of failing the run.
+    failed: Option<String>,
 }
 
 /// The coordinator's round verdict for one node.
@@ -126,7 +132,9 @@ struct WorkerNode<P: Protocol, E> {
 }
 
 /// Runs `cfg` over an in-process channel mesh with `workers` worker
-/// threads. Infallible transport, any `n ≥ 2`.
+/// threads and the default receive timeout
+/// ([`crate::transport::RECV_TIMEOUT`]). Infallible transport, any
+/// `n ≥ 2`.
 ///
 /// See [`run_over`] for semantics and panics.
 pub fn run_over_channel<P, F, A>(
@@ -141,11 +149,33 @@ where
     F: FnMut(NodeId) -> P,
     A: Adversary<P::Msg> + ?Sized,
 {
-    run_over(cfg, workers, factory, adversary, channel::mesh(cfg.n))
+    run_over_channel_with(cfg, workers, factory, adversary, RECV_TIMEOUT)
+}
+
+/// Like [`run_over_channel`], but nodes give up after `recv_timeout` when
+/// blocked on a frame (a wedged run fails fast instead of hanging for the
+/// default 60 s).
+pub fn run_over_channel_with<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+    recv_timeout: Duration,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = channel::mesh_with_timeout(cfg.n, recv_timeout);
+    run_over(cfg, workers, factory, adversary, endpoints)
 }
 
 /// Runs `cfg` over a localhost TCP mesh (real sockets) with `workers`
-/// worker threads. Limited to [`tcp::MAX_TCP_NODES`] nodes.
+/// worker threads and the default receive timeout
+/// ([`crate::transport::RECV_TIMEOUT`]). Limited to [`tcp::MAX_TCP_NODES`]
+/// nodes.
 ///
 /// Fails if the mesh cannot be built; see [`run_over`] for run semantics.
 pub fn run_over_tcp<P, F, A>(
@@ -160,7 +190,25 @@ where
     F: FnMut(NodeId) -> P,
     A: Adversary<P::Msg> + ?Sized,
 {
-    let endpoints = tcp::mesh(cfg.n)?;
+    run_over_tcp_with(cfg, workers, factory, adversary, RECV_TIMEOUT)
+}
+
+/// Like [`run_over_tcp`], but nodes give up after `recv_timeout` when
+/// blocked on a frame.
+pub fn run_over_tcp_with<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+    recv_timeout: Duration,
+) -> std::io::Result<NetRunResult<P>>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = tcp::mesh_with_timeout(cfg.n, recv_timeout)?;
     Ok(run_over(cfg, workers, factory, adversary, endpoints))
 }
 
@@ -225,6 +273,7 @@ where
 
     let mut states: Vec<Option<P>> = (0..nn).map(|_| None).collect();
     let mut net = NetMetrics::default();
+    let mut failure: Option<String> = None;
 
     thread::scope(|scope| {
         for pool in pools {
@@ -236,7 +285,7 @@ where
         drop(report_tx);
 
         let mut terminated = vec![false; nn];
-        for round in 0..cfg.max_rounds {
+        'rounds: for round in 0..cfg.max_rounds {
             // --- activate: collect one submission per alive node. ---
             let alive_before: Vec<NodeId> = (0..cfg.n)
                 .map(NodeId)
@@ -246,20 +295,25 @@ where
             let mut suppressed = 0u64;
             for _ in 0..alive_before.len() {
                 let sub = submit_rx.recv().expect("a worker died mid-round");
+                if sub.failed.is_some() {
+                    failure = sub.failed;
+                    break 'rounds;
+                }
                 suppressed += sub.suppressed;
                 terminated[sub.node.index()] = sub.terminated;
                 outgoing[sub.node.index()] = resolve_sends(&ports, sub.node, sub.sends);
             }
 
-            // --- adjudicate. ---
+            // --- adjudicate. `outgoing` is filtered in place down to the
+            // deliverable envelopes. ---
             let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
 
             let mut expect = vec![0usize; nn];
-            for e in verdict.deliver.iter().flatten() {
+            for e in outgoing.iter().flatten() {
                 expect[e.dst.index()] += 1;
             }
             let mut frames: Vec<Vec<(NodeId, Frame)>> = vec![Vec::new(); nn];
-            for (u, sends) in verdict.deliver.iter().enumerate() {
+            for (u, sends) in outgoing.iter().enumerate() {
                 for (seq, e) in sends.iter().enumerate() {
                     let mut payload = Vec::new();
                     e.msg.encode(&mut payload);
@@ -303,6 +357,20 @@ where
             }
         }
 
+        if failure.is_some() {
+            // Unwedge the lock-step: stop every surviving node so the
+            // workers drain and join (the failed worker's command
+            // receiver is already gone — ignore send errors).
+            for tx in &command_txs {
+                let _ = tx.send(Command {
+                    frames: Vec::new(),
+                    expect: 0,
+                    crashed: false,
+                    stop: true,
+                });
+            }
+        }
+
         while let Ok(report) = report_rx.recv() {
             net.wire_bytes += report.wire_bytes;
             net.frames_sent += report.frames_sent;
@@ -311,6 +379,10 @@ where
             }
         }
     });
+
+    if let Some(err) = failure {
+        panic!("cluster run wedged: {err}");
+    }
 
     core.record_wire_bytes(net.wire_bytes);
     let out = core.finish();
@@ -357,6 +429,7 @@ fn worker_loop<P, E>(
                     sends: activation.sends,
                     suppressed: activation.suppressed,
                     terminated: activation.terminated,
+                    failed: None,
                 })
                 .expect("coordinator gone");
         }
@@ -389,10 +462,26 @@ fn worker_loop<P, E>(
 
         // Phase 3: collect next round's inboxes.
         for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
-            let frames = node
+            let frames = match node
                 .assembler
                 .collect(round, node.expect, &mut node.endpoint)
-                .expect("transport recv failed");
+            {
+                Ok(frames) => frames,
+                Err(e) => {
+                    // Surface the failure through the submission channel
+                    // (where the coordinator blocks next round) and bail
+                    // out; dying silently here would deadlock the
+                    // coordinator waiting for this node's submission.
+                    let _ = submit_tx.send(Submission {
+                        node: node.id,
+                        sends: Vec::new(),
+                        suppressed: 0,
+                        terminated: false,
+                        failed: Some(e.to_string()),
+                    });
+                    return;
+                }
+            };
             node.inbox = frames
                 .into_iter()
                 .map(|f| Incoming {
@@ -465,6 +554,35 @@ mod tests {
         let net_heard: Vec<u64> = net.run.states.iter().map(|s| s.heard).collect();
         let sim_heard: Vec<u64> = sim.states.iter().map(|s| s.heard).collect();
         assert_eq!(net_heard, sim_heard, "per-node observations diverged");
+    }
+
+    #[test]
+    fn recv_timeout_aborts_the_run_instead_of_deadlocking() {
+        // A 1 ns recv timeout trips essentially always on a real
+        // scheduler, but not deterministically — retry a few runs so the
+        // test doesn't hinge on one interleaving. The load-bearing claim:
+        // a node timing out must abort the whole run with the transport
+        // error (via the submission channel), never deadlock the
+        // coordinator's lock-step loop.
+        for attempt in 0..5 {
+            let result = std::panic::catch_unwind(|| {
+                let cfg = SimConfig::new(16).seed(9 + attempt).max_rounds(30);
+                let mut adv = NoFaults;
+                run_over_channel_with(&cfg, 4, chatter, &mut adv, Duration::from_nanos(1))
+            });
+            if let Err(payload) = result {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(
+                    msg.contains("cluster run wedged") && msg.contains("timed out"),
+                    "unexpected panic: {msg}"
+                );
+                return;
+            }
+        }
+        panic!("a 1ns recv timeout never tripped in 5 runs");
     }
 
     #[test]

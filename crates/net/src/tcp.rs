@@ -22,6 +22,7 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread;
+use std::time::Duration;
 
 use ftc_sim::ids::NodeId;
 
@@ -40,15 +41,22 @@ pub struct TcpEndpoint {
     /// Write halves, indexed by peer id (`None` for self and torn links).
     writers: Vec<Option<TcpStream>>,
     rx: Receiver<Frame>,
+    timeout: Duration,
 }
 
-/// Builds a fully-connected `n`-node localhost TCP mesh, returning the
-/// endpoints in node-id order.
+/// Builds a fully-connected `n`-node localhost TCP mesh with the default
+/// [`RECV_TIMEOUT`], returning the endpoints in node-id order.
 ///
 /// Fails with [`io::ErrorKind::InvalidInput`] if `n < 2` or
 /// `n > `[`MAX_TCP_NODES`], and propagates socket errors (bind, connect,
 /// handshake) otherwise.
 pub fn mesh(n: u32) -> io::Result<Vec<TcpEndpoint>> {
+    mesh_with_timeout(n, RECV_TIMEOUT)
+}
+
+/// Like [`mesh`], but every endpoint's `recv` gives up after
+/// `recv_timeout` instead of the default [`RECV_TIMEOUT`].
+pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEndpoint>> {
     if n < 2 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -113,6 +121,7 @@ pub fn mesh(n: u32) -> io::Result<Vec<TcpEndpoint>> {
             node: NodeId(i as u32),
             writers,
             rx,
+            timeout: recv_timeout,
         })
         .collect())
 }
@@ -147,10 +156,10 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn recv(&mut self) -> io::Result<Frame> {
-        self.rx.recv_timeout(RECV_TIMEOUT).map_err(|e| match e {
+        self.rx.recv_timeout(self.timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => io::Error::new(
                 io::ErrorKind::TimedOut,
-                format!("node {} waited {RECV_TIMEOUT:?} for a frame", self.node),
+                format!("node {} waited {:?} for a frame", self.node, self.timeout),
             ),
             RecvTimeoutError::Disconnected => {
                 io::Error::new(io::ErrorKind::ConnectionAborted, "all links closed")
@@ -212,6 +221,14 @@ mod tests {
         assert_eq!(eps[1].recv().unwrap(), f);
         // After the crash the link is gone from the crashed side.
         assert!(eps[0].send(NodeId(1), &f).is_err());
+    }
+
+    #[test]
+    fn custom_recv_timeout_fires_quickly() {
+        let mut eps = mesh_with_timeout(2, Duration::from_millis(10)).unwrap();
+        let err = eps[0].recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("10ms"), "{err}");
     }
 
     #[test]

@@ -21,10 +21,13 @@ use ftc_sim::ids::{NodeId, Round};
 
 use crate::frame::Frame;
 
-/// How long an endpoint waits for a frame before concluding the cluster is
-/// wedged. The synchronizer's accounting guarantees every awaited frame was
-/// (or will be) sent, so in a healthy run this never fires; it exists to
-/// turn bugs and killed peers into loud errors instead of hangs.
+/// Default for how long an endpoint waits for a frame before concluding
+/// the cluster is wedged. The synchronizer's accounting guarantees every
+/// awaited frame was (or will be) sent, so in a healthy run this never
+/// fires; it exists to turn bugs and killed peers into loud errors instead
+/// of hangs. Both mesh builders accept an explicit timeout
+/// ([`crate::channel::mesh_with_timeout`], [`crate::tcp::mesh_with_timeout`])
+/// and `ftc cluster --recv-timeout` exposes it on the command line.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// One node's attachment to a transport.
@@ -41,8 +44,9 @@ pub trait Endpoint: Send {
 
     /// Blocks for the next frame addressed to this node, from any peer.
     ///
-    /// Fails with [`io::ErrorKind::TimedOut`] after [`RECV_TIMEOUT`] and
-    /// with an error when the endpoint is torn down or all links are gone.
+    /// Fails with [`io::ErrorKind::TimedOut`] after the endpoint's receive
+    /// timeout (default [`RECV_TIMEOUT`]) and with an error when the
+    /// endpoint is torn down or all links are gone.
     fn recv(&mut self) -> io::Result<Frame>;
 
     /// Tears the endpoint down — the physical enactment of a crash.
@@ -73,6 +77,11 @@ impl RoundAssembler {
     /// Frames for later rounds encountered along the way are buffered for
     /// future calls; a frame for an earlier round is a protocol violation
     /// and reported as [`io::ErrorKind::InvalidData`].
+    ///
+    /// A receive timeout is annotated with who was blocked and on what —
+    /// node id, round, and the `got`/`expect` frame counts — so a wedged
+    /// cluster reports exactly which node stalled where instead of a bare
+    /// "timed out".
     pub fn collect<E: Endpoint + ?Sized>(
         &mut self,
         round: Round,
@@ -89,7 +98,20 @@ impl RoundAssembler {
             }
         }
         while got.len() < expect {
-            let frame = endpoint.recv()?;
+            let frame = endpoint.recv().map_err(|e| {
+                if e.kind() == io::ErrorKind::TimedOut {
+                    io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "node {} timed out collecting round {round}: got {} of {expect} frames ({e})",
+                            endpoint.node(),
+                            got.len(),
+                        ),
+                    )
+                } else {
+                    e
+                }
+            })?;
             match frame.round.cmp(&round) {
                 std::cmp::Ordering::Equal => got.push(frame),
                 std::cmp::Ordering::Greater => self.pending.push(frame),
@@ -183,6 +205,21 @@ mod tests {
         let mut asm = RoundAssembler::new();
         let err = asm.collect(5, 1, &mut ep).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn timeout_reports_node_round_and_frame_counts() {
+        let mut ep = Scripted {
+            node: NodeId(7),
+            queue: VecDeque::from(vec![frame(3, 1, 0)]),
+        };
+        let mut asm = RoundAssembler::new();
+        let err = asm.collect(3, 4, &mut ep).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains("node n7"), "{msg}");
+        assert!(msg.contains("round 3"), "{msg}");
+        assert!(msg.contains("got 1 of 4"), "{msg}");
     }
 
     #[test]

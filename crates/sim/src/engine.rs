@@ -26,11 +26,12 @@
 use std::fmt;
 
 use crate::adversary::{Adversary, Envelope, FaultySet};
+use crate::ids::Port;
 use crate::ids::{NodeId, Round};
 use crate::metrics::Metrics;
 use crate::node::NodeHarness;
 use crate::protocol::{Incoming, Protocol};
-use crate::round::{network_ports, resolve_sends, ControlCore};
+use crate::round::{network_ports, resolve_sends_into, ControlCore};
 use crate::trace::Trace;
 
 /// Rejected [`SimConfig`] parameters, reported before anything runs.
@@ -76,8 +77,16 @@ pub struct SimConfig {
     pub kt1: bool,
     /// Record a full message [`Trace`] (needed for lower-bound analysis).
     pub record_trace: bool,
-    /// If set, count CONGEST violations: rounds in which more than this
-    /// many bits crossed a single edge.
+    /// If set, count CONGEST violations: `(round, edge)` pairs in which
+    /// more than this many bits crossed a single **directed** edge.
+    ///
+    /// Accounting is per direction, matching the standard CONGEST
+    /// convention of a `B`-bit budget per link per direction per round:
+    /// `a → b` and `b → a` traffic in the same round are budgeted as two
+    /// edges, and [`Metrics::max_edge_bits_per_round`] reports the
+    /// directed maximum. This is deliberately *not* the same
+    /// canonicalization as [`SimConfig::edge_failure_prob`], which kills
+    /// **undirected** edges (a physical link dies in both directions).
     pub congest_bits: Option<u32>,
     /// If set, each node may send at most this many messages over the
     /// whole execution; excess sends are silently suppressed (and counted
@@ -97,7 +106,7 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A default configuration for an `n`-node network: seed 0, a generous
-    /// `8·(log₂ n + 2)` round limit, KT0, no tracing.
+    /// `8·(⌊log₂ n⌋ + 3)` round limit, KT0, no tracing.
     ///
     /// # Panics
     ///
@@ -114,6 +123,10 @@ impl SimConfig {
         if n < 2 {
             return Err(ConfigError::NetworkTooSmall { n });
         }
+        // `32 - leading_zeros` is ⌊log₂ n⌋ + 1, so the limit below is
+        // 8·(⌊log₂ n⌋ + 3): 32 rounds at n=2, 56 at n=16, 104 at n=1024.
+        // Committed lab baselines depend on these exact values — do not
+        // change the formula without regenerating them.
         let log2n = 32 - n.leading_zeros();
         Ok(SimConfig {
             n,
@@ -272,8 +285,13 @@ where
         .collect();
     let mut core = ControlCore::new(cfg, adversary);
 
+    // Pooled round buffers: allocated once, reused every round. `outgoing`
+    // is filled at activation, filtered in place by the control core, and
+    // drained into `inboxes` at delivery — so steady-state rounds touch the
+    // allocator only when a protocol outgrows its previous high-water mark.
     let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); nn];
     let mut outgoing: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); nn];
+    let mut sends: Vec<(Port, P::Msg)> = Vec::new();
     let mut terminated = vec![false; nn];
 
     for round in 0..cfg.max_rounds {
@@ -283,22 +301,25 @@ where
             if !core.is_alive(NodeId(u as u32)) {
                 continue;
             }
-            let act = nodes[u].activate(round, &inboxes[u]);
+            let act = nodes[u].activate_into(round, &inboxes[u], &mut sends);
             suppressed += act.suppressed;
             terminated[u] = act.terminated;
-            outgoing[u] = resolve_sends(&ports, NodeId(u as u32), act.sends);
+            resolve_sends_into(&ports, NodeId(u as u32), &mut sends, &mut outgoing[u]);
             inboxes[u].clear();
         }
 
-        // --- 2. control plane: tampering, crashes, filters, accounting. ---
+        // --- 2. control plane: tampering, crashes, filters, accounting.
+        // Filters `outgoing` down to the deliverable envelopes in place. ---
         let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
 
         // --- 3. delivery: surviving messages reach next-round inboxes. ---
-        for e in verdict.deliver.into_iter().flatten() {
-            inboxes[e.dst.index()].push(Incoming {
-                port: e.dst_port,
-                msg: e.msg,
-            });
+        for node_out in outgoing.iter_mut() {
+            for e in node_out.drain(..) {
+                inboxes[e.dst.index()].push(Incoming {
+                    port: e.dst_port,
+                    msg: e.msg,
+                });
+            }
         }
 
         // --- 4. early quiescence. ---
@@ -563,6 +584,47 @@ mod tests {
             &mut NoFaults,
         );
         assert_eq!(free.metrics.msgs_suppressed, 0);
+    }
+
+    #[test]
+    fn max_rounds_formula_is_pinned_at_powers_of_two() {
+        // 8·(⌊log₂ n⌋ + 3). Committed lab baselines depend on these exact
+        // values; the doc comment promises this formula.
+        for (n, want) in [(2u32, 32u32), (16, 56), (256, 88), (1024, 104), (4096, 120)] {
+            assert_eq!(SimConfig::new(n).max_rounds, want, "n={n}");
+        }
+        // Just past a power of two, ⌊log₂ n⌋ steps up.
+        assert_eq!(SimConfig::new(17).max_rounds, 8 * (4 + 3));
+    }
+
+    #[test]
+    fn congest_accounting_is_directed_per_edge() {
+        // n=2: the two nodes share one undirected edge and send each other
+        // one 64-bit message per round. Directed accounting budgets each
+        // direction separately: the per-edge max is 64 bits, not 128, and
+        // a 100-bit budget is never violated even though 128 bits crossed
+        // the physical link.
+        struct Ping;
+        impl Protocol for Ping {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.send(Port(0), 1);
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, u64>, _: &[Incoming<u64>]) {}
+            fn is_terminated(&self) -> bool {
+                true
+            }
+        }
+        let cfg = SimConfig::new(2).seed(0).max_rounds(3).congest_bits(100);
+        let r = run(&cfg, |_| Ping, &mut NoFaults);
+        assert_eq!(r.metrics.msgs_sent, 2);
+        assert_eq!(r.metrics.max_edge_bits_per_round, 64);
+        assert_eq!(r.congest_violations, 0);
+        // With a budget below one direction's traffic, *both* directions
+        // violate — two directed edges, not one undirected edge.
+        let tight = SimConfig::new(2).seed(0).max_rounds(3).congest_bits(32);
+        let r = run(&tight, |_| Ping, &mut NoFaults);
+        assert_eq!(r.congest_violations, 2);
     }
 
     #[test]

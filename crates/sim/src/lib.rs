@@ -57,6 +57,8 @@ pub mod engine;
 pub mod ids;
 pub mod json;
 pub mod metrics;
+#[cfg(test)]
+mod naive;
 pub mod node;
 pub mod payload;
 pub mod perm;

@@ -35,8 +35,10 @@ pub struct Metrics {
     pub msgs_delivered: u64,
     /// Total bits sent (Remark 1's bit complexity).
     pub bits_sent: u64,
-    /// Largest number of bits carried by any single edge in any single
-    /// round. CONGEST compliance means this stays `O(log n)`.
+    /// Largest number of bits carried by any single **directed** edge in
+    /// any single round (`a → b` and `b → a` are accounted separately,
+    /// matching [`crate::engine::SimConfig::congest_bits`]). CONGEST
+    /// compliance means this stays `O(log n)`.
     pub max_edge_bits_per_round: u64,
     /// Per-round breakdown.
     pub per_round: Vec<RoundMetrics>,

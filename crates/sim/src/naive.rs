@@ -1,0 +1,488 @@
+//! A naive reference implementation of the round data plane, used only by
+//! tests.
+//!
+//! The production hot path ([`crate::round::ControlCore::finish_round`] +
+//! [`crate::engine::run`]) is heavily optimised: pooled buffers, in-place
+//! filtering, a flat per-sender edge accumulator, a memoised dead-edge set
+//! and span-indexed trace patching. This module keeps the *obviously
+//! correct* original formulation alive — per-round allocation, a `HashMap`
+//! keyed by directed edge, a fresh hash roll per envelope, whole-tail trace
+//! scans — and the property test at the bottom drives both engines over
+//! randomized configurations, seeds, adversaries and filters, asserting
+//! bit-identical `Metrics`, crash ledgers, traces and inbox orderings.
+//!
+//! If the two ever disagree, the optimised path broke; the naive path is
+//! the spec.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adversary::{Adversary, AdversaryView, Envelope};
+use crate::engine::{RunResult, SimConfig};
+use crate::ids::{NodeId, Round};
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::node::NodeHarness;
+use crate::payload::Payload;
+use crate::perm::stream_seed;
+use crate::protocol::{Incoming, Protocol};
+use crate::round::{network_ports, resolve_sends, SALT_ADVERSARY, SALT_EDGES, SALT_FILTERS};
+use crate::trace::{Trace, TraceEvent};
+
+/// The pre-optimisation control plane, verbatim.
+struct NaiveCore {
+    n: u32,
+    alive: Vec<bool>,
+    crashed_at: Vec<Option<Round>>,
+    faulty: crate::adversary::FaultySet,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    congest_bits: Option<u32>,
+    congest_violations: u64,
+    edge_failure_prob: f64,
+    edge_seed: u64,
+    adv_rng: SmallRng,
+    filter_rng: SmallRng,
+}
+
+struct NaiveVerdict<M> {
+    deliver: Vec<Vec<Envelope<M>>>,
+    delivered: u64,
+}
+
+impl NaiveCore {
+    fn new<M, A>(cfg: &SimConfig, adversary: &mut A) -> Self
+    where
+        M: Payload,
+        A: Adversary<M> + ?Sized,
+    {
+        let n = cfg.n;
+        let nn = n as usize;
+        let mut adv_rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, SALT_ADVERSARY));
+        let filter_rng = SmallRng::seed_from_u64(stream_seed(cfg.seed, SALT_FILTERS));
+        let faulty = adversary.faulty_set(n, &mut adv_rng);
+        NaiveCore {
+            n,
+            alive: vec![true; nn],
+            crashed_at: vec![None; nn],
+            faulty,
+            metrics: Metrics::new(),
+            trace: cfg.record_trace.then(|| Trace::new(n)),
+            congest_bits: cfg.congest_bits,
+            congest_violations: 0,
+            edge_failure_prob: cfg.edge_failure_prob,
+            edge_seed: stream_seed(cfg.seed, SALT_EDGES),
+            adv_rng,
+            filter_rng,
+        }
+    }
+
+    fn finish_round<M, A>(
+        &mut self,
+        round: Round,
+        outgoing: &mut [Vec<Envelope<M>>],
+        suppressed: u64,
+        adversary: &mut A,
+        ports: &[crate::ports::PortMap],
+    ) -> NaiveVerdict<M>
+    where
+        M: Payload,
+        A: Adversary<M> + ?Sized,
+    {
+        let n = self.n;
+        self.metrics.msgs_suppressed += suppressed;
+
+        let tampers = {
+            let view = AdversaryView {
+                round,
+                n,
+                faulty: &self.faulty,
+                alive: &self.alive,
+                outgoing,
+            };
+            adversary.tamper(&view, &mut self.adv_rng)
+        };
+        for t in tampers {
+            let i = t.node.index();
+            outgoing[i] = t
+                .sends
+                .into_iter()
+                .map(|(dst, msg)| Envelope {
+                    src: t.node,
+                    dst,
+                    dst_port: ports[dst.index()].port_to(t.node),
+                    msg,
+                })
+                .collect();
+        }
+
+        let directives = {
+            let view = AdversaryView {
+                round,
+                n,
+                faulty: &self.faulty,
+                alive: &self.alive,
+                outgoing,
+            };
+            adversary.on_round(&view, &mut self.adv_rng)
+        };
+
+        let mut crashes_this_round = 0u32;
+        let mut sent: u64 = 0;
+        let mut bits_sent: u64 = 0;
+        for node_out in outgoing.iter() {
+            sent += node_out.len() as u64;
+            bits_sent += node_out
+                .iter()
+                .map(|e| u64::from(e.msg.size_bits()))
+                .sum::<u64>();
+        }
+
+        if let Some(tr) = self.trace.as_mut() {
+            for e in outgoing.iter().flatten() {
+                tr.push(TraceEvent {
+                    round,
+                    src: e.src,
+                    dst: e.dst,
+                    delivered: true,
+                    bits: e.msg.size_bits(),
+                });
+            }
+        }
+        for d in directives {
+            let i = d.node.index();
+            assert!(self.faulty.contains(d.node) && self.alive[i]);
+            self.alive[i] = false;
+            self.crashed_at[i] = Some(round);
+            self.metrics.record_crash(d.node, round);
+            crashes_this_round += 1;
+
+            if let Some(tr) = self.trace.as_mut() {
+                let before: Vec<Envelope<M>> = outgoing[i].clone();
+                let mut kept = before.clone();
+                d.filter.apply(&mut kept, &mut self.filter_rng);
+                let mut kept_dsts: Vec<NodeId> = kept.iter().map(|e| e.dst).collect();
+                naive_patch_trace_round(tr, round, d.node, &before, &mut kept_dsts);
+                outgoing[i] = kept;
+            } else {
+                d.filter.apply(&mut outgoing[i], &mut self.filter_rng);
+            }
+        }
+
+        let mut delivered: u64 = 0;
+        let mut edge_bits: HashMap<(u32, u32), u64> = HashMap::new();
+        let edge_seed = self.edge_seed;
+        let edge_failure_prob = self.edge_failure_prob;
+        let edge_dead = |a: NodeId, b: NodeId| -> bool {
+            if edge_failure_prob <= 0.0 {
+                return false;
+            }
+            let key = (u64::from(a.0.min(b.0)) << 32) | u64::from(a.0.max(b.0));
+            let h = stream_seed(edge_seed, key);
+            (h as f64 / u64::MAX as f64) < edge_failure_prob
+        };
+        let mut deliver: Vec<Vec<Envelope<M>>> = Vec::with_capacity(outgoing.len());
+        for node_out in outgoing.iter_mut() {
+            let mut kept = Vec::new();
+            for e in node_out.drain(..) {
+                let bits = u64::from(e.msg.size_bits());
+                *edge_bits.entry((e.src.0, e.dst.0)).or_insert(0) += bits;
+                if edge_dead(e.src, e.dst) {
+                    self.metrics.msgs_lost_edges += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        naive_mark_undelivered(tr, round, e.src, e.dst);
+                    }
+                } else if self.alive[e.dst.index()] {
+                    delivered += 1;
+                    kept.push(e);
+                } else if let Some(tr) = self.trace.as_mut() {
+                    naive_mark_undelivered(tr, round, e.src, e.dst);
+                }
+            }
+            deliver.push(kept);
+        }
+        let round_max_edge = edge_bits.values().copied().max().unwrap_or(0);
+        self.metrics.record_edge_bits(round_max_edge);
+        if let Some(budget) = self.congest_bits {
+            self.congest_violations += edge_bits
+                .values()
+                .filter(|&&b| b > u64::from(budget))
+                .count() as u64;
+        }
+
+        self.metrics.record_round(RoundMetrics {
+            sent,
+            delivered,
+            bits_sent,
+            crashes: crashes_this_round,
+        });
+
+        NaiveVerdict { deliver, delivered }
+    }
+}
+
+fn naive_patch_trace_round<M>(
+    tr: &mut Trace,
+    round: Round,
+    src: NodeId,
+    before: &[Envelope<M>],
+    kept_dsts: &mut Vec<NodeId>,
+) {
+    let mut dropped: Vec<NodeId> = Vec::new();
+    for e in before {
+        if let Some(pos) = kept_dsts.iter().position(|&d| d == e.dst) {
+            kept_dsts.swap_remove(pos);
+        } else {
+            dropped.push(e.dst);
+        }
+    }
+    if dropped.is_empty() {
+        return;
+    }
+    for ev in tr.events_mut().iter_mut().rev() {
+        if ev.round != round {
+            break;
+        }
+        if ev.src == src && ev.delivered {
+            if let Some(pos) = dropped.iter().position(|&d| d == ev.dst) {
+                ev.delivered = false;
+                dropped.swap_remove(pos);
+                if dropped.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn naive_mark_undelivered(tr: &mut Trace, round: Round, src: NodeId, dst: NodeId) {
+    for ev in tr.events_mut().iter_mut().rev() {
+        if ev.round != round {
+            break;
+        }
+        if ev.src == src && ev.dst == dst && ev.delivered {
+            ev.delivered = false;
+            return;
+        }
+    }
+}
+
+/// The pre-optimisation engine loop, verbatim: fresh `Vec`s every round,
+/// allocating activation and resolution.
+pub(crate) fn naive_run<P, F, A>(cfg: &SimConfig, mut factory: F, adversary: &mut A) -> RunResult<P>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let n = cfg.n;
+    let nn = n as usize;
+
+    let ports = network_ports(cfg);
+    let mut nodes: Vec<NodeHarness<P>> = (0..n)
+        .map(|i| NodeHarness::new(cfg, NodeId(i), factory(NodeId(i))))
+        .collect();
+    let mut core = NaiveCore::new(cfg, adversary);
+
+    let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = vec![Vec::new(); nn];
+    let mut terminated = vec![false; nn];
+
+    for round in 0..cfg.max_rounds {
+        let mut outgoing: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); nn];
+        let mut suppressed = 0u64;
+        for u in 0..nn {
+            if !core.alive[u] {
+                continue;
+            }
+            let act = nodes[u].activate(round, &inboxes[u]);
+            suppressed += act.suppressed;
+            terminated[u] = act.terminated;
+            outgoing[u] = resolve_sends(&ports, NodeId(u as u32), act.sends);
+            inboxes[u].clear();
+        }
+
+        let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
+
+        for e in verdict.deliver.into_iter().flatten() {
+            inboxes[e.dst.index()].push(Incoming {
+                port: e.dst_port,
+                msg: e.msg,
+            });
+        }
+
+        if verdict.delivered == 0 {
+            let all_done = (0..nn).filter(|&u| core.alive[u]).all(|u| terminated[u]);
+            if all_done {
+                break;
+            }
+        }
+    }
+
+    let states = nodes.into_iter().map(NodeHarness::into_state).collect();
+    RunResult {
+        metrics: core.metrics,
+        states,
+        crashed_at: core.crashed_at,
+        faulty: core.faulty,
+        trace: core.trace,
+        congest_violations: core.congest_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{
+        DeliveryFilter, EagerCrash, FaultPlan, NoFaults, RandomCrash, ScriptedCrash,
+    };
+    use crate::engine::run;
+    use crate::ids::Port;
+    use crate::protocol::Ctx;
+
+    /// Logs every received message and generates varied traffic: random
+    /// ports, duplicate-destination sends (stressing per-edge accounting)
+    /// and per-node asymmetry.
+    struct Probe {
+        rounds: u32,
+        talk: u32,
+        log: Vec<(Round, u32, u64)>,
+    }
+
+    impl Protocol for Probe {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let k = ctx.node_id().0 % 3 + 1;
+            for j in 0..k {
+                let p = ctx.random_port();
+                ctx.send(p, (u64::from(ctx.node_id().0) << 8) | u64::from(j));
+            }
+            if ctx.node_id().0 % 2 == 0 {
+                // Two messages down one port: duplicate directed-edge load.
+                ctx.send(Port(0), 7);
+                ctx.send(Port(0), 8);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Incoming<u64>]) {
+            for m in inbox {
+                self.log.push((ctx.round(), m.port.0, m.msg));
+            }
+            self.rounds += 1;
+            if self.rounds < self.talk {
+                for _ in 0..2 {
+                    let p = ctx.random_port();
+                    ctx.send(p, u64::from(ctx.round()));
+                }
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.rounds >= self.talk
+        }
+    }
+
+    fn random_filter(rng: &mut SmallRng, n: u32) -> DeliveryFilter {
+        match rng.random_range(0..5u32) {
+            0 => DeliveryFilter::DeliverAll,
+            1 => DeliveryFilter::DropAll,
+            2 => DeliveryFilter::KeepFirst(rng.random_range(0..4usize)),
+            3 => DeliveryFilter::DeliverEachWithProbability(rng.random_range(0.2..0.9)),
+            _ => {
+                let k = rng.random_range(0..3usize);
+                let dsts = (0..k).map(|_| NodeId(rng.random_range(0..n))).collect();
+                DeliveryFilter::KeepToDestinations(dsts)
+            }
+        }
+    }
+
+    /// One randomized case: build the config and a fresh adversary twice
+    /// (the adversary is stateful), run both engines, compare everything.
+    fn check_case(case: u64, meta: &mut SmallRng) {
+        let n = meta.random_range(4..48u32);
+        let seed = meta.random();
+        let talk = meta.random_range(2..5u32);
+        let mut cfg = SimConfig::new(n)
+            .seed(seed)
+            .max_rounds(meta.random_range(6..12u32));
+        if meta.random_bool(0.5) {
+            cfg = cfg.record_trace(true);
+        }
+        if meta.random_bool(0.4) {
+            cfg = cfg.edge_failure_prob([0.25, 0.6][meta.random_range(0..2usize)]);
+        }
+        if meta.random_bool(0.4) {
+            cfg = cfg.send_cap(meta.random_range(1..20u32));
+        }
+        if meta.random_bool(0.4) {
+            cfg = cfg.congest_bits([64u32, 128][meta.random_range(0..2usize)]);
+        }
+
+        let kind = meta.random_range(0..4u32);
+        let f = meta.random_range(1..(n / 2).max(2)) as usize;
+        let plan = {
+            let mut plan = FaultPlan::new();
+            let mut nodes: Vec<u32> = (0..n).collect();
+            for _ in 0..f.min(4) {
+                let pick = meta.random_range(0..nodes.len());
+                let node = nodes.swap_remove(pick);
+                let round = meta.random_range(0..4u32);
+                let filter = random_filter(meta, n);
+                plan = plan.crash(NodeId(node), round, filter);
+            }
+            plan
+        };
+        let mut mk = move |k: u32| -> Box<dyn Adversary<u64>> {
+            match k {
+                0 => Box::new(NoFaults),
+                1 => Box::new(EagerCrash::new(f)),
+                2 => Box::new(RandomCrash::new(f, 5)),
+                _ => Box::new(ScriptedCrash::new(plan.clone())),
+            }
+        };
+
+        let factory = |_: NodeId| Probe {
+            rounds: 0,
+            talk,
+            log: Vec::new(),
+        };
+
+        let mut adv_fast = mk(kind);
+        let fast = run(&cfg, factory, adv_fast.as_mut());
+        let mut adv_naive = mk(kind);
+        let naive = naive_run(&cfg, factory, adv_naive.as_mut());
+
+        let ctx = format!("case {case}: n={n} seed={seed} kind={kind} cfg={cfg:?}");
+        assert_eq!(fast.metrics, naive.metrics, "{ctx}: metrics diverged");
+        assert_eq!(
+            fast.crashed_at, naive.crashed_at,
+            "{ctx}: crash ledger diverged"
+        );
+        assert_eq!(
+            fast.congest_violations, naive.congest_violations,
+            "{ctx}: congest accounting diverged"
+        );
+        let ff: Vec<NodeId> = fast.faulty.iter().collect();
+        let nf: Vec<NodeId> = naive.faulty.iter().collect();
+        assert_eq!(ff, nf, "{ctx}: faulty set diverged");
+        for u in 0..n as usize {
+            assert_eq!(
+                fast.states[u].log, naive.states[u].log,
+                "{ctx}: node {u} inbox ordering diverged"
+            );
+        }
+        match (&fast.trace, &naive.trace) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.events(), b.events(), "{ctx}: trace diverged");
+            }
+            _ => panic!("{ctx}: trace presence diverged"),
+        }
+    }
+
+    #[test]
+    fn pooled_engine_matches_naive_reference() {
+        let mut meta = SmallRng::seed_from_u64(0x5EED_CAFE);
+        for case in 0..40 {
+            check_case(case, &mut meta);
+        }
+    }
+}

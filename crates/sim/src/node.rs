@@ -30,6 +30,16 @@ pub struct Activation<M> {
     pub terminated: bool,
 }
 
+/// The bookkeeping of one activation when the sends are written into a
+/// caller-supplied buffer (see [`NodeHarness::activate_into`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ActivationMeta {
+    /// Sends dropped against the budget this activation.
+    pub suppressed: u64,
+    /// The node's quiescence hint after the activation.
+    pub terminated: bool,
+}
+
 /// One node of the model: protocol state + ports + private randomness.
 #[derive(Debug)]
 pub struct NodeHarness<P: Protocol> {
@@ -74,6 +84,25 @@ impl<P: Protocol> NodeHarness<P> {
     /// afterwards. Applies the per-node send budget to the queued sends.
     pub fn activate(&mut self, round: Round, inbox: &[Incoming<P::Msg>]) -> Activation<P::Msg> {
         let mut outbox = Vec::new();
+        let meta = self.activate_into(round, inbox, &mut outbox);
+        Activation {
+            sends: outbox,
+            suppressed: meta.suppressed,
+            terminated: meta.terminated,
+        }
+    }
+
+    /// Allocation-free variant of [`NodeHarness::activate`]: the queued
+    /// sends are written into `outbox` (cleared first), so a driver looping
+    /// many nodes can reuse one scratch buffer across all activations. The
+    /// engine pairs this with [`crate::round::resolve_sends_into`].
+    pub fn activate_into(
+        &mut self,
+        round: Round,
+        inbox: &[Incoming<P::Msg>],
+        outbox: &mut Vec<(Port, P::Msg)>,
+    ) -> ActivationMeta {
+        outbox.clear();
         let mut ctx = Ctx {
             node: self.node,
             n: self.n,
@@ -81,7 +110,7 @@ impl<P: Protocol> NodeHarness<P> {
             kt1: self.kt1,
             ports: &self.ports,
             rng: &mut self.rng,
-            outbox: &mut outbox,
+            outbox,
         };
         if round == 0 {
             self.state.on_start(&mut ctx);
@@ -99,8 +128,7 @@ impl<P: Protocol> NodeHarness<P> {
             }
             self.sends_used += outbox.len() as u32;
         }
-        Activation {
-            sends: outbox,
+        ActivationMeta {
             suppressed,
             terminated: self.state.is_terminated(),
         }

@@ -17,8 +17,6 @@
 //! derivation below, a network execution reproduces the simulator's
 //! decisions bit for bit.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -62,34 +60,57 @@ pub fn network_ports(cfg: &SimConfig) -> Vec<PortMap> {
 /// Resolves one node's queued `(port, msg)` sends into routed envelopes,
 /// exactly as the engine does: `dst` from the sender's permutation,
 /// `dst_port` from the receiver's.
-pub fn resolve_sends<M>(ports: &[PortMap], src: NodeId, sends: Vec<(Port, M)>) -> Vec<Envelope<M>> {
-    sends
-        .into_iter()
-        .map(|(port, msg)| {
-            let dst = ports[src.index()].peer(port);
-            Envelope {
-                src,
-                dst,
-                dst_port: ports[dst.index()].port_to(src),
-                msg,
-            }
-        })
-        .collect()
+pub fn resolve_sends<M>(
+    ports: &[PortMap],
+    src: NodeId,
+    mut sends: Vec<(Port, M)>,
+) -> Vec<Envelope<M>> {
+    let mut out = Vec::with_capacity(sends.len());
+    resolve_sends_into(ports, src, &mut sends, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`resolve_sends`]: drains `sends` and writes
+/// the routed envelopes into `out` (cleared first). The engine calls this
+/// once per node per round with pooled buffers, so steady-state rounds
+/// resolve without touching the allocator.
+pub fn resolve_sends_into<M>(
+    ports: &[PortMap],
+    src: NodeId,
+    sends: &mut Vec<(Port, M)>,
+    out: &mut Vec<Envelope<M>>,
+) {
+    out.clear();
+    out.reserve(sends.len());
+    let src_ports = &ports[src.index()];
+    for (port, msg) in sends.drain(..) {
+        let dst = src_ports.peer(port);
+        out.push(Envelope {
+            src,
+            dst,
+            dst_port: ports[dst.index()].port_to(src),
+            msg,
+        });
+    }
 }
 
 /// What the control core decided for one round.
+///
+/// The deliverable traffic itself is *not* carried here: `finish_round`
+/// filters the caller's `outgoing` buffers in place, so after the call
+/// `outgoing` holds, per sender (node-id order), exactly the envelopes that
+/// survived crash filters *and* are deliverable (receiver alive, edge
+/// alive). A driver delivers exactly those — iterating senders in id order
+/// and each sender's list in order reproduces the engine's inbox order —
+/// and may then drain the buffers for reuse next round.
 #[derive(Debug)]
-pub struct RoundVerdict<M> {
-    /// Per sender (node-id order): the envelopes that survived crash
-    /// filters *and* are deliverable (receiver alive, edge alive). A
-    /// driver delivers exactly these — iterating senders in id order and
-    /// each sender's list in order reproduces the engine's inbox order.
-    pub deliver: Vec<Vec<Envelope<M>>>,
+pub struct RoundVerdict {
     /// Nodes that crashed this round, in directive order. A socket driver
     /// tears down their connections after transmitting their filtered
     /// sends; they must never be activated again.
     pub crashed: Vec<NodeId>,
-    /// Messages delivered this round (`deliver` flattened length).
+    /// Messages delivered this round (the filtered `outgoing` flattened
+    /// length).
     pub delivered: u64,
 }
 
@@ -108,16 +129,82 @@ pub struct ControlOutput {
     pub congest_violations: u64,
 }
 
+/// Largest number of unordered node pairs for which the dead-edge set is
+/// cached as a bitmap (2 bits per pair ⇒ ≤ 32 MiB). Above this, edge rolls
+/// fall back to hashing per envelope — same results, no cache memory.
+const MAX_CACHED_EDGE_PAIRS: u64 = 1 << 27;
+
+/// Whether the undirected edge `{lo, hi}` is dead, by the same hash roll
+/// the engine has always used. `lo < hi` canonicalizes the pair so both
+/// directions agree.
+#[inline]
+fn edge_roll(edge_seed: u64, lo: u32, hi: u32, p: f64) -> bool {
+    let key = (u64::from(lo) << 32) | u64::from(hi);
+    let h = stream_seed(edge_seed, key);
+    (h as f64 / u64::MAX as f64) < p
+}
+
+/// Lazily memoised dead-edge set of one run.
+///
+/// [`SimConfig::edge_failure_prob`] kills each *undirected* edge for the
+/// whole run, so the `stream_seed` roll per envelope per round recomputed
+/// the same answer over and over. This caches each pair's verdict in a
+/// packed bitmap (2 bits per pair: known + dead) the first time the pair
+/// carries traffic; laziness keeps sparse-traffic runs cheap.
+#[derive(Debug)]
+struct DeadEdgeCache {
+    n: u64,
+    bits: Vec<u64>,
+}
+
+impl DeadEdgeCache {
+    /// A cache for `n` nodes, or `None` when the pair count would make the
+    /// bitmap unreasonably large.
+    fn new(n: u32) -> Option<Self> {
+        let pairs = u64::from(n) * u64::from(n - 1) / 2;
+        if pairs > MAX_CACHED_EDGE_PAIRS {
+            return None;
+        }
+        Some(DeadEdgeCache {
+            n: u64::from(n),
+            bits: vec![0; (pairs * 2).div_ceil(64) as usize],
+        })
+    }
+
+    /// Whether the undirected edge `{a, b}` is dead, memoising the roll.
+    #[inline]
+    fn is_dead(&mut self, a: u32, b: u32, edge_seed: u64, p: f64) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Row-major upper-triangle index of the pair (lo, hi), lo < hi.
+        let l = u64::from(lo);
+        let idx = l * (2 * self.n - l - 1) / 2 + (u64::from(hi) - l - 1);
+        let w = (idx / 32) as usize;
+        let sh = (idx % 32) * 2;
+        let word = self.bits[w];
+        if (word >> sh) & 1 == 1 {
+            return (word >> (sh + 1)) & 1 == 1;
+        }
+        let dead = edge_roll(edge_seed, lo, hi, p);
+        self.bits[w] = word | (1 << sh) | (u64::from(dead) << (sh + 1));
+        dead
+    }
+}
+
 /// The deterministic control plane of one execution: faulty set, liveness,
 /// adversary consultation, delivery filtering, and all accounting.
 ///
 /// Drivers call [`ControlCore::finish_round`] once per round with the
 /// round's outgoing traffic and then enact the returned
 /// [`RoundVerdict`]; [`ControlCore::finish`] yields the final books.
+///
+/// The core owns the hot path's scratch memory (flat edge accumulator,
+/// dead-edge cache, trace spans), so steady-state rounds run without
+/// allocating; see `DESIGN.md` § "Round-buffer memory layout".
 #[derive(Debug)]
 pub struct ControlCore {
     n: u32,
     alive: Vec<bool>,
+    dead_count: u32,
     crashed_at: Vec<Option<Round>>,
     faulty: FaultySet,
     metrics: Metrics,
@@ -128,6 +215,20 @@ pub struct ControlCore {
     edge_seed: u64,
     adv_rng: SmallRng,
     filter_rng: SmallRng,
+    /// Per-destination bit accumulator for the sender currently being
+    /// accounted: bit 0 marks "touched this sender", bits 1.. hold the
+    /// accumulated size. Reset (via `edge_touched`) after every sender, so
+    /// it is all-zero between senders and between rounds.
+    edge_acc: Vec<u64>,
+    /// Destinations with a set mark in `edge_acc`, for O(touched) reset.
+    edge_touched: Vec<u32>,
+    /// Memoised dead-edge verdicts (`Some` only when `edge_failure_prob >
+    /// 0` and the pair bitmap fits in memory).
+    dead_edges: Option<DeadEdgeCache>,
+    /// Per-sender `(start, end)` ranges into the trace's event list for the
+    /// current round — lets trace patching scan one sender's events instead
+    /// of the whole round tail.
+    trace_spans: Vec<(usize, usize)>,
 }
 
 impl ControlCore {
@@ -154,6 +255,7 @@ impl ControlCore {
         ControlCore {
             n,
             alive: vec![true; nn],
+            dead_count: 0,
             crashed_at: vec![None; nn],
             faulty,
             metrics: Metrics::new(),
@@ -164,6 +266,12 @@ impl ControlCore {
             edge_seed: stream_seed(cfg.seed, SALT_EDGES),
             adv_rng,
             filter_rng,
+            edge_acc: vec![0; nn],
+            edge_touched: Vec::new(),
+            dead_edges: (cfg.edge_failure_prob > 0.0)
+                .then(|| DeadEdgeCache::new(n))
+                .flatten(),
+            trace_spans: Vec::new(),
         }
     }
 
@@ -212,7 +320,7 @@ impl ControlCore {
         suppressed: u64,
         adversary: &mut A,
         ports: &[PortMap],
-    ) -> RoundVerdict<M>
+    ) -> RoundVerdict
     where
         M: Payload,
         A: Adversary<M> + ?Sized,
@@ -285,16 +393,24 @@ impl ControlCore {
         }
 
         // Record every *sent* message in the trace before filtering, so the
-        // communication graph also knows about suppressed sends.
+        // communication graph also knows about suppressed sends. Each
+        // sender's events land contiguously; remember the span so patching
+        // below touches only that sender's slice.
         if let Some(tr) = self.trace.as_mut() {
-            for e in outgoing.iter().flatten() {
-                tr.push(TraceEvent {
-                    round,
-                    src: e.src,
-                    dst: e.dst,
-                    delivered: true, // patched below if suppressed / dst dead
-                    bits: e.msg.size_bits(),
-                });
+            self.trace_spans.clear();
+            self.trace_spans.resize(outgoing.len(), (0, 0));
+            for (u, node_out) in outgoing.iter().enumerate() {
+                let start = tr.events().len();
+                for e in node_out {
+                    tr.push(TraceEvent {
+                        round,
+                        src: e.src,
+                        dst: e.dst,
+                        delivered: true, // patched below if suppressed / dst dead
+                        bits: e.msg.size_bits(),
+                    });
+                }
+                self.trace_spans[u] = (start, tr.events().len());
             }
         }
         for d in directives {
@@ -306,69 +422,112 @@ impl ControlCore {
             );
             assert!(self.alive[i], "adversary crashed {} twice", d.node);
             self.alive[i] = false;
+            self.dead_count += 1;
             self.crashed_at[i] = Some(round);
             self.metrics.record_crash(d.node, round);
             crashes_this_round += 1;
             crashed.push(d.node);
 
-            if let Some(tr) = self.trace.as_mut() {
-                // Trace events were recorded optimistically; re-recording
-                // the suppressed ones is complex, so instead rebuild: mark
-                // which of this node's sends survive by index.
-                let before: Vec<Envelope<M>> = outgoing[i].clone();
-                let mut kept = before.clone();
-                d.filter.apply(&mut kept, &mut self.filter_rng);
-                // Mark dropped ones in the trace (events of this round from
-                // this src). Match by (dst, position) multiset.
-                let mut kept_dsts: Vec<NodeId> = kept.iter().map(|e| e.dst).collect();
-                patch_trace_round(tr, round, d.node, &before, &mut kept_dsts);
-                outgoing[i] = kept;
+            if let Some(tr) = &mut self.trace {
+                // Trace events were recorded optimistically; mark the drops
+                // by diffing the destination multiset across the filter.
+                let before_dsts: Vec<NodeId> = outgoing[i].iter().map(|e| e.dst).collect();
+                d.filter.apply(&mut outgoing[i], &mut self.filter_rng);
+                let mut kept_dsts: Vec<NodeId> = outgoing[i].iter().map(|e| e.dst).collect();
+                let (start, end) = self.trace_spans[i];
+                patch_trace_span(
+                    &mut tr.events_mut()[start..end],
+                    &before_dsts,
+                    &mut kept_dsts,
+                );
             } else {
                 d.filter.apply(&mut outgoing[i], &mut self.filter_rng);
             }
         }
 
         // --- delivery + accounting. ---
+        //
+        // Filters `outgoing` in place (stable compaction) and accounts
+        // per-edge bits through the flat `edge_acc` accumulator — one array
+        // slot per destination, valid because a sender's envelopes are
+        // processed as one group and directed edges of different senders
+        // never collide. No allocation, no hashing.
         let mut delivered: u64 = 0;
-        let mut edge_bits: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut round_max_edge: u64 = 0;
+        let p = self.edge_failure_prob;
         let edge_seed = self.edge_seed;
-        let edge_failure_prob = self.edge_failure_prob;
-        let edge_dead = |a: NodeId, b: NodeId| -> bool {
-            if edge_failure_prob <= 0.0 {
-                return false;
+        let budget = self.congest_bits.map(u64::from);
+        let all_dsts_alive = self.dead_count == 0;
+
+        let alive = &self.alive;
+        let metrics = &mut self.metrics;
+        let violations = &mut self.congest_violations;
+        let edge_acc = &mut self.edge_acc;
+        let touched = &mut self.edge_touched;
+        let dead_edges = &mut self.dead_edges;
+        let spans = &self.trace_spans;
+        let mut trace = self.trace.as_mut();
+
+        for (u, node_out) in outgoing.iter_mut().enumerate() {
+            if node_out.is_empty() {
+                continue;
             }
-            let key = (u64::from(a.0.min(b.0)) << 32) | u64::from(a.0.max(b.0));
-            let h = stream_seed(edge_seed, key);
-            (h as f64 / u64::MAX as f64) < edge_failure_prob
-        };
-        let mut deliver: Vec<Vec<Envelope<M>>> = Vec::with_capacity(outgoing.len());
-        for node_out in outgoing.iter_mut() {
-            let mut kept = Vec::new();
-            for e in node_out.drain(..) {
+            // Per-edge accounting for this sender. Bit 0 of an accumulator
+            // slot marks "touched", bits 1.. hold the running size, so even
+            // zero-bit messages register their edge exactly once.
+            for e in node_out.iter() {
                 let bits = u64::from(e.msg.size_bits());
-                *edge_bits.entry((e.src.0, e.dst.0)).or_insert(0) += bits;
-                if edge_dead(e.src, e.dst) {
-                    self.metrics.msgs_lost_edges += 1;
-                    if let Some(tr) = self.trace.as_mut() {
-                        mark_undelivered(tr, round, e.src, e.dst);
+                let di = e.dst.index();
+                let cur = edge_acc[di];
+                if cur & 1 == 0 {
+                    touched.push(e.dst.0);
+                }
+                edge_acc[di] = (cur + (bits << 1)) | 1;
+            }
+            for &d in touched.iter() {
+                let v = edge_acc[d as usize] >> 1;
+                round_max_edge = round_max_edge.max(v);
+                if budget.is_some_and(|b| v > b) {
+                    *violations += 1;
+                }
+                edge_acc[d as usize] = 0;
+            }
+            touched.clear();
+
+            if p <= 0.0 && all_dsts_alive {
+                // Fast path: nothing can drop; everything queued delivers.
+                delivered += node_out.len() as u64;
+                continue;
+            }
+            let src = u as u32;
+            let mut w = 0usize;
+            for r_i in 0..node_out.len() {
+                let dst = node_out[r_i].dst;
+                let edge_is_dead = p > 0.0
+                    && match dead_edges.as_mut() {
+                        Some(c) => c.is_dead(src, dst.0, edge_seed, p),
+                        None => edge_roll(edge_seed, src.min(dst.0), src.max(dst.0), p),
+                    };
+                if edge_is_dead {
+                    metrics.msgs_lost_edges += 1;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        let (start, end) = spans[u];
+                        mark_undelivered_span(&mut tr.events_mut()[start..end], dst);
                     }
-                } else if self.alive[e.dst.index()] {
+                } else if alive[dst.index()] {
                     delivered += 1;
-                    kept.push(e);
-                } else if let Some(tr) = self.trace.as_mut() {
-                    mark_undelivered(tr, round, e.src, e.dst);
+                    if w != r_i {
+                        node_out.swap(w, r_i);
+                    }
+                    w += 1;
+                } else if let Some(tr) = trace.as_deref_mut() {
+                    let (start, end) = spans[u];
+                    mark_undelivered_span(&mut tr.events_mut()[start..end], dst);
                 }
             }
-            deliver.push(kept);
+            node_out.truncate(w);
         }
-        let round_max_edge = edge_bits.values().copied().max().unwrap_or(0);
-        self.metrics.record_edge_bits(round_max_edge);
-        if let Some(budget) = self.congest_bits {
-            self.congest_violations += edge_bits
-                .values()
-                .filter(|&&b| b > u64::from(budget))
-                .count() as u64;
-        }
+        metrics.record_edge_bits(round_max_edge);
 
         self.metrics.record_round(RoundMetrics {
             sent,
@@ -377,11 +536,7 @@ impl ControlCore {
             crashes: crashes_this_round,
         });
 
-        RoundVerdict {
-            deliver,
-            crashed,
-            delivered,
-        }
+        RoundVerdict { crashed, delivered }
     }
 
     /// Records the total number of bytes the run pushed onto the wire
@@ -403,35 +558,32 @@ impl ControlCore {
     }
 }
 
-/// Marks as undelivered the trace events of `round` from `src` whose
-/// destination does not appear in `kept_dsts` (multiset semantics).
-fn patch_trace_round<M>(
-    tr: &mut Trace,
-    round: Round,
-    src: NodeId,
-    before: &[Envelope<M>],
+/// Marks as undelivered the events in one sender's current-round span
+/// whose destination does not appear in `kept_dsts` (multiset semantics).
+///
+/// `events` is the contiguous slice of this sender's events for the round
+/// (every event in it has the same round and src), so no round/src
+/// matching is needed — the scan is O(span), not O(trace).
+fn patch_trace_span(
+    events: &mut [TraceEvent],
+    before_dsts: &[NodeId],
     kept_dsts: &mut Vec<NodeId>,
 ) {
     // Figure out which destinations were dropped.
     let mut dropped: Vec<NodeId> = Vec::new();
-    for e in before {
-        if let Some(pos) = kept_dsts.iter().position(|&d| d == e.dst) {
+    for &dst in before_dsts {
+        if let Some(pos) = kept_dsts.iter().position(|&d| d == dst) {
             kept_dsts.swap_remove(pos);
         } else {
-            dropped.push(e.dst);
+            dropped.push(dst);
         }
     }
     if dropped.is_empty() {
         return;
     }
-    // Patch matching events from the back (this round's events are at the
-    // tail of the trace).
-    let events = tr.events_mut();
+    // Patch matching events from the back, as the tail scan always did.
     for ev in events.iter_mut().rev() {
-        if ev.round != round {
-            break;
-        }
-        if ev.src == src && ev.delivered {
+        if ev.delivered {
             if let Some(pos) = dropped.iter().position(|&d| d == ev.dst) {
                 ev.delivered = false;
                 dropped.swap_remove(pos);
@@ -443,14 +595,11 @@ fn patch_trace_round<M>(
     }
 }
 
-/// Marks one trace event of `round` `src → dst` as undelivered (receiver
-/// already crashed).
-fn mark_undelivered(tr: &mut Trace, round: Round, src: NodeId, dst: NodeId) {
-    for ev in tr.events_mut().iter_mut().rev() {
-        if ev.round != round {
-            break;
-        }
-        if ev.src == src && ev.dst == dst && ev.delivered {
+/// Marks one event `→ dst` in a sender's current-round span as undelivered
+/// (dead edge, or receiver already crashed).
+fn mark_undelivered_span(events: &mut [TraceEvent], dst: NodeId) {
+    for ev in events.iter_mut().rev() {
+        if ev.dst == dst && ev.delivered {
             ev.delivered = false;
             return;
         }
@@ -502,7 +651,7 @@ mod tests {
         let v = core.finish_round(0, &mut outgoing, 0, &mut NoFaults, &ports);
         assert_eq!(v.delivered, 4);
         assert!(v.crashed.is_empty());
-        assert_eq!(v.deliver.iter().flatten().count(), 4);
+        assert_eq!(outgoing.iter().flatten().count(), 4);
         let out = core.finish();
         assert_eq!(out.metrics.msgs_sent, 4);
         assert_eq!(out.metrics.msgs_delivered, 4);
@@ -524,8 +673,8 @@ mod tests {
         assert!(!core.is_alive(NodeId(0)));
         // Node 0's two sends were dropped; sends *to* node 0 die too.
         assert!(v.delivered < 8);
-        assert!(v.deliver[0].is_empty());
-        assert!(v.deliver.iter().flatten().all(|e| e.dst != NodeId(0)));
+        assert!(outgoing[0].is_empty());
+        assert!(outgoing.iter().flatten().all(|e| e.dst != NodeId(0)));
         let out = core.finish();
         assert_eq!(out.crashed_at[0], Some(0));
         assert_eq!(out.metrics.msgs_sent, 8); // paid for even if dropped

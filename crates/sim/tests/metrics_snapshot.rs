@@ -1,0 +1,271 @@
+//! Before/after metrics snapshots for the round hot path.
+//!
+//! The engine's data plane is aggressively optimised (pooled buffers, flat
+//! edge accounting, cached dead-edge sets), and every one of those
+//! optimisations is required to be *bit-exact*: identical `Metrics`,
+//! `Trace` and protocol states for every `(SimConfig, seed)`. The
+//! equivalence suites pin engine-vs-net agreement; this file pins the
+//! absolute values, so a refactor that changes both drivers in the same
+//! wrong way still fails.
+//!
+//! The digests below were captured from the pre-optimisation engine
+//! (HashMap edge accounting, per-round allocation). To regenerate after an
+//! *intentional* semantic change, run
+//!
+//! ```text
+//! cargo test -p ftc-sim --test metrics_snapshot -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `EXPECTED`.
+
+use std::fmt::Write as _;
+
+use ftc_sim::ids::{NodeId, Port};
+use ftc_sim::prelude::*;
+
+/// Deterministic broadcast chatter: every node broadcasts its round number
+/// for `talk_rounds` rounds and counts what it hears.
+struct Chatter {
+    heard: u64,
+    rounds: u32,
+    talk_rounds: u32,
+}
+
+impl Chatter {
+    fn factory(talk_rounds: u32) -> impl FnMut(NodeId) -> Chatter {
+        move |_| Chatter {
+            heard: 0,
+            rounds: 0,
+            talk_rounds,
+        }
+    }
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.broadcast(0);
+    }
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Incoming<u64>]) {
+        self.heard += inbox.len() as u64;
+        self.rounds += 1;
+        if self.rounds < self.talk_rounds {
+            ctx.broadcast(u64::from(ctx.round()));
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.rounds >= self.talk_rounds
+    }
+}
+
+/// Sends 3 messages down port 0 every round — duplicate-destination
+/// traffic, the hard case for per-edge accounting.
+struct FatPipe {
+    rounds: u32,
+}
+
+impl Protocol for FatPipe {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for k in 0..3 {
+            ctx.send(Port(0), k);
+        }
+    }
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, _inbox: &[Incoming<u64>]) {
+        self.rounds += 1;
+        if self.rounds < 2 {
+            for k in 0..3 {
+                ctx.send(Port(0), k);
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.rounds >= 2
+    }
+}
+
+fn fnv1a64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical rendering of everything a run produced that the hot path can
+/// influence: full metrics (including per-round lines), crash ledger,
+/// per-node heard counts, and the complete trace.
+fn digest<P: Protocol>(r: &RunResult<P>, heard: impl Fn(&P) -> u64) -> u64 {
+    let m = &r.metrics;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "sent={} delivered={} suppressed={} lost={} bits={} rounds={} maxedge={} wire={}",
+        m.msgs_sent,
+        m.msgs_delivered,
+        m.msgs_suppressed,
+        m.msgs_lost_edges,
+        m.bits_sent,
+        m.rounds,
+        m.max_edge_bits_per_round,
+        m.wire_bytes,
+    );
+    let _ = write!(s, " congest={}", r.congest_violations);
+    for rm in &m.per_round {
+        let _ = write!(
+            s,
+            " [{} {} {} {}]",
+            rm.sent, rm.delivered, rm.bits_sent, rm.crashes
+        );
+    }
+    for (node, round) in &m.crashes {
+        let _ = write!(s, " x{}@{}", node.0, round);
+    }
+    for c in &r.crashed_at {
+        let _ = write!(s, " c{:?}", c.map(|r| r));
+    }
+    for st in &r.states {
+        let _ = write!(s, " h{}", heard(st));
+    }
+    if let Some(tr) = &r.trace {
+        for e in tr.events() {
+            let _ = write!(
+                s,
+                " t{},{},{},{},{}",
+                e.round, e.src.0, e.dst.0, e.delivered, e.bits
+            );
+        }
+    }
+    fnv1a64(&s)
+}
+
+struct Scenario {
+    name: &'static str,
+    run: fn() -> u64,
+}
+
+fn s1_fault_free() -> u64 {
+    let cfg = SimConfig::new(24).seed(7).max_rounds(10);
+    let r = run(&cfg, Chatter::factory(3), &mut NoFaults);
+    digest(&r, |s| s.heard)
+}
+
+fn s2_eager_crash_traced() -> u64 {
+    let cfg = SimConfig::new(24).seed(7).max_rounds(10).record_trace(true);
+    let mut adv = EagerCrash::new(6);
+    let r = run(&cfg, Chatter::factory(3), &mut adv);
+    digest(&r, |s| s.heard)
+}
+
+fn s3_random_crash_congest() -> u64 {
+    let cfg = SimConfig::new(32)
+        .seed(11)
+        .max_rounds(12)
+        .record_trace(true)
+        .congest_bits(64);
+    let mut adv = RandomCrash::new(8, 6);
+    let r = run(&cfg, Chatter::factory(4), &mut adv);
+    digest(&r, |s| s.heard)
+}
+
+fn s4_edge_failures_capped() -> u64 {
+    let cfg = SimConfig::new(32)
+        .seed(13)
+        .max_rounds(12)
+        .edge_failure_prob(0.3)
+        .send_cap(40);
+    let r = run(&cfg, Chatter::factory(4), &mut NoFaults);
+    digest(&r, |s| s.heard)
+}
+
+fn s5_scripted_filters_traced() -> u64 {
+    let plan = FaultPlan::new()
+        .crash(NodeId(0), 0, DeliveryFilter::KeepFirst(2))
+        .crash(
+            NodeId(1),
+            1,
+            DeliveryFilter::DeliverEachWithProbability(0.5),
+        )
+        .crash(
+            NodeId(2),
+            2,
+            DeliveryFilter::KeepToDestinations(vec![NodeId(3), NodeId(4)]),
+        )
+        .crash(NodeId(3), 2, DeliveryFilter::DropAll);
+    let cfg = SimConfig::new(16).seed(3).max_rounds(8).record_trace(true);
+    let mut adv = ScriptedCrash::new(plan);
+    let r = run(&cfg, Chatter::factory(4), &mut adv);
+    digest(&r, |s| s.heard)
+}
+
+fn s6_congested_duplicates() -> u64 {
+    let cfg = SimConfig::new(6).seed(2).max_rounds(4).congest_bits(100);
+    let r = run(&cfg, |_| FatPipe { rounds: 0 }, &mut NoFaults);
+    digest(&r, |s| u64::from(s.rounds))
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "s1_fault_free",
+        run: s1_fault_free,
+    },
+    Scenario {
+        name: "s2_eager_crash_traced",
+        run: s2_eager_crash_traced,
+    },
+    Scenario {
+        name: "s3_random_crash_congest",
+        run: s3_random_crash_congest,
+    },
+    Scenario {
+        name: "s4_edge_failures_capped",
+        run: s4_edge_failures_capped,
+    },
+    Scenario {
+        name: "s5_scripted_filters_traced",
+        run: s5_scripted_filters_traced,
+    },
+    Scenario {
+        name: "s6_congested_duplicates",
+        run: s6_congested_duplicates,
+    },
+];
+
+/// Digests captured from the pre-optimisation engine. Any divergence means
+/// the hot path changed observable behaviour.
+const EXPECTED: &[(&str, u64)] = &[
+    ("s1_fault_free", 11740913572704876146),
+    ("s2_eager_crash_traced", 8421462384765927319),
+    ("s3_random_crash_congest", 13218540456772022160),
+    ("s4_edge_failures_capped", 17374930813647428676),
+    ("s5_scripted_filters_traced", 7150392567238512826),
+    ("s6_congested_duplicates", 9553623736567263353),
+];
+
+#[test]
+fn metrics_match_pre_optimisation_snapshots() {
+    for sc in SCENARIOS {
+        let got = (sc.run)();
+        let want = EXPECTED
+            .iter()
+            .find(|(name, _)| *name == sc.name)
+            .unwrap_or_else(|| panic!("no expected digest for {}", sc.name))
+            .1;
+        assert_eq!(
+            got, want,
+            "scenario {} drifted from the pre-optimisation engine",
+            sc.name
+        );
+    }
+}
+
+/// Regeneration helper, not a check: prints the current digests in the
+/// `EXPECTED` format.
+#[test]
+#[ignore = "regeneration helper; run with --ignored --nocapture"]
+fn print_current_digests() {
+    for sc in SCENARIOS {
+        println!("    (\"{}\", {}),", sc.name, (sc.run)());
+    }
+}

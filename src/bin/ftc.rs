@@ -27,6 +27,7 @@
 //! All subcommands are deterministic given `--seed`.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ftc::prelude::*;
 
@@ -45,6 +46,9 @@ struct Opts {
     proto: String,
     transport: String,
     workers: usize,
+    /// `cluster`: how long a node waits on a frame before the run is
+    /// declared wedged.
+    recv_timeout: Duration,
     objective: String,
     strategy: String,
     budget: u64,
@@ -77,6 +81,7 @@ impl Default for Opts {
             proto: "le".into(),
             transport: "tcp".into(),
             workers: 4,
+            recv_timeout: RECV_TIMEOUT,
             objective: "failure".into(),
             strategy: "random".into(),
             budget: 256,
@@ -180,6 +185,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 if o.workers == 0 {
                     return Err("--workers must be at least 1".into());
                 }
+                i += 2;
+            }
+            "--recv-timeout" => {
+                let secs: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--recv-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--recv-timeout must be a positive number of seconds".into());
+                }
+                o.recv_timeout = Duration::from_secs_f64(secs);
                 i += 2;
             }
             "--objective" => {
@@ -496,10 +511,10 @@ fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
             let mut adv = le_adversary(&o.adversary, f)?;
             let factory = |_| LeNode::new(params.clone());
             let res = if over_tcp {
-                run_over_tcp(&cfg, o.workers, factory, adv.as_mut())
+                run_over_tcp_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
                     .map_err(|e| format!("tcp cluster: {e}"))?
             } else {
-                run_over_channel(&cfg, o.workers, factory, adv.as_mut())
+                run_over_channel_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
             };
             let out = LeOutcome::evaluate(&res.run);
             Ok(ClusterTrial {
@@ -524,10 +539,10 @@ fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
                 )
             };
             let res = if over_tcp {
-                run_over_tcp(&cfg, o.workers, factory, adv.as_mut())
+                run_over_tcp_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
                     .map_err(|e| format!("tcp cluster: {e}"))?
             } else {
-                run_over_channel(&cfg, o.workers, factory, adv.as_mut())
+                run_over_channel_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
             };
             let out = AgreeOutcome::evaluate(&res.run);
             Ok(ClusterTrial {
@@ -905,12 +920,12 @@ fn print_record(record: &CampaignRecord, format: Format) {
     }
 }
 
-/// `ftc lab <run|list|show|diff|gate|baseline>`.
+/// `ftc lab <run|list|show|diff|gate|baseline|perf>`.
 fn cmd_lab(o: &Opts) -> Result<(), String> {
     let verb = o
         .positional
         .first()
-        .ok_or("lab needs a verb: ftc lab <run|list|show|diff|gate|baseline>")?;
+        .ok_or("lab needs a verb: ftc lab <run|list|show|diff|gate|baseline|perf>")?;
     let store = Store::at(&o.store);
     let arg = |k: usize, what: &str| {
         o.positional
@@ -982,10 +997,23 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
         "baseline" => {
             let dir = std::path::Path::new(o.out.as_deref().unwrap_or("."));
             std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
-            for (name, file) in [
+            let only = o.positional.get(1);
+            let all = [
                 ("le-scaling", ftc::lab::baseline::BENCH_LE),
                 ("agree-scaling", ftc::lab::baseline::BENCH_AGREE),
-            ] {
+                ("engine-bench", ftc::lab::baseline::BENCH_ENGINE),
+            ];
+            if let Some(name) = only {
+                if !all.iter().any(|(n, _)| n == name) {
+                    return Err(format!(
+                        "lab baseline: unknown campaign {name} (le-scaling|agree-scaling|engine-bench)"
+                    ));
+                }
+            }
+            for (name, file) in all {
+                if only.is_some_and(|n| n != name) {
+                    continue;
+                }
                 let spec = ftc::lab::campaigns::named(name, o.smoke).expect("registry name");
                 let record = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
                 let id = store.put(&record).map_err(|e| e.to_string())?;
@@ -1006,8 +1034,88 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
             }
             Ok(())
         }
+        "perf" => {
+            let path =
+                std::path::PathBuf::from(arg(1, "a trajectory file (e.g. BENCH_engine.json)")?);
+            let entry = ftc::lab::baseline::latest_entry(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let name = entry
+                .field("name")
+                .and_then(ftc::sim::json::Json::as_str)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_string();
+            let base_hash = entry
+                .field("spec_hash")
+                .and_then(ftc::sim::json::Json::as_str)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_string();
+            // The committed trajectory may be at either scale; pick the
+            // registry variant whose spec hash matches the entry.
+            let spec = [false, true]
+                .into_iter()
+                .filter_map(|smoke| ftc::lab::campaigns::named(&name, smoke))
+                .find(|s| s.hash() == base_hash)
+                .ok_or_else(|| {
+                    format!(
+                        "baseline campaign {name} (spec {base_hash}) is not in the registry at \
+                         either scale — regenerate the trajectory with ftc lab baseline"
+                    )
+                })?;
+            let fresh = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
+            store.put(&fresh).map_err(|e| e.to_string())?;
+            let tolerance = o.tolerance.unwrap_or(0.2);
+            let mut report = ftc::lab::baseline::perf_gate(&entry, &fresh, tolerance)?;
+            if !report.pass() && report.mismatches.is_empty() {
+                // Throughput shortfall with matching payloads can be a
+                // scheduling hiccup rather than a regression: re-run once
+                // and gate on each cell's best of the two runs. A real
+                // hot-path regression fails both.
+                eprintln!("throughput below floor; re-running once to rule out transient noise");
+                let retry = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
+                let mut best = fresh.clone();
+                for (b, r) in best.cells.iter_mut().zip(&retry.cells) {
+                    if r.throughput() > b.throughput() {
+                        b.wall_s = r.wall_s;
+                    }
+                }
+                report = ftc::lab::baseline::perf_gate(&entry, &best, tolerance)?;
+            }
+            for c in &report.cells {
+                println!(
+                    "{} {:>6}  base {:>8.2}/s  fresh {:>8.2}/s  ratio {:.3}{}",
+                    c.label,
+                    c.n,
+                    c.base_tps,
+                    c.fresh_tps,
+                    c.ratio,
+                    if c.pass { "" } else { "  REGRESSED" }
+                );
+            }
+            println!(
+                "median ratio {:.3} (machine-speed estimate); floor {:.3}",
+                report.median_ratio,
+                report.median_ratio * (1.0 - tolerance)
+            );
+            for m in &report.mismatches {
+                eprintln!("drift: {m}");
+            }
+            if report.pass() {
+                println!(
+                    "ok: {} cells within {:.0}% of the median ratio",
+                    report.cells.len(),
+                    tolerance * 100.0
+                );
+                Ok(())
+            } else {
+                Err(format!(
+                    "perf gate failed: {} regressed cell(s), {} deterministic mismatch(es)",
+                    report.cells.iter().filter(|c| !c.pass).count(),
+                    report.mismatches.len()
+                ))
+            }
+        }
         other => Err(format!(
-            "unknown lab verb {other} (run|list|show|diff|gate|baseline)"
+            "unknown lab verb {other} (run|list|show|diff|gate|baseline|perf)"
         )),
     }
 }
@@ -1056,7 +1164,7 @@ fn usage() -> &'static str {
      [--seed S] [--trials T] [--zeros Z] \
      [--adversary none|eager|random|targeted] [--caps c1,c2,none] \
      [--format human|csv|json] [--csv] [--jobs J] [--proto le|agree] \
-     [--transport tcp|channel] [--workers W] \
+     [--transport tcp|channel] [--workers W] [--recv-timeout SECS] \
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
      [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
      ftc replay <artifact.json> [--transport tcp|channel] [--workers W]\n\
@@ -1065,7 +1173,8 @@ fn usage() -> &'static str {
      ftc lab list|show <id> [--store DIR]\n\
      ftc lab diff <baseline> <fresh> [--tolerance F]\n\
      ftc lab gate <baseline> [--jobs J] [--tolerance F]\n\
-     ftc lab baseline [--smoke] [--jobs J] [--out DIR]"
+     ftc lab baseline [NAME] [--smoke] [--jobs J] [--out DIR]\n\
+     ftc lab perf <trajectory.json> [--jobs J] [--tolerance F]"
 }
 
 fn main() -> ExitCode {
@@ -1148,6 +1257,18 @@ mod tests {
         assert!(parse_opts(&args("--proto paxos")).is_err());
         assert!(parse_opts(&args("--transport carrier-pigeon")).is_err());
         assert!(parse_opts(&args("--workers 0")).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_parses_seconds_and_rejects_nonsense() {
+        assert_eq!(parse_opts(&args("")).unwrap().recv_timeout, RECV_TIMEOUT);
+        let o = parse_opts(&args("--recv-timeout 5")).unwrap();
+        assert_eq!(o.recv_timeout, Duration::from_secs(5));
+        let o = parse_opts(&args("--recv-timeout 0.25")).unwrap();
+        assert_eq!(o.recv_timeout, Duration::from_millis(250));
+        assert!(parse_opts(&args("--recv-timeout 0")).is_err());
+        assert!(parse_opts(&args("--recv-timeout -3")).is_err());
+        assert!(parse_opts(&args("--recv-timeout soon")).is_err());
     }
 
     #[test]

@@ -55,14 +55,24 @@ pub enum Value {
 }
 
 impl fmt::Display for Value {
-    /// CSV rendering. None of the row producers emit strings containing
-    /// commas or quotes, so no CSV quoting is performed.
+    /// CSV rendering.
+    ///
+    /// Non-finite floats render as an empty field — the CSV idiom for
+    /// "no value" — matching the `null` the JSON rendering emits, so the
+    /// two machine formats agree on which cells carry data. Strings
+    /// containing a comma, quote or line break are quoted RFC 4180-style
+    /// (wrapped in `"`, embedded `"` doubled), so no producer can corrupt
+    /// a row.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Bool(b) => write!(f, "{b}"),
             Value::Int(i) => write!(f, "{i}"),
             Value::UInt(u) => write!(f, "{u}"),
-            Value::Float(x) => write!(f, "{x}"),
+            Value::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Float(_) => Ok(()),
+            Value::Str(s) if s.contains(['"', ',', '\n', '\r']) => {
+                write!(f, "\"{}\"", s.replace('"', "\"\""))
+            }
             Value::Str(s) => write!(f, "{s}"),
         }
     }
@@ -240,6 +250,48 @@ mod tests {
         assert_eq!(
             w.render(&[Value::Str("a\"b\\c\nd".into()), Value::Float(f64::NAN)]),
             "{\"s\":\"a\\\"b\\\\c\\nd\",\"x\":null}"
+        );
+    }
+
+    #[test]
+    fn csv_and_json_agree_on_nonfinite_floats() {
+        // NaN/∞ must not leak literal `NaN`/`inf` tokens into CSV while
+        // JSON says null: both formats treat the cell as "no value".
+        let mut csv = RowWriter::new(Format::Csv, &["a", "b", "c"]);
+        assert_eq!(
+            csv.render(&[
+                Value::Float(f64::NAN),
+                Value::Float(f64::INFINITY),
+                Value::Float(1.5),
+            ]),
+            "a,b,c\n,,1.5"
+        );
+        let mut json = RowWriter::new(Format::Json, &["a", "b", "c"]);
+        assert_eq!(
+            json.render(&[
+                Value::Float(f64::NAN),
+                Value::Float(f64::NEG_INFINITY),
+                Value::Float(1.5),
+            ]),
+            "{\"a\":null,\"b\":null,\"c\":1.5}"
+        );
+    }
+
+    #[test]
+    fn csv_quotes_cells_that_would_corrupt_rows() {
+        let mut w = RowWriter::new(Format::Csv, &["s", "n"]);
+        assert_eq!(
+            w.render(&[Value::Str("a,b".into()), Value::UInt(1)]),
+            "s,n\n\"a,b\",1"
+        );
+        assert_eq!(
+            w.render(&[Value::Str("say \"hi\"\nok".into()), Value::UInt(2)]),
+            "\"say \"\"hi\"\"\nok\",2"
+        );
+        // Plain strings stay unquoted.
+        assert_eq!(
+            w.render(&[Value::Str("plain".into()), Value::UInt(3)]),
+            "plain,3"
         );
     }
 
