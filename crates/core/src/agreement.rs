@@ -208,6 +208,12 @@ impl Protocol for AgreeNode {
         // is silent.
         true
     }
+
+    fn is_inert(&self) -> bool {
+        // An empty inbox leaves both role flags unset, so `on_round`
+        // touches no state and draws no randomness — always skippable.
+        true
+    }
 }
 
 /// Evaluation of one agreement execution against Definition 2.

@@ -134,6 +134,12 @@ impl Protocol for ExplicitLeNode {
         // Cannot quiesce before the scheduled announcement.
         self.announced && self.inner.is_terminated()
     }
+
+    fn is_inert(&self) -> bool {
+        // The announcement fires at a fixed round regardless of traffic,
+        // so the node must keep being activated until it has announced.
+        self.announced && self.inner.is_inert()
+    }
 }
 
 /// Agreement with the explicit final broadcast.
@@ -209,6 +215,10 @@ impl Protocol for ExplicitAgreeNode {
 
     fn is_terminated(&self) -> bool {
         self.announced && self.inner.is_terminated()
+    }
+
+    fn is_inert(&self) -> bool {
+        self.announced && self.inner.is_inert()
     }
 }
 

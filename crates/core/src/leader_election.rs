@@ -446,6 +446,15 @@ impl Protocol for LeNode {
         let cand_done = self.candidate.as_ref().is_none_or(|c| c.settled);
         cand_done && self.referee.forward_queue.is_empty()
     }
+
+    fn is_inert(&self) -> bool {
+        // With an empty inbox, `on_round` only acts through the referee's
+        // forward queue and the candidate's phase-A timer, and phase A is a
+        // no-op for a settled (or absent) candidate — exactly the
+        // `is_terminated` condition. No RNG is drawn on that path, so a
+        // skipped activation is indistinguishable from a run one.
+        self.is_terminated()
+    }
 }
 
 /// Evaluation of one leader-election execution against Definition 1 and

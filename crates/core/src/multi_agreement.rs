@@ -191,6 +191,10 @@ impl Protocol for MultiAgreeNode {
     fn is_terminated(&self) -> bool {
         true // purely reactive after round 0
     }
+
+    fn is_inert(&self) -> bool {
+        true // empty inbox ⇒ `best` stays `None` ⇒ strict no-op
+    }
 }
 
 /// Evaluation of a multi-valued agreement run (Definition 2, generalised).

@@ -30,29 +30,33 @@ impl Rank {
         Rank(rng.random_range(1..=Rank::domain(n)))
     }
 
-    /// Upper end of the rank domain, `n⁴`.
+    /// Upper end of the rank domain: `n⁴`, saturating at `u64::MAX` for
+    /// `n > 65535` (where `n⁴` no longer fits). Collision probability is
+    /// what the domain buys, and the full 64-bit range already gives
+    /// `< n²/2⁶⁴` — below `10⁻⁷` even at `n = 10⁶` — so saturation keeps
+    /// the whp-distinctness argument intact at every supported size.
     ///
     /// # Panics
     ///
-    /// Panics if `n < 2` or `n > 65535` (`n⁴` must fit in a `u64`; for
-    /// larger networks use a wider rank type — collision probability is
-    /// what matters, and 64 bits already gives `< n²/2⁶⁴`).
+    /// Panics if `n < 2`.
     pub fn domain(n: u32) -> u64 {
         assert!(n >= 2, "rank domain needs n >= 2");
-        assert!(n <= 65_535, "rank domain n^4 overflows u64 for n > 65535");
-        u64::from(n).pow(4)
+        u64::from(n).checked_pow(4).unwrap_or(u64::MAX)
     }
 
-    /// Bits needed to transmit a rank (`4·log₂ n`), for CONGEST sizing.
+    /// Bits needed to transmit a rank (`4·log₂ n`, capped at the 64-bit
+    /// word where the domain saturates), for CONGEST sizing.
     pub fn bits(n: u32) -> u32 {
         ftc_sim::payload::bits_for(Rank::domain(n))
     }
 
     /// Union-bound estimate of the probability that *any* two of `n` drawn
-    /// ranks collide: `≤ n(n−1)/2 · 1/n⁴ < 1/n²`.
+    /// ranks collide: `≤ n(n−1)/2 / domain(n)` — `< 1/n²` while the domain
+    /// is the exact `n⁴`, and still `< 10⁻⁷` at `n = 10⁶` after it
+    /// saturates to `2⁶⁴ − 1`.
     pub fn collision_probability_bound(n: u32) -> f64 {
         let nf = f64::from(n);
-        (nf * (nf - 1.0) / 2.0) / (nf.powi(4))
+        (nf * (nf - 1.0) / 2.0) / (Rank::domain(n) as f64)
     }
 }
 
@@ -95,9 +99,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflows")]
-    fn oversized_network_panics() {
-        let _ = Rank::domain(70_000);
+    fn oversized_network_saturates() {
+        // Above 65535 the n^4 domain no longer fits a u64; the domain
+        // saturates instead of panicking so million-node runs work, and
+        // the exact n^4 value is preserved right up to the edge.
+        assert_eq!(Rank::domain(65_535), 65_535u64.pow(4));
+        assert_eq!(Rank::domain(70_000), u64::MAX);
+        assert_eq!(Rank::domain(1_000_000), u64::MAX);
+        assert_eq!(Rank::bits(1_000_000), 64);
     }
 
     #[test]

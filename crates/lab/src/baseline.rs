@@ -103,6 +103,27 @@ pub fn latest_entry(path: &Path) -> io::Result<Json> {
     })
 }
 
+/// Returns the most recent entry for the campaign called `name`. A
+/// trajectory file can interleave entries from several campaigns (e.g.
+/// `engine-bench` and `scale-bench` both append to `BENCH_engine.json`),
+/// and the perf gate must compare against the right one.
+pub fn latest_entry_named(path: &Path, name: &str) -> io::Result<Json> {
+    load_entries(path)?
+        .into_iter()
+        .rev()
+        .find(|e| {
+            e.field("name")
+                .and_then(Json::as_str)
+                .is_ok_and(|n| n == name)
+        })
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} has no `{name}` entries", path.display()),
+            )
+        })
+}
+
 /// One cell's verdict from [`perf_gate`].
 #[derive(Clone, Debug)]
 pub struct PerfCellReport {

@@ -23,6 +23,7 @@ pub fn names() -> &'static [&'static str] {
         "agree-scaling",
         "alpha-sweep",
         "engine-bench",
+        "scale-bench",
     ]
 }
 
@@ -34,6 +35,7 @@ pub fn named(name: &str, smoke: bool) -> Option<CampaignSpec> {
         "agree-scaling" => Some(agree_scaling(smoke)),
         "alpha-sweep" => Some(alpha_sweep(smoke)),
         "engine-bench" => Some(engine_bench(smoke)),
+        "scale-bench" => Some(scale_bench(smoke)),
         _ => None,
     }
 }
@@ -252,6 +254,38 @@ pub fn engine_bench(smoke: bool) -> CampaignSpec {
                 trials,
             )
             .label("edge"),
+        );
+    }
+    spec
+}
+
+/// The sparse-engine scale proof: full leader-election trials at sizes
+/// the dense data plane could never touch, topping out at n = 1,000,000.
+/// Fault-free on purpose — the point is the traffic-proportional round
+/// cost (a dense round at n = 10⁶ would be 10¹² edge probes), so the
+/// workload is the protocol's own sparse traffic, not an injected storm.
+/// Message counts are deterministic; the committed trajectory in
+/// `BENCH_engine.json` carries the throughput history that
+/// `ftc lab perf --campaign scale-bench` gates against. The smoke scale
+/// keeps one calibration size next to the million-node cell so the
+/// median-normalised gate has a machine-speed reference.
+pub fn scale_bench(smoke: bool) -> CampaignSpec {
+    let sizes: &[(u32, u64)] = if smoke {
+        &[(65_536, 2), (1_000_000, 1)]
+    } else {
+        &[(65_536, 4), (262_144, 2), (1_000_000, 2)]
+    };
+    let mut spec = CampaignSpec::new("scale-bench");
+    for &(n, trials) in sizes {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Le { adv: Adv::None },
+                n,
+                0.5,
+                GATE_SEED ^ 0x700 ^ u64::from(n),
+                trials,
+            )
+            .label("le"),
         );
     }
     spec

@@ -20,7 +20,7 @@ use ftc_core::prelude::*;
 use ftc_core::sampling::draw_committee;
 use ftc_net::prelude::*;
 use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
-use ftc_sim::engine::{run, RunResult, SimConfig};
+use ftc_sim::engine::{run_sharded, RunResult, SimConfig};
 use ftc_sim::ids::NodeId;
 use ftc_sim::json::{Json, JsonError};
 use ftc_sim::metrics::LogHistogram;
@@ -39,6 +39,11 @@ use crate::spec::{
 pub enum LabSubstrate {
     /// The in-process sim engine (default).
     Engine,
+    /// The sim engine with intra-trial sharding: one trial's nodes are
+    /// split across this many worker threads per round. Results are
+    /// bit-identical to [`LabSubstrate::Engine`] by construction, so the
+    /// store label stays `"engine"` and record ids are unchanged.
+    EngineSharded(usize),
     /// The `ftc-net` in-process channel mesh with this many workers.
     Channel(usize),
     /// The `ftc-net` localhost TCP mesh with this many workers.
@@ -49,9 +54,19 @@ impl LabSubstrate {
     /// Store-record label.
     pub fn name(self) -> String {
         match self {
-            LabSubstrate::Engine => "engine".into(),
+            // Sharding is invisible in results (the deterministic render
+            // is identical), so both engine variants share one label.
+            LabSubstrate::Engine | LabSubstrate::EngineSharded(_) => "engine".into(),
             LabSubstrate::Channel(w) => format!("channel:{w}"),
             LabSubstrate::Tcp(w) => format!("tcp:{w}"),
+        }
+    }
+
+    /// Worker threads sharding a single trial's nodes (1 = serial engine).
+    pub fn intra_jobs(self) -> usize {
+        match self {
+            LabSubstrate::EngineSharded(j) => j.max(1),
+            _ => 1,
         }
     }
 }
@@ -156,7 +171,9 @@ fn run_le<A: Adversary<LeMsg> + ?Sized>(
 ) -> Result<RunResult<LeNode>, String> {
     let factory = |_| LeNode::new(params.clone());
     Ok(match substrate {
-        LabSubstrate::Engine => run(cfg, factory, adv),
+        LabSubstrate::Engine | LabSubstrate::EngineSharded(_) => {
+            run_sharded(cfg, factory, adv, substrate.intra_jobs())
+        }
         LabSubstrate::Channel(w) => run_over_channel(cfg, w, factory, adv).run,
         LabSubstrate::Tcp(w) => {
             run_over_tcp(cfg, w, factory, adv)
@@ -176,7 +193,9 @@ fn run_agree<A: Adversary<AgreeMsg> + ?Sized>(
     let input = |id: NodeId| !(stride != u32::MAX && id.0.is_multiple_of(stride));
     let factory = |id: NodeId| AgreeNode::new(params.clone(), input(id));
     Ok(match substrate {
-        LabSubstrate::Engine => run(cfg, factory, adv),
+        LabSubstrate::Engine | LabSubstrate::EngineSharded(_) => {
+            run_sharded(cfg, factory, adv, substrate.intra_jobs())
+        }
         LabSubstrate::Channel(w) => run_over_channel(cfg, w, factory, adv).run,
         LabSubstrate::Tcp(w) => {
             run_over_tcp(cfg, w, factory, adv)
@@ -196,6 +215,7 @@ pub fn run_trial(
 ) -> Result<TrialValue, String> {
     let n = cell.n;
     let cfg = SimConfig::new(n).seed(seed);
+    let ij = substrate.intra_jobs();
     Ok(match &cell.workload {
         Workload::Le { adv } => {
             let params = Params::new(n, cell.alpha).expect("valid params");
@@ -230,21 +250,21 @@ pub fn run_trial(
                 f,
                 per_round: *per_round as usize,
             };
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let r = run_sharded(&cfg, |_| LeNode::new(params.clone()), &mut adv, ij);
             value_of(&r, LeOutcome::evaluate(&r).success, vec![])
         }
         Workload::LeByzantine { b } => {
             let params = Params::new(n, cell.alpha).expect("valid params");
             let cfg = cfg.max_rounds(params.le_round_budget());
             let mut adv = EquivocatingClaimant::new(*b as usize);
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let r = run_sharded(&cfg, |_| LeNode::new(params.clone()), &mut adv, ij);
             value_of(&r, LeOutcome::evaluate(&r).success, vec![])
         }
         Workload::AgreeByzantine { b } => {
             let params = Params::new(n, cell.alpha).expect("valid params");
             let cfg = cfg.max_rounds(params.agreement_round_budget());
             let mut adv = ZeroForger::new(*b as usize);
-            let r = run(&cfg, |_| AgreeNode::new(params.clone(), true), &mut adv);
+            let r = run_sharded(&cfg, |_| AgreeNode::new(params.clone(), true), &mut adv, ij);
             // Success = validity holds: no honest survivor decided the
             // forged 0 nobody input.
             let honest_zero = r
@@ -261,7 +281,7 @@ pub fn run_trial(
                 cfg = cfg.edge_failure_prob(*p);
             }
             let mut adv = RandomCrash::new(f, 40);
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let r = run_sharded(&cfg, |_| LeNode::new(params.clone()), &mut adv, ij);
             let lost = r.metrics.msgs_lost_edges as f64;
             value_of(
                 &r,
@@ -277,10 +297,11 @@ pub fn run_trial(
                 cfg = cfg.edge_failure_prob(*p);
             }
             let mut adv = RandomCrash::new(f, 20);
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |id| AgreeNode::new(params.clone(), id.0 % 8 == 0),
                 &mut adv,
+                ij,
             );
             value_of(&r, AgreeOutcome::evaluate(&r).success, vec![])
         }
@@ -292,7 +313,7 @@ pub fn run_trial(
                 cfg = cfg.send_cap(*c);
             }
             let mut adv = EagerCrash::new(f);
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let r = run_sharded(&cfg, |_| LeNode::new(params.clone()), &mut adv, ij);
             let suppressed = r.metrics.msgs_suppressed as f64;
             value_of(
                 &r,
@@ -308,10 +329,11 @@ pub fn run_trial(
                 cfg = cfg.send_cap(*c);
             }
             let mut adv = EagerCrash::new(f);
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |id| AgreeNode::new(params.clone(), id.0 % 2 == 0),
                 &mut adv,
+                ij,
             );
             let suppressed = r.metrics.msgs_suppressed as f64;
             value_of(
@@ -325,7 +347,7 @@ pub fn run_trial(
             let f = params.max_faults();
             let cfg = cfg.max_rounds(ExplicitLeNode::round_budget(&params));
             let mut adv = RandomCrash::new(f, 40);
-            let r = run(&cfg, |_| ExplicitLeNode::new(params.clone()), &mut adv);
+            let r = run_sharded(&cfg, |_| ExplicitLeNode::new(params.clone()), &mut adv, ij);
             value_of(&r, ExplicitLeOutcome::evaluate(&r).success, vec![])
         }
         Workload::LeImplicitExplicitBudget => {
@@ -333,7 +355,7 @@ pub fn run_trial(
             let f = params.max_faults();
             let cfg = cfg.max_rounds(ExplicitLeNode::round_budget(&params));
             let mut adv = RandomCrash::new(f, 40);
-            let r = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
+            let r = run_sharded(&cfg, |_| LeNode::new(params.clone()), &mut adv, ij);
             value_of(&r, LeOutcome::evaluate(&r).success, vec![])
         }
         Workload::AgreeExplicit { zeros } => {
@@ -342,7 +364,7 @@ pub fn run_trial(
             let stride = input_stride(*zeros);
             let cfg = cfg.max_rounds(ExplicitAgreeNode::round_budget(&params));
             let mut adv = RandomCrash::new(f, 20);
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |id| {
                     ExplicitAgreeNode::new(
@@ -351,23 +373,25 @@ pub fn run_trial(
                     )
                 },
                 &mut adv,
+                ij,
             );
             value_of(&r, ExplicitAgreeOutcome::evaluate(&r).success, vec![])
         }
         Workload::LeKutten => {
             let cfg = cfg.max_rounds(kutten_round_budget());
-            let r = run(&cfg, |_| KuttenLeNode::new(), &mut NoFaults);
+            let r = run_sharded(&cfg, |_| KuttenLeNode::new(), &mut NoFaults, ij);
             value_of(&r, KuttenOutcome::evaluate(&r).success, vec![])
         }
         Workload::AgreeAugustine { zeros } => {
             let stride = input_stride(*zeros);
             let cfg = cfg.max_rounds(augustine_round_budget());
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |id: NodeId| {
                     AugustineNode::new(!(stride != u32::MAX && id.0.is_multiple_of(stride)))
                 },
                 &mut NoFaults,
+                ij,
             );
             value_of(&r, AugustineOutcome::evaluate(&r).success, vec![])
         }
@@ -377,10 +401,11 @@ pub fn run_trial(
             let k = *k;
             let cfg = cfg.max_rounds(params.agreement_round_budget());
             let mut adv = RandomCrash::new(f, 20);
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |id| MultiAgreeNode::new(params.clone(), k, (id.0.wrapping_mul(2654435761)) % k),
                 &mut adv,
+                ij,
             );
             value_of(&r, MultiOutcome::evaluate(&r).success, vec![])
         }
@@ -388,23 +413,24 @@ pub fn run_trial(
             let f = *faults as usize;
             let cfg = cfg.max_rounds(flood_round_budget(f as u32));
             let mut adv = RandomCrash::new(f, f as u32);
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |id| FloodAgreeNode::new(f as u32, id.0 % 7 != 0),
                 &mut adv,
+                ij,
             );
             value_of(&r, FloodOutcome::evaluate(&r).success, vec![])
         }
         Workload::Gk { faults } => {
             let cfg = cfg.kt1(true).max_rounds(gk_round_budget(n));
             let mut adv = RandomCrash::new(*faults as usize, 20);
-            let r = run(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv);
+            let r = run_sharded(&cfg, |id| GkNode::new(id.0 % 7 != 0), &mut adv, ij);
             value_of(&r, GkOutcome::evaluate(&r).success, vec![])
         }
         Workload::Gossip { faults } => {
             let cfg = cfg.max_rounds(gossip_round_budget(n));
             let mut adv = RandomCrash::new(*faults as usize, 10);
-            let r = run(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv);
+            let r = run_sharded(&cfg, |id| GossipNode::new(n, id.0 % 7 != 0), &mut adv, ij);
             value_of(&r, GossipOutcome::evaluate(&r).success, vec![])
         }
         Workload::SamplingLemmas {
@@ -460,7 +486,7 @@ pub fn run_trial(
                 cfg = cfg.edge_failure_prob(*p);
             }
             let mut a = bench_adversary(*adv, f);
-            let r = run(
+            let r = run_sharded(
                 &cfg,
                 |_| BenchChatter {
                     rounds_done: 0,
@@ -468,6 +494,7 @@ pub fn run_trial(
                     heard: 0,
                 },
                 &mut *a,
+                ij,
             );
             // Success = the run actually exercised the delivery path; the
             // interesting output is msgs/bits (deterministic payload) and
@@ -871,7 +898,10 @@ pub fn run_campaign(
     if let Some(cell) = spec.cells.iter().find(|c| c.trials == 0) {
         return Err(format!("cell `{}` has zero trials", cell.label));
     }
-    if substrate != LabSubstrate::Engine {
+    if !matches!(
+        substrate,
+        LabSubstrate::Engine | LabSubstrate::EngineSharded(_)
+    ) {
         if let Some(cell) = spec
             .cells
             .iter()
@@ -994,7 +1024,7 @@ mod tests {
             .max_rounds(params.le_round_budget());
         let reference = ftc_sim::runner::run_trials_jobs(&cfg, 6, 1, |c| {
             let mut adv = RandomCrash::new(f, 10);
-            let r = run(c, |_| LeNode::new(params.clone()), &mut adv);
+            let r = ftc_sim::engine::run(c, |_| LeNode::new(params.clone()), &mut adv);
             (LeOutcome::evaluate(&r).success, r.metrics.msgs_sent)
         });
         let ref_msgs: Vec<f64> = reference.iter().map(|t| t.value.1 as f64).collect();
@@ -1023,6 +1053,14 @@ mod tests {
             engine.cells[0].to_json(false).render(),
             channel.cells[0].to_json(false).render()
         );
+        // Intra-trial sharding shares the `engine` label, so the whole
+        // deterministic render — record id included — must be identical.
+        let sharded = run_campaign(&spec, 1, LabSubstrate::EngineSharded(3)).unwrap();
+        assert_eq!(
+            engine.deterministic_render(),
+            sharded.deterministic_render()
+        );
+        assert_eq!(engine.id(), sharded.id());
     }
 
     #[test]
@@ -1030,6 +1068,8 @@ mod tests {
         let spec = CampaignSpec::new("bad").cell(CellSpec::new(Workload::LeKutten, 16, 0.5, 3, 2));
         assert!(run_campaign(&spec, 1, LabSubstrate::Channel(2)).is_err());
         assert!(run_campaign(&spec, 1, LabSubstrate::Engine).is_ok());
+        // The sharded engine is still the engine: every workload runs.
+        assert!(run_campaign(&spec, 1, LabSubstrate::EngineSharded(2)).is_ok());
     }
 
     #[test]

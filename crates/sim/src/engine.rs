@@ -30,6 +30,7 @@ use crate::ids::Port;
 use crate::ids::{NodeId, Round};
 use crate::metrics::Metrics;
 use crate::node::NodeHarness;
+use crate::ports::PortMap;
 use crate::protocol::{Incoming, Protocol};
 use crate::round::{network_ports, resolve_sends_into, ControlCore};
 use crate::trace::Trace;
@@ -266,11 +267,53 @@ impl<P> RunResult<P> {
 /// protocol state (closures typically capture the input assignment, e.g.
 /// the agreement input bits).
 ///
+/// Equivalent to [`run_sharded`] with one intra-trial worker.
+///
 /// # Panics
 ///
 /// Panics if the adversary violates the model: crashing a node outside its
 /// committed faulty set, or crashing a node twice.
-pub fn run<P, F, A>(cfg: &SimConfig, mut factory: F, adversary: &mut A) -> RunResult<P>
+pub fn run<P, F, A>(cfg: &SimConfig, factory: F, adversary: &mut A) -> RunResult<P>
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    run_sharded(cfg, factory, adversary, 1)
+}
+
+/// Below this many agenda entries a round is activated serially even when
+/// `intra_jobs > 1`: spawning scoped workers costs more than the work.
+const INTRA_SHARD_MIN: usize = 1024;
+
+/// Runs one execution like [`run`], sharding each round's node activations
+/// across up to `intra_jobs` threads.
+///
+/// This is *intra-trial* parallelism, complementing the *trials-across-
+/// cores* parallelism of [`crate::runner::ParRunner`]: one huge trial (say
+/// `n = 1,000,000`) can use the whole machine. The round's agenda (the
+/// nodes that act, in id order) is cut into contiguous chunks; each worker
+/// activates its chunk against disjoint slices of the node/buffer arrays
+/// and the results are merged back in chunk order. Activations are
+/// independent by the model (a node sees only its own state, RNG and
+/// inbox), every write is slot-indexed by node id, and the only reductions
+/// are order-insensitive integer sums — so the merged round, and therefore
+/// the whole run, is bit-identical for every `intra_jobs` value. The
+/// control plane and delivery stay serial; they are `O(traffic)`.
+///
+/// `intra_jobs == 0` is treated as 1. The result is a pure function of
+/// `(cfg, seed)` — `intra_jobs` deliberately lives outside [`SimConfig`].
+///
+/// # Panics
+///
+/// Panics if the adversary violates the model: crashing a node outside its
+/// committed faulty set, or crashing a node twice.
+pub fn run_sharded<P, F, A>(
+    cfg: &SimConfig,
+    mut factory: F,
+    adversary: &mut A,
+    intra_jobs: usize,
+) -> RunResult<P>
 where
     P: Protocol,
     F: FnMut(NodeId) -> P,
@@ -278,6 +321,7 @@ where
 {
     let n = cfg.n;
     let nn = n as usize;
+    let intra_jobs = intra_jobs.max(1);
 
     let ports = network_ports(cfg);
     let mut nodes: Vec<NodeHarness<P>> = (0..n)
@@ -294,42 +338,117 @@ where
     let mut sends: Vec<(Port, P::Msg)> = Vec::new();
     let mut terminated = vec![false; nn];
 
+    // The agenda makes the round sparse: only nodes that received a message
+    // last round or declined the `is_inert` skip hint are activated, so a
+    // round costs O(agenda + traffic) instead of O(n). Round 0 activates
+    // everyone. `queued` dedups next-round insertions in O(1) each and is
+    // all-false between rounds; `undone` counts alive nodes not yet
+    // terminated, replacing the old O(n) quiescence scan.
+    let mut agenda: Vec<u32> = (0..n).collect();
+    let mut next_agenda: Vec<u32> = Vec::new();
+    let mut queued = vec![false; nn];
+    let mut undone = nn;
+
     for round in 0..cfg.max_rounds {
-        // --- 1. activation: every alive node runs and queues messages. ---
+        // --- 1. activation: every agenda node still alive runs and queues
+        // messages, sharded across workers when the agenda is large. ---
         let mut suppressed = 0u64;
-        for u in 0..nn {
-            if !core.is_alive(NodeId(u as u32)) {
-                continue;
+        if intra_jobs > 1 && agenda.len() >= INTRA_SHARD_MIN {
+            let (supp, undone_delta) = activate_sharded(
+                &mut nodes,
+                &mut inboxes,
+                &mut outgoing,
+                &mut terminated,
+                core.alive(),
+                &ports,
+                &agenda,
+                &mut next_agenda,
+                round,
+                intra_jobs,
+            );
+            suppressed = supp;
+            undone = (undone as i64 + undone_delta) as usize;
+            for &su in &next_agenda {
+                queued[su as usize] = true;
             }
-            let act = nodes[u].activate_into(round, &inboxes[u], &mut sends);
-            suppressed += act.suppressed;
-            terminated[u] = act.terminated;
-            resolve_sends_into(&ports, NodeId(u as u32), &mut sends, &mut outgoing[u]);
-            inboxes[u].clear();
+        } else {
+            for &su in &agenda {
+                let u = su as usize;
+                if !core.is_alive(NodeId(su)) {
+                    continue;
+                }
+                let act = nodes[u].activate_into(round, &inboxes[u], &mut sends);
+                suppressed += act.suppressed;
+                if terminated[u] != act.terminated {
+                    undone = if act.terminated {
+                        undone - 1
+                    } else {
+                        undone + 1
+                    };
+                    terminated[u] = act.terminated;
+                }
+                resolve_sends_into(&ports, NodeId(su), &mut sends, &mut outgoing[u]);
+                inboxes[u].clear();
+                if !act.inert {
+                    next_agenda.push(su);
+                    queued[u] = true;
+                }
+            }
         }
 
         // --- 2. control plane: tampering, crashes, filters, accounting.
         // Filters `outgoing` down to the deliverable envelopes in place. ---
-        let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
+        let verdict =
+            core.finish_round_touched(round, &mut outgoing, &agenda, suppressed, adversary, &ports);
+        for &c in &verdict.crashed {
+            if !terminated[c.index()] {
+                undone -= 1;
+            }
+        }
 
-        // --- 3. delivery: surviving messages reach next-round inboxes. ---
-        for node_out in outgoing.iter_mut() {
-            for e in node_out.drain(..) {
-                inboxes[e.dst.index()].push(Incoming {
+        // --- 3. delivery: surviving messages reach next-round inboxes, and
+        // their receivers join the next agenda. Tampering may have conjured
+        // traffic for senders outside the agenda; merge those in (rare). ---
+        let merged: Vec<u32>;
+        let deliver_order: &[u32] = if verdict.tampered_extra.is_empty() {
+            &agenda
+        } else {
+            let mut m: Vec<u32> = agenda
+                .iter()
+                .copied()
+                .chain(verdict.tampered_extra.iter().map(|d| d.0))
+                .collect();
+            m.sort_unstable();
+            merged = m;
+            &merged
+        };
+        for &su in deliver_order {
+            for e in outgoing[su as usize].drain(..) {
+                let d = e.dst.index();
+                if !queued[d] {
+                    queued[d] = true;
+                    next_agenda.push(e.dst.0);
+                }
+                inboxes[d].push(Incoming {
                     port: e.dst_port,
                     msg: e.msg,
                 });
             }
         }
 
-        // --- 4. early quiescence. ---
-        if verdict.delivered == 0 {
-            let all_done = (0..nn)
-                .filter(|&u| core.is_alive(NodeId(u as u32)))
-                .all(|u| terminated[u]);
-            if all_done {
-                break;
-            }
+        // --- 4. early quiescence (same condition as the historical O(n)
+        // scan: nothing delivered and every alive node terminated). ---
+        if verdict.delivered == 0 && undone == 0 {
+            break;
+        }
+
+        // --- 5. agenda swap: receivers were appended after the (sorted)
+        // activation survivors, so restore id order for the next round. ---
+        std::mem::swap(&mut agenda, &mut next_agenda);
+        next_agenda.clear();
+        agenda.sort_unstable();
+        for &su in &agenda {
+            queued[su as usize] = false;
         }
     }
 
@@ -343,6 +462,91 @@ where
         trace: out.trace,
         congest_violations: out.congest_violations,
     }
+}
+
+/// One sharded activation phase: cuts `agenda` into contiguous chunks and
+/// activates each on its own worker against disjoint `&mut` windows of the
+/// per-node arrays. Returns the summed suppressed count and the net change
+/// to the not-yet-terminated counter; the ids each worker kept for the
+/// next agenda (non-inert activations) are appended to `next_agenda` in
+/// chunk order, which preserves ascending id order.
+#[allow(clippy::too_many_arguments)]
+fn activate_sharded<P: Protocol>(
+    nodes: &mut [NodeHarness<P>],
+    inboxes: &mut [Vec<Incoming<P::Msg>>],
+    outgoing: &mut [Vec<Envelope<P::Msg>>],
+    terminated: &mut [bool],
+    alive: &[bool],
+    ports: &[PortMap],
+    agenda: &[u32],
+    next_agenda: &mut Vec<u32>,
+    round: Round,
+    intra_jobs: usize,
+) -> (u64, i64) {
+    let chunk_len = agenda.len().div_ceil(intra_jobs);
+    let results = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        // Each agenda chunk spans a disjoint ascending id range, so the
+        // per-node arrays can be carved into per-worker windows with
+        // `split_at_mut`; a worker indexes its window by `id - base`.
+        let mut rest_nodes = nodes;
+        let mut rest_inboxes = inboxes;
+        let mut rest_outgoing = outgoing;
+        let mut rest_terminated = terminated;
+        let mut base = 0usize;
+        for chunk in agenda.chunks(chunk_len) {
+            let end = *chunk.last().expect("chunks are non-empty") as usize + 1;
+            let take = end - base;
+            let (nodes_w, nr) = rest_nodes.split_at_mut(take);
+            let (inboxes_w, ir) = rest_inboxes.split_at_mut(take);
+            let (outgoing_w, or) = rest_outgoing.split_at_mut(take);
+            let (terminated_w, tr) = rest_terminated.split_at_mut(take);
+            rest_nodes = nr;
+            rest_inboxes = ir;
+            rest_outgoing = or;
+            rest_terminated = tr;
+            let window_base = base;
+            base = end;
+            handles.push(scope.spawn(move |_| {
+                let mut sends: Vec<(Port, P::Msg)> = Vec::new();
+                let mut suppressed = 0u64;
+                let mut undone_delta = 0i64;
+                let mut keep: Vec<u32> = Vec::new();
+                for &su in chunk {
+                    let u = su as usize - window_base;
+                    if !alive[su as usize] {
+                        continue;
+                    }
+                    let act = nodes_w[u].activate_into(round, &inboxes_w[u], &mut sends);
+                    suppressed += act.suppressed;
+                    if terminated_w[u] != act.terminated {
+                        undone_delta += if act.terminated { -1 } else { 1 };
+                        terminated_w[u] = act.terminated;
+                    }
+                    resolve_sends_into(ports, NodeId(su), &mut sends, &mut outgoing_w[u]);
+                    inboxes_w[u].clear();
+                    if !act.inert {
+                        keep.push(su);
+                    }
+                }
+                (suppressed, undone_delta, keep)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("activation worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("activation scope panicked");
+
+    let mut suppressed = 0u64;
+    let mut undone_delta = 0i64;
+    for (supp, delta, keep) in results {
+        suppressed += supp;
+        undone_delta += delta;
+        next_agenda.extend_from_slice(&keep);
+    }
+    (suppressed, undone_delta)
 }
 
 #[cfg(test)]

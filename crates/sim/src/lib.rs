@@ -75,7 +75,7 @@ pub mod prelude {
         Adversary, AdversaryView, CrashDirective, DeliveryFilter, EagerCrash, FaultPlan, FaultySet,
         NoFaults, RandomCrash, ScriptedCrash,
     };
-    pub use crate::engine::{run, ConfigError, RunResult, SimConfig};
+    pub use crate::engine::{run, run_sharded, ConfigError, RunResult, SimConfig};
     pub use crate::ids::{NodeId, Port, Round};
     pub use crate::json::{Json, JsonError};
     pub use crate::metrics::{LogHistogram, Metrics, MetricsAggregate};
@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::payload::{Payload, Wire};
     pub use crate::ports::PortMap;
     pub use crate::protocol::{Ctx, Incoming, Protocol};
-    pub use crate::round::{ControlCore, ControlOutput, RoundVerdict};
+    pub use crate::round::{ControlCore, ControlOutput, DeadEdgeCache, EdgeFates, RoundVerdict};
     pub use crate::runner::{
         run_trials, run_trials_jobs, run_trials_with, AbortHandle, ParRunner, TrialBatch,
         TrialOutcome, TrialPlan,

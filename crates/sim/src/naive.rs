@@ -357,7 +357,7 @@ mod tests {
                 let p = ctx.random_port();
                 ctx.send(p, (u64::from(ctx.node_id().0) << 8) | u64::from(j));
             }
-            if ctx.node_id().0 % 2 == 0 {
+            if ctx.node_id().0.is_multiple_of(2) {
                 // Two messages down one port: duplicate directed-edge load.
                 ctx.send(Port(0), 7);
                 ctx.send(Port(0), 8);
@@ -430,7 +430,7 @@ mod tests {
             }
             plan
         };
-        let mut mk = move |k: u32| -> Box<dyn Adversary<u64>> {
+        let mk = move |k: u32| -> Box<dyn Adversary<u64>> {
             match k {
                 0 => Box::new(NoFaults),
                 1 => Box::new(EagerCrash::new(f)),
@@ -483,6 +483,99 @@ mod tests {
         let mut meta = SmallRng::seed_from_u64(0x5EED_CAFE);
         for case in 0..40 {
             check_case(case, &mut meta);
+        }
+    }
+
+    /// A protocol that honestly opts into [`Protocol::is_inert`]: after
+    /// `on_start` it only ever reacts to incoming messages (bouncing them
+    /// back with a decremented hop count), so an empty-inbox activation is
+    /// a true no-op. The sparse engine drops such nodes from its agenda;
+    /// the naive oracle activates every alive node every round regardless.
+    struct Bouncer {
+        fuel: u32,
+        started: bool,
+        heard: Vec<(Round, u32, u64)>,
+    }
+
+    impl Protocol for Bouncer {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            for _ in 0..ctx.node_id().0 % 3 {
+                let p = ctx.random_port();
+                ctx.send(p, 5); // 5 hops of life
+            }
+            self.started = true;
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Incoming<u64>]) {
+            for m in inbox {
+                self.heard.push((ctx.round(), m.port.0, m.msg));
+                if m.msg > 0 && self.fuel > 0 {
+                    self.fuel -= 1;
+                    ctx.send(m.port, m.msg - 1);
+                }
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.started
+        }
+        fn is_inert(&self) -> bool {
+            self.started
+        }
+    }
+
+    /// The sparse agenda engine must match the dense oracle even when the
+    /// protocol's `is_inert` hint lets whole swaths of nodes be skipped —
+    /// the skips must be observationally invisible, message for message.
+    #[test]
+    fn inert_skips_match_naive_reference() {
+        let mut meta = SmallRng::seed_from_u64(0xB0C1_4E57);
+        for case in 0..25u64 {
+            let n = meta.random_range(4..64u32);
+            let seed = meta.random();
+            let mut cfg = SimConfig::new(n).seed(seed).max_rounds(12);
+            if meta.random_bool(0.5) {
+                cfg = cfg.record_trace(true);
+            }
+            if meta.random_bool(0.4) {
+                cfg = cfg.edge_failure_prob(0.3);
+            }
+            let f = meta.random_range(1..(n / 2).max(2)) as usize;
+            let kind = meta.random_range(0..3u32);
+            let mk = move |k: u32| -> Box<dyn Adversary<u64>> {
+                match k {
+                    0 => Box::new(NoFaults),
+                    1 => Box::new(EagerCrash::new(f)),
+                    _ => Box::new(RandomCrash::new(f, 5)),
+                }
+            };
+            let factory = |_: NodeId| Bouncer {
+                fuel: 3,
+                started: false,
+                heard: Vec::new(),
+            };
+
+            let mut adv_fast = mk(kind);
+            let fast = run(&cfg, factory, adv_fast.as_mut());
+            let mut adv_naive = mk(kind);
+            let naive = naive_run(&cfg, factory, adv_naive.as_mut());
+
+            let ctx = format!("case {case}: n={n} seed={seed} kind={kind}");
+            assert_eq!(fast.metrics, naive.metrics, "{ctx}: metrics diverged");
+            assert_eq!(
+                fast.crashed_at, naive.crashed_at,
+                "{ctx}: crash ledger diverged"
+            );
+            for u in 0..n as usize {
+                assert_eq!(
+                    fast.states[u].heard, naive.states[u].heard,
+                    "{ctx}: node {u} inbox diverged"
+                );
+            }
+            match (&fast.trace, &naive.trace) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(a.events(), b.events(), "{ctx}: trace diverged"),
+                _ => panic!("{ctx}: trace presence diverged"),
+            }
         }
     }
 }

@@ -38,6 +38,10 @@ pub struct ActivationMeta {
     pub suppressed: u64,
     /// The node's quiescence hint after the activation.
     pub terminated: bool,
+    /// The node's sparse-activation hint after the activation (see
+    /// [`Protocol::is_inert`]): `true` means the driver may skip this node
+    /// until a message arrives for it.
+    pub inert: bool,
 }
 
 /// One node of the model: protocol state + ports + private randomness.
@@ -131,6 +135,7 @@ impl<P: Protocol> NodeHarness<P> {
         ActivationMeta {
             suppressed,
             terminated: self.state.is_terminated(),
+            inert: self.state.is_inert(),
         }
     }
 

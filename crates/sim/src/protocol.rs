@@ -163,6 +163,23 @@ pub trait Protocol: Sized + Send {
     fn is_terminated(&self) -> bool {
         false
     }
+
+    /// Sparse-activation hint: `true` promises that activating this node
+    /// with an **empty inbox** is a no-op — no sends, no RNG draws, no
+    /// state change, and `is_terminated`/`is_inert` unchanged — so the
+    /// engine may skip the activation entirely.
+    ///
+    /// This is what lets a round cost `O(messages + acting nodes)` instead
+    /// of `O(n)`: nodes that are merely waiting drop out of the engine's
+    /// agenda until a message arrives. The default is `false` (never skip),
+    /// which is always correct; a protocol that counts rounds, times out,
+    /// or draws randomness while idle must keep the default. Returning
+    /// `true` while violating the promise breaks bit-exact equivalence
+    /// between sparse and dense drivers (the `naive` oracle tests and the
+    /// `ftc-net` substrate both activate every alive node every round).
+    fn is_inert(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

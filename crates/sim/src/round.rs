@@ -112,6 +112,12 @@ pub struct RoundVerdict {
     /// Messages delivered this round (the filtered `outgoing` flattened
     /// length).
     pub delivered: u64,
+    /// Senders *outside* the touched list handed to
+    /// [`ControlCore::finish_round_touched`] whose output the adversary
+    /// conjured by tampering, in id order. A sparse driver must drain
+    /// these buffers alongside its own touched list (merged in id order);
+    /// always empty for dense drivers and crash-only adversaries.
+    pub tampered_extra: Vec<NodeId>,
 }
 
 /// Everything the control core accumulated over a finished run.
@@ -129,9 +135,8 @@ pub struct ControlOutput {
     pub congest_violations: u64,
 }
 
-/// Largest number of unordered node pairs for which the dead-edge set is
-/// cached as a bitmap (2 bits per pair ⇒ ≤ 32 MiB). Above this, edge rolls
-/// fall back to hashing per envelope — same results, no cache memory.
+/// Largest number of unordered node pairs for which [`DeadEdgeCache`]
+/// will materialise its bitmap (2 bits per pair ⇒ ≤ 32 MiB).
 const MAX_CACHED_EDGE_PAIRS: u64 = 1 << 27;
 
 /// Whether the undirected edge `{lo, hi}` is dead, by the same hash roll
@@ -144,15 +149,62 @@ fn edge_roll(edge_seed: u64, lo: u32, hi: u32, p: f64) -> bool {
     (h as f64 / u64::MAX as f64) < p
 }
 
-/// Lazily memoised dead-edge set of one run.
+/// The per-run fate of every undirected edge, sampled lazily.
 ///
-/// [`SimConfig::edge_failure_prob`] kills each *undirected* edge for the
-/// whole run, so the `stream_seed` roll per envelope per round recomputed
-/// the same answer over and over. This caches each pair's verdict in a
-/// packed bitmap (2 bits per pair: known + dead) the first time the pair
-/// carries traffic; laziness keeps sparse-traffic runs cheap.
+/// [`SimConfig::edge_failure_prob`] kills each undirected edge for the
+/// whole run. A fate is a pure hash of `(edge seed, canonical pair)` — the
+/// same `stream_seed` roll in both directions, in every round, from any
+/// thread — so the data plane samples it on demand for exactly the edges a
+/// message actually crosses and never materialises anything per pair.
+/// That makes a round cost `O(traffic)` where the eager per-pair bitmap
+/// was `Θ(n²)` memory. [`DeadEdgeCache`] memoises the identical roll and
+/// is retained as the oracle the property suite pins this sampler against.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeFates {
+    edge_seed: u64,
+    p: f64,
+}
+
+impl EdgeFates {
+    /// The edge fates of a run of `cfg`, derived from the master seed the
+    /// same way for every driver.
+    pub fn new(cfg: &SimConfig) -> Self {
+        EdgeFates {
+            edge_seed: stream_seed(cfg.seed, SALT_EDGES),
+            p: cfg.edge_failure_prob,
+        }
+    }
+
+    /// The failure probability the fates are drawn against.
+    pub fn failure_prob(&self) -> f64 {
+        self.p
+    }
+
+    /// Whether the undirected edge `{a, b}` is dead. Order-insensitive and
+    /// stateless: any query order over any subset of edges draws the same
+    /// fates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` — the complete graph has no self edge.
+    #[inline]
+    pub fn is_dead(&self, a: NodeId, b: NodeId) -> bool {
+        assert_ne!(a, b, "no self edge");
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        edge_roll(self.edge_seed, lo, hi, self.p)
+    }
+}
+
+/// Eagerly memoised dead-edge set: the reference implementation the lazy
+/// [`EdgeFates`] sampler is tested against.
+///
+/// Caches each pair's verdict in a packed bitmap (2 bits per pair: known +
+/// dead) the first time the pair is queried. No longer used by the data
+/// plane — the bitmap is `Θ(n²)` and refuses to build past
+/// `MAX_CACHED_EDGE_PAIRS` — but kept public so the equivalence property
+/// test can pin `EdgeFates` to the historical rolls per `(seed, edge)`.
 #[derive(Debug)]
-struct DeadEdgeCache {
+pub struct DeadEdgeCache {
     n: u64,
     bits: Vec<u64>,
 }
@@ -160,7 +212,7 @@ struct DeadEdgeCache {
 impl DeadEdgeCache {
     /// A cache for `n` nodes, or `None` when the pair count would make the
     /// bitmap unreasonably large.
-    fn new(n: u32) -> Option<Self> {
+    pub fn new(n: u32) -> Option<Self> {
         let pairs = u64::from(n) * u64::from(n - 1) / 2;
         if pairs > MAX_CACHED_EDGE_PAIRS {
             return None;
@@ -171,9 +223,15 @@ impl DeadEdgeCache {
         })
     }
 
-    /// Whether the undirected edge `{a, b}` is dead, memoising the roll.
+    /// Whether the undirected edge `{a, b}` is dead under `fates`,
+    /// memoising the roll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
     #[inline]
-    fn is_dead(&mut self, a: u32, b: u32, edge_seed: u64, p: f64) -> bool {
+    pub fn is_dead(&mut self, a: u32, b: u32, fates: &EdgeFates) -> bool {
+        assert_ne!(a, b, "no self edge");
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         // Row-major upper-triangle index of the pair (lo, hi), lo < hi.
         let l = u64::from(lo);
@@ -184,7 +242,7 @@ impl DeadEdgeCache {
         if (word >> sh) & 1 == 1 {
             return (word >> (sh + 1)) & 1 == 1;
         }
-        let dead = edge_roll(edge_seed, lo, hi, p);
+        let dead = edge_roll(fates.edge_seed, lo, hi, fates.p);
         self.bits[w] = word | (1 << sh) | (u64::from(dead) << (sh + 1));
         dead
     }
@@ -211,8 +269,8 @@ pub struct ControlCore {
     trace: Option<Trace>,
     congest_bits: Option<u32>,
     congest_violations: u64,
-    edge_failure_prob: f64,
-    edge_seed: u64,
+    /// Lazily sampled per-edge fates (replaces the old `Θ(n²)` bitmap).
+    fates: EdgeFates,
     adv_rng: SmallRng,
     filter_rng: SmallRng,
     /// Per-destination bit accumulator for the sender currently being
@@ -222,13 +280,15 @@ pub struct ControlCore {
     edge_acc: Vec<u64>,
     /// Destinations with a set mark in `edge_acc`, for O(touched) reset.
     edge_touched: Vec<u32>,
-    /// Memoised dead-edge verdicts (`Some` only when `edge_failure_prob >
-    /// 0` and the pair bitmap fits in memory).
-    dead_edges: Option<DeadEdgeCache>,
     /// Per-sender `(start, end)` ranges into the trace's event list for the
     /// current round — lets trace patching scan one sender's events instead
-    /// of the whole round tail.
+    /// of the whole round tail. Only the spans of the round's touched
+    /// senders are refreshed; a stale span is only ever consulted for a
+    /// sender with no outgoing traffic, where patching is a no-op.
     trace_spans: Vec<(usize, usize)>,
+    /// Cached `0..n` sender list backing the dense [`ControlCore::finish_round`]
+    /// wrapper, so legacy dense drivers stay allocation-free per round.
+    all_senders: Vec<u32>,
 }
 
 impl ControlCore {
@@ -262,16 +322,13 @@ impl ControlCore {
             trace: cfg.record_trace.then(|| Trace::new(n)),
             congest_bits: cfg.congest_bits,
             congest_violations: 0,
-            edge_failure_prob: cfg.edge_failure_prob,
-            edge_seed: stream_seed(cfg.seed, SALT_EDGES),
+            fates: EdgeFates::new(cfg),
             adv_rng,
             filter_rng,
             edge_acc: vec![0; nn],
             edge_touched: Vec::new(),
-            dead_edges: (cfg.edge_failure_prob > 0.0)
-                .then(|| DeadEdgeCache::new(n))
-                .flatten(),
             trace_spans: Vec::new(),
+            all_senders: Vec::new(),
         }
     }
 
@@ -300,6 +357,11 @@ impl ControlCore {
         &self.faulty
     }
 
+    /// The run's lazily sampled edge fates.
+    pub fn edge_fates(&self) -> EdgeFates {
+        self.fates
+    }
+
     /// Runs the control plane for one round over the traffic the alive
     /// nodes queued (`outgoing`, indexed by sender; entries of dead nodes
     /// must be empty). Consults the adversary (tamper, then crash
@@ -325,7 +387,47 @@ impl ControlCore {
         M: Payload,
         A: Adversary<M> + ?Sized,
     {
+        // Dense wrapper: every node is a potential sender. Sparse drivers
+        // (the engine's agenda loop) call `finish_round_touched` directly.
+        let mut all = std::mem::take(&mut self.all_senders);
+        if all.len() != outgoing.len() {
+            all.clear();
+            all.extend(0..outgoing.len() as u32);
+        }
+        let verdict =
+            self.finish_round_touched(round, outgoing, &all, suppressed, adversary, ports);
+        self.all_senders = all;
+        verdict
+    }
+
+    /// Sparse variant of [`ControlCore::finish_round`]: runs the identical
+    /// control plane while visiting only `touched` senders, so the round
+    /// costs `O(touched + traffic)` instead of `O(n)`.
+    ///
+    /// `touched` must be sorted ascending, deduplicated, and contain every
+    /// sender whose `outgoing` entry is non-empty (entries of other nodes
+    /// are ignored and must be empty). Nodes the adversary tampers with are
+    /// merged in automatically. Because senders with empty buffers
+    /// contribute nothing to accounting, tracing or delivery, the verdict,
+    /// metrics and filtered buffers are bit-identical to the dense walk.
+    pub fn finish_round_touched<M, A>(
+        &mut self,
+        round: Round,
+        outgoing: &mut [Vec<Envelope<M>>],
+        touched_senders: &[u32],
+        suppressed: u64,
+        adversary: &mut A,
+        ports: &[PortMap],
+    ) -> RoundVerdict
+    where
+        M: Payload,
+        A: Adversary<M> + ?Sized,
+    {
         let n = self.n;
+        debug_assert!(
+            touched_senders.windows(2).all(|w| w[0] < w[1]),
+            "touched sender list must be sorted and deduplicated"
+        );
         self.metrics.msgs_suppressed += suppressed;
 
         // --- Byzantine tampering (extension; no-op for crash-only
@@ -340,6 +442,7 @@ impl ControlCore {
             };
             adversary.tamper(&view, &mut self.adv_rng)
         };
+        let mut extra_senders: Vec<u32> = Vec::new();
         for t in tampers {
             let i = t.node.index();
             assert!(
@@ -352,6 +455,9 @@ impl ControlCore {
                 "adversary tampered with crashed node {}",
                 t.node
             );
+            if touched_senders.binary_search(&t.node.0).is_err() {
+                extra_senders.push(t.node.0);
+            }
             outgoing[i] = t
                 .sends
                 .into_iter()
@@ -367,6 +473,24 @@ impl ControlCore {
                 })
                 .collect();
         }
+        // A tamper may conjure traffic for a sender outside the touched
+        // list; fold those in (rare — only Byzantine extensions hit this)
+        // and report them in the verdict so sparse drivers drain them.
+        extra_senders.sort_unstable();
+        let tampered_extra: Vec<NodeId> = extra_senders.iter().map(|&u| NodeId(u)).collect();
+        let merged: Vec<u32>;
+        let touched_senders: &[u32] = if extra_senders.is_empty() {
+            touched_senders
+        } else {
+            let mut m: Vec<u32> = touched_senders
+                .iter()
+                .copied()
+                .chain(extra_senders)
+                .collect();
+            m.sort_unstable();
+            merged = m;
+            &merged
+        };
 
         // --- adversary: crash directives for this round. ---
         let directives = {
@@ -384,7 +508,8 @@ impl ControlCore {
         let mut crashed = Vec::new();
         let mut sent: u64 = 0;
         let mut bits_sent: u64 = 0;
-        for node_out in outgoing.iter() {
+        for &su in touched_senders {
+            let node_out = &outgoing[su as usize];
             sent += node_out.len() as u64;
             bits_sent += node_out
                 .iter()
@@ -393,15 +518,19 @@ impl ControlCore {
         }
 
         // Record every *sent* message in the trace before filtering, so the
-        // communication graph also knows about suppressed sends. Each
-        // sender's events land contiguously; remember the span so patching
-        // below touches only that sender's slice.
+        // communication graph also knows about suppressed sends. Touched
+        // senders are walked in id order, so events land exactly where the
+        // dense walk put them; each sender's events are contiguous, and the
+        // span is remembered so patching below touches only that sender's
+        // slice. Spans of untouched senders go stale, which is safe: a
+        // stale span is only consulted for a sender with an empty buffer,
+        // where the patch has nothing to drop.
         if let Some(tr) = self.trace.as_mut() {
-            self.trace_spans.clear();
             self.trace_spans.resize(outgoing.len(), (0, 0));
-            for (u, node_out) in outgoing.iter().enumerate() {
+            for &su in touched_senders {
+                let u = su as usize;
                 let start = tr.events().len();
-                for e in node_out {
+                for e in &outgoing[u] {
                     tr.push(TraceEvent {
                         round,
                         src: e.src,
@@ -451,11 +580,13 @@ impl ControlCore {
         // per-edge bits through the flat `edge_acc` accumulator — one array
         // slot per destination, valid because a sender's envelopes are
         // processed as one group and directed edges of different senders
-        // never collide. No allocation, no hashing.
+        // never collide. No allocation, no hashing. Edge fates are sampled
+        // lazily per crossed edge ([`EdgeFates`]), so a round's cost never
+        // depends on how many edges the complete graph *has*.
         let mut delivered: u64 = 0;
         let mut round_max_edge: u64 = 0;
-        let p = self.edge_failure_prob;
-        let edge_seed = self.edge_seed;
+        let fates = self.fates;
+        let p = fates.p;
         let budget = self.congest_bits.map(u64::from);
         let all_dsts_alive = self.dead_count == 0;
 
@@ -464,11 +595,12 @@ impl ControlCore {
         let violations = &mut self.congest_violations;
         let edge_acc = &mut self.edge_acc;
         let touched = &mut self.edge_touched;
-        let dead_edges = &mut self.dead_edges;
         let spans = &self.trace_spans;
         let mut trace = self.trace.as_mut();
 
-        for (u, node_out) in outgoing.iter_mut().enumerate() {
+        for &su in touched_senders {
+            let u = su as usize;
+            let node_out = &mut outgoing[u];
             if node_out.is_empty() {
                 continue;
             }
@@ -499,15 +631,11 @@ impl ControlCore {
                 delivered += node_out.len() as u64;
                 continue;
             }
-            let src = u as u32;
+            let src = NodeId(su);
             let mut w = 0usize;
             for r_i in 0..node_out.len() {
                 let dst = node_out[r_i].dst;
-                let edge_is_dead = p > 0.0
-                    && match dead_edges.as_mut() {
-                        Some(c) => c.is_dead(src, dst.0, edge_seed, p),
-                        None => edge_roll(edge_seed, src.min(dst.0), src.max(dst.0), p),
-                    };
+                let edge_is_dead = p > 0.0 && fates.is_dead(src, dst);
                 if edge_is_dead {
                     metrics.msgs_lost_edges += 1;
                     if let Some(tr) = trace.as_deref_mut() {
@@ -536,7 +664,11 @@ impl ControlCore {
             crashes: crashes_this_round,
         });
 
-        RoundVerdict { crashed, delivered }
+        RoundVerdict {
+            crashed,
+            delivered,
+            tampered_extra,
+        }
     }
 
     /// Records the total number of bytes the run pushed onto the wire

@@ -60,6 +60,12 @@ struct Opts {
     store: String,
     /// `lab`: execution substrate (`engine`, `channel:W`, `tcp:W`).
     substrate: String,
+    /// `lab`: worker threads sharding one trial's nodes (engine
+    /// substrate only; results are bit-identical at any value).
+    intra_jobs: usize,
+    /// `lab perf`: which campaign's latest trajectory entry to gate
+    /// against (absent = the file's most recent entry).
+    campaign: Option<String>,
     /// `lab diff`/`lab gate`: fractional tolerance band (absent = exact).
     tolerance: Option<f64>,
     /// Non-flag arguments (e.g. the artifact path for `replay`).
@@ -90,6 +96,8 @@ impl Default for Opts {
             smoke: false,
             store: "results/store".into(),
             substrate: "engine".into(),
+            intra_jobs: 1,
+            campaign: None,
             tolerance: None,
             positional: Vec::new(),
         }
@@ -236,6 +244,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--substrate" => {
                 o.substrate = value(i)?.clone();
                 parse_substrate(&o.substrate)?;
+                i += 2;
+            }
+            "--intra-jobs" => {
+                o.intra_jobs = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--intra-jobs: {e}"))?;
+                if o.intra_jobs == 0 {
+                    return Err("--intra-jobs must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--campaign" => {
+                o.campaign = Some(value(i)?.clone());
                 i += 2;
             }
             "--tolerance" => {
@@ -863,6 +884,22 @@ fn parse_substrate(s: &str) -> Result<LabSubstrate, String> {
     }
 }
 
+/// The substrate the `lab` verbs run on: `--substrate`, upgraded to the
+/// sharded engine when `--intra-jobs J` asks for intra-trial parallelism.
+fn lab_substrate(o: &Opts) -> Result<LabSubstrate, String> {
+    let substrate = parse_substrate(&o.substrate)?;
+    if o.intra_jobs <= 1 {
+        return Ok(substrate);
+    }
+    match substrate {
+        LabSubstrate::Engine => Ok(LabSubstrate::EngineSharded(o.intra_jobs)),
+        other => Err(format!(
+            "--intra-jobs shards the engine substrate only (got {})",
+            other.name()
+        )),
+    }
+}
+
 /// Resolves `lab run`'s campaign argument: a registry name, or a path to
 /// a JSON spec file.
 fn resolve_spec(arg: &str, smoke: bool) -> Result<CampaignSpec, String> {
@@ -936,7 +973,7 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
     match verb.as_str() {
         "run" => {
             let spec = resolve_spec(&arg(1, "a campaign name or spec file")?, o.smoke)?;
-            let substrate = parse_substrate(&o.substrate)?;
+            let substrate = lab_substrate(o)?;
             let record = run_campaign(&spec, o.jobs, substrate)?;
             let id = store.put(&record).map_err(|e| e.to_string())?;
             print_record(&record, o.format);
@@ -989,7 +1026,7 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
         }
         "gate" => {
             let base = load_record_arg(&store, &arg(1, "a baseline record or file")?)?;
-            let substrate = parse_substrate(&o.substrate)?;
+            let substrate = lab_substrate(o)?;
             let fresh = run_campaign(&base.spec, o.jobs, substrate)?;
             let tol = o.tolerance.map_or_else(Tolerance::exact, Tolerance::banded);
             report_diff(&base, &fresh, &tol)
@@ -1002,20 +1039,34 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                 ("le-scaling", ftc::lab::baseline::BENCH_LE),
                 ("agree-scaling", ftc::lab::baseline::BENCH_AGREE),
                 ("engine-bench", ftc::lab::baseline::BENCH_ENGINE),
+                ("scale-bench", ftc::lab::baseline::BENCH_ENGINE),
             ];
             if let Some(name) = only {
                 if !all.iter().any(|(n, _)| n == name) {
                     return Err(format!(
-                        "lab baseline: unknown campaign {name} (le-scaling|agree-scaling|engine-bench)"
+                        "lab baseline: unknown campaign {name} \
+                         (le-scaling|agree-scaling|engine-bench|scale-bench)"
                     ));
                 }
             }
+            // Trajectories are engine-throughput history; the cluster
+            // substrates would record wall clocks of a different machine
+            // shape entirely.
+            let substrate = match lab_substrate(o)? {
+                s @ (LabSubstrate::Engine | LabSubstrate::EngineSharded(_)) => s,
+                other => {
+                    return Err(format!(
+                        "lab baseline records engine trajectories only (got {})",
+                        other.name()
+                    ))
+                }
+            };
             for (name, file) in all {
                 if only.is_some_and(|n| n != name) {
                     continue;
                 }
                 let spec = ftc::lab::campaigns::named(name, o.smoke).expect("registry name");
-                let record = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
+                let record = run_campaign(&spec, o.jobs, substrate)?;
                 let id = store.put(&record).map_err(|e| e.to_string())?;
                 let path = dir.join(file);
                 let entries =
@@ -1037,8 +1088,11 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
         "perf" => {
             let path =
                 std::path::PathBuf::from(arg(1, "a trajectory file (e.g. BENCH_engine.json)")?);
-            let entry = ftc::lab::baseline::latest_entry(&path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let entry = match &o.campaign {
+                Some(name) => ftc::lab::baseline::latest_entry_named(&path, name),
+                None => ftc::lab::baseline::latest_entry(&path),
+            }
+            .map_err(|e| format!("{}: {e}", path.display()))?;
             let name = entry
                 .field("name")
                 .and_then(ftc::sim::json::Json::as_str)
@@ -1061,7 +1115,16 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                          either scale — regenerate the trajectory with ftc lab baseline"
                     )
                 })?;
-            let fresh = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
+            let substrate = match lab_substrate(o)? {
+                s @ (LabSubstrate::Engine | LabSubstrate::EngineSharded(_)) => s,
+                other => {
+                    return Err(format!(
+                        "lab perf gates the engine substrate only (got {})",
+                        other.name()
+                    ))
+                }
+            };
+            let fresh = run_campaign(&spec, o.jobs, substrate)?;
             store.put(&fresh).map_err(|e| e.to_string())?;
             let tolerance = o.tolerance.unwrap_or(0.2);
             let mut report = ftc::lab::baseline::perf_gate(&entry, &fresh, tolerance)?;
@@ -1071,7 +1134,7 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                 // and gate on each cell's best of the two runs. A real
                 // hot-path regression fails both.
                 eprintln!("throughput below floor; re-running once to rule out transient noise");
-                let retry = run_campaign(&spec, o.jobs, LabSubstrate::Engine)?;
+                let retry = run_campaign(&spec, o.jobs, substrate)?;
                 let mut best = fresh.clone();
                 for (b, r) in best.cells.iter_mut().zip(&retry.cells) {
                     if r.throughput() > b.throughput() {
@@ -1168,13 +1231,13 @@ fn usage() -> &'static str {
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
      [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
      ftc replay <artifact.json> [--transport tcp|channel] [--workers W]\n\
-     ftc lab run <campaign|spec.json> [--smoke] [--jobs J] [--store DIR] \
+     ftc lab run <campaign|spec.json> [--smoke] [--jobs J] [--intra-jobs J] [--store DIR] \
      [--substrate engine|channel:W|tcp:W] [--format human|json]\n\
      ftc lab list|show <id> [--store DIR]\n\
      ftc lab diff <baseline> <fresh> [--tolerance F]\n\
      ftc lab gate <baseline> [--jobs J] [--tolerance F]\n\
-     ftc lab baseline [NAME] [--smoke] [--jobs J] [--out DIR]\n\
-     ftc lab perf <trajectory.json> [--jobs J] [--tolerance F]"
+     ftc lab baseline [NAME] [--smoke] [--jobs J] [--intra-jobs J] [--out DIR]\n\
+     ftc lab perf <trajectory.json> [--campaign NAME] [--jobs J] [--intra-jobs J] [--tolerance F]"
 }
 
 fn main() -> ExitCode {
