@@ -159,6 +159,17 @@ impl LeNode {
         self.candidate.as_ref().is_none_or(|c| c.settled)
     }
 
+    /// The KT0 ports of the referees this candidate sampled, if this node
+    /// is a candidate. Ports are the node's private view of its neighbours;
+    /// callers map them to node ids with [`ftc_sim::round::PortMap`].
+    ///
+    /// Fault seeders use this: constructing a split-brain counterexample
+    /// requires crashing exactly the referees two candidates share, which
+    /// means reading the sampled sets out of a probe run.
+    pub fn referee_ports(&self) -> Option<&[Port]> {
+        self.candidate.as_ref().map(|c| c.referees.as_slice())
+    }
+
     /// First round of the iteration phase.
     fn t0(&self) -> Round {
         self.params.preprocess_rounds()

@@ -33,6 +33,12 @@ pub struct Artifact {
     pub alpha: f64,
     /// Agreement input density (ignored for LE, recorded regardless).
     pub zeros: f64,
+    /// The service election height the schedule was observed at, when the
+    /// artifact came out of a long-lived `ftc-serve` run (`None` for
+    /// single-shot hunts). Heights replay as standalone elections — the
+    /// schedule and config are complete without it — so this is
+    /// provenance, not an execution input.
+    pub height: Option<u32>,
     /// Exact execution config; `seed` is the counterexample probe seed.
     pub config: SimConfig,
     /// The (shrunk) crash schedule.
@@ -72,14 +78,21 @@ impl Artifact {
         Params::new(self.config.n, self.alpha).map_err(|e| format!("bad artifact params: {e}"))
     }
 
-    /// JSON encoding (compact, deterministic key order).
+    /// JSON encoding (compact, deterministic key order). The `height` key
+    /// appears only when set, so single-shot artifacts keep their exact
+    /// pre-service rendering (committed artifacts must not churn).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("version".into(), Json::UInt(self.version)),
             ("proto".into(), Json::Str(self.proto.name().into())),
             ("objective".into(), Json::Str(self.objective.name().into())),
             ("alpha".into(), Json::Num(self.alpha)),
             ("zeros".into(), Json::Num(self.zeros)),
+        ];
+        if let Some(height) = self.height {
+            fields.push(("height".into(), Json::UInt(u64::from(height))));
+        }
+        fields.extend([
             ("config".into(), self.config.to_json()),
             ("schedule".into(), self.schedule.to_json()),
             (
@@ -90,7 +103,8 @@ impl Artifact {
                     ("fingerprint".into(), self.fingerprint.to_json()),
                 ]),
             ),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     /// Decodes an artifact from its [`Artifact::to_json`] form.
@@ -109,6 +123,10 @@ impl Artifact {
             objective: Objective::parse(v.field("objective")?.as_str()?).map_err(err)?,
             alpha: v.field("alpha")?.as_f64()?,
             zeros: v.field("zeros")?.as_f64()?,
+            height: match v.get("height") {
+                Some(h) => Some(h.as_u64()? as u32),
+                None => None,
+            },
             config: SimConfig::from_json(v.field("config")?)?,
             schedule: FaultPlan::from_json(v.field("schedule")?)?,
             score: observed.field("score")?.as_f64()?,
@@ -184,6 +202,7 @@ mod tests {
             objective: Objective::Failure,
             alpha: 0.5,
             zeros: 0.05,
+            height: None,
             config,
             schedule,
             score: Objective::Failure.score(&obs),
@@ -206,6 +225,22 @@ mod tests {
         assert_eq!(back.hit, art.hit);
         // And the rendering is deterministic.
         assert_eq!(back.render(), art.render());
+    }
+
+    #[test]
+    fn height_is_optional_and_round_trips() {
+        // Absent: the key is not rendered, and parsing tolerates it.
+        let art = sample_artifact();
+        assert!(!art.render().contains("\"height\""));
+        assert_eq!(Artifact::parse(&art.render()).unwrap().height, None);
+        // Present: it renders and round-trips.
+        let mut tall = sample_artifact();
+        tall.height = Some(37);
+        tall.objective = Objective::TwoLeadersAtHeight;
+        let back = Artifact::parse(&tall.render()).unwrap();
+        assert_eq!(back.height, Some(37));
+        assert_eq!(back.objective, Objective::TwoLeadersAtHeight);
+        assert_eq!(back.render(), tall.render());
     }
 
     #[test]

@@ -20,6 +20,14 @@ use crate::proto::{Observation, ProtoKind};
 pub enum Objective {
     /// LE safety: two or more alive nodes consider themselves elected.
     TwoLeaders,
+    /// LE safety inside one height of a long-lived service (`ftc-serve`):
+    /// two or more alive nodes consider themselves elected at the same
+    /// election height. Scored identically to [`Objective::TwoLeaders`] —
+    /// a height is one complete election — but kept distinct so artifacts
+    /// record *where* the split brain was observed (the artifact's
+    /// `height` field) and the serve invariant monitor can file its
+    /// counterexamples under the objective it actually checks.
+    TwoLeadersAtHeight,
     /// Agreement safety: alive nodes decided different values.
     Disagreement,
     /// Success-probability minimisation: the run's success predicate fails.
@@ -54,13 +62,15 @@ impl Objective {
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "two-leaders" => Ok(Objective::TwoLeaders),
+            "two-leaders-at-height" => Ok(Objective::TwoLeadersAtHeight),
             "disagreement" => Ok(Objective::Disagreement),
             "failure" => Ok(Objective::Failure),
             "max-messages" => Ok(Objective::MaxMessages),
             "max-rounds" => Ok(Objective::MaxRounds),
             other => Err(format!(
                 "unknown objective {other} \
-                 (two-leaders|disagreement|failure|max-messages|max-rounds)"
+                 (two-leaders|two-leaders-at-height|disagreement|failure|\
+                 max-messages|max-rounds)"
             )),
         }
     }
@@ -69,6 +79,7 @@ impl Objective {
     pub fn name(self) -> &'static str {
         match self {
             Objective::TwoLeaders => "two-leaders",
+            Objective::TwoLeadersAtHeight => "two-leaders-at-height",
             Objective::Disagreement => "disagreement",
             Objective::Failure => "failure",
             Objective::MaxMessages => "max-messages",
@@ -80,7 +91,7 @@ impl Objective {
     /// are protocol-specific; the rest apply to both).
     pub fn supports(self, proto: ProtoKind) -> bool {
         match self {
-            Objective::TwoLeaders => proto == ProtoKind::Le,
+            Objective::TwoLeaders | Objective::TwoLeadersAtHeight => proto == ProtoKind::Le,
             Objective::Disagreement => proto == ProtoKind::Agree,
             Objective::Failure | Objective::MaxMessages | Objective::MaxRounds => true,
         }
@@ -91,7 +102,9 @@ impl Objective {
     /// the maximal-score probe is a hit iff any probe is.
     pub fn score(self, obs: &Observation) -> f64 {
         match self {
-            Objective::TwoLeaders | Objective::Disagreement => f64::from(obs.distinct),
+            Objective::TwoLeaders | Objective::TwoLeadersAtHeight | Objective::Disagreement => {
+                f64::from(obs.distinct)
+            }
             Objective::Failure => {
                 if obs.fingerprint.success {
                     0.0
@@ -107,7 +120,9 @@ impl Objective {
     /// Whether the observation is an actual counterexample.
     pub fn hit(self, obs: &Observation, bounds: &Bounds) -> bool {
         match self {
-            Objective::TwoLeaders | Objective::Disagreement => obs.distinct >= 2,
+            Objective::TwoLeaders | Objective::TwoLeadersAtHeight | Objective::Disagreement => {
+                obs.distinct >= 2
+            }
             Objective::Failure => !obs.fingerprint.success,
             Objective::MaxMessages => obs.fingerprint.msgs_sent as f64 > bounds.message_bound,
             Objective::MaxRounds => obs.fingerprint.rounds >= bounds.round_budget,
@@ -121,9 +136,10 @@ impl Objective {
     /// comparison is exact).
     pub fn preserved(self, original_score: f64, obs: &Observation, bounds: &Bounds) -> bool {
         match self {
-            Objective::TwoLeaders | Objective::Disagreement | Objective::Failure => {
-                self.hit(obs, bounds)
-            }
+            Objective::TwoLeaders
+            | Objective::TwoLeadersAtHeight
+            | Objective::Disagreement
+            | Objective::Failure => self.hit(obs, bounds),
             Objective::MaxMessages | Objective::MaxRounds => self.score(obs) >= original_score,
         }
     }
@@ -158,6 +174,16 @@ mod tests {
         assert!(Objective::parse("world-peace").is_err());
         assert!(Objective::TwoLeaders.supports(ProtoKind::Le));
         assert!(!Objective::TwoLeaders.supports(ProtoKind::Agree));
+        assert_eq!(
+            Objective::parse("two-leaders-at-height").unwrap(),
+            Objective::TwoLeadersAtHeight
+        );
+        assert!(Objective::TwoLeadersAtHeight.supports(ProtoKind::Le));
+        assert!(!Objective::TwoLeadersAtHeight.supports(ProtoKind::Agree));
+        assert_eq!(
+            Objective::TwoLeadersAtHeight.name(),
+            "two-leaders-at-height"
+        );
         assert!(!Objective::Disagreement.supports(ProtoKind::Le));
         assert!(Objective::Failure.supports(ProtoKind::Agree));
         assert_eq!(Objective::MaxRounds.name(), "max-rounds");

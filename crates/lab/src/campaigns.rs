@@ -24,6 +24,7 @@ pub fn names() -> &'static [&'static str] {
         "alpha-sweep",
         "engine-bench",
         "scale-bench",
+        "soak",
     ]
 }
 
@@ -36,6 +37,7 @@ pub fn named(name: &str, smoke: bool) -> Option<CampaignSpec> {
         "alpha-sweep" => Some(alpha_sweep(smoke)),
         "engine-bench" => Some(engine_bench(smoke)),
         "scale-bench" => Some(scale_bench(smoke)),
+        "soak" => Some(soak(smoke)),
         _ => None,
     }
 }
@@ -286,6 +288,41 @@ pub fn scale_bench(smoke: bool) -> CampaignSpec {
                 trials,
             )
             .label("le"),
+        );
+    }
+    spec
+}
+
+/// E18: the `ftc-serve` soak — a long-lived leader service driven through
+/// a hundred-plus election heights with leader-kill churn, rejoin, offered
+/// load, and the invariant monitor armed. Success per trial means zero
+/// invariant violations and zero failed elections; the extras carry TTNL
+/// and request-latency percentiles plus availability, so the committed
+/// record pins the service's steady-state behaviour, not just one
+/// election. Full scale runs n=64 at 120 heights (α=0.75, within the
+/// resilience floor `log₂²n/n ≈ 0.56`); smoke scale is a CI-sized n=16
+/// service at 30 heights.
+pub fn soak(smoke: bool) -> CampaignSpec {
+    let cells: &[(u32, f64, u32, u64)] = if smoke {
+        &[(16, 0.5, 30, 2)]
+    } else {
+        &[(16, 0.5, 60, 4), (64, 0.75, 120, 4)]
+    };
+    let mut spec = CampaignSpec::new("soak");
+    for &(n, alpha, heights, trials) in cells {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Soak {
+                    heights,
+                    kill_every: 3,
+                    rejoin_after: 4,
+                },
+                n,
+                alpha,
+                GATE_SEED ^ 0x800 ^ u64::from(n),
+                trials,
+            )
+            .label("soak"),
         );
     }
     spec

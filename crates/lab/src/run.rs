@@ -19,6 +19,7 @@ use ftc_core::byzantine::{EquivocatingClaimant, ZeroForger};
 use ftc_core::prelude::*;
 use ftc_core::sampling::draw_committee;
 use ftc_net::prelude::*;
+use ftc_serve::prelude::{run_service, ChurnPlan, LoadProfile, ServeConfig};
 use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
 use ftc_sim::engine::{run_sharded, RunResult, SimConfig};
 use ftc_sim::ids::NodeId;
@@ -500,6 +501,52 @@ pub fn run_trial(
             // interesting output is msgs/bits (deterministic payload) and
             // the cell's wall-clock throughput (diagnostic).
             value_of(&r, r.metrics.msgs_delivered > 0, vec![])
+        }
+        Workload::Soak {
+            heights,
+            kill_every,
+            rejoin_after,
+        } => {
+            let scfg = ServeConfig::new(n, cell.alpha)
+                .seed(seed)
+                .heights(*heights)
+                .churn(ChurnPlan {
+                    kill_leader_every: *kill_every,
+                    bystanders: 2,
+                    rejoin_after: *rejoin_after,
+                })
+                .load(LoadProfile::default());
+            let report = run_service(&scfg)?;
+            let q = |h: &ftc_sim::prelude::LogHistogram, p: f64| {
+                h.quantile(p).map_or(0.0, |v| v as f64)
+            };
+            let lat = report
+                .load
+                .as_ref()
+                .map(|l| l.latency.clone())
+                .unwrap_or_default();
+            TrialValue {
+                success: report.ok() && report.metrics.failed_elections == 0,
+                msgs: report.total_msgs(),
+                bits: report.total_bits(),
+                rounds: report.total_rounds().min(u64::from(u32::MAX)) as u32,
+                crashes: u64::from(report.crashes),
+                extras: vec![
+                    ("violations", report.violations.len() as f64),
+                    (
+                        "failed_elections",
+                        f64::from(report.metrics.failed_elections),
+                    ),
+                    ("leader_changes", f64::from(report.metrics.leader_changes)),
+                    ("availability", report.metrics.availability().unwrap_or(0.0)),
+                    ("ttnl_p50", q(&report.metrics.ttnl_rounds, 0.5)),
+                    ("ttnl_p95", q(&report.metrics.ttnl_rounds, 0.95)),
+                    ("ttnl_p99", q(&report.metrics.ttnl_rounds, 0.99)),
+                    ("lat_p50", q(&lat, 0.5)),
+                    ("lat_p95", q(&lat, 0.95)),
+                    ("lat_p99", q(&lat, 0.99)),
+                ],
+            }
         }
     })
 }
@@ -1061,6 +1108,36 @@ mod tests {
             sharded.deterministic_render()
         );
         assert_eq!(engine.id(), sharded.id());
+    }
+
+    #[test]
+    fn soak_cell_runs_clean_and_is_jobs_invariant() {
+        let spec = CampaignSpec::new("soak-unit").cell(CellSpec::new(
+            Workload::Soak {
+                heights: 12,
+                kill_every: 2,
+                rejoin_after: 3,
+            },
+            16,
+            0.5,
+            9,
+            2,
+        ));
+        let a = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap();
+        let b = run_campaign(&spec, 4, LabSubstrate::Engine).unwrap();
+        assert_eq!(a.deterministic_render(), b.deterministic_render());
+        assert_eq!(a.id(), b.id());
+        let cell = &a.cells[0];
+        // Churn happened, the monitor stayed quiet, and the percentile
+        // extras made it into the record.
+        assert!(cell.crashes.mean > 0.0);
+        assert_eq!(cell.extra("violations").unwrap().mean, 0.0);
+        assert!(cell.extra("ttnl_p99").unwrap().mean >= cell.extra("ttnl_p50").unwrap().mean);
+        assert!(cell.extra("lat_p99").unwrap().mean >= cell.extra("lat_p50").unwrap().mean);
+        let avail = cell.extra("availability").unwrap().mean;
+        assert!(avail > 0.0 && avail < 1.0, "availability {avail}");
+        // Engine-only, like the other harness workloads.
+        assert!(run_campaign(&spec, 1, LabSubstrate::Channel(2)).is_err());
     }
 
     #[test]

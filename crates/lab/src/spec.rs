@@ -190,6 +190,20 @@ pub enum Workload {
         /// Broadcast rounds per trial.
         rounds: u32,
     },
+    /// E18: an `ftc-serve` soak — a long-lived leader service running this
+    /// many election heights with leader-kill churn, a deterministic load
+    /// generator, and the invariant monitor armed. Success means zero
+    /// invariant violations and zero failed elections; extras carry the
+    /// TTNL and latency percentiles plus availability. Engine substrate
+    /// only.
+    Soak {
+        /// Election heights per trial.
+        heights: u32,
+        /// Crash the leader after every this-many successful heights.
+        kill_every: u32,
+        /// Heights a downed node sits out before rejoining.
+        rejoin_after: u32,
+    },
 }
 
 impl Workload {
@@ -216,6 +230,7 @@ impl Workload {
             Workload::Gossip { .. } => "gossip",
             Workload::SamplingLemmas { .. } => "sampling_lemmas",
             Workload::EngineBench { .. } => "engine_bench",
+            Workload::Soak { .. } => "soak",
         }
     }
 
@@ -263,6 +278,15 @@ impl Workload {
                 fields.push(("adv".into(), adv.to_json()));
                 fields.push(("p".into(), Json::Num(*p)));
                 fields.push(("rounds".into(), Json::UInt(u64::from(*rounds))));
+            }
+            Workload::Soak {
+                heights,
+                kill_every,
+                rejoin_after,
+            } => {
+                fields.push(("heights".into(), Json::UInt(u64::from(*heights))));
+                fields.push(("kill_every".into(), Json::UInt(u64::from(*kill_every))));
+                fields.push(("rejoin_after".into(), Json::UInt(u64::from(*rejoin_after))));
             }
         }
         Json::Obj(fields)
@@ -331,6 +355,11 @@ impl Workload {
                 adv: Adv::from_json(v.field("adv")?)?,
                 p: v.field("p")?.as_f64()?,
                 rounds: v.field("rounds")?.as_u64()? as u32,
+            }),
+            "soak" => Ok(Workload::Soak {
+                heights: v.field("heights")?.as_u64()? as u32,
+                kill_every: v.field("kill_every")?.as_u64()? as u32,
+                rejoin_after: v.field("rejoin_after")?.as_u64()? as u32,
             }),
             other => Err(JsonError {
                 message: format!("unknown workload kind `{other}`"),
@@ -686,6 +715,11 @@ mod tests {
                 adv: Adv::Eager,
                 p: 0.3,
                 rounds: 5,
+            },
+            Workload::Soak {
+                heights: 120,
+                kill_every: 3,
+                rejoin_after: 4,
             },
         ];
         for w in workloads {

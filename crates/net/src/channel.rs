@@ -119,6 +119,7 @@ mod tests {
 
     fn frame(src: u32, seq: u32, payload: &[u8]) -> Frame {
         Frame {
+            height: 0,
             round: 0,
             src: NodeId(src),
             seq,

@@ -3,25 +3,28 @@
 //! A frame is what one model message becomes on a real link:
 //!
 //! ```text
-//! [len: u32 LE] [round: u32 LE] [src: u32 LE] [seq: u32 LE] [payload...]
+//! [len: u32 LE] [height: u32 LE] [round: u32 LE] [src: u32 LE] [seq: u32 LE] [payload...]
 //! ```
 //!
-//! where `len` counts everything after itself (12 header bytes + payload).
-//! `round` lets receivers assemble round-synchronous inboxes out of a
-//! stream that may run ahead (a fast sender can enter round `r+1` while a
-//! slow receiver is still collecting round `r`). `(src, seq)` gives
-//! receivers a canonical inbox order — ascending `(src, seq)` — that
-//! matches the in-process engine's delivery order exactly, so network runs
-//! replay simulator runs. `src` is a transport-level address (like an IP
-//! address); protocols never see it — the receiver maps it to a local KT0
-//! port through its own private permutation.
+//! where `len` counts everything after itself (16 header bytes + payload).
+//! `height` identifies the election instance a long-lived service is
+//! running (`ftc-serve` re-elects at monotonically increasing heights over
+//! the same substrate); single-shot runs use height 0. `round` lets
+//! receivers assemble round-synchronous inboxes out of a stream that may
+//! run ahead (a fast sender can enter round `r+1` while a slow receiver is
+//! still collecting round `r`). `(src, seq)` gives receivers a canonical
+//! inbox order — ascending `(src, seq)` — that matches the in-process
+//! engine's delivery order exactly, so network runs replay simulator runs.
+//! `src` is a transport-level address (like an IP address); protocols never
+//! see it — the receiver maps it to a local KT0 port through its own
+//! private permutation.
 
 use std::io::{self, Read, Write};
 
 use ftc_sim::ids::{NodeId, Round};
 
 /// Frame header bytes following the length prefix.
-pub const HEADER_LEN: usize = 12;
+pub const HEADER_LEN: usize = 16;
 
 /// Hard cap on one frame's declared length; anything larger is treated as
 /// stream corruption rather than allocated.
@@ -30,6 +33,10 @@ pub const MAX_FRAME_LEN: usize = 1 << 24;
 /// One protocol message in flight on a transport link.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
+    /// The election instance this message belongs to (0 for single runs).
+    /// Meshes are per-height, so a frame from another height on a link is
+    /// a wiring bug; the tag makes that loud instead of silently wrong.
+    pub height: u32,
     /// The synchronous round this message belongs to.
     pub round: Round,
     /// The sending node (transport address, invisible to protocols).
@@ -52,6 +59,7 @@ impl Frame {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         let len = (HEADER_LEN + self.payload.len()) as u32;
         buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&self.height.to_le_bytes());
         buf.extend_from_slice(&self.round.to_le_bytes());
         buf.extend_from_slice(&self.src.0.to_le_bytes());
         buf.extend_from_slice(&self.seq.to_le_bytes());
@@ -94,9 +102,10 @@ impl Frame {
         r.read_exact(&mut rest)?;
         let word = |i: usize| u32::from_le_bytes(rest[i..i + 4].try_into().unwrap());
         Ok(Some(Frame {
-            round: word(0),
-            src: NodeId(word(4)),
-            seq: word(8),
+            height: word(0),
+            round: word(4),
+            src: NodeId(word(8)),
+            seq: word(12),
             payload: rest[HEADER_LEN..].to_vec(),
         }))
     }
@@ -106,8 +115,9 @@ impl Frame {
 mod tests {
     use super::*;
 
-    fn frame(round: Round, src: u32, seq: u32, payload: &[u8]) -> Frame {
+    fn frame(height: u32, round: Round, src: u32, seq: u32, payload: &[u8]) -> Frame {
         Frame {
+            height,
             round,
             src: NodeId(src),
             seq,
@@ -118,9 +128,9 @@ mod tests {
     #[test]
     fn roundtrips_through_a_stream() {
         let frames = [
-            frame(0, 3, 0, b""),
-            frame(7, 0, 2, b"\x01"),
-            frame(u32::MAX, 255, u32::MAX, &[0xAB; 100]),
+            frame(0, 0, 3, 0, b""),
+            frame(12, 7, 0, 2, b"\x01"),
+            frame(u32::MAX, u32::MAX, 255, u32::MAX, &[0xAB; 100]),
         ];
         let mut stream = Vec::new();
         let mut bytes = 0u64;
@@ -131,7 +141,7 @@ mod tests {
                 stream.len() as u64,
                 "write_to reports exact wire bytes"
             );
-            assert_eq!(f.encoded_len(), 16 + f.payload.len() as u64);
+            assert_eq!(f.encoded_len(), 20 + f.payload.len() as u64);
         }
         let mut r = &stream[..];
         for f in &frames {
@@ -142,9 +152,19 @@ mod tests {
     }
 
     #[test]
+    fn height_survives_the_wire() {
+        let mut stream = Vec::new();
+        frame(41, 2, 9, 1, b"hi").write_to(&mut stream).unwrap();
+        let mut r = &stream[..];
+        let back = Frame::read_from(&mut r).unwrap().unwrap();
+        assert_eq!(back.height, 41);
+        assert_eq!(back.round, 2);
+    }
+
+    #[test]
     fn truncated_frame_is_an_error_not_eof() {
         let mut stream = Vec::new();
-        frame(1, 2, 3, b"abcdef").write_to(&mut stream).unwrap();
+        frame(0, 1, 2, 3, b"abcdef").write_to(&mut stream).unwrap();
         stream.truncate(stream.len() - 2);
         let mut r = &stream[..];
         assert!(Frame::read_from(&mut r).is_err());

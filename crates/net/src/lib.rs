@@ -67,8 +67,9 @@ pub mod prelude {
     pub use crate::channel::ChannelEndpoint;
     pub use crate::frame::Frame;
     pub use crate::sync::{
-        run_over, run_over_channel, run_over_channel_with, run_over_tcp, run_over_tcp_with,
-        NetMetrics, NetRunResult,
+        run_over, run_over_at_height, run_over_channel, run_over_channel_at_height,
+        run_over_channel_with, run_over_tcp, run_over_tcp_at_height, run_over_tcp_with, NetMetrics,
+        NetRunResult,
     };
     pub use crate::tcp::TcpEndpoint;
     pub use crate::transport::{Endpoint, RoundAssembler, RECV_TIMEOUT};

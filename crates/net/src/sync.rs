@@ -172,6 +172,29 @@ where
     run_over(cfg, workers, factory, adversary, endpoints)
 }
 
+/// Like [`run_over_channel_with`], but frames are tagged with `height` —
+/// the election-instance counter of a long-lived service (`ftc-serve`).
+/// Each height gets a fresh mesh, so the tag is provenance: a frame whose
+/// height disagrees with the run's aborts the run instead of silently
+/// feeding one election's traffic to another.
+pub fn run_over_channel_at_height<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+    recv_timeout: Duration,
+    height: u32,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = channel::mesh_with_timeout(cfg.n, recv_timeout);
+    run_over_at_height(cfg, workers, factory, adversary, endpoints, height)
+}
+
 /// Runs `cfg` over a localhost TCP mesh (real sockets) with `workers`
 /// worker threads and the default receive timeout
 /// ([`crate::transport::RECV_TIMEOUT`]). Limited to [`tcp::MAX_TCP_NODES`]
@@ -212,6 +235,27 @@ where
     Ok(run_over(cfg, workers, factory, adversary, endpoints))
 }
 
+/// TCP counterpart of [`run_over_channel_at_height`].
+pub fn run_over_tcp_at_height<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+    recv_timeout: Duration,
+    height: u32,
+) -> std::io::Result<NetRunResult<P>>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = tcp::mesh_with_timeout(cfg.n, recv_timeout)?;
+    Ok(run_over_at_height(
+        cfg, workers, factory, adversary, endpoints, height,
+    ))
+}
+
 /// Runs one execution of `cfg` over `endpoints` (one per node, in id
 /// order), multiplexing nodes onto `workers` threads.
 ///
@@ -231,9 +275,32 @@ where
 pub fn run_over<P, F, A, E>(
     cfg: &SimConfig,
     workers: usize,
+    factory: F,
+    adversary: &mut A,
+    endpoints: Vec<E>,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+    E: Endpoint,
+{
+    run_over_at_height(cfg, workers, factory, adversary, endpoints, 0)
+}
+
+/// [`run_over`] with every frame tagged as belonging to election instance
+/// `height`. The tag does not change the execution — heights use fresh
+/// meshes, and the model result stays bit-identical to the engine for the
+/// same `(SimConfig, seed)` — but workers verify it on every collected
+/// frame, so cross-height contamination is an immediate run failure.
+pub fn run_over_at_height<P, F, A, E>(
+    cfg: &SimConfig,
+    workers: usize,
     mut factory: F,
     adversary: &mut A,
     endpoints: Vec<E>,
+    height: u32,
 ) -> NetRunResult<P>
 where
     P: Protocol,
@@ -279,7 +346,7 @@ where
         for pool in pools {
             let submit_tx = submit_tx.clone();
             let report_tx = report_tx.clone();
-            scope.spawn(move || worker_loop(pool, submit_tx, report_tx));
+            scope.spawn(move || worker_loop(pool, submit_tx, report_tx, height));
         }
         drop(submit_tx);
         drop(report_tx);
@@ -320,6 +387,7 @@ where
                     frames[u].push((
                         e.dst,
                         Frame {
+                            height,
                             round,
                             src: NodeId(u as u32),
                             seq: seq as u32,
@@ -408,6 +476,7 @@ fn worker_loop<P, E>(
     mut nodes: Vec<WorkerNode<P, E>>,
     submit_tx: Sender<Submission<P::Msg>>,
     report_tx: Sender<WorkerReport<P>>,
+    height: u32,
 ) where
     P: Protocol,
     P::Msg: Wire,
@@ -466,7 +535,25 @@ fn worker_loop<P, E>(
                 .assembler
                 .collect(round, node.expect, &mut node.endpoint)
             {
-                Ok(frames) => frames,
+                Ok(frames) => {
+                    // Per-height meshes make a foreign height unreachable
+                    // in a correct build; a mismatch means frames leaked
+                    // between election instances — fail the run loudly.
+                    if let Some(f) = frames.iter().find(|f| f.height != height) {
+                        let _ = submit_tx.send(Submission {
+                            node: node.id,
+                            sends: Vec::new(),
+                            suppressed: 0,
+                            terminated: false,
+                            failed: Some(format!(
+                                "node {} got a frame for height {} during height {height}",
+                                node.id.0, f.height
+                            )),
+                        });
+                        return;
+                    }
+                    frames
+                }
                 Err(e) => {
                     // Surface the failure through the submission channel
                     // (where the coordinator blocks next round) and bail
@@ -594,7 +681,7 @@ mod tests {
             assert_matches_engine(&cfg, &net, &sim);
             assert!(net.net.frames_sent > 0);
             assert_eq!(net.run.metrics.wire_bytes, net.net.wire_bytes);
-            assert!(net.net.wire_bytes >= 16 * net.net.frames_sent);
+            assert!(net.net.wire_bytes >= 20 * net.net.frames_sent);
         }
     }
 
@@ -647,6 +734,113 @@ mod tests {
         let net = run_over_channel(&cfg, 3, chatter, &mut NoFaults);
         assert_eq!(net.run.metrics.msgs_suppressed, sim.metrics.msgs_suppressed);
         assert_matches_engine(&cfg, &net, &sim);
+    }
+
+    #[test]
+    fn repeated_heights_replay_the_engine_with_a_leader_crash_mid_broadcast() {
+        // Node 3 dies in round 1 with only its first two frames delivered —
+        // a leader crashing partway through a broadcast. A service re-runs
+        // the same election shape at successive heights over fresh meshes;
+        // every height must replay the engine bit for bit.
+        let cfg = SimConfig::new(10).seed(21).max_rounds(8);
+        let plan = FaultPlan::new().crash(NodeId(3), 1, DeliveryFilter::KeepFirst(2));
+        let sim = run(&cfg, chatter, &mut ScriptedCrash::new(plan.clone()));
+        for height in [0, 1, 7, 40] {
+            let net = run_over_channel_at_height(
+                &cfg,
+                3,
+                chatter,
+                &mut ScriptedCrash::new(plan.clone()),
+                RECV_TIMEOUT,
+                height,
+            );
+            assert_matches_engine(&cfg, &net, &sim);
+        }
+    }
+
+    #[test]
+    fn coordinator_adjacent_crash_does_not_wedge_any_height() {
+        // Node 0 sits in the first worker pool and submits first each
+        // round; crashing it mid-round exercises the coordinator's
+        // accounting right where a miscount would deadlock the lock-step
+        // loop. Repeat across heights to cover the service's re-election
+        // path.
+        let cfg = SimConfig::new(8).seed(13).max_rounds(8);
+        let plan = FaultPlan::new().crash(NodeId(0), 1, DeliveryFilter::KeepFirst(1));
+        let sim = run(&cfg, chatter, &mut ScriptedCrash::new(plan.clone()));
+        for height in [2, 3, 9] {
+            let net = run_over_channel_at_height(
+                &cfg,
+                4,
+                chatter,
+                &mut ScriptedCrash::new(plan.clone()),
+                RECV_TIMEOUT,
+                height,
+            );
+            assert_matches_engine(&cfg, &net, &sim);
+        }
+    }
+
+    #[test]
+    fn rejoin_at_a_height_boundary_restores_full_participation() {
+        // A long-lived service keeps a crashed node in its down-set by
+        // silencing it from round 0 of each height; rejoining is simply
+        // dropping it from the plan at the next height's fresh mesh. Both
+        // heights must match the engine under their respective plans.
+        let cfg = SimConfig::new(6).seed(4).max_rounds(6);
+        let down = FaultPlan::new().crash(NodeId(2), 0, DeliveryFilter::DropAll);
+        let sim_down = run(&cfg, chatter, &mut ScriptedCrash::new(down.clone()));
+        let net_down = run_over_channel_at_height(
+            &cfg,
+            2,
+            chatter,
+            &mut ScriptedCrash::new(down),
+            RECV_TIMEOUT,
+            5,
+        );
+        assert_matches_engine(&cfg, &net_down, &sim_down);
+        assert_eq!(net_down.run.survivor_count(), 5);
+
+        let sim_up = run(&cfg, chatter, &mut NoFaults);
+        let net_up = run_over_channel_at_height(&cfg, 2, chatter, &mut NoFaults, RECV_TIMEOUT, 6);
+        assert_matches_engine(&cfg, &net_up, &sim_up);
+        assert_eq!(net_up.run.survivor_count(), 6);
+    }
+
+    /// Kernel-reported thread count for this process, from
+    /// `/proc/self/status` (hence Linux-only).
+    #[cfg(target_os = "linux")]
+    fn thread_count() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .unwrap()
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .expect("Threads: line in /proc/self/status")
+            .trim()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn tcp_reader_threads_do_not_accumulate_across_heights() {
+        // 100 heights over TCP spawn 100 · n·(n-1) = 1200 reader threads;
+        // with deterministic joins in teardown the process thread count
+        // stays flat. The slack absorbs unrelated test threads churning in
+        // parallel — it is two orders of magnitude below the leak this
+        // guards against.
+        let cfg = SimConfig::new(4).seed(1).max_rounds(6);
+        let _ = run_over_tcp_at_height(&cfg, 2, chatter, &mut NoFaults, RECV_TIMEOUT, 0).unwrap();
+        let baseline = thread_count();
+        for height in 1..=100 {
+            let _ = run_over_tcp_at_height(&cfg, 2, chatter, &mut NoFaults, RECV_TIMEOUT, height)
+                .unwrap();
+        }
+        let after = thread_count();
+        assert!(
+            after <= baseline + 32,
+            "reader threads accumulated across heights: {baseline} -> {after}"
+        );
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct TcpEndpoint {
     writers: Vec<Option<TcpStream>>,
     rx: Receiver<Frame>,
     timeout: Duration,
+    /// The reader threads draining this node's links. Each reads from a
+    /// clone of one of this node's own sockets, so `teardown`'s
+    /// `Shutdown::Both` unblocks them and they can be joined right there —
+    /// a long-lived service cycling through meshes (one per election
+    /// height) must not accumulate orphaned readers.
+    readers: Vec<thread::JoinHandle<()>>,
 }
 
 /// Builds a fully-connected `n`-node localhost TCP mesh with the default
@@ -87,6 +93,7 @@ pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEn
     }
     let mut writers: Vec<Vec<Option<TcpStream>>> =
         (0..nn).map(|_| (0..nn).map(|_| None).collect()).collect();
+    let mut readers: Vec<Vec<thread::JoinHandle<()>>> = (0..nn).map(|_| Vec::new()).collect();
 
     // Dial the upper triangle: u → v for u < v, one connection per edge,
     // accepting immediately after each dial so no listener backlog builds.
@@ -106,8 +113,8 @@ pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEn
                     format!("handshake mismatch: expected node {u}, peer says {who}"),
                 ));
             }
-            spawn_reader(dialed.try_clone()?, intake_txs[u].clone());
-            spawn_reader(accepted.try_clone()?, intake_txs[v].clone());
+            readers[u].push(spawn_reader(dialed.try_clone()?, intake_txs[u].clone()));
+            readers[v].push(spawn_reader(accepted.try_clone()?, intake_txs[v].clone()));
             writers[u][v] = Some(dialed);
             writers[v][u] = Some(accepted);
         }
@@ -116,19 +123,26 @@ pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEn
     Ok(writers
         .into_iter()
         .zip(intake_rxs)
+        .zip(readers)
         .enumerate()
-        .map(|(i, (writers, rx))| TcpEndpoint {
+        .map(|(i, ((writers, rx), readers))| TcpEndpoint {
             node: NodeId(i as u32),
             writers,
             rx,
             timeout: recv_timeout,
+            readers,
         })
         .collect())
 }
 
 /// Drains one link into the owning endpoint's intake queue until the peer
-/// closes it (EOF), the stream errors, or the endpoint is dropped.
-fn spawn_reader(stream: TcpStream, tx: Sender<Frame>) {
+/// closes it (EOF), the stream errors, or the endpoint is torn down.
+///
+/// Returns the thread's handle; the owning endpoint keeps it and joins it
+/// during teardown (its `Shutdown::Both` on the shared socket is what makes
+/// the blocked `read` return), so reader threads exit deterministically
+/// instead of lingering until process exit.
+fn spawn_reader(stream: TcpStream, tx: Sender<Frame>) -> thread::JoinHandle<()> {
     thread::spawn(move || {
         let mut stream = io::BufReader::new(stream);
         while let Ok(Some(frame)) = Frame::read_from(&mut stream) {
@@ -136,7 +150,7 @@ fn spawn_reader(stream: TcpStream, tx: Sender<Frame>) {
                 break;
             }
         }
-    });
+    })
 }
 
 impl Endpoint for TcpEndpoint {
@@ -173,6 +187,14 @@ impl Endpoint for TcpEndpoint {
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
+        // The shutdowns above hit the same sockets the readers block on
+        // (writer and reader share one stream via `try_clone`), so every
+        // reader is now unblocked and exits; joining here makes teardown a
+        // barrier after which this endpoint owns zero threads. Draining
+        // keeps the call idempotent.
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
     }
 }
 
@@ -190,6 +212,7 @@ mod tests {
 
     fn frame(round: u32, src: u32, seq: u32, payload: &[u8]) -> Frame {
         Frame {
+            height: 0,
             round,
             src: NodeId(src),
             seq,
@@ -229,6 +252,24 @@ mod tests {
         let err = eps[0].recv().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
         assert!(err.to_string().contains("10ms"), "{err}");
+    }
+
+    #[test]
+    fn teardown_joins_every_reader_thread() {
+        let mut eps = mesh(4).unwrap();
+        // One reader per link: each node drains its n-1 edges.
+        assert!(eps.iter().all(|ep| ep.readers.len() == 3));
+        eps[0].teardown();
+        // The joins completed (or teardown would still be blocked), so the
+        // handles are gone and a second teardown has nothing left to do.
+        assert!(eps[0].readers.is_empty());
+        eps[0].teardown();
+        // Peers tearing down afterwards join their own readers the same
+        // way, even though node 0's half of the shared edges is gone.
+        for ep in eps.iter_mut().skip(1) {
+            ep.teardown();
+            assert!(ep.readers.is_empty());
+        }
     }
 
     #[test]

@@ -161,6 +161,7 @@ mod tests {
 
     fn frame(round: Round, src: u32, seq: u32) -> Frame {
         Frame {
+            height: 0,
             round,
             src: NodeId(src),
             seq,

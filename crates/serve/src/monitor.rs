@@ -1,0 +1,251 @@
+//! The runtime invariant monitor.
+//!
+//! The monitor watches a service run from the outside and checks the two
+//! safety properties a leader service owes its clients:
+//!
+//! 1. **Leader uniqueness per height** — at most one node believes it won
+//!    each election. A violation here is a *protocol* counterexample, so
+//!    the monitor packages it as a replayable [`Artifact`] (objective
+//!    `two-leaders-at-height`, tagged with the height it fired at): the
+//!    exact per-height `SimConfig` and `FaultPlan` plus the engine
+//!    fingerprint, which `ftc replay` re-executes and diffs byte-for-byte.
+//! 2. **Request linearity** — the replicated log the leader builds is a
+//!    single totally-ordered sequence: every request completes at most
+//!    once, log sequence numbers strictly increase, and nothing completes
+//!    while no leader is in place.
+//!
+//! The monitor never influences the run it observes; it only records.
+
+use std::collections::HashSet;
+
+use ftc_core::prelude::{LeOutcome, Params};
+use ftc_hunt::prelude::{observe, Artifact, Bounds, Objective, ProtoKind, Substrate};
+use ftc_sim::engine::SimConfig;
+use ftc_sim::prelude::{FaultPlan, NodeId};
+
+/// One observed invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two or more alive nodes claimed leadership at the same height.
+    TwoLeaders {
+        /// The height the split brain happened at.
+        height: u32,
+        /// Every alive node that claimed the election.
+        leaders: Vec<NodeId>,
+    },
+    /// A request completed while no leader was installed.
+    ServedWithoutLeader {
+        /// The height the completion was attributed to.
+        height: u32,
+        /// The offending request id.
+        request: u64,
+    },
+    /// A request completed twice.
+    DuplicateServe {
+        /// The height of the second completion.
+        height: u32,
+        /// The offending request id.
+        request: u64,
+    },
+    /// A log sequence number failed to strictly increase.
+    NonMonotoneLog {
+        /// The height the regression happened at.
+        height: u32,
+        /// The offending request id.
+        request: u64,
+        /// The sequence number it was assigned.
+        seqno: u64,
+        /// The highest sequence number seen before it.
+        last: u64,
+    },
+}
+
+impl Violation {
+    /// A one-line human description.
+    pub fn describe(&self) -> String {
+        match self {
+            Violation::TwoLeaders { height, leaders } => {
+                let ids: Vec<String> = leaders.iter().map(|l| l.0.to_string()).collect();
+                format!(
+                    "height {height}: {} alive nodes claimed leadership (nodes {})",
+                    leaders.len(),
+                    ids.join(", ")
+                )
+            }
+            Violation::ServedWithoutLeader { height, request } => {
+                format!("height {height}: request {request} completed with no leader installed")
+            }
+            Violation::DuplicateServe { height, request } => {
+                format!("height {height}: request {request} completed twice")
+            }
+            Violation::NonMonotoneLog {
+                height,
+                request,
+                seqno,
+                last,
+            } => format!("height {height}: request {request} got log seqno {seqno} after {last}"),
+        }
+    }
+}
+
+/// The monitor: violations observed so far plus the replayable evidence
+/// for the protocol-level ones.
+#[derive(Default)]
+pub struct Monitor {
+    violations: Vec<Violation>,
+    artifacts: Vec<Artifact>,
+    served: HashSet<u64>,
+    last_seqno: Option<u64>,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Checks leader uniqueness for one completed election. On a split
+    /// brain this re-observes the exact `(config, plan)` on the engine to
+    /// mint the canonical fingerprint and records a replayable artifact.
+    pub fn election(
+        &mut self,
+        height: u32,
+        params: &Params,
+        cfg: &SimConfig,
+        plan: &FaultPlan,
+        outcome: &LeOutcome,
+    ) {
+        if outcome.elected_alive.len() < 2 {
+            return;
+        }
+        self.violations.push(Violation::TwoLeaders {
+            height,
+            leaders: outcome.elected_alive.clone(),
+        });
+        if let Ok(obs) = observe(ProtoKind::Le, params, cfg, 0.0, plan, Substrate::Engine) {
+            let objective = Objective::TwoLeadersAtHeight;
+            let bounds = Bounds::for_proto(ProtoKind::Le, params);
+            self.artifacts.push(Artifact {
+                version: ftc_hunt::prelude::ARTIFACT_VERSION,
+                proto: ProtoKind::Le,
+                objective,
+                alpha: params.alpha(),
+                zeros: 0.0,
+                height: Some(height),
+                config: cfg.clone(),
+                schedule: plan.clone(),
+                score: objective.score(&obs),
+                hit: objective.hit(&obs, &bounds),
+                fingerprint: obs.fingerprint,
+            });
+        }
+    }
+
+    /// Checks request linearity for one completion: `seqno` is the log
+    /// position the service assigned, `leader` whoever it believes served
+    /// the request.
+    pub fn request_completed(
+        &mut self,
+        height: u32,
+        request: u64,
+        seqno: u64,
+        leader: Option<NodeId>,
+    ) {
+        if leader.is_none() {
+            self.violations
+                .push(Violation::ServedWithoutLeader { height, request });
+        }
+        if !self.served.insert(request) {
+            self.violations
+                .push(Violation::DuplicateServe { height, request });
+        }
+        if let Some(last) = self.last_seqno {
+            if seqno <= last {
+                self.violations.push(Violation::NonMonotoneLog {
+                    height,
+                    request,
+                    seqno,
+                    last,
+                });
+            }
+        }
+        self.last_seqno = Some(self.last_seqno.map_or(seqno, |l| l.max(seqno)));
+    }
+
+    /// No violations observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Everything observed so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The replayable counterexamples minted so far.
+    pub fn artifacts(&self) -> &[Artifact] {
+        &self.artifacts
+    }
+
+    /// Consumes the monitor into its findings.
+    pub fn into_findings(self) -> (Vec<Violation>, Vec<Artifact>) {
+        (self.violations, self.artifacts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearity_checks_fire_on_bad_logs() {
+        let mut m = Monitor::new();
+        m.request_completed(0, 1, 0, Some(NodeId(3)));
+        m.request_completed(0, 2, 1, Some(NodeId(3)));
+        assert!(m.ok());
+        // Duplicate id.
+        m.request_completed(1, 2, 2, Some(NodeId(3)));
+        // Seqno regression.
+        m.request_completed(1, 3, 1, Some(NodeId(3)));
+        // No leader.
+        m.request_completed(1, 4, 3, None);
+        assert_eq!(m.violations().len(), 3);
+        assert!(matches!(
+            m.violations()[0],
+            Violation::DuplicateServe { request: 2, .. }
+        ));
+        assert!(matches!(
+            m.violations()[1],
+            Violation::NonMonotoneLog {
+                seqno: 1,
+                last: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            m.violations()[2],
+            Violation::ServedWithoutLeader { request: 4, .. }
+        ));
+        for v in m.violations() {
+            assert!(!v.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn clean_elections_record_nothing() {
+        let params = Params::new(16, 0.5).unwrap();
+        let cfg = SimConfig::new(16)
+            .seed(5)
+            .max_rounds(params.le_round_budget());
+        let r = ftc_sim::engine::run(
+            &cfg,
+            |_| ftc_core::prelude::LeNode::new(params.clone()),
+            &mut ftc_sim::prelude::NoFaults,
+        );
+        let outcome = LeOutcome::evaluate(&r);
+        let mut m = Monitor::new();
+        m.election(0, &params, &cfg, &FaultPlan::new(), &outcome);
+        assert!(m.ok());
+        assert!(m.artifacts().is_empty());
+    }
+}

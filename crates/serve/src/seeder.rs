@@ -1,0 +1,145 @@
+//! Constructs crash schedules that actually split the election.
+//!
+//! The LE protocol elects whoever hears its own rank echoed back as the
+//! maximum by its sampled referees. To manufacture two leaders the seeder
+//! probes a fault-free run of the target `(config, seed)`, reads each
+//! candidate's sampled referee set (resolved from KT0 ports to node ids
+//! via the run's topology), and looks for a candidate pair whose referee
+//! sets can be made *disjoint views*: crash every other candidate and
+//! every shared referee at round 0, and each survivor's remaining referees
+//! hear exactly one proposal — its own — so both claim. The construction
+//! is verified empirically (the plan is only returned if the engine really
+//! produces two leaders under it), which keeps the seeder honest against
+//! protocol details like multi-phase sampling.
+//!
+//! This is a *fault-injection* tool: it exists so the invariant monitor
+//! and its replayable artifacts can be demonstrated end-to-end, not
+//! because the protocol is wrong. The seeder cheats in a way the paper's
+//! adversary cannot: it *peeks at the run's random choices* (who
+//! self-selected as candidate, who they sampled) before committing its
+//! crash set, whereas Theorem 4.1's whp guarantee is over exactly that
+//! randomness against an adversary that fixes the faulty set without
+//! seeing it. A seeded split brain therefore demonstrates the monitor's
+//! evidence pipeline without contradicting the theorem.
+
+use std::collections::BTreeSet;
+
+use ftc_core::prelude::{LeNode, Params};
+use ftc_hunt::prelude::{observe, ProtoKind, Substrate};
+use ftc_sim::engine::{run, SimConfig};
+use ftc_sim::prelude::{DeliveryFilter, FaultPlan, NoFaults, NodeId};
+use ftc_sim::round::network_ports;
+
+/// Candidate pairs the seeder will verify on the engine before giving
+/// up — each verification is one full election run.
+const MAX_VERIFY_ATTEMPTS: usize = 24;
+
+/// Builds a round-0 crash schedule under which the election at
+/// `(params, cfg)` produces two alive leaders, verified on the engine.
+///
+/// Fails if no candidate pair admits the construction for this seed's
+/// topology and samples — try another seed.
+pub fn split_brain_plan(params: &Params, cfg: &SimConfig) -> Result<FaultPlan, String> {
+    let probe = run(cfg, |_| LeNode::new(params.clone()), &mut NoFaults);
+    let ports = network_ports(cfg);
+    // Every candidate with its referee set resolved to node ids.
+    let cands: Vec<(NodeId, BTreeSet<NodeId>)> = probe
+        .states
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| {
+            s.referee_ports().map(|refs| {
+                let node = NodeId(i as u32);
+                let set = refs.iter().map(|&p| ports[i].peer(p)).collect();
+                (node, set)
+            })
+        })
+        .collect();
+    if cands.len() < 2 {
+        return Err(format!(
+            "seed {} produced {} candidates; need at least 2",
+            cfg.seed,
+            cands.len()
+        ));
+    }
+    let mut attempts = 0;
+    for (ai, (a, refs_a)) in cands.iter().enumerate() {
+        for (b, refs_b) in cands.iter().skip(ai + 1) {
+            if attempts >= MAX_VERIFY_ATTEMPTS {
+                return Err(format!(
+                    "no split-brain schedule within {MAX_VERIFY_ATTEMPTS} attempts \
+                     for n={} seed {}; try another seed",
+                    cfg.n, cfg.seed
+                ));
+            }
+            // Neither candidate may referee the other: a crashed referee
+            // can't echo, but an alive cross-referee would merge the views.
+            if refs_a.contains(b) || refs_b.contains(a) {
+                continue;
+            }
+            let mut victims: BTreeSet<NodeId> = refs_a.intersection(refs_b).copied().collect();
+            victims.extend(cands.iter().map(|(c, _)| *c).filter(|c| c != a && c != b));
+            victims.remove(a);
+            victims.remove(b);
+            // Each survivor still needs at least one alive referee to
+            // echo its proposal back.
+            if refs_a.iter().all(|r| victims.contains(r))
+                || refs_b.iter().all(|r| victims.contains(r))
+            {
+                continue;
+            }
+            let mut plan = FaultPlan::new();
+            for v in &victims {
+                plan = plan.crash(*v, 0, DeliveryFilter::DropAll);
+            }
+            attempts += 1;
+            let obs = observe(ProtoKind::Le, params, cfg, 0.0, &plan, Substrate::Engine)?;
+            if obs.distinct >= 2 {
+                return Ok(plan);
+            }
+        }
+    }
+    Err(format!(
+        "no split-brain schedule found for n={} seed {}; try another seed",
+        cfg.n, cfg.seed
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_core::prelude::LeOutcome;
+    use ftc_sim::prelude::ScriptedCrash;
+
+    /// A `(params, config)` pair for which the construction is known to
+    /// work — the other tests in this crate reuse it.
+    fn known_good() -> (Params, SimConfig, FaultPlan) {
+        let params = Params::new(256, 0.5).unwrap();
+        for seed in 1..32 {
+            let cfg = SimConfig::new(256)
+                .seed(seed)
+                .max_rounds(params.le_round_budget());
+            if let Ok(plan) = split_brain_plan(&params, &cfg) {
+                return (params, cfg, plan);
+            }
+        }
+        panic!("no seed in 1..32 admits a split-brain schedule at n=256");
+    }
+
+    #[test]
+    fn seeded_plan_really_elects_two_leaders() {
+        let (params, cfg, plan) = known_good();
+        assert!(!plan.is_empty());
+        let r = run(
+            &cfg,
+            |_| LeNode::new(params.clone()),
+            &mut ScriptedCrash::new(plan.clone()),
+        );
+        let outcome = LeOutcome::evaluate(&r);
+        assert!(
+            outcome.elected_alive.len() >= 2,
+            "expected a split brain, got {:?}",
+            outcome.elected_alive
+        );
+    }
+}

@@ -19,7 +19,7 @@ use std::fmt;
 use crate::adversary::{DeliveryFilter, FaultPlan};
 use crate::engine::SimConfig;
 use crate::ids::NodeId;
-use crate::metrics::{LogHistogram, Metrics, RoundMetrics};
+use crate::metrics::{LogHistogram, Metrics, RoundMetrics, ServiceMetrics};
 use crate::stats::Summary;
 
 /// A JSON value. Integers are stored exactly ([`Json::UInt`]/[`Json::Int`]);
@@ -566,7 +566,7 @@ impl SimConfig {
 // so encode→decode is the identity on every field.
 
 impl Summary {
-    /// JSON encoding of all seven summary statistics.
+    /// JSON encoding of all nine summary statistics.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("count".into(), Json::UInt(self.count as u64)),
@@ -576,6 +576,8 @@ impl Summary {
             ("max".into(), Json::Num(self.max)),
             ("median".into(), Json::Num(self.median)),
             ("p95".into(), Json::Num(self.p95)),
+            ("p99".into(), Json::Num(self.p99)),
+            ("p999".into(), Json::Num(self.p999)),
         ])
     }
 
@@ -589,6 +591,8 @@ impl Summary {
             max: v.field("max")?.as_f64()?,
             median: v.field("median")?.as_f64()?,
             p95: v.field("p95")?.as_f64()?,
+            p99: v.field("p99")?.as_f64()?,
+            p999: v.field("p999")?.as_f64()?,
         })
     }
 }
@@ -638,6 +642,46 @@ impl LogHistogram {
             sum,
             min: v.field("min")?.as_u64()?,
             max: v.field("max")?.as_u64()?,
+        })
+    }
+}
+
+impl ServiceMetrics {
+    /// JSON encoding of the cross-height service accounting.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("heights".into(), Json::UInt(u64::from(self.heights))),
+            (
+                "failed_elections".into(),
+                Json::UInt(u64::from(self.failed_elections)),
+            ),
+            (
+                "leader_changes".into(),
+                Json::UInt(u64::from(self.leader_changes)),
+            ),
+            ("ttnl_rounds".into(), self.ttnl_rounds.to_json()),
+            ("available_rounds".into(), Json::UInt(self.available_rounds)),
+            ("total_rounds".into(), Json::UInt(self.total_rounds)),
+            (
+                "current_leader".into(),
+                self.current_leader.map_or(Json::Null, Json::UInt),
+            ),
+        ])
+    }
+
+    /// Decodes service metrics from their [`ServiceMetrics::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ServiceMetrics {
+            heights: v.field("heights")?.as_u64()? as u32,
+            failed_elections: v.field("failed_elections")?.as_u64()? as u32,
+            leader_changes: v.field("leader_changes")?.as_u64()? as u32,
+            ttnl_rounds: LogHistogram::from_json(v.field("ttnl_rounds")?)?,
+            available_rounds: v.field("available_rounds")?.as_u64()?,
+            total_rounds: v.field("total_rounds")?.as_u64()?,
+            current_leader: match v.field("current_leader")? {
+                Json::Null => None,
+                other => Some(other.as_u64()?),
+            },
         })
     }
 }
@@ -923,6 +967,29 @@ mod tests {
             let back = Metrics::from_json(&Json::parse(&m.to_json().render()).unwrap()).unwrap();
             assert_eq!(back, m);
         }
+    }
+
+    #[test]
+    fn service_metrics_round_trip_property() {
+        let mut rng = SmallRng::seed_from_u64(7117);
+        for _ in 0..200 {
+            let mut s = ServiceMetrics::new();
+            for _ in 0..rng.random_range(0..12u32) {
+                let leader = rng
+                    .random_bool(0.8)
+                    .then(|| rng.random_range(0..1u64 << 40));
+                s.record_election(leader, rng.random_range(1..200));
+                s.record_serving_window(rng.random_range(0..500));
+            }
+            let back =
+                ServiceMetrics::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, s);
+        }
+        // Fresh (no leader yet, null current_leader) survives too.
+        let empty = ServiceMetrics::new();
+        let back = ServiceMetrics::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.availability(), None);
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod prelude {
     pub use crate::engine::{run, run_sharded, ConfigError, RunResult, SimConfig};
     pub use crate::ids::{NodeId, Port, Round};
     pub use crate::json::{Json, JsonError};
-    pub use crate::metrics::{LogHistogram, Metrics, MetricsAggregate};
+    pub use crate::metrics::{LogHistogram, Metrics, MetricsAggregate, ServiceMetrics};
     pub use crate::node::{Activation, NodeHarness};
     pub use crate::payload::{Payload, Wire};
     pub use crate::ports::PortMap;

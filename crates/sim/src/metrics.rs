@@ -202,6 +202,86 @@ impl LogHistogram {
         }
         Some(self.max)
     }
+
+    /// The 99th percentile to bucket resolution. `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile to bucket resolution. `None` when empty.
+    /// Tail latencies (time-to-new-leader, request wait) live here.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+}
+
+/// Height-aware accounting for a long-lived leader service (`ftc-serve`).
+///
+/// A service runs repeated election instances at monotonically increasing
+/// *heights*; between elections it serves requests under the current
+/// leader. Two service-level qualities fall out of that structure and are
+/// tracked here: **time-to-new-leader** (how many rounds each election
+/// took — the outage window after a leader crash) and **availability**
+/// (the fraction of service rounds during which a settled leader was in
+/// place). Per-height message/round costs stay in the per-run [`Metrics`];
+/// this struct is the cross-height layer on top.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Election instances completed (successful or not).
+    pub heights: u32,
+    /// Heights whose election ended with no agreed alive leader.
+    pub failed_elections: u32,
+    /// Heights whose winner differs from the previous height's winner
+    /// (the first elected height counts as a change from "no leader").
+    pub leader_changes: u32,
+    /// Rounds each *successful* election took, start to agreed leader —
+    /// the time-to-new-leader distribution.
+    pub ttnl_rounds: LogHistogram,
+    /// Service rounds spent with a settled leader in place.
+    pub available_rounds: u64,
+    /// All service rounds: election windows plus serving windows.
+    pub total_rounds: u64,
+    /// The winning rank of the last successful election, if any.
+    pub current_leader: Option<u64>,
+}
+
+impl ServiceMetrics {
+    /// Empty accounting: no heights run yet.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Folds in one completed election: its winner (`None` for a failed
+    /// election) and the rounds it consumed. Election rounds count as
+    /// unavailable — the service cannot route requests while it has no
+    /// settled leader.
+    pub fn record_election(&mut self, leader: Option<u64>, rounds: u32) {
+        self.heights += 1;
+        self.total_rounds += u64::from(rounds);
+        match leader {
+            Some(rank) => {
+                self.ttnl_rounds.record(u64::from(rounds));
+                if self.current_leader != Some(rank) {
+                    self.leader_changes += 1;
+                }
+                self.current_leader = Some(rank);
+            }
+            None => self.failed_elections += 1,
+        }
+    }
+
+    /// Folds in a serving window: `rounds` rounds during which the current
+    /// leader handled requests.
+    pub fn record_serving_window(&mut self, rounds: u64) {
+        self.available_rounds += rounds;
+        self.total_rounds += rounds;
+    }
+
+    /// Fraction of service rounds with a settled leader, or `None` before
+    /// any rounds ran.
+    pub fn availability(&self) -> Option<f64> {
+        (self.total_rounds > 0).then(|| self.available_rounds as f64 / self.total_rounds as f64)
+    }
 }
 
 /// Order-free aggregation of [`Metrics`] across a batch of trials.
@@ -357,6 +437,12 @@ mod tests {
         // Bucket resolution: the true median 500 lies in [256, 512).
         assert!((256..=511).contains(&median), "median bucket edge {median}");
         assert!(LogHistogram::new().quantile(0.5).is_none());
+        // Tail accessors: the true p99 (990) and p999 (1000) both fall in
+        // the [512, 1024) bucket, whose upper edge is clamped to max=1000.
+        assert_eq!(h.p99(), Some(1000));
+        assert_eq!(h.p999(), Some(1000));
+        assert!(LogHistogram::new().p99().is_none());
+        assert!(LogHistogram::new().p999().is_none());
     }
 
     #[test]
@@ -373,6 +459,27 @@ mod tests {
         hi.iter().for_each(|&v| b.record(v));
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn service_metrics_track_heights_and_availability() {
+        let mut s = ServiceMetrics::new();
+        assert_eq!(s.availability(), None);
+        s.record_election(Some(42), 12); // first leader: a change
+        s.record_serving_window(88);
+        s.record_election(Some(42), 10); // re-elected: not a change
+        s.record_election(None, 20); // failed election
+        s.record_election(Some(7), 15); // new leader: a change
+        assert_eq!(s.heights, 4);
+        assert_eq!(s.failed_elections, 1);
+        assert_eq!(s.leader_changes, 2);
+        assert_eq!(s.current_leader, Some(7));
+        assert_eq!(s.ttnl_rounds.count(), 3);
+        assert_eq!(s.ttnl_rounds.max(), Some(15));
+        // 88 serving rounds out of 88 + 12 + 10 + 20 + 15 total.
+        assert_eq!(s.total_rounds, 145);
+        let avail = s.availability().unwrap();
+        assert!((avail - 88.0 / 145.0).abs() < 1e-12, "{avail}");
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
 }
 
 impl Summary {
@@ -49,6 +53,8 @@ impl Summary {
             max: sorted[count - 1],
             median: percentile_sorted(&sorted, 50.0),
             p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            p999: percentile_sorted(&sorted, 99.9),
         }
     }
 
@@ -182,6 +188,8 @@ mod tests {
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.median, 7.0);
         assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.p999, 7.0);
     }
 
     #[test]
@@ -286,6 +294,19 @@ mod tests {
         assert_eq!(s.std_dev, 0.0);
         assert_eq!((s.min, s.max), (4.0, 4.0));
         assert_eq!((s.median, s.p95), (4.0, 4.0));
+        assert_eq!((s.p99, s.p999), (4.0, 4.0));
+    }
+
+    #[test]
+    fn tail_percentiles_are_ordered_and_interpolate() {
+        // 0..=999: p99 sits between the 989th and 990th order statistic,
+        // p999 within the last step — both strictly above p95.
+        let v: Vec<f64> = (0..1000).map(f64::from).collect();
+        let s = Summary::of(&v);
+        assert!((s.p95 - 949.05).abs() < 1e-9, "p95 {}", s.p95);
+        assert!((s.p99 - 989.01).abs() < 1e-9, "p99 {}", s.p99);
+        assert!((s.p999 - 998.001).abs() < 1e-9, "p999 {}", s.p999);
+        assert!(s.p95 < s.p99 && s.p99 < s.p999 && s.p999 <= s.max);
     }
 
     #[test]

@@ -1,99 +1,109 @@
 //! A long-lived leader service on the real runtime: re-election across
-//! epochs as leaders die, over actual message-passing.
+//! heights as leaders die, over actual message-passing.
 //!
 //! The paper's introduction motivates leader election as a fault-tolerance
 //! subroutine of real systems (Akamai's CDN, Paxos). This example runs
-//! such a service on `ftc-net`: in each epoch the cluster elects a
-//! coordinator with the paper's sublinear protocol — protocol messages
-//! travel as length-prefixed frames between node threads, crashes are
-//! enacted as mid-round connection teardown — then the adversary kills the
-//! coordinator (plus some bystanders) and the next epoch re-elects among
-//! the survivors. The point: total coordination traffic stays tiny — each
-//! epoch costs `Õ(√n)` messages instead of the `Θ(n²)` a broadcast
-//! election would burn — and now the cost is visible in real wire bytes,
-//! not just simulator counters.
+//! such a service on `ftc-serve`: each election *height* elects a
+//! coordinator with the paper's sublinear protocol over the `ftc-net`
+//! channel transport — protocol messages travel as length-prefixed frames
+//! between node threads, crashes are enacted as mid-round connection
+//! teardown — then churn kills the coordinator (plus some bystanders) and
+//! the next height re-elects among the survivors. Between elections the
+//! deterministic load generator routes requests to the current leader,
+//! and the invariant monitor checks leader uniqueness and request
+//! linearity the whole time. The point: total coordination traffic stays
+//! tiny — each height costs `Õ(√n)` messages instead of the `Θ(n²)` a
+//! broadcast election would burn — and the cost is visible in real wire
+//! bytes, not just simulator counters.
 //!
 //! The in-process channel transport is used so the example scales to 1024
-//! nodes; swap `run_over_channel` for `run_over_tcp` (and shrink `N` to
-//! ≤ 64) to watch the same service run over localhost TCP sockets.
+//! nodes; swap `Substrate::Channel` for `Substrate::Tcp` (and shrink `N`
+//! to ≤ 64) to watch the same service run over localhost TCP sockets.
 //!
 //! ```sh
 //! cargo run --release --example leader_service
 //! ```
 
 use ftc::prelude::*;
-use ftc::sim::adversary::DeliveryFilter;
 
 const N: u32 = 1024;
 const ALPHA: f64 = 0.5;
-const EPOCHS: u32 = 8;
+const HEIGHTS: u32 = 8;
 const WORKERS: usize = 4;
 
-fn main() -> Result<(), ParamsError> {
-    let params = Params::new(N, ALPHA)?;
-    println!("leader service: {N} nodes on the channel transport, {EPOCHS} epochs");
-    println!("(each epoch the elected coordinator and 15 bystanders crash)");
+fn main() -> Result<(), String> {
+    let cfg = ServeConfig::new(N, ALPHA)
+        .seed(1)
+        .heights(HEIGHTS)
+        .window_rounds(16)
+        .substrate(Substrate::Channel(WORKERS))
+        .churn(ChurnPlan {
+            kill_leader_every: 1, // every height's coordinator dies...
+            bystanders: 15,       // ...along with a handful of bystanders
+            rejoin_after: 0,      // and nobody comes back
+        })
+        .load(LoadProfile {
+            arrivals_per_round: 4,
+            leader_capacity: 8,
+        });
+
+    println!("leader service: {N} nodes on the channel transport, {HEIGHTS} heights");
+    println!("(each height the elected coordinator and 15 bystanders crash)");
     println!();
     println!(
-        "{:>6} {:>8} {:>12} {:>8} {:>10} {:>12} {:>12}",
-        "epoch", "dead", "leader", "success", "msgs", "wire bytes", "cum. msgs"
+        "{:>6} {:>8} {:>12} {:>8} {:>10} {:>12}",
+        "height", "down", "leader", "success", "msgs", "wire bytes"
     );
 
-    // Nodes that died in earlier epochs; they crash at round 0 of every
-    // later epoch so they never participate again.
-    let mut dead: Vec<NodeId> = Vec::new();
+    let report = run_service(&cfg)?;
     let mut total_msgs: u64 = 0;
     let mut total_wire: u64 = 0;
-    let mut rng_seed = 1u64;
-
-    for epoch in 0..EPOCHS {
-        let mut plan = FaultPlan::new();
-        for &d in &dead {
-            plan = plan.crash(d, 0, DeliveryFilter::DropAll);
-        }
-        let mut adv = ScriptedCrash::new(plan);
-        let cfg = SimConfig::new(N)
-            .seed(1000 + rng_seed)
-            .max_rounds(params.le_round_budget());
-        rng_seed += 7;
-
-        let result = run_over_channel(&cfg, WORKERS, |_| LeNode::new(params.clone()), &mut adv);
-        let outcome = LeOutcome::evaluate(&result.run);
-        total_msgs += result.run.metrics.msgs_sent;
-        total_wire += result.net.wire_bytes;
-
+    for h in &report.heights {
+        total_msgs += h.msgs_sent;
+        total_wire += h.wire_bytes;
         println!(
-            "{:>6} {:>8} {:>12} {:>8} {:>10} {:>12} {:>12}",
-            epoch,
-            dead.len(),
-            outcome.leader_node.map_or("-".into(), |l| l.to_string()),
-            outcome.success,
-            result.run.metrics.msgs_sent,
-            result.net.wire_bytes,
-            total_msgs
+            "{:>6} {:>8} {:>12} {:>8} {:>10} {:>12}",
+            h.height,
+            h.down,
+            h.leader.map_or("-".into(), |l| l.to_string()),
+            h.success,
+            h.msgs_sent,
+            h.wire_bytes
         );
-
-        // The adversary of "real life": this epoch's coordinator dies,
-        // along with a handful of bystanders.
-        if let Some(leader) = outcome.leader_node {
-            dead.push(leader);
-        }
-        for i in 0..15u32 {
-            let candidate = NodeId((epoch * 131 + i * 257) % N);
-            if !dead.contains(&candidate) {
-                dead.push(candidate);
-            }
-        }
-        if !outcome.success {
-            println!("  (epoch failed — service would retry with a fresh seed)");
-        }
     }
 
+    let m = &report.metrics;
+    let load = report.load.as_ref().expect("load generator is armed");
     println!();
-    let naive = u64::from(N) * u64::from(N - 1) * u64::from(EPOCHS);
+    println!(
+        "service: {} elections ok, {} failed; availability {:.3}; \
+         time-to-new-leader p50 {} rounds",
+        m.heights - m.failed_elections,
+        m.failed_elections,
+        m.availability().unwrap_or(0.0),
+        m.ttnl_rounds.quantile(0.5).unwrap_or(0),
+    );
+    println!(
+        "load: {} requests issued, {} completed, {} retried across an election; \
+         latency p50 {} / p99 {} rounds",
+        load.issued,
+        load.completed,
+        load.retried,
+        load.latency.quantile(0.5).unwrap_or(0),
+        load.latency.quantile(0.99).unwrap_or(0),
+    );
+    assert!(
+        report.ok(),
+        "invariant monitor flagged violations: {:?}",
+        report.violations
+    );
+    println!("invariant monitor: leader uniqueness and request linearity held");
+
+    println!();
+    let naive = u64::from(N) * u64::from(N - 1) * u64::from(HEIGHTS);
     println!(
         "total coordination traffic: {total_msgs} messages / {total_wire} wire bytes \
-         across {EPOCHS} epochs;"
+         across {HEIGHTS} heights;"
     );
     println!(
         "a broadcast election would have cost ~{naive} messages ({}x more).",

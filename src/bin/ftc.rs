@@ -6,6 +6,8 @@
 //! ftc sweep   --n 2048 --alpha 0.5 --caps 64,16,4,1 --trials 24 [--format csv]
 //! ftc trace   --n 512  --alpha 0.5 --seed 7          # influence-cloud report
 //! ftc cluster --n 8 --alpha 0.5 --proto le --seed 1 --transport tcp
+//! ftc serve   --n 64 --alpha 0.75 --heights 100 --kill-every 3 [--out results/]
+//! ftc loadgen --n 16 --alpha 0.5 --heights 40 --arrivals 4 --capacity 8
 //! ftc hunt    --n 64 --alpha 0.5 --proto le --objective failure --budget 256
 //! ftc replay  results/le-failure.counterexample.json --transport channel
 //! ftc lab     run gate-smoke --jobs 4
@@ -16,6 +18,14 @@
 //! localhost TCP sockets or in-process channels, with crash injection as
 //! mid-round socket teardown. Simulator and cluster emit the same row
 //! shapes, so `--format csv|json` output is interchangeable downstream.
+//!
+//! `serve` runs a long-lived leader service (`ftc-serve`): repeated
+//! election heights with leader-kill churn, automatic re-election, and a
+//! runtime invariant monitor; `--inject-split-brain H` seeds a two-leaders
+//! fault at height `H` to demonstrate the monitor end to end, and `--out`
+//! writes any violation as a replayable counterexample artifact. `loadgen`
+//! drives the same service with the deterministic load generator and
+//! reports request latency and availability.
 //!
 //! `hunt` searches the crash-schedule space for a schedule that breaks the
 //! chosen objective (`ftc-hunt`), ddmin-shrinks the worst one it finds,
@@ -68,6 +78,23 @@ struct Opts {
     campaign: Option<String>,
     /// `lab diff`/`lab gate`: fractional tolerance band (absent = exact).
     tolerance: Option<f64>,
+    /// `serve`/`loadgen`: election heights to run.
+    heights: u32,
+    /// `serve`: crash the leader after every this-many successful heights.
+    kill_every: u32,
+    /// `serve`: extra nodes crashed alongside the leader.
+    bystanders: u32,
+    /// `serve`: heights a downed node sits out before rejoining.
+    rejoin_after: u32,
+    /// `serve`/`loadgen`: serving rounds between elections.
+    window: u32,
+    /// `loadgen`: request arrivals per service round.
+    arrivals: u32,
+    /// `loadgen`: requests the leader completes per serving round.
+    capacity: u32,
+    /// `serve`: inject a verified split-brain schedule at this height (a
+    /// monitor/artifact demonstration; see `ftc_serve::seeder`).
+    inject_split_brain: Option<u32>,
     /// Non-flag arguments (e.g. the artifact path for `replay`).
     positional: Vec<String>,
 }
@@ -99,6 +126,14 @@ impl Default for Opts {
             intra_jobs: 1,
             campaign: None,
             tolerance: None,
+            heights: 20,
+            kill_every: 3,
+            bystanders: 2,
+            rejoin_after: 4,
+            window: 12,
+            arrivals: 2,
+            capacity: 4,
+            inject_split_brain: None,
             positional: Vec::new(),
         }
     }
@@ -265,6 +300,57 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--tolerance must be positive".into());
                 }
                 o.tolerance = Some(t);
+                i += 2;
+            }
+            "--heights" => {
+                o.heights = value(i)?.parse().map_err(|e| format!("--heights: {e}"))?;
+                if o.heights == 0 {
+                    return Err("--heights must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--kill-every" => {
+                o.kill_every = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--kill-every: {e}"))?;
+                i += 2;
+            }
+            "--bystanders" => {
+                o.bystanders = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--bystanders: {e}"))?;
+                i += 2;
+            }
+            "--rejoin-after" => {
+                o.rejoin_after = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--rejoin-after: {e}"))?;
+                i += 2;
+            }
+            "--window" => {
+                o.window = value(i)?.parse().map_err(|e| format!("--window: {e}"))?;
+                if o.window == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--arrivals" => {
+                o.arrivals = value(i)?.parse().map_err(|e| format!("--arrivals: {e}"))?;
+                i += 2;
+            }
+            "--capacity" => {
+                o.capacity = value(i)?.parse().map_err(|e| format!("--capacity: {e}"))?;
+                if o.capacity == 0 {
+                    return Err("--capacity must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--inject-split-brain" => {
+                o.inject_split_brain = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("--inject-split-brain: {e}"))?,
+                );
                 i += 2;
             }
             other if !other.starts_with('-') => {
@@ -682,6 +768,198 @@ fn net_substrate(o: &Opts) -> Substrate {
     }
 }
 
+/// Maps the `--substrate` flag onto the serve substrate (intra-trial
+/// sharding has no meaning for a single service, so `engine` variants
+/// collapse).
+fn serve_substrate(o: &Opts) -> Result<Substrate, String> {
+    Ok(match parse_substrate(&o.substrate)? {
+        LabSubstrate::Engine | LabSubstrate::EngineSharded(_) => Substrate::Engine,
+        LabSubstrate::Channel(w) => Substrate::Channel(w),
+        LabSubstrate::Tcp(w) => Substrate::Tcp(w),
+    })
+}
+
+/// Builds the service spec shared by `serve` and `loadgen`.
+fn serve_config(o: &Opts) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::new(o.n, o.alpha)
+        .seed(o.seed)
+        .heights(o.heights)
+        .window_rounds(o.window)
+        .substrate(serve_substrate(o)?)
+        .churn(ChurnPlan {
+            kill_leader_every: o.kill_every,
+            bystanders: o.bystanders,
+            rejoin_after: o.rejoin_after,
+        })
+        .load(LoadProfile {
+            arrivals_per_round: o.arrivals,
+            leader_capacity: o.capacity,
+        });
+    if let Some(h) = o.inject_split_brain {
+        if h >= o.heights {
+            return Err(format!(
+                "--inject-split-brain {h} is past the last height {}",
+                o.heights - 1
+            ));
+        }
+        let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
+        let hcfg = SimConfig::new(o.n)
+            .seed(height_seed(o.seed, h))
+            .max_rounds(params.le_round_budget());
+        let plan = split_brain_plan(&params, &hcfg)?;
+        cfg = cfg.inject_at(h, plan);
+    }
+    Ok(cfg)
+}
+
+fn quantile(h: &LogHistogram, q: f64) -> u64 {
+    h.quantile(q).unwrap_or(0)
+}
+
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    let cfg = serve_config(o)?;
+    let report = run_service(&cfg)?;
+    let mut writer = o.format.is_machine().then(|| {
+        RowWriter::new(
+            o.format,
+            &[
+                "height",
+                "seed",
+                "success",
+                "leader",
+                "rank",
+                "rounds",
+                "msgs",
+                "wire_bytes",
+                "down",
+            ],
+        )
+    });
+    for h in &report.heights {
+        if let Some(w) = writer.as_mut() {
+            w.emit(&[
+                Value::UInt(u64::from(h.height)),
+                Value::UInt(h.seed),
+                Value::Bool(h.success),
+                Value::Int(h.leader.map_or(-1, |l| i64::from(l.0))),
+                Value::UInt(h.rank.unwrap_or(0)),
+                Value::UInt(u64::from(h.rounds)),
+                Value::UInt(h.msgs_sent),
+                Value::UInt(h.wire_bytes),
+                Value::UInt(u64::from(h.down)),
+            ]);
+        }
+    }
+    let m = &report.metrics;
+    if writer.is_none() {
+        println!(
+            "serve: n={} alpha={} heights={} substrate={} seed={}",
+            o.n, o.alpha, o.heights, o.substrate, o.seed
+        );
+        println!(
+            "  elections: {} ok, {} failed; leader changes {}",
+            m.heights - m.failed_elections,
+            m.failed_elections,
+            m.leader_changes
+        );
+        println!(
+            "  time-to-new-leader (rounds): p50 {} p95 {} p99 {}",
+            quantile(&m.ttnl_rounds, 0.5),
+            quantile(&m.ttnl_rounds, 0.95),
+            quantile(&m.ttnl_rounds, 0.99)
+        );
+        println!(
+            "  availability: {:.4} ({} of {} rounds with a leader)",
+            m.availability().unwrap_or(0.0),
+            m.available_rounds,
+            m.total_rounds
+        );
+        println!("  churn crashes: {}", report.crashes);
+    }
+    for v in &report.violations {
+        eprintln!("invariant violation: {}", v.describe());
+    }
+    if let Some(dir) = &o.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for art in &report.artifacts {
+            let path = format!("{dir}/two-leaders-h{:04}.json", art.height.unwrap_or(0));
+            std::fs::write(&path, art.render()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("counterexample artifact written to {path} (check with `ftc replay`)");
+        }
+    }
+    // A violation fails the run — unless it was deliberately injected,
+    // in which case catching it is the expected outcome.
+    if !report.ok() && o.inject_split_brain.is_none() {
+        return Err(format!(
+            "{} invariant violation(s) observed",
+            report.violations.len()
+        ));
+    }
+    if report.ok() && o.inject_split_brain.is_some() {
+        return Err("injected split brain was not caught by the monitor".into());
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(o: &Opts) -> Result<(), String> {
+    let cfg = serve_config(o)?;
+    let report = run_service(&cfg)?;
+    let load = report
+        .load
+        .as_ref()
+        .expect("serve_config always arms the load generator");
+    let m = &report.metrics;
+    if o.format.is_machine() {
+        let mut w = RowWriter::new(
+            o.format,
+            &[
+                "issued",
+                "completed",
+                "retried",
+                "backlog",
+                "lat_p50",
+                "lat_p95",
+                "lat_p99",
+                "availability",
+            ],
+        );
+        w.emit(&[
+            Value::UInt(load.issued),
+            Value::UInt(load.completed),
+            Value::UInt(load.retried),
+            Value::UInt(load.backlog),
+            Value::UInt(quantile(&load.latency, 0.5)),
+            Value::UInt(quantile(&load.latency, 0.95)),
+            Value::UInt(quantile(&load.latency, 0.99)),
+            Value::Float(m.availability().unwrap_or(0.0)),
+        ]);
+    } else {
+        println!(
+            "loadgen: n={} heights={} arrivals/round={} capacity/round={} seed={}",
+            o.n, o.heights, o.arrivals, o.capacity, o.seed
+        );
+        println!(
+            "  requests: issued {} completed {} retried {} backlog {}",
+            load.issued, load.completed, load.retried, load.backlog
+        );
+        println!(
+            "  latency (rounds): p50 {} p95 {} p99 {} max {}",
+            quantile(&load.latency, 0.5),
+            quantile(&load.latency, 0.95),
+            quantile(&load.latency, 0.99),
+            load.latency.max().unwrap_or(0)
+        );
+        println!("  availability: {:.4}", m.availability().unwrap_or(0.0));
+    }
+    if !report.ok() {
+        return Err(format!(
+            "{} invariant violation(s) observed",
+            report.violations.len()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_hunt(o: &Opts) -> Result<(), String> {
     let proto = ProtoKind::parse(&o.proto)?;
     let objective = Objective::parse(&o.objective)?;
@@ -736,6 +1014,7 @@ fn cmd_hunt(o: &Opts) -> Result<(), String> {
         objective,
         alpha: o.alpha,
         zeros: o.zeros,
+        height: None,
         config: art_cfg,
         schedule: reduced.plan.clone(),
         score: objective.score(&reduced.observation),
@@ -1223,13 +1502,18 @@ fn report_diff(
 }
 
 fn usage() -> &'static str {
-    "usage: ftc <le|agree|sweep|trace|cluster|hunt|replay> [--n N] [--alpha A] \
+    "usage: ftc <le|agree|sweep|trace|cluster|serve|loadgen|hunt|replay> [--n N] [--alpha A] \
      [--seed S] [--trials T] [--zeros Z] \
      [--adversary none|eager|random|targeted] [--caps c1,c2,none] \
      [--format human|csv|json] [--csv] [--jobs J] [--proto le|agree] \
      [--transport tcp|channel] [--workers W] [--recv-timeout SECS] \
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
      [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
+     ftc serve   [--n N] [--alpha A] [--seed S] [--heights H] [--kill-every K] \
+     [--bystanders B] [--rejoin-after R] [--window W] [--substrate engine|channel:W|tcp:W] \
+     [--inject-split-brain H] [--out DIR] [--format human|csv|json]\n\
+     ftc loadgen [--n N] [--heights H] [--arrivals A] [--capacity C] [--window W] \
+     [--kill-every K] [--format human|csv|json]\n\
      ftc replay <artifact.json> [--transport tcp|channel] [--workers W]\n\
      ftc lab run <campaign|spec.json> [--smoke] [--jobs J] [--intra-jobs J] [--store DIR] \
      [--substrate engine|channel:W|tcp:W] [--format human|json]\n\
@@ -1259,6 +1543,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "trace" => cmd_trace(&opts),
         "cluster" => cmd_cluster(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "hunt" => cmd_hunt(&opts),
         "replay" => cmd_replay(&opts),
         "lab" => cmd_lab(&opts),
@@ -1302,6 +1588,39 @@ mod tests {
         assert_eq!(o.trials, 3);
         assert_eq!(o.format, Format::Json);
         assert_eq!(o.adversary, "eager");
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let o = parse_opts(&args(
+            "--heights 50 --kill-every 5 --bystanders 1 --rejoin-after 2 \
+             --window 8 --arrivals 3 --capacity 6 --inject-split-brain 7",
+        ))
+        .unwrap();
+        assert_eq!(o.heights, 50);
+        assert_eq!(o.kill_every, 5);
+        assert_eq!(o.bystanders, 1);
+        assert_eq!(o.rejoin_after, 2);
+        assert_eq!(o.window, 8);
+        assert_eq!(o.arrivals, 3);
+        assert_eq!(o.capacity, 6);
+        assert_eq!(o.inject_split_brain, Some(7));
+        // Defaults: monitor armed, no injection.
+        let d = parse_opts(&[]).unwrap();
+        assert_eq!(d.heights, 20);
+        assert_eq!(d.inject_split_brain, None);
+        // A service with zero heights or a zero-size window is meaningless.
+        assert!(parse_opts(&args("--heights 0")).is_err());
+        assert!(parse_opts(&args("--window 0")).is_err());
+        assert!(parse_opts(&args("--capacity 0")).is_err());
+    }
+
+    #[test]
+    fn split_brain_injection_past_the_last_height_is_rejected() {
+        let o = parse_opts(&args("--n 16 --heights 4 --inject-split-brain 9")).unwrap();
+        assert!(serve_config(&o)
+            .unwrap_err()
+            .contains("past the last height"));
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! * [`lab`] — declarative experiment campaigns: parameter grids over the
 //!   protocols, a content-addressed results store under `results/store/`,
 //!   cell-by-cell diffs with statistical tolerance bands, and the CI perf
-//!   gate built on them.
+//!   gate built on them;
+//! * [`serve`] — a long-lived leader *service*: repeated election heights
+//!   over the unmodified protocols, leader-kill churn with rejoin, a
+//!   deterministic load generator, and a runtime invariant monitor that
+//!   turns violations into replayable `hunt` artifacts.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -46,6 +50,7 @@ pub use ftc_hunt as hunt;
 pub use ftc_lab as lab;
 pub use ftc_lowerbound as lowerbound;
 pub use ftc_net as net;
+pub use ftc_serve as serve;
 pub use ftc_sim as sim;
 
 pub mod output;
@@ -62,5 +67,6 @@ pub mod prelude {
     };
     pub use ftc_lowerbound::prelude::*;
     pub use ftc_net::prelude::*;
+    pub use ftc_serve::prelude::*;
     pub use ftc_sim::prelude::*;
 }

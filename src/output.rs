@@ -177,7 +177,9 @@ impl RowWriter {
 
 /// Column names of the trailing per-metric summary table every
 /// trial-emitting subcommand appends in machine formats.
-pub const SUMMARY_COLUMNS: [&str; 6] = ["metric", "mean", "median", "p95", "min", "max"];
+pub const SUMMARY_COLUMNS: [&str; 8] = [
+    "metric", "mean", "median", "p95", "p99", "p999", "min", "max",
+];
 
 /// Renders the trailing summary table: one row per metric with its
 /// distribution quantiles. In CSV the table gets its own header line
@@ -194,6 +196,8 @@ pub fn render_summaries(format: Format, metrics: &[(&str, &Summary)]) -> Vec<Str
                 Value::Float(s.mean),
                 Value::Float(s.median),
                 Value::Float(s.p95),
+                Value::Float(s.p99),
+                Value::Float(s.p999),
                 Value::Float(s.min),
                 Value::Float(s.max),
             ])
@@ -303,17 +307,22 @@ mod tests {
     }
 
     #[test]
-    fn summary_rows_surface_median_and_p95() {
+    fn summary_rows_surface_quantiles() {
         let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
         let lines = render_summaries(Format::Csv, &[("msgs", &s)]);
         assert_eq!(lines.len(), 1);
         let mut parts = lines[0].lines();
-        assert_eq!(parts.next().unwrap(), "metric,mean,median,p95,min,max");
+        assert_eq!(
+            parts.next().unwrap(),
+            "metric,mean,median,p95,p99,p999,min,max"
+        );
         let row = parts.next().unwrap();
         assert!(row.starts_with("msgs,"), "{row}");
         assert!(row.contains(&format!(",{},", s.median)), "{row}");
         let json = render_summaries(Format::Json, &[("rounds", &s)]);
         assert!(json[0].contains("\"metric\":\"rounds\""), "{}", json[0]);
         assert!(json[0].contains("\"p95\":"), "{}", json[0]);
+        assert!(json[0].contains("\"p99\":"), "{}", json[0]);
+        assert!(json[0].contains("\"p999\":"), "{}", json[0]);
     }
 }
