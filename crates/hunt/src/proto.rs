@@ -9,6 +9,7 @@
 //! [`Fingerprint`].
 
 use ftc_core::prelude::*;
+use ftc_mesh::runtime::run_over_mesh;
 use ftc_net::prelude::*;
 use ftc_sim::engine::{run, RunResult, SimConfig};
 use ftc_sim::ids::{NodeId, Round};
@@ -68,6 +69,8 @@ pub enum Substrate {
     Channel(usize),
     /// The `ftc-net` localhost TCP mesh with this many workers.
     Tcp(usize),
+    /// The `ftc-mesh` multiplexed socket runtime with this many procs.
+    Mesh(usize),
 }
 
 /// Everything observable about one execution that replay must reproduce.
@@ -249,6 +252,11 @@ pub fn observe(
                         .map_err(|e| format!("tcp replay: {e}"))?
                         .run
                 }
+                Substrate::Mesh(procs) => {
+                    run_over_mesh(cfg, procs, factory, &mut adversary)
+                        .map_err(|e| format!("mesh replay: {e}"))?
+                        .run
+                }
             };
             Ok(le_observation(&r))
         }
@@ -263,6 +271,11 @@ pub fn observe(
                 Substrate::Tcp(workers) => {
                     run_over_tcp(cfg, workers, factory, &mut adversary)
                         .map_err(|e| format!("tcp replay: {e}"))?
+                        .run
+                }
+                Substrate::Mesh(procs) => {
+                    run_over_mesh(cfg, procs, factory, &mut adversary)
+                        .map_err(|e| format!("mesh replay: {e}"))?
                         .run
                 }
             };

@@ -25,6 +25,7 @@ pub fn names() -> &'static [&'static str] {
         "engine-bench",
         "scale-bench",
         "soak",
+        "wire-throughput",
     ]
 }
 
@@ -38,6 +39,7 @@ pub fn named(name: &str, smoke: bool) -> Option<CampaignSpec> {
         "engine-bench" => Some(engine_bench(smoke)),
         "scale-bench" => Some(scale_bench(smoke)),
         "soak" => Some(soak(smoke)),
+        "wire-throughput" => Some(wire_throughput(smoke)),
         _ => None,
     }
 }
@@ -323,6 +325,55 @@ pub fn soak(smoke: bool) -> CampaignSpec {
                 trials,
             )
             .label("soak"),
+        );
+    }
+    spec
+}
+
+/// The socket-substrate throughput benchmark: plain LE and agreement at
+/// cluster sizes the per-edge TCP transport could never reach, meant to
+/// run on the mesh substrate (`--substrate mesh:P`). Message counts are
+/// deterministic and bit-identical to the engine; the diagnostic
+/// `trials_per_s` together with the recorded `wire_bytes` extra gives
+/// real bytes/sec over sockets, and the committed trajectory in
+/// `BENCH_engine.json` carries the history that
+/// `ftc lab perf --campaign wire-throughput` gates against.
+pub fn wire_throughput(smoke: bool) -> CampaignSpec {
+    // Agreement heights are ~20x shorter than elections, so the agree
+    // cells get proportionally more trials — every cell should run for
+    // around a second of wall clock, below which the 20% gate is
+    // jitter-dominated (same tuning rule as `engine_bench`).
+    let sizes: &[(u32, u64, u64)] = if smoke {
+        &[(128, 4, 40), (256, 3, 25)]
+    } else {
+        &[(256, 8, 120), (1024, 4, 40)]
+    };
+    let mut spec = CampaignSpec::new("wire-throughput");
+    for &(n, le_trials, agree_trials) in sizes {
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Le {
+                    adv: Adv::Random(60),
+                },
+                n,
+                0.5,
+                GATE_SEED ^ 0x900 ^ u64::from(n),
+                le_trials,
+            )
+            .label("le"),
+        );
+        spec = spec.cell(
+            CellSpec::new(
+                Workload::Agree {
+                    zeros: 0.05,
+                    adv: Adv::Random(20),
+                },
+                n,
+                0.5,
+                GATE_SEED ^ 0xA00 ^ u64::from(n),
+                agree_trials,
+            )
+            .label("agree"),
         );
     }
     spec

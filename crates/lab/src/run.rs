@@ -18,6 +18,7 @@ use ftc_core::adversaries::{AdaptiveCandidateKiller, MinRankCrasher, ZeroHolderC
 use ftc_core::byzantine::{EquivocatingClaimant, ZeroForger};
 use ftc_core::prelude::*;
 use ftc_core::sampling::draw_committee;
+use ftc_mesh::runtime::run_over_mesh;
 use ftc_net::prelude::*;
 use ftc_serve::prelude::{run_service, ChurnPlan, LoadProfile, ServeConfig};
 use ftc_sim::adversary::{Adversary, EagerCrash, NoFaults, RandomCrash};
@@ -49,6 +50,8 @@ pub enum LabSubstrate {
     Channel(usize),
     /// The `ftc-net` localhost TCP mesh with this many workers.
     Tcp(usize),
+    /// The `ftc-mesh` multiplexed socket runtime with this many procs.
+    Mesh(usize),
 }
 
 impl LabSubstrate {
@@ -60,6 +63,10 @@ impl LabSubstrate {
             LabSubstrate::Engine | LabSubstrate::EngineSharded(_) => "engine".into(),
             LabSubstrate::Channel(w) => format!("channel:{w}"),
             LabSubstrate::Tcp(w) => format!("tcp:{w}"),
+            // The proc count is invisible in results (bit-identical at
+            // any procs), so the label omits it and record ids are
+            // procs-invariant — same reasoning as the engine variants.
+            LabSubstrate::Mesh(_) => "mesh".into(),
         }
     }
 
@@ -181,6 +188,11 @@ fn run_le<A: Adversary<LeMsg> + ?Sized>(
                 .map_err(|e| format!("tcp substrate: {e}"))?
                 .run
         }
+        LabSubstrate::Mesh(p) => {
+            run_over_mesh(cfg, p, factory, adv)
+                .map_err(|e| format!("mesh substrate: {e}"))?
+                .run
+        }
     })
 }
 
@@ -201,6 +213,11 @@ fn run_agree<A: Adversary<AgreeMsg> + ?Sized>(
         LabSubstrate::Tcp(w) => {
             run_over_tcp(cfg, w, factory, adv)
                 .map_err(|e| format!("tcp substrate: {e}"))?
+                .run
+        }
+        LabSubstrate::Mesh(p) => {
+            run_over_mesh(cfg, p, factory, adv)
+                .map_err(|e| format!("mesh substrate: {e}"))?
                 .run
         }
     })
@@ -224,14 +241,17 @@ pub fn run_trial(
             let cfg = cfg.max_rounds(params.le_round_budget());
             let r = run_le(&cfg, &params, &mut *a, substrate)?;
             let o = LeOutcome::evaluate(&r);
-            value_of(
-                &r,
-                o.success,
-                vec![(
-                    "faulty_leader",
-                    f64::from(u8::from(o.success && o.leader_is_faulty)),
-                )],
-            )
+            let mut extras = vec![(
+                "faulty_leader",
+                f64::from(u8::from(o.success && o.leader_is_faulty)),
+            )];
+            // Socket-substrate records additionally carry the wire
+            // traffic; engine/channel records keep their historical
+            // shape (and therefore their ids).
+            if matches!(substrate, LabSubstrate::Mesh(_)) {
+                extras.push(("wire_bytes", r.metrics.wire_bytes as f64));
+            }
+            value_of(&r, o.success, extras)
         }
         Workload::Agree { zeros, adv } => {
             let params = Params::new(n, cell.alpha).expect("valid params");
@@ -239,7 +259,11 @@ pub fn run_trial(
             let cfg = cfg.max_rounds(params.agreement_round_budget());
             let r = run_agree(&cfg, &params, input_stride(*zeros), &mut *a, substrate)?;
             let o = AgreeOutcome::evaluate(&r);
-            value_of(&r, o.success, vec![])
+            let mut extras = vec![];
+            if matches!(substrate, LabSubstrate::Mesh(_)) {
+                extras.push(("wire_bytes", r.metrics.wire_bytes as f64));
+            }
+            value_of(&r, o.success, extras)
         }
         Workload::LeIter { factor, per_round } => {
             let params = Params::new(n, cell.alpha)

@@ -1,0 +1,47 @@
+//! # ftc-mesh — the multiplexed socket runtime
+//!
+//! The fourth execution substrate for the ftc protocol stack, built for
+//! real cluster runs at n in the hundreds and thousands where the
+//! per-edge TCP transport (one socket and two reader threads per node
+//! pair) stops being physically possible.
+//!
+//! The design is two cleanly separated layers:
+//!
+//! - **Layer 1 — the sans-I/O round core.** [`RoundCore`] (per node) and
+//!   [`CoordinatorCore`] (control plane) are pure state machines: feed
+//!   inbound frames in, poll outbound frames and round transitions out.
+//!   No sockets, no threads, no clocks — unit-testable in isolation and
+//!   shared by *every* runtime. They physically live in
+//!   [`ftc_net::core`] so the channel and TCP runtimes run on the same
+//!   core (that is the point: one adjudication path, bit-identical
+//!   results); this crate re-exports them as its Layer 1.
+//! - **Layer 2 — the multiplexed runtime.** [`fabric`] opens exactly one
+//!   localhost socket per unordered *process* pair — O(procs²) sockets,
+//!   independent of n — and [`runtime`] drives many node cores per
+//!   process over it with a readiness loop: [`wire`] envelopes
+//!   (`[dst][frame]`) are coalesced per peer into large nonblocking
+//!   writes, and reads are drained into incremental decoders whenever
+//!   the poller reports data. Backpressure comes from the kernel socket
+//!   buffers (`WouldBlock` ⇒ drain reads, retry), never from unbounded
+//!   queues.
+//!
+//! [`runtime::run_over_mesh`] is bit-identical to the engine, channel,
+//! and TCP runtimes for the same `(SimConfig, seed)` — at any process
+//! count. `tests/net_equivalence.rs` pins that four ways.
+
+pub mod fabric;
+pub mod runtime;
+pub mod wire;
+
+// Layer 1 of this crate: the sans-I/O round state machines, hosted in
+// ftc-net so every runtime (channel, TCP, mesh) shares one control plane.
+pub use ftc_net::core::{Command, CoordinatorCore, NodeStatus, RoundCore, RoundPlan, Submission};
+
+/// Everything a cluster caller needs.
+pub mod prelude {
+    pub use crate::fabric::{socket_count, MAX_MESH_PROCS};
+    pub use crate::runtime::{run_over_mesh, run_over_mesh_at_height, run_over_mesh_with};
+    pub use ftc_net::core::{
+        Command, CoordinatorCore, NodeStatus, RoundCore, RoundPlan, Submission,
+    };
+}

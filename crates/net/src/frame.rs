@@ -180,4 +180,184 @@ mod tests {
         let mut r: &[u8] = &big;
         assert!(Frame::read_from(&mut r).is_err());
     }
+
+    /// Deterministic xorshift64* generator — the fuzz corpus must be
+    /// reproducible from the printed seed.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+        fn bytes(&mut self, len: usize) -> Vec<u8> {
+            (0..len).map(|_| self.next() as u8).collect()
+        }
+    }
+
+    /// A reader that hands out at most `chunk` bytes per `read` call —
+    /// partial reads, the normal case on a real nonblocking-then-readable
+    /// socket, must decode identically to one contiguous slice.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        chunk: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let k = self.chunk.min(buf.len()).min(self.data.len());
+            buf[..k].copy_from_slice(&self.data[..k]);
+            self.data = &self.data[k..];
+            Ok(k)
+        }
+    }
+
+    #[test]
+    fn every_torn_prefix_of_a_valid_stream_errors_or_ends_cleanly() {
+        // Cut a valid multi-frame stream at every byte offset: decoding
+        // the prefix must either yield complete frames and a clean EOF
+        // (cut on a frame boundary) or a truncation error — never a panic,
+        // never a phantom frame.
+        let mut stream = Vec::new();
+        let frames = [
+            frame(1, 0, 2, 0, b"ab"),
+            frame(1, 1, 7, 3, b""),
+            frame(2, 9, 1, 1, &[0x5A; 33]),
+        ];
+        let mut boundaries = vec![0usize];
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+            boundaries.push(stream.len());
+        }
+        for cut in 0..=stream.len() {
+            let mut r = &stream[..cut];
+            let mut decoded = 0usize;
+            let outcome = loop {
+                match Frame::read_from(&mut r) {
+                    Ok(Some(f)) => {
+                        assert_eq!(f, frames[decoded], "cut at {cut}");
+                        decoded += 1;
+                    }
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            if boundaries.contains(&cut) {
+                assert!(outcome.is_ok(), "boundary cut at {cut} should be clean EOF");
+                assert_eq!(
+                    decoded,
+                    boundaries.iter().filter(|&&b| b <= cut).count() - 1
+                );
+            } else {
+                assert!(outcome.is_err(), "mid-frame cut at {cut} must error");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_reads_decode_identically_to_contiguous_reads() {
+        let mut stream = Vec::new();
+        let frames = [
+            frame(0, 3, 1, 0, b"tiny"),
+            frame(4, 0, 0, 9, &[0xC3; 257]),
+            frame(0, 1, 2, 3, b""),
+        ];
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        for chunk in [1, 2, 3, 7, 16] {
+            let mut r = Chunked {
+                data: &stream,
+                chunk,
+            };
+            for f in &frames {
+                assert_eq!(Frame::read_from(&mut r).unwrap().as_ref(), Some(f));
+            }
+            assert_eq!(Frame::read_from(&mut r).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_never_allocate_or_panic() {
+        for declared in [
+            MAX_FRAME_LEN as u32 + 1,
+            1 << 28,
+            u32::MAX / 2,
+            u32::MAX - 1,
+            u32::MAX,
+        ] {
+            let mut corrupt = declared.to_le_bytes().to_vec();
+            corrupt.extend_from_slice(&[0u8; 64]);
+            let mut r = &corrupt[..];
+            let err = Frame::read_from(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "len {declared}");
+        }
+    }
+
+    #[test]
+    fn garbage_byte_fuzz_errors_cleanly_and_never_panics() {
+        // 2000 random byte strings, plus valid streams with random
+        // corruption — every outcome must be Ok or Err, reached without
+        // panicking and without reading past the input.
+        let mut rng = Rng(0x0DDB1A5E5BAD5EED);
+        for case in 0..2000u32 {
+            let len = rng.below(96);
+            let garbage = rng.bytes(len);
+            let mut r = &garbage[..];
+            loop {
+                match Frame::read_from(&mut r) {
+                    Ok(Some(_)) => continue, // garbage can spell a frame
+                    Ok(None) => break,
+                    Err(_) => break,
+                }
+            }
+            // Corrupt one byte of an otherwise valid stream.
+            let mut stream = Vec::new();
+            let payload_len = rng.below(40);
+            frame(case, case % 7, case % 5, case % 3, &rng.bytes(payload_len))
+                .write_to(&mut stream)
+                .unwrap();
+            let pos = rng.below(stream.len());
+            stream[pos] ^= (rng.next() as u8) | 1;
+            let mut r = Chunked {
+                data: &stream,
+                chunk: 1 + rng.below(8),
+            };
+            loop {
+                match Frame::read_from(&mut r) {
+                    Ok(Some(_)) => continue, // a flipped payload bit still parses
+                    Ok(None) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_valid_frames_roundtrip_through_chunked_readers() {
+        let mut rng = Rng(0xF00DF4CE);
+        for _ in 0..200 {
+            let payload_len = rng.below(300);
+            let f = frame(
+                rng.next() as u32,
+                rng.next() as u32,
+                rng.next() as u32,
+                rng.next() as u32,
+                &rng.bytes(payload_len),
+            );
+            let mut stream = Vec::new();
+            f.write_to(&mut stream).unwrap();
+            assert_eq!(stream.len() as u64, f.encoded_len());
+            let mut r = Chunked {
+                data: &stream,
+                chunk: 1 + rng.below(9),
+            };
+            assert_eq!(Frame::read_from(&mut r).unwrap(), Some(f));
+        }
+    }
 }

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod core;
 pub mod frame;
 pub mod sync;
 pub mod tcp;
@@ -65,6 +66,7 @@ pub mod transport;
 /// Convenient glob import for runtime users.
 pub mod prelude {
     pub use crate::channel::ChannelEndpoint;
+    pub use crate::core::{Command, CoordinatorCore, NodeStatus, RoundCore, RoundPlan, Submission};
     pub use crate::frame::Frame;
     pub use crate::sync::{
         run_over, run_over_at_height, run_over_channel, run_over_channel_at_height,

@@ -29,6 +29,12 @@
 //! independent of the worker count — `workers = 1` and `workers = 4`
 //! produce identical executions (asserted by `tests/net_equivalence.rs`).
 //!
+//! All round *logic* lives in the sans-I/O [`crate::core`] module
+//! ([`RoundCore`] per node, [`CoordinatorCore`] for the control plane);
+//! this module is the threads-and-channels adapter that moves the cores'
+//! data over an [`Endpoint`] mesh. The multiplexed socket runtime
+//! (`ftc-mesh`) is a second adapter over the same cores.
+//!
 //! ## Why this cannot deadlock
 //!
 //! Within a round, every worker transmits *all* its nodes' frames before
@@ -39,22 +45,21 @@
 //! waits for has therefore already been sent, or will be sent by a worker
 //! that is still transmitting and never blocks first.
 
+use std::io;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
 use std::time::Duration;
 
-use ftc_sim::adversary::{Adversary, Envelope};
+use ftc_sim::adversary::Adversary;
 use ftc_sim::engine::{RunResult, SimConfig};
-use ftc_sim::ids::{NodeId, Port, Round};
-use ftc_sim::node::NodeHarness;
+use ftc_sim::ids::NodeId;
 use ftc_sim::payload::Wire;
-use ftc_sim::protocol::{Incoming, Protocol};
-use ftc_sim::round::{network_ports, resolve_sends, ControlCore};
+use ftc_sim::protocol::Protocol;
 
 use crate::channel::{self};
-use crate::frame::Frame;
+use crate::core::{Command, CoordinatorCore, RoundCore, Submission};
 use crate::tcp;
-use crate::transport::{Endpoint, RoundAssembler, RECV_TIMEOUT};
+use crate::transport::{Endpoint, RECV_TIMEOUT};
 
 /// Transport-level accounting of one cluster run, on top of the model
 /// metrics in [`RunResult`].
@@ -79,32 +84,6 @@ pub struct NetRunResult<P> {
     pub net: NetMetrics,
 }
 
-/// One node's round submission to the coordinator: its queued sends, still
-/// in KT0 port space (the coordinator routes them).
-struct Submission<M> {
-    node: NodeId,
-    sends: Vec<(Port, M)>,
-    suppressed: u64,
-    terminated: bool,
-    /// A transport failure (e.g. a recv timeout) that wedged this node.
-    /// Reported through the submission channel — the coordinator blocks
-    /// there, so a silently dying worker would deadlock the lock-step
-    /// round loop instead of failing the run.
-    failed: Option<String>,
-}
-
-/// The coordinator's round verdict for one node.
-struct Command {
-    /// Frames to transmit, already routed and filtered.
-    frames: Vec<(NodeId, Frame)>,
-    /// How many frames to expect for this round's collect phase.
-    expect: usize,
-    /// This node crashed this round: transmit, then tear down.
-    crashed: bool,
-    /// The run is over after this round: transmit nothing, collect nothing.
-    stop: bool,
-}
-
 /// What a worker hands back when all its nodes are done.
 struct WorkerReport<P> {
     wire_bytes: u64,
@@ -112,23 +91,12 @@ struct WorkerReport<P> {
     states: Vec<(NodeId, P)>,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum NodeStatus {
-    Active,
-    Crashed,
-    Stopped,
-}
-
-/// One node as owned by a worker thread.
+/// One node as owned by a worker thread: the sans-I/O state machine plus
+/// this runtime's I/O attachments (an endpoint and a command channel).
 struct WorkerNode<P: Protocol, E> {
-    id: NodeId,
-    harness: NodeHarness<P>,
+    core: RoundCore<P>,
     endpoint: E,
     commands: Receiver<Command>,
-    assembler: RoundAssembler,
-    inbox: Vec<Incoming<P::Msg>>,
-    status: NodeStatus,
-    expect: usize,
 }
 
 /// Runs `cfg` over an in-process channel mesh with `workers` worker
@@ -315,8 +283,7 @@ where
     assert_eq!(endpoints.len(), nn, "need exactly one endpoint per node");
     let workers = workers.clamp(1, nn);
 
-    let ports = network_ports(cfg);
-    let mut core = ControlCore::new::<P::Msg, _>(cfg, adversary);
+    let mut coord = CoordinatorCore::<P::Msg>::new(cfg, height, adversary);
 
     let (submit_tx, submit_rx) = channel::<Submission<P::Msg>>();
     let (report_tx, report_rx) = channel::<WorkerReport<P>>();
@@ -327,14 +294,9 @@ where
         let (tx, rx) = channel();
         command_txs.push(tx);
         pools[i % workers].push(WorkerNode {
-            id,
-            harness: NodeHarness::new(cfg, id, factory(id)),
+            core: RoundCore::new(cfg, id, factory(id), height),
             endpoint,
             commands: rx,
-            assembler: RoundAssembler::new(),
-            inbox: Vec::new(),
-            status: NodeStatus::Active,
-            expect: 0,
         });
     }
 
@@ -346,81 +308,38 @@ where
         for pool in pools {
             let submit_tx = submit_tx.clone();
             let report_tx = report_tx.clone();
-            scope.spawn(move || worker_loop(pool, submit_tx, report_tx, height));
+            scope.spawn(move || worker_loop(pool, submit_tx, report_tx));
         }
         drop(submit_tx);
         drop(report_tx);
 
-        let mut terminated = vec![false; nn];
-        'rounds: for round in 0..cfg.max_rounds {
+        'rounds: loop {
             // --- activate: collect one submission per alive node. ---
-            let alive_before: Vec<NodeId> = (0..cfg.n)
-                .map(NodeId)
-                .filter(|&u| core.is_alive(u))
-                .collect();
-            let mut outgoing: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); nn];
-            let mut suppressed = 0u64;
-            for _ in 0..alive_before.len() {
+            let expected = coord.alive().len();
+            let mut submissions = Vec::with_capacity(expected);
+            for _ in 0..expected {
                 let sub = submit_rx.recv().expect("a worker died mid-round");
                 if sub.failed.is_some() {
                     failure = sub.failed;
                     break 'rounds;
                 }
-                suppressed += sub.suppressed;
-                terminated[sub.node.index()] = sub.terminated;
-                outgoing[sub.node.index()] = resolve_sends(&ports, sub.node, sub.sends);
+                submissions.push(sub);
             }
 
-            // --- adjudicate. `outgoing` is filtered in place down to the
-            // deliverable envelopes. ---
-            let verdict = core.finish_round(round, &mut outgoing, suppressed, adversary, &ports);
-
-            let mut expect = vec![0usize; nn];
-            for e in outgoing.iter().flatten() {
-                expect[e.dst.index()] += 1;
-            }
-            let mut frames: Vec<Vec<(NodeId, Frame)>> = vec![Vec::new(); nn];
-            for (u, sends) in outgoing.iter().enumerate() {
-                for (seq, e) in sends.iter().enumerate() {
-                    let mut payload = Vec::new();
-                    e.msg.encode(&mut payload);
-                    frames[u].push((
-                        e.dst,
-                        Frame {
-                            height,
-                            round,
-                            src: NodeId(u as u32),
-                            seq: seq as u32,
-                            payload,
-                        },
-                    ));
+            // --- adjudicate and fan the verdicts out. ---
+            let plan = match coord.adjudicate(submissions, adversary) {
+                Ok(plan) => plan,
+                Err(err) => {
+                    failure = Some(err);
+                    break 'rounds;
                 }
-            }
-
-            // Stop exactly when the engine's loop would: round limit hit,
-            // or a quiescent round (nothing delivered, all survivors
-            // terminated). The final round's messages are already fully
-            // accounted; physically shipping bytes no activation will ever
-            // read is skipped.
-            let stop = round + 1 == cfg.max_rounds
-                || (verdict.delivered == 0
-                    && (0..cfg.n)
-                        .map(NodeId)
-                        .filter(|&u| core.is_alive(u))
-                        .all(|u| terminated[u.index()]));
-
-            for &u in &alive_before {
-                let command = Command {
-                    frames: std::mem::take(&mut frames[u.index()]),
-                    expect: expect[u.index()],
-                    crashed: verdict.crashed.contains(&u),
-                    stop,
-                };
+            };
+            for (u, command) in plan.commands {
                 command_txs[u.index()]
                     .send(command)
                     .expect("a worker died mid-round");
             }
-            if stop {
+            if plan.stop {
                 break;
             }
         }
@@ -430,12 +349,7 @@ where
             // workers drain and join (the failed worker's command
             // receiver is already gone — ignore send errors).
             for tx in &command_txs {
-                let _ = tx.send(Command {
-                    frames: Vec::new(),
-                    expect: 0,
-                    crashed: false,
-                    stop: true,
-                });
+                let _ = tx.send(Command::stop());
             }
         }
 
@@ -452,8 +366,7 @@ where
         panic!("cluster run wedged: {err}");
     }
 
-    core.record_wire_bytes(net.wire_bytes);
-    let out = core.finish();
+    let out = coord.finish(net.wire_bytes);
     NetRunResult {
         run: RunResult {
             metrics: out.metrics,
@@ -471,12 +384,13 @@ where
 }
 
 /// Drives one worker's share of the nodes, phase-locked to the
-/// coordinator, until every owned node has crashed or stopped.
+/// coordinator, until every owned node has crashed or stopped. All round
+/// logic lives in each node's [`RoundCore`]; this loop only moves data
+/// between the cores and their I/O attachments.
 fn worker_loop<P, E>(
     mut nodes: Vec<WorkerNode<P, E>>,
     submit_tx: Sender<Submission<P::Msg>>,
     report_tx: Sender<WorkerReport<P>>,
-    height: u32,
 ) where
     P: Protocol,
     P::Msg: Wire,
@@ -484,22 +398,13 @@ fn worker_loop<P, E>(
 {
     let mut wire_bytes = 0u64;
     let mut frames_sent = 0u64;
-    let mut round: Round = 0;
     loop {
         // Phase 1: activate and submit.
         let mut any_active = false;
-        for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
+        for node in nodes.iter_mut().filter(|n| n.core.is_active()) {
             any_active = true;
-            let activation = node.harness.activate(round, &node.inbox);
-            node.inbox.clear();
             submit_tx
-                .send(Submission {
-                    node: node.id,
-                    sends: activation.sends,
-                    suppressed: activation.suppressed,
-                    terminated: activation.terminated,
-                    failed: None,
-                })
+                .send(node.core.activate())
                 .expect("coordinator gone");
         }
         if !any_active {
@@ -508,76 +413,56 @@ fn worker_loop<P, E>(
 
         // Phase 2: transmit for *all* owned nodes before collecting for
         // *any* (the deadlock-freedom invariant — see module docs).
-        for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
+        for node in nodes.iter_mut().filter(|n| n.core.is_active()) {
             let command = node.commands.recv().expect("coordinator gone");
-            if !command.stop {
-                for (dst, frame) in &command.frames {
-                    wire_bytes += node
-                        .endpoint
-                        .send(*dst, frame)
-                        .expect("transport send failed");
-                    frames_sent += 1;
-                }
+            let crashed = command.crashed;
+            for (dst, frame) in node.core.apply(command) {
+                wire_bytes += node
+                    .endpoint
+                    .send(dst, &frame)
+                    .expect("transport send failed");
+                frames_sent += 1;
             }
-            if command.crashed {
+            if crashed {
+                // Mid-round socket teardown — the wire form of
+                // crash-with-partial-delivery.
                 node.endpoint.teardown();
-                node.status = NodeStatus::Crashed;
-            } else if command.stop {
-                node.status = NodeStatus::Stopped;
-            } else {
-                node.expect = command.expect;
             }
         }
 
-        // Phase 3: collect next round's inboxes.
-        for node in nodes.iter_mut().filter(|n| n.status == NodeStatus::Active) {
-            let frames = match node
-                .assembler
-                .collect(round, node.expect, &mut node.endpoint)
-            {
-                Ok(frames) => {
-                    // Per-height meshes make a foreign height unreachable
-                    // in a correct build; a mismatch means frames leaked
-                    // between election instances — fail the run loudly.
-                    if let Some(f) = frames.iter().find(|f| f.height != height) {
-                        let _ = submit_tx.send(Submission {
-                            node: node.id,
-                            sends: Vec::new(),
-                            suppressed: 0,
-                            terminated: false,
-                            failed: Some(format!(
-                                "node {} got a frame for height {} during height {height}",
-                                node.id.0, f.height
-                            )),
-                        });
+        // Phase 3: collect next round's inboxes. Failures surface through
+        // the submission channel (where the coordinator blocks next
+        // round) — dying silently here would deadlock the lock-step loop.
+        for node in nodes.iter_mut().filter(|n| n.core.is_active()) {
+            while !node.core.ready() {
+                let frame = match node.endpoint.recv() {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        let msg = if e.kind() == io::ErrorKind::TimedOut {
+                            format!(
+                                "node {} timed out collecting round {}: got {} of {} frames ({e})",
+                                node.core.id(),
+                                node.core.round(),
+                                node.core.received(),
+                                node.core.expect(),
+                            )
+                        } else {
+                            e.to_string()
+                        };
+                        let _ = submit_tx.send(Submission::failure(node.core.id(), msg));
                         return;
                     }
-                    frames
-                }
-                Err(e) => {
-                    // Surface the failure through the submission channel
-                    // (where the coordinator blocks next round) and bail
-                    // out; dying silently here would deadlock the
-                    // coordinator waiting for this node's submission.
-                    let _ = submit_tx.send(Submission {
-                        node: node.id,
-                        sends: Vec::new(),
-                        suppressed: 0,
-                        terminated: false,
-                        failed: Some(e.to_string()),
-                    });
+                };
+                if let Err(err) = node.core.feed(frame) {
+                    let _ = submit_tx.send(Submission::failure(node.core.id(), err));
                     return;
                 }
-            };
-            node.inbox = frames
-                .into_iter()
-                .map(|f| Incoming {
-                    port: node.harness.port_from(f.src),
-                    msg: <P::Msg as Wire>::decode(&f.payload).expect("malformed frame payload"),
-                })
-                .collect();
+            }
+            if let Err(err) = node.core.end_round() {
+                let _ = submit_tx.send(Submission::failure(node.core.id(), err));
+                return;
+            }
         }
-        round += 1;
     }
 
     let _ = report_tx.send(WorkerReport {
@@ -585,7 +470,7 @@ fn worker_loop<P, E>(
         frames_sent,
         states: nodes
             .into_iter()
-            .map(|n| (n.id, n.harness.into_state()))
+            .map(|n| (n.core.id(), n.core.into_state()))
             .collect(),
     });
 }
@@ -595,7 +480,7 @@ mod tests {
     use super::*;
     use ftc_sim::adversary::{DeliveryFilter, EagerCrash, FaultPlan, NoFaults, ScriptedCrash};
     use ftc_sim::engine::run;
-    use ftc_sim::protocol::Ctx;
+    use ftc_sim::protocol::{Ctx, Incoming};
 
     /// Broadcasts its round number for 3 rounds and counts what it hears —
     /// the same canary protocol the engine tests use.

@@ -12,6 +12,17 @@
 //! FIN), after which every peer's reader observes a clean EOF and exits —
 //! precisely the partial-delivery semantics of the model's crash filters.
 //!
+//! The receiving side of a crash is graceful; the *sending* side needs
+//! care. A live node may write to a peer that crashed in the same round
+//! (the coordinator filters what the dead node *receives*, not what
+//! others send toward it), and depending on how far the RST has
+//! propagated that write nondeterministically succeeds or fails with
+//! `EPIPE`/`ECONNRESET`. Both outcomes mean the same thing in the model —
+//! the message was sent and will never be read — so [`Endpoint::send`]
+//! maps peer-death write errors to success with the frame's full wire
+//! bytes charged, exactly the accounting the channel transport and the
+//! engine produce. Only a send from a node that itself tore down errors.
+//!
 //! Mesh setup is sequential and hello-tagged: node `u` dials node `v` for
 //! every `u < v`, writes its 4-byte id, and the listener side reads the id
 //! to label the accepted socket. `TCP_NODELAY` is set everywhere; with one
@@ -48,6 +59,22 @@ pub struct TcpEndpoint {
     /// a long-lived service cycling through meshes (one per election
     /// height) must not accumulate orphaned readers.
     readers: Vec<thread::JoinHandle<()>>,
+    /// This endpoint itself tore down (crashed): every later send errors.
+    torn: bool,
+    /// Peers whose link died under a write (the RST from a crashed peer's
+    /// shutdown): later sends to them charge wire bytes and vanish, the
+    /// model's partial-delivery semantics.
+    dead_peers: Vec<bool>,
+}
+
+/// Write errors that mean "the peer is gone", not "the transport broke".
+fn is_peer_death(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
 }
 
 /// Builds a fully-connected `n`-node localhost TCP mesh with the default
@@ -131,6 +158,8 @@ pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEn
             rx,
             timeout: recv_timeout,
             readers,
+            torn: false,
+            dead_peers: vec![false; nn],
         })
         .collect())
 }
@@ -159,6 +188,17 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn send(&mut self, dst: NodeId, frame: &Frame) -> io::Result<u64> {
+        if self.torn {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("node {} is torn down", self.node),
+            ));
+        }
+        if self.dead_peers.get(dst.index()) == Some(&true) {
+            // The link already died under a write: the peer crashed, the
+            // message is "sent" in the model's accounting and never read.
+            return Ok(frame.encoded_len());
+        }
         let stream = self
             .writers
             .get_mut(dst.index())
@@ -166,7 +206,18 @@ impl Endpoint for TcpEndpoint {
             .ok_or_else(|| {
                 io::Error::new(io::ErrorKind::NotConnected, format!("no link to {dst}"))
             })?;
-        frame.write_to(stream)
+        match frame.write_to(stream) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if is_peer_death(e.kind()) => {
+                // The peer's crash teardown raced our write (whether the
+                // kernel surfaced it depends on RST timing). Same model
+                // meaning either way: charge the bytes, drop the link.
+                self.writers[dst.index()] = None;
+                self.dead_peers[dst.index()] = true;
+                Ok(frame.encoded_len())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn recv(&mut self) -> io::Result<Frame> {
@@ -182,6 +233,7 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn teardown(&mut self) {
+        self.torn = true;
         for link in self.writers.iter_mut() {
             if let Some(stream) = link.take() {
                 let _ = stream.shutdown(Shutdown::Both);
@@ -244,6 +296,33 @@ mod tests {
         assert_eq!(eps[1].recv().unwrap(), f);
         // After the crash the link is gone from the crashed side.
         assert!(eps[0].send(NodeId(1), &f).is_err());
+    }
+
+    #[test]
+    fn writes_to_a_crashed_peer_vanish_instead_of_erroring() {
+        let mut eps = mesh_with_timeout(3, Duration::from_millis(200)).unwrap();
+        // Pre-crash traffic lands: frames written before the teardown are
+        // delivered (TCP flushes ahead of the FIN).
+        let pre = frame(0, 1, 0, b"lands");
+        eps[1].send(NodeId(0), &pre).unwrap();
+        assert_eq!(eps[0].recv().unwrap(), pre);
+        eps[0].teardown();
+        // Post-crash traffic vanishes without error. Depending on RST
+        // propagation the kernel may accept the first writes and fail the
+        // later ones with EPIPE/ECONNRESET — the endpoint maps both
+        // outcomes to a successful send charging exactly the frame's wire
+        // bytes, which is what the engine's accounting says.
+        let f = frame(1, 1, 0, b"into the void");
+        for _ in 0..64 {
+            assert_eq!(eps[1].send(NodeId(0), &f).unwrap(), f.encoded_len());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The surviving edge 1–2 is untouched by node 0's crash.
+        let g = frame(1, 1, 1, b"still alive");
+        eps[1].send(NodeId(2), &g).unwrap();
+        assert_eq!(eps[2].recv().unwrap(), g);
+        // And the crashed node itself still cannot send.
+        assert!(eps[0].send(NodeId(2), &g).is_err());
     }
 
     #[test]

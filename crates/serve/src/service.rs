@@ -19,6 +19,7 @@
 
 use ftc_core::prelude::{LeNode, LeOutcome, Params};
 use ftc_hunt::prelude::{Artifact, Substrate};
+use ftc_mesh::runtime::run_over_mesh_at_height;
 use ftc_net::prelude::{run_over_channel_at_height, run_over_tcp_at_height, RECV_TIMEOUT};
 use ftc_sim::engine::{run, SimConfig};
 use ftc_sim::perm::stream_seed;
@@ -235,6 +236,12 @@ pub fn run_service(cfg: &ServeConfig) -> Result<ServiceReport, String> {
             Substrate::Tcp(workers) => {
                 let nr = run_over_tcp_at_height(&hcfg, workers, factory, &mut adv, RECV_TIMEOUT, h)
                     .map_err(|e| format!("serve: height {h}: tcp: {e}"))?;
+                let wire = nr.net.wire_bytes;
+                (nr.run, wire)
+            }
+            Substrate::Mesh(procs) => {
+                let nr = run_over_mesh_at_height(&hcfg, procs, factory, &mut adv, RECV_TIMEOUT, h)
+                    .map_err(|e| format!("serve: height {h}: mesh: {e}"))?;
                 let wire = nr.net.wire_bytes;
                 (nr.run, wire)
             }

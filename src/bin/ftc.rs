@@ -56,6 +56,9 @@ struct Opts {
     proto: String,
     transport: String,
     workers: usize,
+    /// `cluster --transport mesh`: OS processes the nodes are packed
+    /// onto (one socket per proc pair).
+    procs: usize,
     /// `cluster`: how long a node waits on a frame before the run is
     /// declared wedged.
     recv_timeout: Duration,
@@ -114,6 +117,7 @@ impl Default for Opts {
             proto: "le".into(),
             transport: "tcp".into(),
             workers: 4,
+            procs: 4,
             recv_timeout: RECV_TIMEOUT,
             objective: "failure".into(),
             strategy: "random".into(),
@@ -218,8 +222,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--transport" => {
                 o.transport = value(i)?.clone();
-                if !matches!(o.transport.as_str(), "tcp" | "channel") {
-                    return Err(format!("unknown transport {} (tcp|channel)", o.transport));
+                if !matches!(o.transport.as_str(), "tcp" | "channel" | "mesh") {
+                    return Err(format!(
+                        "unknown transport {} (tcp|channel|mesh)",
+                        o.transport
+                    ));
                 }
                 i += 2;
             }
@@ -227,6 +234,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.workers = value(i)?.parse().map_err(|e| format!("--workers: {e}"))?;
                 if o.workers == 0 {
                     return Err("--workers must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--procs" => {
+                o.procs = value(i)?.parse().map_err(|e| format!("--procs: {e}"))?;
+                if o.procs == 0 {
+                    return Err("--procs must be at least 1".into());
                 }
                 i += 2;
             }
@@ -611,17 +625,17 @@ fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
     let f = params.max_faults();
     // Validate size before any sockets are opened (n < 2 etc.).
     let base = SimConfig::try_new(o.n).map_err(|e| e.to_string())?;
-    let over_tcp = o.transport == "tcp";
     match o.proto.as_str() {
         "le" => {
             let cfg = base.seed(seed).max_rounds(params.le_round_budget());
             let mut adv = le_adversary(&o.adversary, f)?;
             let factory = |_| LeNode::new(params.clone());
-            let res = if over_tcp {
-                run_over_tcp_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
-                    .map_err(|e| format!("tcp cluster: {e}"))?
-            } else {
-                run_over_channel_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
+            let res = match o.transport.as_str() {
+                "tcp" => run_over_tcp_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
+                    .map_err(|e| format!("tcp cluster: {e}"))?,
+                "mesh" => run_over_mesh_with(&cfg, o.procs, factory, adv.as_mut(), o.recv_timeout)
+                    .map_err(|e| format!("mesh cluster: {e}"))?,
+                _ => run_over_channel_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout),
             };
             let out = LeOutcome::evaluate(&res.run);
             Ok(ClusterTrial {
@@ -645,11 +659,12 @@ fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
                     !(stride != u32::MAX && id.0.is_multiple_of(stride)),
                 )
             };
-            let res = if over_tcp {
-                run_over_tcp_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
-                    .map_err(|e| format!("tcp cluster: {e}"))?
-            } else {
-                run_over_channel_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
+            let res = match o.transport.as_str() {
+                "tcp" => run_over_tcp_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout)
+                    .map_err(|e| format!("tcp cluster: {e}"))?,
+                "mesh" => run_over_mesh_with(&cfg, o.procs, factory, adv.as_mut(), o.recv_timeout)
+                    .map_err(|e| format!("mesh cluster: {e}"))?,
+                _ => run_over_channel_with(&cfg, o.workers, factory, adv.as_mut(), o.recv_timeout),
             };
             let out = AgreeOutcome::evaluate(&res.run);
             Ok(ClusterTrial {
@@ -720,10 +735,17 @@ fn cmd_cluster(o: &Opts) -> Result<(), String> {
     }
     if writer.is_none() {
         let total = o.trials.max(1);
-        println!(
-            "cluster ({}, {} protocol): n={} alpha={} adversary={} workers={} trials={total}",
-            o.transport, o.proto, o.n, o.alpha, o.adversary, o.workers
-        );
+        if o.transport == "mesh" {
+            println!(
+                "cluster (mesh, {} protocol): n={} alpha={} adversary={} procs={} trials={total}",
+                o.proto, o.n, o.alpha, o.adversary, o.procs
+            );
+        } else {
+            println!(
+                "cluster ({}, {} protocol): n={} alpha={} adversary={} workers={} trials={total}",
+                o.transport, o.proto, o.n, o.alpha, o.adversary, o.workers
+            );
+        }
         println!("  success: {successes}/{total}");
         println!("  messages: mean {:.0} (p95 {:.0})", msgs.mean, msgs.p95);
         println!("  wire bytes: mean {:.0} (p95 {:.0})", wire.mean, wire.p95);
@@ -756,15 +778,16 @@ fn substrate_name(s: Substrate) -> &'static str {
         Substrate::Engine => "engine",
         Substrate::Channel(_) => "channel",
         Substrate::Tcp(_) => "tcp",
+        Substrate::Mesh(_) => "mesh",
     }
 }
 
 /// The `ftc-net` substrate selected by `--transport`/`--workers`.
 fn net_substrate(o: &Opts) -> Substrate {
-    if o.transport == "tcp" {
-        Substrate::Tcp(o.workers)
-    } else {
-        Substrate::Channel(o.workers)
+    match o.transport.as_str() {
+        "tcp" => Substrate::Tcp(o.workers),
+        "mesh" => Substrate::Mesh(o.procs),
+        _ => Substrate::Channel(o.workers),
     }
 }
 
@@ -776,6 +799,7 @@ fn serve_substrate(o: &Opts) -> Result<Substrate, String> {
         LabSubstrate::Engine | LabSubstrate::EngineSharded(_) => Substrate::Engine,
         LabSubstrate::Channel(w) => Substrate::Channel(w),
         LabSubstrate::Tcp(w) => Substrate::Tcp(w),
+        LabSubstrate::Mesh(p) => Substrate::Mesh(p),
     })
 }
 
@@ -1140,7 +1164,7 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `--substrate engine|channel[:W]|tcp[:W]` for `lab run`.
+/// Parses `--substrate engine|channel[:W]|tcp[:W]|mesh[:P]` for `lab run`.
 fn parse_substrate(s: &str) -> Result<LabSubstrate, String> {
     let (kind, workers) = match s.split_once(':') {
         Some((k, w)) => (
@@ -1157,8 +1181,9 @@ fn parse_substrate(s: &str) -> Result<LabSubstrate, String> {
         "engine" => Ok(LabSubstrate::Engine),
         "channel" => Ok(LabSubstrate::Channel(workers)),
         "tcp" => Ok(LabSubstrate::Tcp(workers)),
+        "mesh" => Ok(LabSubstrate::Mesh(workers)),
         other => Err(format!(
-            "unknown substrate {other} (engine|channel[:W]|tcp[:W])"
+            "unknown substrate {other} (engine|channel[:W]|tcp[:W]|mesh[:P])"
         )),
     }
 }
@@ -1319,23 +1344,27 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                 ("agree-scaling", ftc::lab::baseline::BENCH_AGREE),
                 ("engine-bench", ftc::lab::baseline::BENCH_ENGINE),
                 ("scale-bench", ftc::lab::baseline::BENCH_ENGINE),
+                ("wire-throughput", ftc::lab::baseline::BENCH_ENGINE),
             ];
             if let Some(name) = only {
                 if !all.iter().any(|(n, _)| n == name) {
                     return Err(format!(
                         "lab baseline: unknown campaign {name} \
-                         (le-scaling|agree-scaling|engine-bench|scale-bench)"
+                         (le-scaling|agree-scaling|engine-bench|scale-bench|wire-throughput)"
                     ));
                 }
             }
-            // Trajectories are engine-throughput history; the cluster
-            // substrates would record wall clocks of a different machine
-            // shape entirely.
+            // Trajectories are throughput history per substrate:
+            // wire-throughput records the mesh, everything else the
+            // engine — the cluster substrates would otherwise record
+            // wall clocks of a different machine shape entirely.
             let substrate = match lab_substrate(o)? {
                 s @ (LabSubstrate::Engine | LabSubstrate::EngineSharded(_)) => s,
+                s @ LabSubstrate::Mesh(_) if only.is_some_and(|n| n == "wire-throughput") => s,
                 other => {
                     return Err(format!(
-                        "lab baseline records engine trajectories only (got {})",
+                        "lab baseline records engine trajectories (or mesh, for \
+                         wire-throughput only); got {}",
                         other.name()
                     ))
                 }
@@ -1344,6 +1373,14 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                 if only.is_some_and(|n| n != name) {
                     continue;
                 }
+                // The wire-throughput baseline always measures the mesh;
+                // two procs by default — the multiplexing is what is
+                // measured, not parallelism.
+                let substrate = match (name, substrate) {
+                    ("wire-throughput", s @ LabSubstrate::Mesh(_)) => s,
+                    ("wire-throughput", _) => LabSubstrate::Mesh(2),
+                    (_, s) => s,
+                };
                 let spec = ftc::lab::campaigns::named(name, o.smoke).expect("registry name");
                 let record = run_campaign(&spec, o.jobs, substrate)?;
                 let id = store.put(&record).map_err(|e| e.to_string())?;
@@ -1395,10 +1432,12 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                     )
                 })?;
             let substrate = match lab_substrate(o)? {
-                s @ (LabSubstrate::Engine | LabSubstrate::EngineSharded(_)) => s,
+                s @ (LabSubstrate::Engine
+                | LabSubstrate::EngineSharded(_)
+                | LabSubstrate::Mesh(_)) => s,
                 other => {
                     return Err(format!(
-                        "lab perf gates the engine substrate only (got {})",
+                        "lab perf gates the engine and mesh substrates only (got {})",
                         other.name()
                     ))
                 }
@@ -1506,17 +1545,17 @@ fn usage() -> &'static str {
      [--seed S] [--trials T] [--zeros Z] \
      [--adversary none|eager|random|targeted] [--caps c1,c2,none] \
      [--format human|csv|json] [--csv] [--jobs J] [--proto le|agree] \
-     [--transport tcp|channel] [--workers W] [--recv-timeout SECS] \
+     [--transport tcp|channel|mesh] [--workers W] [--procs P] [--recv-timeout SECS] \
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
      [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
      ftc serve   [--n N] [--alpha A] [--seed S] [--heights H] [--kill-every K] \
-     [--bystanders B] [--rejoin-after R] [--window W] [--substrate engine|channel:W|tcp:W] \
+     [--bystanders B] [--rejoin-after R] [--window W] [--substrate engine|channel:W|tcp:W|mesh:P] \
      [--inject-split-brain H] [--out DIR] [--format human|csv|json]\n\
      ftc loadgen [--n N] [--heights H] [--arrivals A] [--capacity C] [--window W] \
      [--kill-every K] [--format human|csv|json]\n\
-     ftc replay <artifact.json> [--transport tcp|channel] [--workers W]\n\
+     ftc replay <artifact.json> [--transport tcp|channel|mesh] [--workers W] [--procs P]\n\
      ftc lab run <campaign|spec.json> [--smoke] [--jobs J] [--intra-jobs J] [--store DIR] \
-     [--substrate engine|channel:W|tcp:W] [--format human|json]\n\
+     [--substrate engine|channel:W|tcp:W|mesh:P] [--format human|json]\n\
      ftc lab list|show <id> [--store DIR]\n\
      ftc lab diff <baseline> <fresh> [--tolerance F]\n\
      ftc lab gate <baseline> [--jobs J] [--tolerance F]\n\

@@ -16,6 +16,9 @@
 //! * [`net`] — the real message-passing runtime: the same protocols over
 //!   in-process channels or localhost TCP sockets, bit-identical to the
 //!   simulator for any `(SimConfig, seed)`;
+//! * [`mesh`] — the multiplexed socket runtime: one socket per *process*
+//!   pair and many simulated nodes per process, taking real cluster runs
+//!   from n=8 to n=1024 on the same sans-I/O round core;
 //! * [`hunt`] — adversary search: hunts, shrinks, and replays worst-case
 //!   crash schedules as committed counterexample artifacts;
 //! * [`lab`] — declarative experiment campaigns: parameter grids over the
@@ -49,6 +52,7 @@ pub use ftc_core as core;
 pub use ftc_hunt as hunt;
 pub use ftc_lab as lab;
 pub use ftc_lowerbound as lowerbound;
+pub use ftc_mesh as mesh;
 pub use ftc_net as net;
 pub use ftc_serve as serve;
 pub use ftc_sim as sim;
@@ -66,6 +70,7 @@ pub mod prelude {
         CheckMetric, DiffReport, ExponentCheck, LabSubstrate, Store, Tolerance, Workload,
     };
     pub use ftc_lowerbound::prelude::*;
+    pub use ftc_mesh::prelude::*;
     pub use ftc_net::prelude::*;
     pub use ftc_serve::prelude::*;
     pub use ftc_sim::prelude::*;

@@ -1,6 +1,6 @@
-//! `DeliveryFilter` edge cases: the sim engine and the `ftc-net` channel
-//! runtime must agree on *exactly which frames land* when a node crashes
-//! mid-round — including the degenerate filters (deliver nothing, filter
+//! `DeliveryFilter` edge cases: the sim engine, the `ftc-net` channel
+//! runtime, and the `ftc-mesh` socket runtime must agree on *exactly
+//! which frames land* when a node crashes mid-round — including the degenerate filters (deliver nothing, filter
 //! covering every port, probabilistic partial delivery).
 //!
 //! The per-message ground truth is the execution trace: one event per
@@ -20,16 +20,23 @@ fn traced_cfg(params: &Params, seed: u64) -> SimConfig {
         .record_trace(true)
 }
 
-/// Runs the LE protocol under `plan` on the engine and on the channel
-/// mesh, returning both results.
-fn run_both(plan: &FaultPlan, seed: u64) -> (RunResult<LeNode>, RunResult<LeNode>) {
+/// Runs the LE protocol under `plan` on the engine, the channel runtime,
+/// and the multiplexed mesh runtime, returning all three results.
+fn run_all(
+    plan: &FaultPlan,
+    seed: u64,
+) -> (RunResult<LeNode>, RunResult<LeNode>, RunResult<LeNode>) {
     let params = Params::new(N, 0.5).unwrap();
     let cfg = traced_cfg(&params, seed);
     let mut adv = ScriptedCrash::new(plan.clone());
     let engine = run(&cfg, |_| LeNode::new(params.clone()), &mut adv);
     let mut adv = ScriptedCrash::new(plan.clone());
     let channel = run_over_channel(&cfg, 3, |_| LeNode::new(params.clone()), &mut adv).run;
-    (engine, channel)
+    let mut adv = ScriptedCrash::new(plan.clone());
+    let mesh = run_over_mesh(&cfg, 3, |_| LeNode::new(params.clone()), &mut adv)
+        .expect("mesh fabric")
+        .run;
+    (engine, channel, mesh)
 }
 
 /// Asserts the two substrates agree frame-for-frame: same sends, same
@@ -72,9 +79,10 @@ fn empty_filters_deliver_no_crash_round_frames() {
         DeliveryFilter::KeepToDestinations(Vec::new()),
     ] {
         let plan = FaultPlan::new().crash(NodeId(1), 0, filter.clone());
-        let (engine, channel) = run_both(&plan, SEED);
+        let (engine, channel, mesh) = run_all(&plan, SEED);
         assert_frames_agree(&engine, &channel);
-        for r in [&engine, &channel] {
+        assert_frames_agree(&engine, &mesh);
+        for r in [&engine, &channel, &mesh] {
             let (delivered, _) = crash_round_frames(r, NodeId(1), 0);
             assert!(
                 delivered.is_empty(),
@@ -102,10 +110,11 @@ fn filter_covering_all_ports_delivers_everything_then_silence() {
     let everyone: Vec<NodeId> = (0..N).map(NodeId).collect();
     let plan = FaultPlan::new().crash(NodeId(2), 1, DeliveryFilter::KeepToDestinations(everyone));
     let all = FaultPlan::new().crash(NodeId(2), 1, DeliveryFilter::DeliverAll);
-    let (engine, channel) = run_both(&plan, SEED);
+    let (engine, channel, mesh) = run_all(&plan, SEED);
     assert_frames_agree(&engine, &channel);
-    let (reference, _) = run_both(&all, SEED);
-    for r in [&engine, &channel] {
+    assert_frames_agree(&engine, &mesh);
+    let (reference, _, _) = run_all(&all, SEED);
+    for r in [&engine, &channel, &mesh] {
         let (delivered, dropped) = crash_round_frames(r, NodeId(2), 1);
         assert!(dropped.is_empty(), "all-ports filter dropped {dropped:?}");
         let (want, _) = crash_round_frames(&reference, NodeId(2), 1);
@@ -127,10 +136,11 @@ fn partial_delivery_mid_round_is_bit_identical_across_substrates() {
                 DeliveryFilter::DeliverEachWithProbability(0.5),
             )
             .crash(NodeId(7), 1, DeliveryFilter::KeepFirst(1));
-        let (engine, channel) = run_both(&plan, seed);
+        let (engine, channel, mesh) = run_all(&plan, seed);
         assert_frames_agree(&engine, &channel);
+        assert_frames_agree(&engine, &mesh);
         // KeepFirst(1) keeps at most one frame.
-        for r in [&engine, &channel] {
+        for r in [&engine, &channel, &mesh] {
             let (delivered, _) = crash_round_frames(r, NodeId(7), 1);
             assert!(delivered.len() <= 1, "KeepFirst(1) kept {delivered:?}");
         }

@@ -1,0 +1,421 @@
+//! Offline vendored stand-in for the [`mio`](https://crates.io/crates/mio)
+//! crate, exposing the readiness-loop subset this workspace uses:
+//! [`Poll`] / [`Registry`] / [`Events`] / [`Token`] / [`Interest`] and a
+//! nonblocking [`net::TcpStream`].
+//!
+//! Upstream mio wraps the OS selector (epoll/kqueue). This shim keeps the
+//! API shape but stays inside `std` with no unsafe and no libc: readiness
+//! is detected by sweeping the registered sockets with nonblocking
+//! `peek`, micro-sleeping between sweeps until something is ready or the
+//! poll timeout expires. Honest consequences of that substitution:
+//!
+//! * **Readable** means "`peek` returned data, EOF, or a hard error" —
+//!   exactly the cases where a `read` will make progress.
+//! * **Writable** is reported level-triggered and optimistically: a
+//!   registered-for-write socket is always offered as writable, and
+//!   callers discover a full send buffer through `WouldBlock` on `write`
+//!   (which is how well-behaved mio code handles spurious readiness
+//!   anyway).
+//! * Wakeup latency is the sweep interval (~0.5 ms) instead of an epoll
+//!   wakeup. For round-synchronous cluster traffic this is in the noise;
+//!   it would not be for a latency-critical proxy.
+//!
+//! The trade buys the same thing as the other `vendor/` shims: the whole
+//! workspace builds offline with `--locked` and zero registry access.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+use std::time::{Duration, Instant};
+
+/// How long one sweep sleeps when nothing is ready. Chosen well below a
+/// round's wall time so the poll loop never becomes the bottleneck, and
+/// well above a spin so idle procs do not burn a core.
+const SWEEP_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Networking primitives registrable with a [`Poll`].
+pub mod net {
+    use std::io::{self, Read, Write};
+    use std::net::{Shutdown, SocketAddr};
+
+    /// A nonblocking TCP stream (upstream: `mio::net::TcpStream`).
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Adopts a std stream, switching it to nonblocking mode (upstream
+        /// requires the caller to have done so; doing it here removes the
+        /// one footgun this shim could inherit).
+        pub fn from_std(stream: std::net::TcpStream) -> TcpStream {
+            let _ = stream.set_nonblocking(true);
+            TcpStream { inner: stream }
+        }
+
+        /// Receives data without consuming it; the readiness probe.
+        pub fn peek(&self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.peek(buf)
+        }
+
+        /// The address of the remote half.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// Shuts down read, write, or both halves.
+        pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+            self.inner.shutdown(how)
+        }
+
+        /// A second handle to the same socket (used by the registry).
+        pub fn try_clone(&self) -> io::Result<TcpStream> {
+            Ok(TcpStream {
+                inner: self.inner.try_clone()?,
+            })
+        }
+
+        /// Disables Nagle's algorithm.
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Read for &TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner).read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl Write for &TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner).flush()
+        }
+    }
+}
+
+/// Caller-chosen identifier returned with every event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    /// Combines two interests (upstream spells this `|`, via `BitOr` —
+    /// also provided — or `add`).
+    #[allow(clippy::should_implement_trait)] // upstream mio's method name
+    pub fn add(self, other: Interest) -> Interest {
+        Interest {
+            readable: self.readable || other.readable,
+            writable: self.writable || other.writable,
+        }
+    }
+
+    /// Whether read readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.readable
+    }
+
+    /// Whether write readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.writable
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+    /// The source will make progress on a `read`.
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+    /// The source is offered for writing (see the module docs for this
+    /// shim's optimistic semantics).
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// A batch of events filled by [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// No events were ready.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+struct Registration {
+    token: Token,
+    interest: Interest,
+    stream: net::TcpStream,
+}
+
+/// Where event sources are registered (upstream: `mio::Registry`).
+///
+/// Registration takes `&self` like upstream; the interior mutability is a
+/// plain `RefCell` because a `Poll` (and thus its registry) lives on one
+/// thread — this shim does not support upstream's cross-thread `Registry`
+/// cloning, which nothing in this workspace uses.
+#[derive(Default)]
+pub struct Registry {
+    entries: std::cell::RefCell<Vec<Registration>>,
+}
+
+impl Registry {
+    /// Registers `stream` for `interest`, reported under `token`. The
+    /// registry keeps its own handle to the socket (`try_clone`), so the
+    /// caller retains ownership of `stream`.
+    pub fn register(
+        &self,
+        stream: &net::TcpStream,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.entries.borrow_mut().push(Registration {
+            token,
+            interest,
+            stream: stream.try_clone()?,
+        });
+        Ok(())
+    }
+
+    /// Removes every registration under `token`.
+    pub fn deregister(&self, token: Token) {
+        self.entries.borrow_mut().retain(|r| r.token != token);
+    }
+
+    fn sweep(&self, events: &mut Events) {
+        let entries = self.entries.borrow();
+        let mut probe = [0u8; 1];
+        for reg in entries.iter() {
+            if events.inner.len() >= events.capacity {
+                break;
+            }
+            let readable = reg.interest.is_readable()
+                && match reg.stream.peek(&mut probe) {
+                    Ok(_) => true, // data, or EOF (read will see Ok(0))
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                    Err(_) => true, // hard error: let the read surface it
+                };
+            let writable = reg.interest.is_writable();
+            // Readable events carry the registration's write interest as
+            // optimistic writability; a writable-only registration is
+            // always ready (see the module docs — callers learn the truth
+            // from `WouldBlock` on write, as with any spurious readiness).
+            if readable || (writable && !reg.interest.is_readable()) {
+                events.inner.push(Event {
+                    token: reg.token,
+                    readable,
+                    writable,
+                });
+            }
+        }
+    }
+}
+
+/// The selector (upstream: `mio::Poll`).
+#[derive(Default)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// A fresh poll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll::default())
+    }
+
+    /// The registry sources are registered with.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Fills `events` with ready sources, waiting up to `timeout` (forever
+    /// when `None`). Returns with an empty `events` on timeout — same
+    /// contract as upstream.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let start = Instant::now();
+        loop {
+            self.registry.sweep(events);
+            if !events.is_empty() {
+                return Ok(());
+            }
+            if let Some(limit) = timeout {
+                let elapsed = start.elapsed();
+                if elapsed >= limit {
+                    return Ok(());
+                }
+                std::thread::sleep(SWEEP_INTERVAL.min(limit - elapsed));
+            } else {
+                std::thread::sleep(SWEEP_INTERVAL);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream as StdStream};
+
+    fn pair() -> (net::TcpStream, net::TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = StdStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (net::TcpStream::from_std(a), net::TcpStream::from_std(b))
+    }
+
+    #[test]
+    fn poll_reports_readable_when_bytes_arrive() {
+        let (a, mut b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&a, Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing queued: the poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        b.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let tokens: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(tokens, vec![Token(7)]);
+        let mut buf = [0u8; 4];
+        let mut reader = &a;
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn peer_close_reads_as_readable_eof() {
+        let (a, b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&a, Token(1), Interest::READABLE)
+            .unwrap();
+        drop(b);
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty());
+        let mut reader = &a;
+        let mut buf = [0u8; 1];
+        assert_eq!(reader.read(&mut buf).unwrap(), 0, "EOF after close");
+    }
+
+    #[test]
+    fn nonblocking_reads_would_block_when_idle() {
+        let (a, _b) = pair();
+        let mut reader = &a;
+        let mut buf = [0u8; 1];
+        let err = reader.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn interest_combinators_behave_like_flags() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn deregister_silences_a_source() {
+        let (a, mut b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&a, Token(3), Interest::READABLE)
+            .unwrap();
+        poll.registry().deregister(Token(3));
+        b.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}
