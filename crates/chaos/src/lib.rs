@@ -1,0 +1,50 @@
+//! # ftc-chaos — portfolio adversary hunts with coverage accounting
+//!
+//! A single `ftc hunt` answers one question: does *this* strategy break
+//! *this* objective on *this* protocol within *this* budget? The paper's
+//! claims are universally quantified — `O(·)` bounds that hold w.h.p.
+//! against **every** static crash adversary — so one hunt is an anecdote.
+//! This crate turns hunts into campaigns, the same move `ftc-lab` made
+//! for measurements:
+//!
+//! * [`spec`] — a [`HuntCampaignSpec`] declares the full search portfolio
+//!   (strategies × objectives × protocols, plus wire-fault cells) as
+//!   data, hashed the same way lab specs are;
+//! * [`coverage`] — a deterministic projection of every explored
+//!   [`FaultPlan`] onto a fixed bucket grid (crash-round quartile ×
+//!   victim-rank quartile × delivery-filter shape), so an *empty* hunt
+//!   commits a quantified "we looked here" figure rather than silence;
+//! * [`run`] — executes every cell via [`run_hunt_observed`], shrinks
+//!   each champion, and condenses the portfolio into a record;
+//! * [`record`] — the self-describing [`HuntCampaignRecord`]
+//!   (`ftc-chaos-record/v1`) persisted next to lab records in the
+//!   content-addressed store and byte-compared by `ftc hunt portfolio
+//!   gate`;
+//! * [`campaigns`] — the named registry (`adversary-portfolio`) the CLI
+//!   and CI resolve.
+//!
+//! Everything is deterministic in `(spec, jobs ignored)`: record ids are
+//! `--jobs`-invariant by construction, which is what makes a committed
+//! portfolio record a standing CI check.
+//!
+//! [`HuntCampaignSpec`]: crate::spec::HuntCampaignSpec
+//! [`HuntCampaignRecord`]: crate::record::HuntCampaignRecord
+//! [`run_hunt_observed`]: ftc_hunt::prelude::run_hunt_observed
+//! [`FaultPlan`]: ftc_sim::prelude::FaultPlan
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaigns;
+pub mod coverage;
+pub mod record;
+pub mod run;
+pub mod spec;
+
+/// Convenience re-exports of the subsystem's surface.
+pub mod prelude {
+    pub use crate::coverage::Coverage;
+    pub use crate::record::{HuntCampaignRecord, HuntCellResult, CHAOS_SCHEMA};
+    pub use crate::run::run_hunt_campaign;
+    pub use crate::spec::{HuntCampaignSpec, HuntCellSpec};
+}

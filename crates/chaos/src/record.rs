@@ -1,0 +1,195 @@
+//! Persisted portfolio-hunt records.
+//!
+//! A [`HuntCampaignRecord`] mirrors the lab's `CampaignRecord` contract:
+//! a self-describing JSON document (schema [`CHAOS_SCHEMA`]) whose
+//! deterministic payload — everything except the `diag` block — is
+//! byte-identical across reruns of the same spec at any `--jobs`, and
+//! whose store id content-addresses that payload. It lives in the same
+//! content-addressed store as lab records; the store's listing
+//! distinguishes the two by schema tag.
+
+use ftc_hunt::prelude::Artifact;
+use ftc_lab::run::git_rev;
+use ftc_lab::spec::fnv1a64;
+use ftc_sim::json::{Json, JsonError};
+
+use crate::coverage::Coverage;
+use crate::spec::{HuntCampaignSpec, HuntCellSpec};
+
+/// Schema tag of persisted portfolio-hunt records.
+pub const CHAOS_SCHEMA: &str = "ftc-chaos-record/v1";
+
+/// What one portfolio cell's search produced.
+#[derive(Clone, Debug)]
+pub struct HuntCellResult {
+    /// The cell this search executed (copied for self-description).
+    pub cell: HuntCellSpec,
+    /// Candidate schedules evaluated.
+    pub evaluated: u64,
+    /// Candidates whose argmax probe hit the objective.
+    pub hits: u64,
+    /// Crash entries in the champion before shrinking.
+    pub entries_before: u64,
+    /// Crash entries after shrinking.
+    pub entries_after: u64,
+    /// Engine probes the shrink spent.
+    pub shrink_probes: u64,
+    /// Schedule-space coverage of everything this cell explored.
+    pub coverage: Coverage,
+    /// The shrunk champion as a replayable artifact (`hit` records
+    /// whether it is a counterexample or merely the budget's worst).
+    pub artifact: Artifact,
+    /// Wall-clock seconds (diagnostic; outside the deterministic payload).
+    pub wall_s: f64,
+}
+
+impl HuntCellResult {
+    /// JSON encoding; `diag` controls whether wall-clock rides along.
+    pub fn to_json(&self, diag: bool) -> Json {
+        let mut fields = vec![
+            ("cell".into(), self.cell.to_json()),
+            ("evaluated".into(), Json::UInt(self.evaluated)),
+            ("hits".into(), Json::UInt(self.hits)),
+            (
+                "shrunk".into(),
+                Json::Obj(vec![
+                    ("before".into(), Json::UInt(self.entries_before)),
+                    ("after".into(), Json::UInt(self.entries_after)),
+                    ("probes".into(), Json::UInt(self.shrink_probes)),
+                ]),
+            ),
+            ("coverage".into(), self.coverage.to_json()),
+            ("artifact".into(), self.artifact.to_json()),
+        ];
+        if diag {
+            fields.push(("wall_s".into(), Json::Num(self.wall_s)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes from the [`HuntCellResult::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let shrunk = v.field("shrunk")?;
+        Ok(HuntCellResult {
+            cell: HuntCellSpec::from_json(v.field("cell")?)?,
+            evaluated: v.field("evaluated")?.as_u64()?,
+            hits: v.field("hits")?.as_u64()?,
+            entries_before: shrunk.field("before")?.as_u64()?,
+            entries_after: shrunk.field("after")?.as_u64()?,
+            shrink_probes: shrunk.field("probes")?.as_u64()?,
+            coverage: Coverage::from_json(v.field("coverage")?)?,
+            artifact: Artifact::from_json(v.field("artifact")?).map_err(|e| JsonError {
+                message: format!("cell artifact: {}", e.message),
+            })?,
+            wall_s: v.get("wall_s").map_or(Ok(0.0), Json::as_f64)?,
+        })
+    }
+}
+
+/// One persisted portfolio run: the spec, per-cell results, the merged
+/// coverage figure, and run provenance.
+#[derive(Clone, Debug)]
+pub struct HuntCampaignRecord {
+    /// The portfolio this run executed.
+    pub spec: HuntCampaignSpec,
+    /// [`HuntCampaignSpec::hash`] of `spec`.
+    pub spec_hash: String,
+    /// Per-cell results, aligned with `spec.cells`.
+    pub cells: Vec<HuntCellResult>,
+    /// Campaign-level coverage (bucket-wise sum over cells).
+    pub coverage: Coverage,
+    /// Git revision of the producing tree (diagnostic).
+    pub git_rev: String,
+    /// Total wall-clock seconds (diagnostic).
+    pub wall_s: f64,
+}
+
+impl HuntCampaignRecord {
+    /// JSON encoding. Without `diag`, the render is the deterministic
+    /// payload that the store content-addresses and `gate` compares.
+    pub fn to_json(&self, diag: bool) -> Json {
+        let mut fields = vec![
+            ("schema".into(), Json::Str(CHAOS_SCHEMA.into())),
+            ("name".into(), Json::Str(self.spec.name.clone())),
+            ("spec_hash".into(), Json::Str(self.spec_hash.clone())),
+            ("spec".into(), self.spec.to_json()),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(|c| c.to_json(diag)).collect()),
+            ),
+            ("coverage".into(), self.coverage.to_json()),
+        ];
+        if diag {
+            fields.push((
+                "diag".into(),
+                Json::Obj(vec![
+                    ("git_rev".into(), Json::Str(self.git_rev.clone())),
+                    ("wall_s".into(), Json::Num(self.wall_s)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The deterministic payload (diag stripped), rendered.
+    pub fn deterministic_render(&self) -> String {
+        self.to_json(false).render()
+    }
+
+    /// Content address: `<name>-<fnv64 of the deterministic payload>`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{:016x}",
+            self.spec.name,
+            fnv1a64(self.deterministic_render().as_bytes())
+        )
+    }
+
+    /// Total hits across the portfolio.
+    pub fn hits(&self) -> u64 {
+        self.cells.iter().map(|c| c.hits).sum()
+    }
+
+    /// Decodes from the [`HuntCampaignRecord::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("schema")?.as_str()? {
+            CHAOS_SCHEMA => {}
+            other => {
+                return Err(JsonError {
+                    message: format!("unknown record schema `{other}`"),
+                })
+            }
+        }
+        let (git_rev, wall_s) = match v.get("diag") {
+            Some(d) => (
+                d.field("git_rev")?.as_str()?.to_string(),
+                d.field("wall_s")?.as_f64()?,
+            ),
+            None => ("unknown".to_string(), 0.0),
+        };
+        Ok(HuntCampaignRecord {
+            spec: HuntCampaignSpec::from_json(v.field("spec")?)?,
+            spec_hash: v.field("spec_hash")?.as_str()?.to_string(),
+            cells: v
+                .field("cells")?
+                .as_arr()?
+                .iter()
+                .map(HuntCellResult::from_json)
+                .collect::<Result<_, _>>()?,
+            coverage: Coverage::from_json(v.field("coverage")?)?,
+            git_rev,
+            wall_s,
+        })
+    }
+
+    /// Parses a record from a JSON string.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let v = Json::parse(s).map_err(|e| format!("record JSON: {}", e.message))?;
+        HuntCampaignRecord::from_json(&v).map_err(|e| format!("record: {}", e.message))
+    }
+}
+
+/// Best-effort provenance for fresh records (re-exported convenience).
+pub fn provenance() -> String {
+    git_rev()
+}

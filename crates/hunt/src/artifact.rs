@@ -10,12 +10,13 @@
 //! a concrete adversarial schedule in CI.
 
 use ftc_core::prelude::Params;
+use ftc_net::prelude::WireFaultPlan;
 use ftc_sim::engine::SimConfig;
 use ftc_sim::json::{Json, JsonError};
 use ftc_sim::prelude::FaultPlan;
 
 use crate::objective::{Bounds, Objective};
-use crate::proto::{observe, Fingerprint, Observation, ProtoKind, Substrate};
+use crate::proto::{observe_wire, Fingerprint, Observation, ProtoKind, Substrate};
 
 /// Current artifact schema version.
 pub const ARTIFACT_VERSION: u64 = 1;
@@ -43,6 +44,13 @@ pub struct Artifact {
     pub config: SimConfig,
     /// The (shrunk) crash schedule.
     pub schedule: FaultPlan,
+    /// The socket-level chaos the counterexample was found under (`None`
+    /// for plain hunts). Wire faults are delivery-preserving, so replay
+    /// applies them on the socket substrates and ignores them on the
+    /// engine — [`WireFaultPlan::degrade`]'s empty-plan equivalence —
+    /// which is exactly what makes an engine replay of a wire-fault
+    /// artifact a meaningful cross-check rather than a skipped one.
+    pub wire: Option<WireFaultPlan>,
     /// Objective score the hunt observed.
     pub score: f64,
     /// Whether the observation was an actual counterexample (vs. merely
@@ -95,15 +103,18 @@ impl Artifact {
         fields.extend([
             ("config".into(), self.config.to_json()),
             ("schedule".into(), self.schedule.to_json()),
-            (
-                "observed".into(),
-                Json::Obj(vec![
-                    ("score".into(), Json::Num(self.score)),
-                    ("hit".into(), Json::Bool(self.hit)),
-                    ("fingerprint".into(), self.fingerprint.to_json()),
-                ]),
-            ),
         ]);
+        if let Some(wire) = &self.wire {
+            fields.push(("wire".into(), wire.to_json()));
+        }
+        fields.extend([(
+            "observed".into(),
+            Json::Obj(vec![
+                ("score".into(), Json::Num(self.score)),
+                ("hit".into(), Json::Bool(self.hit)),
+                ("fingerprint".into(), self.fingerprint.to_json()),
+            ]),
+        )]);
         Json::Obj(fields)
     }
 
@@ -129,6 +140,10 @@ impl Artifact {
             },
             config: SimConfig::from_json(v.field("config")?)?,
             schedule: FaultPlan::from_json(v.field("schedule")?)?,
+            wire: match v.get("wire") {
+                Some(w) => Some(WireFaultPlan::from_json(w)?),
+                None => None,
+            },
             score: observed.field("score")?.as_f64()?,
             hit: observed.field("hit")?.as_bool()?,
             fingerprint: Fingerprint::from_json(observed.field("fingerprint")?)?,
@@ -152,12 +167,13 @@ impl Artifact {
     /// Re-executes the bundle on `substrate` and diffs against the record.
     pub fn replay(&self, substrate: Substrate) -> Result<ReplayReport, String> {
         let params = self.params()?;
-        let observation = observe(
+        let observation = observe_wire(
             self.proto,
             &params,
             &self.config,
             self.zeros,
             &self.schedule,
+            self.wire.as_ref(),
             substrate,
         )?;
         let bounds = Bounds::for_proto(self.proto, &params);
@@ -175,6 +191,8 @@ impl Artifact {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::observe;
+    use ftc_net::prelude::WireFaultKind;
     use ftc_sim::adversary::DeliveryFilter;
     use ftc_sim::ids::NodeId;
 
@@ -205,6 +223,7 @@ mod tests {
             height: None,
             config,
             schedule,
+            wire: None,
             score: Objective::Failure.score(&obs),
             hit: Objective::Failure.hit(&obs, &bounds),
             fingerprint: obs.fingerprint,
@@ -241,6 +260,31 @@ mod tests {
         assert_eq!(back.height, Some(37));
         assert_eq!(back.objective, Objective::TwoLeadersAtHeight);
         assert_eq!(back.render(), tall.render());
+    }
+
+    #[test]
+    fn wire_section_is_optional_and_round_trips() {
+        // Absent: the key is not rendered, so pre-chaos artifacts keep
+        // their committed bytes.
+        let art = sample_artifact();
+        assert!(!art.render().contains("\"wire\""));
+        assert_eq!(Artifact::parse(&art.render()).unwrap().wire, None);
+        // Present: it renders, round-trips, and replays on both the
+        // engine (where it is ignored) and the channel substrate (where
+        // it perturbs the transport without changing the observation).
+        let mut chaotic = sample_artifact();
+        chaotic.wire = Some(
+            WireFaultPlan::new(29)
+                .fault(NodeId(3), 0, WireFaultKind::Reorder)
+                .fault(NodeId(5), 1, WireFaultKind::Duplicate),
+        );
+        let back = Artifact::parse(&chaotic.render()).unwrap();
+        assert_eq!(back.wire, chaotic.wire);
+        assert_eq!(back.render(), chaotic.render());
+        let engine = chaotic.replay(Substrate::Engine).unwrap();
+        assert!(engine.ok(), "engine replay diverged: {engine:?}");
+        let channel = chaotic.replay(Substrate::Channel(2)).unwrap();
+        assert!(channel.ok(), "channel replay diverged: {channel:?}");
     }
 
     #[test]

@@ -43,9 +43,13 @@ pub mod shrink;
 /// Convenience re-exports of the subsystem's surface.
 pub mod prelude {
     pub use crate::artifact::{Artifact, ReplayReport, ARTIFACT_VERSION};
-    pub use crate::mutate::{guided_plan, mutate_plan, random_plan, PlanSpace};
+    pub use crate::mutate::{
+        guided_plan, mutate_plan, mutate_wire_plan, random_plan, random_wire_plan, PlanSpace,
+    };
     pub use crate::objective::{Bounds, Objective};
-    pub use crate::proto::{observe, Fingerprint, Observation, ProtoKind, Substrate};
-    pub use crate::search::{run_hunt, Candidate, HuntReport, HuntSpec, Strategy};
+    pub use crate::proto::{observe, observe_wire, Fingerprint, Observation, ProtoKind, Substrate};
+    pub use crate::search::{
+        run_hunt, run_hunt_observed, Candidate, HuntReport, HuntSpec, Strategy,
+    };
     pub use crate::shrink::{shrink, ShrinkReport};
 }

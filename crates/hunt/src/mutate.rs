@@ -13,8 +13,14 @@
 //!   cloud-bridging senders mid-broadcast;
 //! * [`mutate_plan`] — one local edit (retarget, retime, refilter, add,
 //!   or drop a crash entry) for hill-climbing / annealing.
+//!
+//! The wire-fault analogues [`random_wire_plan`] / [`mutate_wire_plan`]
+//! draw socket-level perturbation schedules ([`WireFaultPlan`]) from the
+//! same `(node, round)` box for `--wire-faults` hunts, which search the
+//! product space of crash schedules and transport chaos.
 
 use ftc_lowerbound::prelude::CrashTarget;
+use ftc_net::prelude::{WireFaultEntry, WireFaultKind, WireFaultPlan};
 use ftc_sim::adversary::DeliveryFilter;
 use ftc_sim::ids::{NodeId, Round};
 use ftc_sim::prelude::FaultPlan;
@@ -180,6 +186,85 @@ pub fn mutate_plan(rng: &mut SmallRng, plan: &FaultPlan, space: &PlanSpace) -> F
     }
 }
 
+/// Draws a wire-fault kind. Tear chunks stay small (1..=32 bytes) so the
+/// mesh write path is genuinely fragmented; delays stay in the tens of
+/// microseconds so chaotic hunts keep their throughput.
+pub fn random_wire_kind(rng: &mut SmallRng) -> WireFaultKind {
+    match rng.random_range(0..4u8) {
+        0 => WireFaultKind::Reorder,
+        1 => WireFaultKind::Duplicate,
+        2 => WireFaultKind::Tear {
+            chunk: rng.random_range(1..=32usize),
+        },
+        _ => WireFaultKind::Delay {
+            micros: rng.random_range(1..=50u64),
+        },
+    }
+}
+
+/// A uniformly random wire-fault plan over the same `(node, round)` box
+/// the crash generators draw from: `1..=max_faults` scheduled transport
+/// perturbations, plus a fresh shuffle seed. Unlike crash plans, several
+/// faults may target the same node (a burst can be both duplicated and
+/// reordered), so no distinctness is enforced.
+pub fn random_wire_plan(rng: &mut SmallRng, space: &PlanSpace) -> WireFaultPlan {
+    let faults = rng.random_range(1..=space.max_faults.max(1));
+    let mut plan = WireFaultPlan::new(rng.random::<u64>());
+    for _ in 0..faults {
+        let node = NodeId(rng.random_range(0..space.n));
+        let round = rng.random_range(0..space.round_budget);
+        plan = plan.fault(node, round, random_wire_kind(rng));
+    }
+    plan
+}
+
+/// One local edit of a wire-fault plan: retime, rekind, or retarget an
+/// entry, add a fresh one, or drop one. Never returns an empty plan; the
+/// shuffle seed is preserved so the edit stays local.
+pub fn mutate_wire_plan(
+    rng: &mut SmallRng,
+    plan: &WireFaultPlan,
+    space: &PlanSpace,
+) -> WireFaultPlan {
+    if plan.is_empty() {
+        return random_wire_plan(rng, space);
+    }
+    let mut entries: Vec<WireFaultEntry> = plan.entries().to_vec();
+    let idx = rng.random_range(0..entries.len());
+    match rng.random_range(0..5u8) {
+        // Retime: nudge the perturbed round.
+        0 => {
+            let delta = rng.random_range(1..=3u32);
+            let round = entries[idx].round;
+            entries[idx].round = if rng.random_bool(0.5) {
+                round.saturating_sub(delta)
+            } else {
+                (round + delta).min(space.round_budget - 1)
+            };
+        }
+        // Rekind: redraw the perturbation.
+        1 => entries[idx].kind = random_wire_kind(rng),
+        // Retarget: move it to another sender.
+        2 => entries[idx].node = NodeId(rng.random_range(0..space.n)),
+        // Grow: schedule an extra perturbation if the budget allows.
+        3 if entries.len() < space.max_faults.max(1) => {
+            let node = NodeId(rng.random_range(0..space.n));
+            let round = rng.random_range(0..space.round_budget);
+            entries.push(WireFaultEntry {
+                node,
+                round,
+                kind: random_wire_kind(rng),
+            });
+        }
+        // Shrink: drop one, keeping the plan non-empty.
+        _ if entries.len() > 1 => {
+            entries.remove(idx);
+        }
+        _ => entries[idx].kind = random_wire_kind(rng),
+    }
+    WireFaultPlan::from_entries(plan.seed, entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +342,50 @@ mod tests {
             guided_plan(&mut a, &space).entries(),
             random_plan(&mut b, &space).entries()
         );
+    }
+
+    #[test]
+    fn wire_plans_stay_in_space() {
+        let space = space();
+        let mut rng = SmallRng::seed_from_u64(15);
+        for _ in 0..200 {
+            let plan = random_wire_plan(&mut rng, &space);
+            assert!(!plan.is_empty());
+            assert!(plan.len() <= space.max_faults);
+            for entry in plan.entries() {
+                assert!(entry.node.0 < space.n);
+                assert!(entry.round < space.round_budget);
+                match entry.kind {
+                    WireFaultKind::Tear { chunk } => assert!((1..=32).contains(&chunk)),
+                    WireFaultKind::Delay { micros } => assert!((1..=50).contains(&micros)),
+                    WireFaultKind::Reorder | WireFaultKind::Duplicate => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_mutations_preserve_invariants_and_the_seed() {
+        let space = space();
+        let mut rng = SmallRng::seed_from_u64(16);
+        let mut plan = random_wire_plan(&mut rng, &space);
+        let seed = plan.seed;
+        let mut changed = 0usize;
+        for _ in 0..300 {
+            let next = mutate_wire_plan(&mut rng, &plan, &space);
+            assert!(!next.is_empty());
+            assert!(next.len() <= space.max_faults.max(1));
+            assert_eq!(next.seed, seed, "mutation must not reseed the shuffle");
+            for entry in next.entries() {
+                assert!(entry.node.0 < space.n);
+                assert!(entry.round < space.round_budget);
+            }
+            if next.entries() != plan.entries() {
+                changed += 1;
+            }
+            plan = next;
+        }
+        assert!(changed > 250, "wire mutator mostly no-ops: {changed}/300");
     }
 
     #[test]

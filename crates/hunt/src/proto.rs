@@ -9,7 +9,7 @@
 //! [`Fingerprint`].
 
 use ftc_core::prelude::*;
-use ftc_mesh::runtime::run_over_mesh;
+use ftc_mesh::runtime::{run_over_mesh, run_over_mesh_faulty};
 use ftc_net::prelude::*;
 use ftc_sim::engine::{run, RunResult, SimConfig};
 use ftc_sim::ids::{NodeId, Round};
@@ -238,22 +238,56 @@ pub fn observe(
     plan: &FaultPlan,
     substrate: Substrate,
 ) -> Result<Observation, String> {
+    observe_wire(proto, params, cfg, zeros, plan, None, substrate)
+}
+
+/// [`observe`], with socket-level chaos layered under the crash schedule.
+///
+/// A [`WireFaultPlan`] perturbs only how frames travel (order, copies,
+/// write fragmentation, pacing) — never *which* model messages arrive —
+/// so the observation must be identical with and without it; hunting with
+/// wire faults is differential testing of the runtimes, not a wider model
+/// adversary. The engine has no wire, so `wire` is ignored there: that is
+/// exactly [`WireFaultPlan::degrade`]'s empty-plan equivalence, which
+/// makes engine replays of wire-fault counterexamples meaningful.
+pub fn observe_wire(
+    proto: ProtoKind,
+    params: &Params,
+    cfg: &SimConfig,
+    zeros: f64,
+    plan: &FaultPlan,
+    wire: Option<&WireFaultPlan>,
+    substrate: Substrate,
+) -> Result<Observation, String> {
     let mut adversary = ScriptedCrash::new(plan.clone());
     match proto {
         ProtoKind::Le => {
             let factory = |_| LeNode::new(params.clone());
-            let r = match substrate {
-                Substrate::Engine => run(cfg, factory, &mut adversary),
-                Substrate::Channel(workers) => {
+            let r = match (substrate, wire) {
+                (Substrate::Engine, _) => run(cfg, factory, &mut adversary),
+                (Substrate::Channel(workers), None) => {
                     run_over_channel(cfg, workers, factory, &mut adversary).run
                 }
-                Substrate::Tcp(workers) => {
+                (Substrate::Channel(workers), Some(w)) => {
+                    run_over_channel_faulty(cfg, workers, factory, &mut adversary, w).run
+                }
+                (Substrate::Tcp(workers), None) => {
                     run_over_tcp(cfg, workers, factory, &mut adversary)
                         .map_err(|e| format!("tcp replay: {e}"))?
                         .run
                 }
-                Substrate::Mesh(procs) => {
+                (Substrate::Tcp(workers), Some(w)) => {
+                    run_over_tcp_faulty(cfg, workers, factory, &mut adversary, w)
+                        .map_err(|e| format!("tcp replay: {e}"))?
+                        .run
+                }
+                (Substrate::Mesh(procs), None) => {
                     run_over_mesh(cfg, procs, factory, &mut adversary)
+                        .map_err(|e| format!("mesh replay: {e}"))?
+                        .run
+                }
+                (Substrate::Mesh(procs), Some(w)) => {
+                    run_over_mesh_faulty(cfg, procs, factory, &mut adversary, w)
                         .map_err(|e| format!("mesh replay: {e}"))?
                         .run
                 }
@@ -263,18 +297,31 @@ pub fn observe(
         ProtoKind::Agree => {
             let stride = input_stride(zeros);
             let factory = |id: NodeId| AgreeNode::new(params.clone(), agree_input(stride, id));
-            let r = match substrate {
-                Substrate::Engine => run(cfg, factory, &mut adversary),
-                Substrate::Channel(workers) => {
+            let r = match (substrate, wire) {
+                (Substrate::Engine, _) => run(cfg, factory, &mut adversary),
+                (Substrate::Channel(workers), None) => {
                     run_over_channel(cfg, workers, factory, &mut adversary).run
                 }
-                Substrate::Tcp(workers) => {
+                (Substrate::Channel(workers), Some(w)) => {
+                    run_over_channel_faulty(cfg, workers, factory, &mut adversary, w).run
+                }
+                (Substrate::Tcp(workers), None) => {
                     run_over_tcp(cfg, workers, factory, &mut adversary)
                         .map_err(|e| format!("tcp replay: {e}"))?
                         .run
                 }
-                Substrate::Mesh(procs) => {
+                (Substrate::Tcp(workers), Some(w)) => {
+                    run_over_tcp_faulty(cfg, workers, factory, &mut adversary, w)
+                        .map_err(|e| format!("tcp replay: {e}"))?
+                        .run
+                }
+                (Substrate::Mesh(procs), None) => {
                     run_over_mesh(cfg, procs, factory, &mut adversary)
+                        .map_err(|e| format!("mesh replay: {e}"))?
+                        .run
+                }
+                (Substrate::Mesh(procs), Some(w)) => {
+                    run_over_mesh_faulty(cfg, procs, factory, &mut adversary, w)
                         .map_err(|e| format!("mesh replay: {e}"))?
                         .run
                 }
@@ -322,6 +369,33 @@ mod tests {
         };
         let back = Fingerprint::from_json(&Json::parse(&none.to_json().render()).unwrap()).unwrap();
         assert_eq!(back.outcome, None);
+    }
+
+    #[test]
+    fn wire_faults_never_change_the_observation() {
+        let params = Params::new(12, 0.5).unwrap();
+        let cfg = SimConfig::new(12)
+            .seed(5)
+            .max_rounds(params.le_round_budget());
+        let plan = FaultPlan::new().crash(NodeId(3), 1, DeliveryFilter::KeepFirst(2));
+        let wire = WireFaultPlan::new(17)
+            .fault(NodeId(0), 0, WireFaultKind::Reorder)
+            .fault(NodeId(1), 0, WireFaultKind::Duplicate)
+            .fault(NodeId(3), 1, WireFaultKind::Duplicate);
+        let clean = observe(ProtoKind::Le, &params, &cfg, 0.05, &plan, Substrate::Engine).unwrap();
+        for substrate in [Substrate::Engine, Substrate::Channel(2)] {
+            let chaotic = observe_wire(
+                ProtoKind::Le,
+                &params,
+                &cfg,
+                0.05,
+                &plan,
+                Some(&wire),
+                substrate,
+            )
+            .unwrap();
+            assert_eq!(chaotic, clean, "wire faults leaked into {substrate:?}");
+        }
     }
 
     #[test]

@@ -22,9 +22,13 @@ use ftc_sim::runner::{ParRunner, TrialPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::mutate::{guided_plan, mutate_plan, random_plan, PlanSpace};
+use ftc_net::prelude::WireFaultPlan;
+
+use crate::mutate::{
+    guided_plan, mutate_plan, mutate_wire_plan, random_plan, random_wire_plan, PlanSpace,
+};
 use crate::objective::{Bounds, Objective};
-use crate::proto::{observe, Observation, ProtoKind, Substrate};
+use crate::proto::{observe_wire, Observation, ProtoKind, Substrate};
 
 /// Candidates evaluated per generation (the parallelism grain; fixed so
 /// the generation boundaries — and with them the annealing decisions —
@@ -96,6 +100,15 @@ pub struct HuntSpec {
     pub jobs: usize,
     /// Proposal strategy.
     pub strategy: Strategy,
+    /// Which substrate evaluates candidates. [`Substrate::Engine`] is the
+    /// fast default; a net substrate turns every evaluation into a
+    /// differential check of that runtime against the model.
+    pub substrate: Substrate,
+    /// Whether to co-search socket-level [`WireFaultPlan`]s alongside
+    /// crash schedules. Wire faults are delivery-preserving, so any hit
+    /// they cause is a runtime bug; on [`Substrate::Engine`] they are
+    /// drawn but invisible.
+    pub wire: bool,
 }
 
 /// One evaluated schedule: its worst probe, per the objective.
@@ -105,6 +118,8 @@ pub struct Candidate {
     pub trial: u64,
     /// The schedule.
     pub plan: FaultPlan,
+    /// The socket-level chaos the schedule ran under (wire hunts only).
+    pub wire: Option<WireFaultPlan>,
     /// Objective score at the argmax probe.
     pub score: f64,
     /// Whether the argmax probe is an actual counterexample.
@@ -152,25 +167,28 @@ pub fn probe_seeds(spec_seed: u64, probes: u64) -> Vec<u64> {
 }
 
 /// Scores `plan` over the probe panel: the argmax-probe observation,
-/// judged by `objective`. Pure in its arguments; runs on the sim engine.
+/// judged by `objective`. Pure in its arguments; runs on the spec's
+/// substrate (under `wire` chaos, when set).
 pub fn evaluate(
     spec: &HuntSpec,
     bounds: &Bounds,
     panel: &[u64],
     trial: u64,
     plan: FaultPlan,
+    wire: Option<WireFaultPlan>,
 ) -> Result<Candidate, String> {
     let mut best: Option<(f64, u64, Observation)> = None;
     for &probe in panel {
         let mut cfg = spec.cfg.clone();
         cfg.seed = probe;
-        let obs = observe(
+        let obs = observe_wire(
             spec.proto,
             &spec.params,
             &cfg,
             spec.zeros,
             &plan,
-            Substrate::Engine,
+            wire.as_ref(),
+            spec.substrate,
         )?;
         let score = spec.objective.score(&obs);
         if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
@@ -182,6 +200,7 @@ pub fn evaluate(
     Ok(Candidate {
         trial,
         plan,
+        wire,
         score,
         hit,
         probe_seed,
@@ -234,6 +253,18 @@ fn better(challenger: &Candidate, incumbent: &Candidate) -> bool {
 
 /// Runs the hunt. Deterministic in `spec` minus `jobs`.
 pub fn run_hunt(spec: &HuntSpec) -> Result<HuntReport, String> {
+    run_hunt_observed(spec, |_| {})
+}
+
+/// [`run_hunt`], streaming every evaluated candidate — in trial order,
+/// invariant under `jobs` — through `observer` as its generation closes.
+/// This is the hook schedule-space coverage accounting hangs off: the
+/// observer sees exactly the plans the budget explored, so a coverage
+/// figure computed from it is as deterministic as the hunt itself.
+pub fn run_hunt_observed(
+    spec: &HuntSpec,
+    mut observer: impl FnMut(&Candidate),
+) -> Result<HuntReport, String> {
     if !spec.objective.supports(spec.proto) {
         return Err(format!(
             "objective {} does not apply to protocol {}",
@@ -269,15 +300,21 @@ pub fn run_hunt(spec: &HuntSpec) -> Result<HuntReport, String> {
         let plan = TrialPlan::new(spec.seed, batch_size)
             .first(evaluated)
             .jobs(spec.jobs);
-        let incumbent_plan = incumbent.as_ref().map(|c| c.plan.clone());
+        let incumbent_plan = incumbent.as_ref().map(|c| (c.plan.clone(), c.wire.clone()));
         let batch = ParRunner::new(plan).run(|trial, seed| {
             let mut rng = SmallRng::seed_from_u64(seed);
             let proposal = match (spec.strategy, &incumbent_plan) {
                 (Strategy::Random, _) | (Strategy::Anneal, None) => random_plan(&mut rng, &space),
                 (Strategy::Guided, _) => guided_plan(&mut rng, &space),
-                (Strategy::Anneal, Some(base)) => mutate_plan(&mut rng, base, &space),
+                (Strategy::Anneal, Some((base, _))) => mutate_plan(&mut rng, base, &space),
             };
-            evaluate(spec, &bounds, &panel, trial, proposal)
+            let wire = spec.wire.then(|| match (spec.strategy, &incumbent_plan) {
+                (Strategy::Anneal, Some((_, Some(base)))) => {
+                    mutate_wire_plan(&mut rng, base, &space)
+                }
+                _ => random_wire_plan(&mut rng, &space),
+            });
+            evaluate(spec, &bounds, &panel, trial, proposal, wire)
         });
         evaluated += batch.len() as u64;
 
@@ -285,6 +322,7 @@ pub fn run_hunt(spec: &HuntSpec) -> Result<HuntReport, String> {
         for outcome in batch.outcomes {
             match outcome.value {
                 Ok(cand) => {
+                    observer(&cand);
                     hits += u64::from(cand.hit);
                     if gen_best.as_ref().is_none_or(|b| better(&cand, b)) {
                         gen_best = Some(cand);
@@ -363,6 +401,8 @@ mod tests {
             seed: 42,
             jobs,
             strategy,
+            substrate: Substrate::Engine,
+            wire: false,
         }
     }
 
@@ -405,6 +445,43 @@ mod tests {
                 assert_eq!(a.hits, b.hits);
             }
         }
+    }
+
+    #[test]
+    fn observer_streams_every_candidate_in_trial_order_at_any_jobs() {
+        for jobs in [1usize, 4] {
+            let mut trials = Vec::new();
+            let report =
+                run_hunt_observed(&spec(Strategy::Random, Objective::Failure, jobs), |c| {
+                    trials.push(c.trial);
+                })
+                .unwrap();
+            assert_eq!(trials.len() as u64, report.evaluated);
+            assert!(
+                trials.windows(2).all(|w| w[0] < w[1]),
+                "observer saw candidates out of trial order at jobs={jobs}: {trials:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_hunts_on_the_channel_substrate_match_clean_engine_hunts() {
+        // Wire faults are delivery-preserving and the channel runtime is
+        // bit-identical to the engine, so the chaotic hunt must find the
+        // same champion with the same score — the whole point of hunting
+        // with --wire-faults is that any divergence here is a runtime bug.
+        let mut clean = spec(Strategy::Anneal, Objective::MaxMessages, 1);
+        clean.budget = 16;
+        let mut chaotic = clean.clone();
+        chaotic.substrate = Substrate::Channel(2);
+        chaotic.wire = true;
+        let a = run_hunt(&clean).unwrap();
+        let b = run_hunt(&chaotic).unwrap();
+        assert_eq!(plan_key(&a.champion), plan_key(&b.champion));
+        assert_eq!(a.champion.score, b.champion.score);
+        assert_eq!(a.hits, b.hits);
+        assert!(a.champion.wire.is_none());
+        assert!(b.champion.wire.is_some(), "wire hunt lost its wire plan");
     }
 
     #[test]

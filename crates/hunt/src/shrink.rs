@@ -226,6 +226,8 @@ mod tests {
             seed: 7,
             jobs: 1,
             strategy: Strategy::Random,
+            substrate: Substrate::Engine,
+            wire: false,
         }
     }
 

@@ -30,6 +30,9 @@ pub struct Store {
 pub struct StoreEntry {
     /// Record id (`<name>-<hash16>`), also the file stem.
     pub id: String,
+    /// Record kind: `lab` (measurement campaigns), `hunt` (portfolio
+    /// adversary hunts), or `unknown` for schemas this build predates.
+    pub kind: String,
     /// Campaign name.
     pub name: String,
     /// Spec hash.
@@ -40,6 +43,15 @@ pub struct StoreEntry {
     pub git_rev: String,
     /// Wall-clock seconds recorded at run time.
     pub wall_s: f64,
+}
+
+/// Maps a record's schema tag onto its listing kind.
+fn kind_of(schema: &str) -> &'static str {
+    match schema {
+        "ftc-lab-record/v1" => "lab",
+        "ftc-chaos-record/v1" => "hunt",
+        _ => "unknown",
+    }
 }
 
 impl Store {
@@ -87,8 +99,27 @@ impl Store {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
+    /// Persists an already-rendered record under `id` (the caller owns
+    /// the schema — this is how non-lab records, e.g. `ftc-chaos`
+    /// portfolio records, share the store). Idempotent like [`Store::put`].
+    pub fn put_rendered(&self, id: &str, text: &str) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_of(id);
+        if !path.exists() {
+            let mut text = text.to_string();
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            fs::write(&path, text)?;
+        }
+        Ok(())
+    }
+
     /// Lists all records, sorted by id (so names cluster and output is
-    /// stable).
+    /// stable). The listing skims the shared envelope fields (`schema`,
+    /// `name`, `spec_hash`, `cells`, `diag`) rather than fully parsing
+    /// each record, so records of every schema — lab campaigns and chaos
+    /// portfolio hunts alike — appear side by side.
     pub fn list(&self) -> io::Result<Vec<StoreEntry>> {
         let mut entries = Vec::new();
         let dir = match fs::read_dir(&self.dir) {
@@ -101,18 +132,40 @@ impl Store {
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
-            let record = Self::load_path(&path)?;
+            let text = fs::read_to_string(&path)?;
+            let json = Json::parse(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let str_field = |name: &str| {
+                json.field(name)
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string()
+            };
+            let (git_rev, wall_s) = match json.get("diag") {
+                Some(d) => (
+                    d.field("git_rev")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    d.field("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+                ),
+                None => ("unknown".to_string(), 0.0),
+            };
             entries.push(StoreEntry {
                 id: path
                     .file_stem()
                     .and_then(|s| s.to_str())
                     .unwrap_or_default()
                     .to_string(),
-                name: record.spec.name.clone(),
-                spec_hash: record.spec_hash.clone(),
-                cells: record.cells.len(),
-                git_rev: record.git_rev.clone(),
-                wall_s: record.wall_s,
+                kind: kind_of(&str_field("schema")).to_string(),
+                name: str_field("name"),
+                spec_hash: str_field("spec_hash"),
+                cells: json
+                    .field("cells")
+                    .and_then(Json::as_arr)
+                    .map_or(0, <[Json]>::len),
+                git_rev,
+                wall_s,
             });
         }
         entries.sort_by(|a, b| a.id.cmp(&b.id));
@@ -208,5 +261,31 @@ mod tests {
     fn listing_a_missing_store_is_empty() {
         let store = Store::at("/nonexistent/ftc-lab-store");
         assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn foreign_schemas_list_side_by_side_with_lab_records() {
+        let store = tmp_store("kinds");
+        store.put(&small_record("store-unit", 1)).unwrap();
+        // A chaos-style record: same envelope, different schema and body.
+        let chaos = r#"{"schema":"ftc-chaos-record/v1","name":"portfolio","spec_hash":"abcd","spec":{},"cells":[{},{}],"coverage":{},"diag":{"git_rev":"f00","wall_s":1.5}}"#;
+        store
+            .put_rendered("portfolio-0123456789abcdef", chaos)
+            .unwrap();
+        // put_rendered is idempotent.
+        store
+            .put_rendered("portfolio-0123456789abcdef", chaos)
+            .unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 2);
+        let hunt = entries.iter().find(|e| e.kind == "hunt").unwrap();
+        assert_eq!(hunt.name, "portfolio");
+        assert_eq!(hunt.spec_hash, "abcd");
+        assert_eq!(hunt.cells, 2);
+        assert_eq!(hunt.git_rev, "f00");
+        assert_eq!(hunt.wall_s, 1.5);
+        let lab = entries.iter().find(|e| e.kind == "lab").unwrap();
+        assert_eq!(lab.name, "store-unit");
+        let _ = fs::remove_dir_all(store.dir());
     }
 }

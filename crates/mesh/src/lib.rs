@@ -40,7 +40,9 @@ pub use ftc_net::core::{Command, CoordinatorCore, NodeStatus, RoundCore, RoundPl
 /// Everything a cluster caller needs.
 pub mod prelude {
     pub use crate::fabric::{socket_count, MAX_MESH_PROCS};
-    pub use crate::runtime::{run_over_mesh, run_over_mesh_at_height, run_over_mesh_with};
+    pub use crate::runtime::{
+        run_over_mesh, run_over_mesh_at_height, run_over_mesh_faulty, run_over_mesh_with,
+    };
     pub use ftc_net::core::{
         Command, CoordinatorCore, NodeStatus, RoundCore, RoundPlan, Submission,
     };

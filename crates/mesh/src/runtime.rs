@@ -48,7 +48,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ftc_net::core::{Command, CoordinatorCore, RoundCore, Submission};
-use ftc_net::frame::Frame;
+use ftc_net::fault::{ChunkedWriter, FrameDedup, WireFaultPlan};
 use ftc_net::sync::{NetMetrics, NetRunResult};
 use ftc_net::transport::RECV_TIMEOUT;
 use ftc_sim::adversary::Adversary;
@@ -107,16 +107,62 @@ where
     run_over_mesh_at_height(cfg, procs, factory, adversary, recv_timeout, 0)
 }
 
+/// Like [`run_over_mesh`], but with a scripted
+/// [`WireFaultPlan`] perturbing the socket layer: transmit bursts are
+/// reordered, duplicated, and delayed per node and round, coalesced
+/// writes are torn into scheduled fragment sizes, and receive edges
+/// dedup frames before they reach the cores. Every v1 wire fault is
+/// delivery-preserving, so the result — including `wire_bytes` and
+/// `frames_sent` — is bit-identical to the faultless run; that is the
+/// property `ftc hunt --wire-faults` attacks.
+pub fn run_over_mesh_faulty<P, F, A>(
+    cfg: &SimConfig,
+    procs: usize,
+    factory: F,
+    adversary: &mut A,
+    wire: &WireFaultPlan,
+) -> io::Result<NetRunResult<P>>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    run_over_mesh_wired(cfg, procs, factory, adversary, RECV_TIMEOUT, 0, Some(wire))
+}
+
 /// [`run_over_mesh_with`] with every frame tagged as belonging to
 /// election instance `height` (the `ftc-serve` counter); each height gets
 /// a fresh fabric, and a foreign-height frame fails the run loudly.
 pub fn run_over_mesh_at_height<P, F, A>(
     cfg: &SimConfig,
     procs: usize,
+    factory: F,
+    adversary: &mut A,
+    recv_timeout: Duration,
+    height: u32,
+) -> io::Result<NetRunResult<P>>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    run_over_mesh_wired(cfg, procs, factory, adversary, recv_timeout, height, None)
+}
+
+/// The shared driver: [`run_over_mesh_at_height`] plus an optional
+/// [`WireFaultPlan`] applied at the adapter boundary (never inside the
+/// cores). `None` is the exact pre-fault code path.
+#[allow(clippy::too_many_arguments)]
+fn run_over_mesh_wired<P, F, A>(
+    cfg: &SimConfig,
+    procs: usize,
     mut factory: F,
     adversary: &mut A,
     recv_timeout: Duration,
     height: u32,
+    wire: Option<&WireFaultPlan>,
 ) -> io::Result<NetRunResult<P>>
 where
     P: Protocol,
@@ -167,7 +213,7 @@ where
             };
             let submit_tx = submit_tx.clone();
             let report_tx = report_tx.clone();
-            scope.spawn(move || proc_loop(proc, submit_tx, report_tx));
+            scope.spawn(move || proc_loop(proc, submit_tx, report_tx, wire));
         }
         drop(submit_tx);
         drop(report_tx);
@@ -281,12 +327,20 @@ fn proc_loop<P>(
     mut proc: Proc<P>,
     submit_tx: Sender<Submission<P::Msg>>,
     report_tx: Sender<ProcReport<P>>,
+    wire: Option<&WireFaultPlan>,
 ) where
     P: Protocol,
     P::Msg: Wire,
 {
     let mut wire_bytes = 0u64;
     let mut frames_sent = 0u64;
+    // Receive-edge dedup, one set per owned node slot, engaged only under
+    // a wire plan (the faultless path stays byte-for-byte untouched).
+    let mut dedups: Vec<FrameDedup> = if wire.is_some() {
+        proc.nodes.iter().map(|_| FrameDedup::new()).collect()
+    } else {
+        Vec::new()
+    };
 
     // The readiness loop: every peer socket registered once, token =
     // peer proc index.
@@ -323,29 +377,54 @@ fn proc_loop<P>(
             break;
         }
 
-        // Phase 2: apply the coordinator's batch; stage frames.
+        // Phase 2: apply the coordinator's batch; stage frames. Under a
+        // wire plan, each node's burst is perturbed between core and
+        // fabric: reorder/duplicate/delay per the schedule, with the
+        // appended duplicate suffix transmitted but *not* charged, so
+        // model accounting stays identical to a faultless wire.
         let batch = proc.batches.recv().expect("coordinator gone");
-        let mut staged: Vec<(NodeId, Frame)> = Vec::new();
+        let mut tear: Option<usize> = None;
         for (id, command) in batch {
             let slot = proc.slot(id);
             if !proc.nodes[slot].is_active() {
                 continue; // unwedge stop for an already-finished node
             }
-            staged.extend(proc.nodes[slot].apply(command));
-        }
-        for (dst, frame) in staged {
-            // Model accounting is per frame, local or remote — identical
-            // to the channel/TCP rule, hence procs-invariant.
-            wire_bytes += frame.encoded_len();
-            frames_sent += 1;
-            let peer = dst.index() % proc.procs;
-            if peer == proc.index {
-                let slot = proc.slot(dst);
-                if let Err(err) = proc.nodes[slot].feed(frame) {
-                    fail!(dst, err);
+            let mut burst = proc.nodes[slot].apply(command);
+            let mut charged = burst.len();
+            if let Some(plan) = wire {
+                if let Some(round) = burst.first().map(|(_, f)| f.round) {
+                    if let Some(pause) = plan.delay(id, round) {
+                        thread::sleep(pause);
+                    }
+                    if let Some(chunk) = plan.tear_chunk(id, round) {
+                        tear = Some(tear.map_or(chunk, |t| t.min(chunk)));
+                    }
+                    let dups = plan.perturb_batch(id, round, &mut burst);
+                    charged = burst.len() - dups;
                 }
-            } else {
-                out[peer].stage(dst, &frame);
+            }
+            for (k, (dst, frame)) in burst.into_iter().enumerate() {
+                if k < charged {
+                    // Model accounting is per frame, local or remote —
+                    // identical to the channel/TCP rule, hence
+                    // procs-invariant.
+                    wire_bytes += frame.encoded_len();
+                    frames_sent += 1;
+                }
+                let peer = dst.index() % proc.procs;
+                if peer == proc.index {
+                    let dst_slot = proc.slot(dst);
+                    if let Some(dedup) = dedups.get_mut(dst_slot) {
+                        if !dedup.admit(&frame) {
+                            continue;
+                        }
+                    }
+                    if let Err(err) = proc.nodes[dst_slot].feed(frame) {
+                        fail!(dst, err);
+                    }
+                } else {
+                    out[peer].stage(dst, &frame);
+                }
             }
         }
 
@@ -360,7 +439,18 @@ fn proc_loop<P>(
                     continue;
                 }
                 let stream = proc.links[peer].as_mut().expect("link to peer");
-                match wb.flush_into(stream) {
+                // A scheduled tear caps every write syscall, so the peer
+                // reads the round's envelopes in worst-case fragments;
+                // the loop still drains the full buffer (delivery is
+                // preserved, only the fragmentation changes).
+                let flushed = match tear {
+                    Some(chunk) => {
+                        let mut torn = ChunkedWriter::new(stream, chunk);
+                        wb.flush_into(&mut torn)
+                    }
+                    None => wb.flush_into(stream),
+                };
+                match flushed {
                     Ok(p) => progressed |= p,
                     Err(e) => {
                         let node = proc
@@ -439,6 +529,11 @@ fn proc_loop<P>(
                                 );
                             }
                             let slot = proc.slot(dst);
+                            if let Some(dedup) = dedups.get_mut(slot) {
+                                if !dedup.admit(&frame) {
+                                    continue;
+                                }
+                            }
                             if let Err(err) = proc.nodes[slot].feed(frame) {
                                 fail!(dst, err);
                             }
@@ -608,6 +703,41 @@ mod tests {
     }
 
     #[test]
+    fn wire_faults_are_model_invisible_on_the_mesh() {
+        use ftc_net::fault::{WireFaultKind, WireFaultPlan};
+        // Crash schedule plus wire chaos — reorder, duplicate (including
+        // the crashing node's crash-round burst), torn writes, delay.
+        // Delivery-preserving faults must leave the model result and the
+        // byte accounting bit-identical to the engine and the clean run,
+        // at every proc count.
+        let plan = FaultPlan::new().crash(NodeId(2), 1, DeliveryFilter::KeepFirst(3));
+        let cfg = SimConfig::new(12).seed(3).max_rounds(8);
+        let sim = run(&cfg, chatter, &mut ScriptedCrash::new(plan.clone()));
+        let clean =
+            run_over_mesh(&cfg, 2, chatter, &mut ScriptedCrash::new(plan.clone())).expect("fabric");
+        let wire = WireFaultPlan::new(23)
+            .fault(NodeId(0), 0, WireFaultKind::Reorder)
+            .fault(NodeId(1), 0, WireFaultKind::Duplicate)
+            .fault(NodeId(2), 1, WireFaultKind::Duplicate)
+            .fault(NodeId(2), 1, WireFaultKind::Reorder)
+            .fault(NodeId(3), 1, WireFaultKind::Tear { chunk: 1 })
+            .fault(NodeId(4), 2, WireFaultKind::Delay { micros: 200 });
+        for procs in [1, 3] {
+            let net = run_over_mesh_faulty(
+                &cfg,
+                procs,
+                chatter,
+                &mut ScriptedCrash::new(plan.clone()),
+                &wire,
+            )
+            .expect("fabric");
+            assert_matches_engine(&net, &sim);
+            assert_eq!(net.net.wire_bytes, clean.net.wire_bytes);
+            assert_eq!(net.net.frames_sent, clean.net.frames_sent);
+        }
+    }
+
+    #[test]
     fn repeated_heights_replay_with_a_mid_broadcast_crash() {
         let cfg = SimConfig::new(10).seed(21).max_rounds(8);
         let plan = FaultPlan::new().crash(NodeId(3), 1, DeliveryFilter::KeepFirst(2));
@@ -660,7 +790,7 @@ mod tests {
         };
         let (submit_tx, submit_rx) = channel();
         let (report_tx, _report_rx) = channel();
-        let handle = thread::spawn(move || proc_loop(proc, submit_tx, report_tx));
+        let handle = thread::spawn(move || proc_loop(proc, submit_tx, report_tx, None));
         let activation = submit_rx.recv().expect("activation submission");
         assert!(activation.failed.is_none());
         let failure = submit_rx.recv().expect("watchdog submission");

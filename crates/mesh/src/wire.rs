@@ -205,6 +205,166 @@ mod tests {
         assert!(dec.next().is_err());
     }
 
+    /// Deterministic xorshift64* — the same fuzz driver idiom as the
+    /// `ftc-net` frame codec tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_stream(rng: &mut Rng, frames: usize) -> (Vec<(NodeId, Frame)>, Vec<u8>) {
+        let mut items = Vec::new();
+        let mut stream = Vec::new();
+        for _ in 0..frames {
+            let payload: Vec<u8> = (0..rng.below(64)).map(|_| rng.next() as u8).collect();
+            let item = (
+                NodeId(rng.below(1 << 20) as u32),
+                frame(
+                    rng.below(100) as u32,
+                    rng.below(4096) as u32,
+                    rng.below(1 << 16) as u32,
+                    &payload,
+                ),
+            );
+            encode_envelope(item.0, &item.1, &mut stream);
+            items.push(item);
+        }
+        (items, stream)
+    }
+
+    #[test]
+    fn fuzz_split_streams_decode_exactly() {
+        // Valid envelope streams fed in adversarial read-sized fragments
+        // must decode to exactly the encoded sequence — the torn-frame
+        // path a scheduled `Tear` wire fault exercises on a live socket.
+        let mut rng = Rng(0x5EED_0001);
+        for _ in 0..200 {
+            let count = 1 + rng.below(8) as usize;
+            let (items, stream) = random_stream(&mut rng, count);
+            let mut dec = EnvelopeDecoder::new();
+            let mut got = Vec::new();
+            let mut pos = 0;
+            while pos < stream.len() {
+                let chunk = 1 + rng.below(13) as usize;
+                let end = (pos + chunk).min(stream.len());
+                dec.extend(&stream[pos..end]);
+                pos = end;
+                while let Some(pair) = dec.next().expect("valid stream") {
+                    got.push(pair);
+                }
+            }
+            assert_eq!(got, items);
+            assert_eq!(dec.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn fuzz_duplicated_and_interleaved_streams_decode_exactly() {
+        // A duplicated stream (every envelope twice — the wire form of a
+        // `Duplicate` fault) and two independent streams interleaved at
+        // arbitrary burst boundaries (two peers sharing a decoder's
+        // lifetime) both decode exactly: dedup is the *adapter's* job,
+        // the decoder reports precisely what arrived.
+        let mut rng = Rng(0x5EED_0002);
+        for _ in 0..100 {
+            let count = 1 + rng.below(5) as usize;
+            let (items, stream) = random_stream(&mut rng, count);
+            let mut doubled = Vec::new();
+            for (dst, f) in &items {
+                encode_envelope(*dst, f, &mut doubled);
+                encode_envelope(*dst, f, &mut doubled);
+            }
+            let mut dec = EnvelopeDecoder::new();
+            // Feed the doubled stream, then the original again, byte by
+            // byte in random-sized bursts.
+            for chunk in doubled.chunks(1 + rng.below(7) as usize) {
+                dec.extend(chunk);
+            }
+            for chunk in stream.chunks(1 + rng.below(7) as usize) {
+                dec.extend(chunk);
+            }
+            let mut got = Vec::new();
+            while let Some(pair) = dec.next().expect("valid stream") {
+                got.push(pair);
+            }
+            let mut expected = Vec::new();
+            for item in &items {
+                expected.push(item.clone());
+                expected.push(item.clone());
+            }
+            expected.extend(items.iter().cloned());
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn fuzz_garbage_streams_error_or_starve_but_never_panic() {
+        // Arbitrary bytes through the decoder: every outcome must be a
+        // clean `Ok(Some)`, `Ok(None)`, or `Err` — no panic, no runaway
+        // allocation (the MAX_FRAME_LEN guard), regardless of how the
+        // garbage fragments.
+        let mut rng = Rng(0x5EED_0003);
+        for _ in 0..300 {
+            let len = rng.below(160) as usize;
+            let garbage: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            let mut dec = EnvelopeDecoder::new();
+            let mut pos = 0;
+            'outer: while pos < garbage.len() {
+                let end = (pos + 1 + rng.below(9) as usize).min(garbage.len());
+                dec.extend(&garbage[pos..end]);
+                pos = end;
+                loop {
+                    match dec.next() {
+                        Ok(Some(_)) => {}
+                        Ok(None) => break,
+                        Err(_) => break 'outer, // corrupt length: done
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_valid_prefix_then_corruption_yields_prefix_then_error() {
+        // A valid stream with one length word smashed afterwards: the
+        // decoder must hand back every envelope before the corruption,
+        // then report InvalidData — exact-or-error, nothing silently
+        // skipped.
+        let mut rng = Rng(0x5EED_0004);
+        for _ in 0..100 {
+            let count = 1 + rng.below(6) as usize;
+            let (items, mut stream) = random_stream(&mut rng, count);
+            stream.extend_from_slice(&9u32.to_le_bytes()); // dst of a new envelope
+            stream.extend_from_slice(&3u32.to_le_bytes()); // len < HEADER_LEN: corrupt
+            let mut dec = EnvelopeDecoder::new();
+            for chunk in stream.chunks(1 + rng.below(11) as usize) {
+                dec.extend(chunk);
+            }
+            let mut got = Vec::new();
+            let err = loop {
+                match dec.next() {
+                    Ok(Some(pair)) => got.push(pair),
+                    Ok(None) => panic!("corruption must surface as an error"),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(got, items, "the valid prefix decodes exactly");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
     #[test]
     fn write_buf_coalesces_and_survives_short_writes() {
         /// Accepts at most 5 bytes per call, then signals WouldBlock once.

@@ -58,6 +58,7 @@
 
 pub mod channel;
 pub mod core;
+pub mod fault;
 pub mod frame;
 pub mod sync;
 pub mod tcp;
@@ -67,11 +68,14 @@ pub mod transport;
 pub mod prelude {
     pub use crate::channel::ChannelEndpoint;
     pub use crate::core::{Command, CoordinatorCore, NodeStatus, RoundCore, RoundPlan, Submission};
+    pub use crate::fault::{
+        ChunkedWriter, FrameDedup, WireFaultEntry, WireFaultKind, WireFaultPlan,
+    };
     pub use crate::frame::Frame;
     pub use crate::sync::{
         run_over, run_over_at_height, run_over_channel, run_over_channel_at_height,
-        run_over_channel_with, run_over_tcp, run_over_tcp_at_height, run_over_tcp_with, NetMetrics,
-        NetRunResult,
+        run_over_channel_faulty, run_over_channel_with, run_over_tcp, run_over_tcp_at_height,
+        run_over_tcp_faulty, run_over_tcp_with, NetMetrics, NetRunResult,
     };
     pub use crate::tcp::TcpEndpoint;
     pub use crate::transport::{Endpoint, RoundAssembler, RECV_TIMEOUT};

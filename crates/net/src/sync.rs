@@ -58,6 +58,7 @@ use ftc_sim::protocol::Protocol;
 
 use crate::channel::{self};
 use crate::core::{Command, CoordinatorCore, RoundCore, Submission};
+use crate::fault::{FrameDedup, WireFaultPlan};
 use crate::tcp;
 use crate::transport::{Endpoint, RECV_TIMEOUT};
 
@@ -163,6 +164,30 @@ where
     run_over_at_height(cfg, workers, factory, adversary, endpoints, height)
 }
 
+/// Like [`run_over_channel`], but with a scripted [`WireFaultPlan`]
+/// perturbing the wire between the cores and the transport: transmit
+/// bursts are reordered/duplicated/delayed per the plan, and receive
+/// edges dedup frames. The model result and accounting are bit-identical
+/// to the faultless run — every v1 wire fault is delivery-preserving
+/// (see [`crate::fault`]) — which is exactly the property
+/// `ftc hunt --wire-faults` searches for violations of.
+pub fn run_over_channel_faulty<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+    wire: &WireFaultPlan,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = channel::mesh_with_timeout(cfg.n, RECV_TIMEOUT);
+    run_over_wired(cfg, workers, factory, adversary, endpoints, 0, Some(wire))
+}
+
 /// Runs `cfg` over a localhost TCP mesh (real sockets) with `workers`
 /// worker threads and the default receive timeout
 /// ([`crate::transport::RECV_TIMEOUT`]). Limited to [`tcp::MAX_TCP_NODES`]
@@ -201,6 +226,32 @@ where
 {
     let endpoints = tcp::mesh_with_timeout(cfg.n, recv_timeout)?;
     Ok(run_over(cfg, workers, factory, adversary, endpoints))
+}
+
+/// TCP counterpart of [`run_over_channel_faulty`].
+pub fn run_over_tcp_faulty<P, F, A>(
+    cfg: &SimConfig,
+    workers: usize,
+    factory: F,
+    adversary: &mut A,
+    wire: &WireFaultPlan,
+) -> std::io::Result<NetRunResult<P>>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+{
+    let endpoints = tcp::mesh_with_timeout(cfg.n, RECV_TIMEOUT)?;
+    Ok(run_over_wired(
+        cfg,
+        workers,
+        factory,
+        adversary,
+        endpoints,
+        0,
+        Some(wire),
+    ))
 }
 
 /// TCP counterpart of [`run_over_channel_at_height`].
@@ -265,10 +316,32 @@ where
 pub fn run_over_at_height<P, F, A, E>(
     cfg: &SimConfig,
     workers: usize,
+    factory: F,
+    adversary: &mut A,
+    endpoints: Vec<E>,
+    height: u32,
+) -> NetRunResult<P>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    F: FnMut(NodeId) -> P,
+    A: Adversary<P::Msg> + ?Sized,
+    E: Endpoint,
+{
+    run_over_wired(cfg, workers, factory, adversary, endpoints, height, None)
+}
+
+/// The shared driver: [`run_over_at_height`] plus an optional
+/// [`WireFaultPlan`] applied at the adapter boundary (never inside the
+/// cores). `None` is the exact pre-fault code path.
+fn run_over_wired<P, F, A, E>(
+    cfg: &SimConfig,
+    workers: usize,
     mut factory: F,
     adversary: &mut A,
     endpoints: Vec<E>,
     height: u32,
+    wire: Option<&WireFaultPlan>,
 ) -> NetRunResult<P>
 where
     P: Protocol,
@@ -308,7 +381,7 @@ where
         for pool in pools {
             let submit_tx = submit_tx.clone();
             let report_tx = report_tx.clone();
-            scope.spawn(move || worker_loop(pool, submit_tx, report_tx));
+            scope.spawn(move || worker_loop(pool, submit_tx, report_tx, wire));
         }
         drop(submit_tx);
         drop(report_tx);
@@ -391,6 +464,7 @@ fn worker_loop<P, E>(
     mut nodes: Vec<WorkerNode<P, E>>,
     submit_tx: Sender<Submission<P::Msg>>,
     report_tx: Sender<WorkerReport<P>>,
+    wire: Option<&WireFaultPlan>,
 ) where
     P: Protocol,
     P::Msg: Wire,
@@ -398,6 +472,13 @@ fn worker_loop<P, E>(
 {
     let mut wire_bytes = 0u64;
     let mut frames_sent = 0u64;
+    // Receive-edge dedup, one set per owned node, engaged only under a
+    // wire plan (the faultless path must stay byte-for-byte untouched).
+    let mut dedups: Vec<FrameDedup> = if wire.is_some() {
+        nodes.iter().map(|_| FrameDedup::new()).collect()
+    } else {
+        Vec::new()
+    };
     loop {
         // Phase 1: activate and submit.
         let mut any_active = false;
@@ -416,12 +497,32 @@ fn worker_loop<P, E>(
         for node in nodes.iter_mut().filter(|n| n.core.is_active()) {
             let command = node.commands.recv().expect("coordinator gone");
             let crashed = command.crashed;
-            for (dst, frame) in node.core.apply(command) {
-                wire_bytes += node
+            let mut burst = node.core.apply(command);
+            // Wire faults perturb the burst between core and endpoint:
+            // duplicates (the appended suffix) go on the wire uncharged,
+            // so model accounting stays identical to a faultless run.
+            // Tear is absorbed trivially here — this transport sends
+            // whole frames.
+            let mut charged = burst.len();
+            if let Some(plan) = wire {
+                if let Some(round) = burst.first().map(|(_, f)| f.round) {
+                    let id = node.core.id();
+                    if let Some(pause) = plan.delay(id, round) {
+                        thread::sleep(pause);
+                    }
+                    let dups = plan.perturb_batch(id, round, &mut burst);
+                    charged = burst.len() - dups;
+                }
+            }
+            for (k, (dst, frame)) in burst.into_iter().enumerate() {
+                let sent = node
                     .endpoint
                     .send(dst, &frame)
                     .expect("transport send failed");
-                frames_sent += 1;
+                if k < charged {
+                    wire_bytes += sent;
+                    frames_sent += 1;
+                }
             }
             if crashed {
                 // Mid-round socket teardown — the wire form of
@@ -433,7 +534,10 @@ fn worker_loop<P, E>(
         // Phase 3: collect next round's inboxes. Failures surface through
         // the submission channel (where the coordinator blocks next
         // round) — dying silently here would deadlock the lock-step loop.
-        for node in nodes.iter_mut().filter(|n| n.core.is_active()) {
+        for (slot, node) in nodes.iter_mut().enumerate() {
+            if !node.core.is_active() {
+                continue;
+            }
             while !node.core.ready() {
                 let frame = match node.endpoint.recv() {
                     Ok(frame) => frame,
@@ -453,6 +557,15 @@ fn worker_loop<P, E>(
                         return;
                     }
                 };
+                // Under a wire plan, a duplicate (possibly straggling
+                // from an earlier round) is dropped before the core sees
+                // it — it would otherwise falsely complete the round or
+                // trip the past-round check.
+                if let Some(dedup) = dedups.get_mut(slot) {
+                    if !dedup.admit(&frame) {
+                        continue;
+                    }
+                }
                 if let Err(err) = node.core.feed(frame) {
                     let _ = submit_tx.send(Submission::failure(node.core.id(), err));
                     return;
@@ -610,6 +723,38 @@ mod tests {
         let net = run_over_tcp(&cfg, 4, chatter, &mut net_adv).expect("tcp mesh");
         assert_matches_engine(&cfg, &net, &sim);
         assert!(net.net.wire_bytes > 0);
+    }
+
+    #[test]
+    fn wire_faults_are_model_invisible_on_the_channel_path() {
+        use crate::fault::{WireFaultKind, WireFaultPlan};
+        // A crash schedule *plus* a wire schedule that reorders, delays,
+        // and duplicates bursts — including the crashing node's own
+        // crash-round burst. Delivery-preserving wire chaos must change
+        // nothing: not the model result, not even the byte accounting.
+        let cfg = SimConfig::new(12).seed(3).max_rounds(8);
+        let plan = FaultPlan::new().crash(NodeId(2), 1, DeliveryFilter::KeepFirst(3));
+        let sim = run(&cfg, chatter, &mut ScriptedCrash::new(plan.clone()));
+        let clean = run_over_channel(&cfg, 2, chatter, &mut ScriptedCrash::new(plan.clone()));
+        let wire = WireFaultPlan::new(11)
+            .fault(NodeId(0), 0, WireFaultKind::Reorder)
+            .fault(NodeId(1), 0, WireFaultKind::Duplicate)
+            .fault(NodeId(2), 1, WireFaultKind::Duplicate)
+            .fault(NodeId(2), 1, WireFaultKind::Reorder)
+            .fault(NodeId(3), 1, WireFaultKind::Delay { micros: 200 })
+            .fault(NodeId(4), 2, WireFaultKind::Tear { chunk: 3 });
+        for workers in [1, 4] {
+            let net = run_over_channel_faulty(
+                &cfg,
+                workers,
+                chatter,
+                &mut ScriptedCrash::new(plan.clone()),
+                &wire,
+            );
+            assert_matches_engine(&cfg, &net, &sim);
+            assert_eq!(net.net.wire_bytes, clean.net.wire_bytes);
+            assert_eq!(net.net.frames_sent, clean.net.frames_sent);
+        }
     }
 
     #[test]

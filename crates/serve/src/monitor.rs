@@ -134,6 +134,7 @@ impl Monitor {
                 height: Some(height),
                 config: cfg.clone(),
                 schedule: plan.clone(),
+                wire: None,
                 score: objective.score(&obs),
                 hit: objective.hit(&obs, &bounds),
                 fingerprint: obs.fingerprint,

@@ -98,6 +98,17 @@ struct Opts {
     /// `serve`: inject a verified split-brain schedule at this height (a
     /// monitor/artifact demonstration; see `ftc_serve::seeder`).
     inject_split_brain: Option<u32>,
+    /// `hunt`: also search socket-level wire faults (reorder, duplicate,
+    /// tear, delay) on the `--transport` substrate.
+    wire_faults: bool,
+    /// `hunt`: exit nonzero unless the hunt found a counterexample.
+    expect_hit: bool,
+    /// `hunt`: exit nonzero if the hunt found a counterexample.
+    expect_empty: bool,
+    /// `hunt portfolio`: minimum schedule-space coverage fraction.
+    min_coverage: Option<f64>,
+    /// `lab list`: only records of this kind (`lab`|`hunt`).
+    kind: Option<String>,
     /// Non-flag arguments (e.g. the artifact path for `replay`).
     positional: Vec<String>,
 }
@@ -138,6 +149,11 @@ impl Default for Opts {
             arrivals: 2,
             capacity: 4,
             inject_split_brain: None,
+            wire_faults: false,
+            expect_hit: false,
+            expect_empty: false,
+            min_coverage: None,
+            kind: None,
             positional: Vec::new(),
         }
     }
@@ -365,6 +381,42 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .parse()
                         .map_err(|e| format!("--inject-split-brain: {e}"))?,
                 );
+                i += 2;
+            }
+            "--wire-faults" => {
+                o.wire_faults = true;
+                i += 1;
+            }
+            "--expect-hit" => {
+                if o.expect_empty {
+                    return Err("--expect-hit and --expect-empty are mutually exclusive".into());
+                }
+                o.expect_hit = true;
+                i += 1;
+            }
+            "--expect-empty" => {
+                if o.expect_hit {
+                    return Err("--expect-hit and --expect-empty are mutually exclusive".into());
+                }
+                o.expect_empty = true;
+                i += 1;
+            }
+            "--min-coverage" => {
+                let c: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--min-coverage: {e}"))?;
+                if !(0.0..=1.0).contains(&c) {
+                    return Err("--min-coverage must be in [0, 1]".into());
+                }
+                o.min_coverage = Some(c);
+                i += 2;
+            }
+            "--kind" => {
+                let k = value(i)?.clone();
+                if !matches!(k.as_str(), "lab" | "hunt") {
+                    return Err(format!("unknown record kind {k} (lab|hunt)"));
+                }
+                o.kind = Some(k);
                 i += 2;
             }
             other if !other.starts_with('-') => {
@@ -985,6 +1037,9 @@ fn cmd_loadgen(o: &Opts) -> Result<(), String> {
 }
 
 fn cmd_hunt(o: &Opts) -> Result<(), String> {
+    if o.positional.first().map(String::as_str) == Some("portfolio") {
+        return cmd_hunt_portfolio(o);
+    }
     let proto = ProtoKind::parse(&o.proto)?;
     let objective = Objective::parse(&o.objective)?;
     let strategy = Strategy::parse(&o.strategy)?;
@@ -992,6 +1047,14 @@ fn cmd_hunt(o: &Opts) -> Result<(), String> {
     let cfg = SimConfig::try_new(o.n)
         .map_err(|e| e.to_string())?
         .max_rounds(proto.round_budget(&params));
+    // Wire faults only exist below a real transport, so `--wire-faults`
+    // moves the whole hunt onto the `--transport` substrate; plain hunts
+    // stay on the (much faster, observation-identical) engine.
+    let substrate = if o.wire_faults {
+        net_substrate(o)
+    } else {
+        Substrate::Engine
+    };
     let spec = HuntSpec {
         proto,
         objective,
@@ -1003,6 +1066,8 @@ fn cmd_hunt(o: &Opts) -> Result<(), String> {
         seed: o.seed,
         jobs: o.jobs,
         strategy,
+        substrate,
+        wire: o.wire_faults,
     };
     let report = run_hunt(&spec)?;
     if let Some(w) = o.format.is_machine().then(|| {
@@ -1041,13 +1106,20 @@ fn cmd_hunt(o: &Opts) -> Result<(), String> {
         height: None,
         config: art_cfg,
         schedule: reduced.plan.clone(),
+        wire: champ.wire.clone(),
         score: objective.score(&reduced.observation),
         hit: objective.hit(&reduced.observation, &report.bounds),
         fingerprint: reduced.observation.fingerprint.clone(),
     };
     // Cross-check before emitting: the artifact must replay bit-for-bit on
-    // the engine and on the real channel runtime (PR-3 bit-equivalence).
-    for substrate in [Substrate::Engine, Substrate::Channel(o.workers)] {
+    // the engine and on the real channel runtime (PR-3 bit-equivalence) —
+    // plus the hunted substrate itself when wire faults are on, so the
+    // wire plan is re-applied where it was found.
+    let mut check_on = vec![Substrate::Engine, Substrate::Channel(o.workers)];
+    if o.wire_faults {
+        check_on.push(substrate);
+    }
+    for substrate in check_on {
         let check = artifact.replay(substrate)?;
         if !check.ok() {
             return Err(format!(
@@ -1091,13 +1163,48 @@ fn cmd_hunt(o: &Opts) -> Result<(), String> {
             "  shrunk: {} -> {} crash entries ({} reduction probes)",
             reduced.entries_before, reduced.entries_after, reduced.probes
         );
-        println!("  replay: engine ok, channel ok");
+        if let Some(wire) = &artifact.wire {
+            let (_, residue) = wire.degrade();
+            println!(
+                "  wire faults: {} entr{} on {} (engine residue: {})",
+                wire.len(),
+                if wire.len() == 1 { "y" } else { "ies" },
+                substrate_name(substrate),
+                if residue.is_empty() {
+                    "none".to_string()
+                } else {
+                    residue.join("; ")
+                }
+            );
+        }
+        if o.wire_faults {
+            println!(
+                "  replay: engine ok, channel ok, {} ok",
+                substrate_name(substrate)
+            );
+        } else {
+            println!("  replay: engine ok, channel ok");
+        }
     }
     if let Some(path) = &o.out {
         std::fs::write(path, artifact.render()).map_err(|e| format!("{path}: {e}"))?;
         if !o.format.is_machine() {
             println!("  artifact written to {path}");
         }
+    }
+    if o.expect_hit && !artifact.hit {
+        return Err(format!(
+            "--expect-hit: no counterexample found (champion score {})",
+            artifact.score
+        ));
+    }
+    if o.expect_empty && artifact.hit {
+        return Err(format!(
+            "--expect-empty: found a counterexample (objective {}, score {}, {} crash entries)",
+            artifact.objective.name(),
+            artifact.score,
+            artifact.schedule.entries().len()
+        ));
     }
     Ok(())
 }
@@ -1162,6 +1269,166 @@ fn cmd_replay(o: &Opts) -> Result<(), String> {
         return Err(format!("{failures} replay substrate(s) diverged"));
     }
     Ok(())
+}
+
+/// Resolves `hunt portfolio run`'s argument: a registry name, or a path
+/// to a JSON portfolio spec.
+fn resolve_hunt_spec(arg: &str, smoke: bool) -> Result<HuntCampaignSpec, String> {
+    if let Some(spec) = ftc::chaos::campaigns::named(arg, smoke) {
+        return Ok(spec);
+    }
+    if std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
+        let json = ftc::sim::json::Json::parse(&text).map_err(|e| format!("{arg}: {e}"))?;
+        return HuntCampaignSpec::from_json(&json).map_err(|e| format!("{arg}: {e}"));
+    }
+    Err(format!(
+        "`{arg}` is neither a known portfolio ({}) nor a spec file",
+        ftc::chaos::campaigns::names().join("|")
+    ))
+}
+
+/// A portfolio-record argument: a file path if one exists there, else a
+/// store id or unique prefix (matched against `hunt`-kind records only).
+fn load_hunt_record_arg(store: &Store, arg: &str) -> Result<HuntCampaignRecord, String> {
+    let read = |path: &std::path::Path| -> Result<HuntCampaignRecord, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        HuntCampaignRecord::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let path = std::path::Path::new(arg);
+    if path.exists() {
+        return read(path);
+    }
+    let matches: Vec<String> = store
+        .list()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .filter(|e| e.kind == "hunt" && e.id.starts_with(arg))
+        .map(|e| e.id)
+        .collect();
+    match matches.len() {
+        1 => read(&store.dir().join(format!("{}.json", matches[0]))),
+        0 => Err(format!(
+            "no portfolio record matching `{arg}` in {}",
+            store.dir().display()
+        )),
+        k => Err(format!(
+            "`{arg}` is ambiguous ({k} portfolio records match)"
+        )),
+    }
+}
+
+fn print_hunt_record(record: &HuntCampaignRecord, format: Format) {
+    if format == Format::Json {
+        println!("{}", record.to_json(true).render());
+        return;
+    }
+    println!(
+        "portfolio {} (spec {}, git {})",
+        record.spec.name, record.spec_hash, record.git_rev
+    );
+    println!(
+        "  {:<28} {:>9} {:>6} {:>12} {:>5} {:>7} {:>8}",
+        "cell", "evaluated", "hits", "score", "hit", "shrunk", "wall_s"
+    );
+    for c in &record.cells {
+        println!(
+            "  {:<28} {:>9} {:>6} {:>12.1} {:>5} {:>3}->{:<3} {:>8.2}",
+            c.cell.label,
+            c.evaluated,
+            c.hits,
+            c.artifact.score,
+            if c.artifact.hit { "HIT" } else { "-" },
+            c.entries_before,
+            c.entries_after,
+            c.wall_s
+        );
+    }
+    println!(
+        "  coverage: {}/{} schedule-space buckets ({:.1}%), {} crash entries explored",
+        record.coverage.covered(),
+        ftc::chaos::coverage::BUCKETS,
+        record.coverage.fraction() * 100.0,
+        record.coverage.entries()
+    );
+}
+
+/// `ftc hunt portfolio <run|gate>`: campaign-scale adversary search.
+fn cmd_hunt_portfolio(o: &Opts) -> Result<(), String> {
+    let verb = o
+        .positional
+        .get(1)
+        .ok_or("hunt portfolio needs a verb: ftc hunt portfolio <run|gate> ...")?;
+    let store = Store::at(&o.store);
+    match verb.as_str() {
+        "run" => {
+            let arg = o
+                .positional
+                .get(2)
+                .ok_or("hunt portfolio run needs a portfolio name or spec file")?;
+            let spec = resolve_hunt_spec(arg, o.smoke)?;
+            let record = run_hunt_campaign(&spec, o.jobs)?;
+            let id = record.id();
+            store
+                .put_rendered(&id, &record.to_json(true).render())
+                .map_err(|e| e.to_string())?;
+            print_hunt_record(&record, o.format);
+            if o.format != Format::Json {
+                println!("  stored as {id} in {}", store.dir().display());
+            }
+            if let Some(floor) = o.min_coverage {
+                if record.coverage.fraction() < floor {
+                    return Err(format!(
+                        "--min-coverage: explored {:.3} of schedule space, floor is {floor}",
+                        record.coverage.fraction()
+                    ));
+                }
+            }
+            if o.expect_hit && record.hits() == 0 {
+                return Err("--expect-hit: no cell found a counterexample".into());
+            }
+            if o.expect_empty && record.hits() > 0 {
+                let hits: Vec<&str> = record
+                    .cells
+                    .iter()
+                    .filter(|c| c.hits > 0)
+                    .map(|c| c.cell.label.as_str())
+                    .collect();
+                return Err(format!(
+                    "--expect-empty: {} cell(s) found counterexamples: {}",
+                    hits.len(),
+                    hits.join(", ")
+                ));
+            }
+            Ok(())
+        }
+        "gate" => {
+            let base = load_hunt_record_arg(
+                &store,
+                &o.positional
+                    .get(2)
+                    .cloned()
+                    .ok_or("hunt portfolio gate needs a record id or file")?,
+            )?;
+            let fresh = run_hunt_campaign(&base.spec, o.jobs)?;
+            if fresh.deterministic_render() == base.deterministic_render() {
+                println!(
+                    "ok: portfolio {} reproduced bit-for-bit ({} cells, coverage {:.1}%)",
+                    base.id(),
+                    base.cells.len(),
+                    base.coverage.fraction() * 100.0
+                );
+                Ok(())
+            } else {
+                Err(format!(
+                    "portfolio drifted from baseline {}: fresh deterministic id is {}",
+                    base.id(),
+                    fresh.id()
+                ))
+            }
+        }
+        other => Err(format!("unknown hunt portfolio verb {other} (run|gate)")),
+    }
 }
 
 /// Parses `--substrate engine|channel[:W]|tcp[:W]|mesh[:P]` for `lab run`.
@@ -1290,14 +1557,23 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
             Ok(())
         }
         "list" => {
-            let entries = store.list().map_err(|e| e.to_string())?;
+            let entries: Vec<_> = store
+                .list()
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .filter(|e| o.kind.as_deref().is_none_or(|k| e.kind == k))
+                .collect();
             let mut w = o.format.is_machine().then(|| {
-                RowWriter::new(o.format, &["id", "spec_hash", "cells", "git_rev", "wall_s"])
+                RowWriter::new(
+                    o.format,
+                    &["id", "kind", "spec_hash", "cells", "git_rev", "wall_s"],
+                )
             });
             for e in &entries {
                 if let Some(w) = w.as_mut() {
                     w.emit(&[
                         Value::Str(e.id.clone()),
+                        Value::Str(e.kind.clone()),
                         Value::Str(e.spec_hash.clone()),
                         Value::UInt(e.cells as u64),
                         Value::Str(e.git_rev.clone()),
@@ -1305,8 +1581,8 @@ fn cmd_lab(o: &Opts) -> Result<(), String> {
                     ]);
                 } else {
                     println!(
-                        "{}  spec {}  {} cells  git {}  {:.2}s",
-                        e.id, e.spec_hash, e.cells, e.git_rev, e.wall_s
+                        "{}  [{}]  spec {}  {} cells  git {}  {:.2}s",
+                        e.id, e.kind, e.spec_hash, e.cells, e.git_rev, e.wall_s
                     );
                 }
             }
@@ -1547,7 +1823,11 @@ fn usage() -> &'static str {
      [--format human|csv|json] [--csv] [--jobs J] [--proto le|agree] \
      [--transport tcp|channel|mesh] [--workers W] [--procs P] [--recv-timeout SECS] \
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
-     [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE]\n\
+     [--strategy random|guided|anneal] [--budget B] [--probes P] [--out FILE] \
+     [--wire-faults] [--expect-hit|--expect-empty]\n\
+     ftc hunt portfolio run <name|spec.json> [--smoke] [--jobs J] [--store DIR] \
+     [--min-coverage F] [--expect-hit|--expect-empty] [--format human|json]\n\
+     ftc hunt portfolio gate <record|file> [--jobs J] [--store DIR]\n\
      ftc serve   [--n N] [--alpha A] [--seed S] [--heights H] [--kill-every K] \
      [--bystanders B] [--rejoin-after R] [--window W] [--substrate engine|channel:W|tcp:W|mesh:P] \
      [--inject-split-brain H] [--out DIR] [--format human|csv|json]\n\
@@ -1556,7 +1836,8 @@ fn usage() -> &'static str {
      ftc replay <artifact.json> [--transport tcp|channel|mesh] [--workers W] [--procs P]\n\
      ftc lab run <campaign|spec.json> [--smoke] [--jobs J] [--intra-jobs J] [--store DIR] \
      [--substrate engine|channel:W|tcp:W|mesh:P] [--format human|json]\n\
-     ftc lab list|show <id> [--store DIR]\n\
+     ftc lab list [--kind lab|hunt] [--store DIR]\n\
+     ftc lab show <id> [--store DIR]\n\
      ftc lab diff <baseline> <fresh> [--tolerance F]\n\
      ftc lab gate <baseline> [--jobs J] [--tolerance F]\n\
      ftc lab baseline [NAME] [--smoke] [--jobs J] [--intra-jobs J] [--out DIR]\n\
@@ -1811,6 +2092,84 @@ mod tests {
             ..o
         };
         cmd_cluster(&agree).unwrap();
+    }
+
+    #[test]
+    fn expectation_flags_parse_and_exclude_each_other() {
+        let o = parse_opts(&args("--expect-hit")).unwrap();
+        assert!(o.expect_hit && !o.expect_empty);
+        let o = parse_opts(&args("--expect-empty")).unwrap();
+        assert!(o.expect_empty && !o.expect_hit);
+        assert!(parse_opts(&args("--expect-hit --expect-empty")).is_err());
+        assert!(parse_opts(&args("--expect-empty --expect-hit")).is_err());
+        assert!(parse_opts(&args("--wire-faults")).unwrap().wire_faults);
+    }
+
+    #[test]
+    fn coverage_and_kind_flags_validate_their_values() {
+        let o = parse_opts(&args("--min-coverage 0.25")).unwrap();
+        assert_eq!(o.min_coverage, Some(0.25));
+        assert!(parse_opts(&args("--min-coverage 1.5")).is_err());
+        assert!(parse_opts(&args("--min-coverage -0.1")).is_err());
+        assert_eq!(parse_opts(&args("--kind hunt")).unwrap().kind.as_deref(), Some("hunt"));
+        assert_eq!(parse_opts(&args("--kind lab")).unwrap().kind.as_deref(), Some("lab"));
+        assert!(parse_opts(&args("--kind martian")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_portfolio_run_and_gate() {
+        let dir = std::env::temp_dir().join(format!("ftc-portfolio-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A one-cell portfolio file keeps this test fast while still
+        // driving spec resolution, the store round-trip, and the gate.
+        let spec = ftc::chaos::prelude::HuntCampaignSpec::new("cli-unit").cell(
+            ftc::chaos::prelude::HuntCellSpec {
+                label: "le-msgs".into(),
+                proto: ProtoKind::Le,
+                objective: Objective::MaxMessages,
+                strategy: Strategy::Random,
+                n: 16,
+                alpha: 0.5,
+                zeros: 0.05,
+                budget: 4,
+                probes: 1,
+                seed: 9,
+                wire: false,
+            },
+        );
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        std::fs::write(&spec_path, spec.to_json().render()).unwrap();
+        let store = dir.join("store");
+        let o = Opts {
+            positional: vec![
+                "portfolio".into(),
+                "run".into(),
+                spec_path.to_string_lossy().into_owned(),
+            ],
+            store: store.to_string_lossy().into_owned(),
+            jobs: 2,
+            min_coverage: Some(0.01),
+            expect_hit: true,
+            ..Opts::default()
+        };
+        cmd_hunt(&o).unwrap();
+        // The stored record gates clean against a fresh re-run, by id prefix.
+        let gate = Opts {
+            positional: vec!["portfolio".into(), "gate".into(), "cli-unit".into()],
+            store: store.to_string_lossy().into_owned(),
+            ..Opts::default()
+        };
+        cmd_hunt(&gate).unwrap();
+        // An unknown portfolio name is a clean error naming the registry.
+        let bad = Opts {
+            positional: vec!["portfolio".into(), "run".into(), "martian".into()],
+            store: store.to_string_lossy().into_owned(),
+            ..Opts::default()
+        };
+        let err = cmd_hunt(&bad).unwrap_err();
+        assert!(err.contains("adversary-portfolio"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   from n=8 to n=1024 on the same sans-I/O round core;
 //! * [`hunt`] — adversary search: hunts, shrinks, and replays worst-case
 //!   crash schedules as committed counterexample artifacts;
+//! * [`chaos`] — portfolio hunts at campaign scale: the full strategies ×
+//!   objectives × protocol grid as one self-describing record with a
+//!   schedule-space coverage figure, plus socket-level wire-fault search;
 //! * [`lab`] — declarative experiment campaigns: parameter grids over the
 //!   protocols, a content-addressed results store under `results/store/`,
 //!   cell-by-cell diffs with statistical tolerance bands, and the CI perf
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use ftc_baselines as baselines;
+pub use ftc_chaos as chaos;
 pub use ftc_core as core;
 pub use ftc_hunt as hunt;
 pub use ftc_lab as lab;
@@ -63,6 +67,7 @@ pub mod output;
 pub mod prelude {
     pub use crate::output::{emit_summaries, render_summaries, Format, RowWriter, Value};
     pub use ftc_baselines::prelude::*;
+    pub use ftc_chaos::prelude::*;
     pub use ftc_core::prelude::*;
     pub use ftc_hunt::prelude::*;
     pub use ftc_lab::{
