@@ -13,6 +13,7 @@
 //! | [`gilbert_kowalski`] | Gilbert–Kowalski SODA'10 `[24]` | `O(n)` | `O(log n)` | `n/2−1` | KT1 |
 //! | [`chlebus_kowalski`] | Chlebus–Kowalski SPAA'09 `[36]` | `O(n log n)` exp. | `O(log n)` exp. | linear | KT0 |
 //! | [`kutten_le`] | Kutten et al. TCS'15 `[21]` (fault-free) | `O(√n·log^{3/2}n)` | `O(1)` | none | KT0 |
+//! | [`diam_two_le`] | Chatterjee–Pandurangan–Robinson ICDCN'20 (hub relay, diameter-two) | `O(n·h)` | `O(1)` | none | KT0 |
 //! | [`cms`] | Chor–Merritt–Shmoys JACM'89 `[25]` | `Θ(n²)`/phase | `O(1)` expected | `< n/2` whp | KT0 |
 //! | [`augustine_agreement`] | Augustine–Molla–Pandurangan PODC'18 `[23]` (fault-free) | `O(√n·log^{3/2}n)` | `O(1)` | none | KT0 |
 
@@ -23,6 +24,7 @@ pub mod augustine_agreement;
 pub mod broadcast_le;
 pub mod chlebus_kowalski;
 pub mod cms;
+pub mod diam_two_le;
 pub mod flood_agreement;
 pub mod gilbert_kowalski;
 pub mod kutten_le;
@@ -37,6 +39,9 @@ pub mod prelude {
         gossip_round_budget, gossip_rounds, GossipNode, GossipOutcome,
     };
     pub use crate::cms::{cms_round_budget, CmsMsg, CmsNode, CmsOutcome, CMS_PHASES};
+    pub use crate::diam_two_le::{
+        diam_two_round_budget, DiamTwoLeNode, DiamTwoMsg, DiamTwoOutcome,
+    };
     pub use crate::flood_agreement::{flood_round_budget, FloodAgreeNode, FloodOutcome};
     pub use crate::gilbert_kowalski::{gk_round_budget, GkMsg, GkNode, GkOutcome};
     pub use crate::kutten_le::{kutten_round_budget, KuttenLeNode, KuttenMsg, KuttenOutcome};

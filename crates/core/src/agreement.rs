@@ -145,7 +145,9 @@ impl Protocol for AgreeNode {
         if !sampling::decide_candidate(ctx.rng(), &self.params) {
             return;
         }
-        let referees = sampling::sample_referee_ports(ctx.rng(), &self.params);
+        // Via the Ctx: identical RNG draws on the complete graph,
+        // degree-clamped on sparse topologies (see LeNode::on_start).
+        let referees = ctx.sample_ports(self.params.referee_count());
         let zero = !self.input;
         // Step 0: register with the referees — a 0-holder registers by
         // sending the 0 itself, a 1-holder sends a plain registration.

@@ -20,9 +20,27 @@ use rand::prelude::*;
 use rand::rngs::SmallRng;
 
 use ftc_sim::adversary::{Adversary, AdversaryView, CrashDirective, FaultySet, Tamper};
+use ftc_sim::engine::ConfigError;
 use ftc_sim::ids::NodeId;
 
 use crate::messages::{AgreeMsg, LeMsg};
+
+/// Checks a Byzantine corruption budget against the network size.
+///
+/// `FaultySet::random(n, b)` asserts `b <= n` deep inside a trial; callers
+/// that take `b` from a CLI or a campaign grid must reject oversized
+/// budgets *before* any trial runs, so the failure is a configuration
+/// error with context instead of a mid-trial panic.
+pub fn validate_budget(b: usize, n: u32) -> Result<(), ConfigError> {
+    if b as u64 > u64::from(n) {
+        Err(ConfigError::ByzantineBudgetExceedsN {
+            b: u32::try_from(b).unwrap_or(u32::MAX),
+            n,
+        })
+    } else {
+        Ok(())
+    }
+}
 
 /// Byzantine agreement attack: corrupted nodes flood forged `Zero`s.
 ///
@@ -47,6 +65,11 @@ impl ZeroForger {
             fanout: 8,
             rounds: 4,
         }
+    }
+
+    /// Rejects budgets that cannot fit an `n`-node network (`b > n`).
+    pub fn validate(&self, n: u32) -> Result<(), ConfigError> {
+        validate_budget(self.b, n)
     }
 }
 
@@ -115,6 +138,11 @@ impl EquivocatingClaimant {
             referees: Vec::new(),
             forged: (0, 0),
         }
+    }
+
+    /// Rejects budgets that cannot fit an `n`-node network (`b > n`).
+    pub fn validate(&self, n: u32) -> Result<(), ConfigError> {
+        validate_budget(self.b, n)
     }
 }
 
@@ -230,6 +258,26 @@ mod tests {
             }
         }
         assert!(broken >= 8, "equivocation rarely worked: {broken}/10");
+    }
+
+    #[test]
+    fn oversized_budgets_are_rejected_before_any_trial() {
+        // Regression: `b > n` used to surface as a mid-trial panic inside
+        // `FaultySet::random`; validation now catches it up front with a
+        // ConfigError carrying both numbers.
+        assert_eq!(
+            ZeroForger::new(17).validate(16),
+            Err(ConfigError::ByzantineBudgetExceedsN { b: 17, n: 16 })
+        );
+        assert_eq!(
+            EquivocatingClaimant::new(300).validate(256),
+            Err(ConfigError::ByzantineBudgetExceedsN { b: 300, n: 256 })
+        );
+        assert!(ZeroForger::new(16).validate(16).is_ok());
+        assert!(EquivocatingClaimant::new(0).validate(2).is_ok());
+        let msg = ConfigError::ByzantineBudgetExceedsN { b: 17, n: 16 }.to_string();
+        assert!(msg.contains("b=17"), "{msg}");
+        assert!(msg.contains("n=16"), "{msg}");
     }
 
     #[test]

@@ -389,7 +389,10 @@ impl Protocol for LeNode {
         }
         let n = ctx.n();
         let id = Rank::draw(ctx.rng(), n);
-        let referees = sampling::sample_referee_ports(ctx.rng(), &self.params);
+        // Drawn through the Ctx so the sample ranges over the node's
+        // actual ports: bit-identical to the historical complete-graph
+        // draw (degree = n-1 there), degree-clamped on sparse topologies.
+        let referees = ctx.sample_ports(self.params.referee_count());
         let mut rank_list = BTreeSet::new();
         rank_list.insert(id);
         for &p in &referees {

@@ -26,8 +26,10 @@ use ftc_sim::engine::{run_sharded, RunResult, SimConfig};
 use ftc_sim::ids::NodeId;
 use ftc_sim::json::{Json, JsonError};
 use ftc_sim::metrics::LogHistogram;
+use ftc_sim::perm::stream_seed;
 use ftc_sim::runner::{ParRunner, TrialPlan};
 use ftc_sim::stats::{fit_power_law, Summary};
+use ftc_sim::topology::Topology;
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 
@@ -138,13 +140,16 @@ impl ftc_sim::protocol::Protocol for BenchChatter {
     }
 }
 
-fn bench_adversary(adv: Adv, f: usize) -> Box<dyn Adversary<u64>> {
+/// Schedule-only adversaries (crash plans that never inspect protocol
+/// traffic) — usable with any message type. The engine bench and the
+/// topology baselines run these.
+fn schedule_adversary<M>(adv: Adv, f: usize) -> Box<dyn Adversary<M>> {
     match adv {
         Adv::None => Box::new(NoFaults),
         Adv::Eager => Box::new(EagerCrash::new(f)),
         Adv::Random(h) => Box::new(RandomCrash::new(f, h)),
         Adv::Targeted | Adv::AdaptiveKiller => {
-            panic!("the engine bench runs schedule-only adversaries (none|eager|random)")
+            panic!("this workload runs schedule-only adversaries (none|eager|random)")
         }
     }
 }
@@ -232,7 +237,11 @@ pub fn run_trial(
     substrate: LabSubstrate,
 ) -> Result<TrialValue, String> {
     let n = cell.n;
-    let cfg = SimConfig::new(n).seed(seed);
+    let mut cfg = SimConfig::new(n).seed(seed);
+    if !cell.topology.is_complete() {
+        cfg = cfg.topology(cell.topology.clone());
+    }
+    let cfg = cfg;
     let ij = substrate.intra_jobs();
     Ok(match &cell.workload {
         Workload::Le { adv } => {
@@ -407,6 +416,13 @@ pub fn run_trial(
             let r = run_sharded(&cfg, |_| KuttenLeNode::new(), &mut NoFaults, ij);
             value_of(&r, KuttenOutcome::evaluate(&r).success, vec![])
         }
+        Workload::LeDiamTwo { adv } => {
+            let f = ((1.0 - cell.alpha) * f64::from(n)) as usize;
+            let cfg = cfg.max_rounds(diam_two_round_budget());
+            let mut a = schedule_adversary(*adv, f);
+            let r = run_sharded(&cfg, |_| DiamTwoLeNode::new(), &mut *a, ij);
+            value_of(&r, DiamTwoOutcome::evaluate(&r).success, vec![])
+        }
         Workload::AgreeAugustine { zeros } => {
             let stride = input_stride(*zeros);
             let cfg = cfg.max_rounds(augustine_round_budget());
@@ -510,7 +526,7 @@ pub fn run_trial(
             if *p > 0.0 {
                 cfg = cfg.edge_failure_prob(*p);
             }
-            let mut a = bench_adversary(*adv, f);
+            let mut a = schedule_adversary(*adv, f);
             let r = run_sharded(
                 &cfg,
                 |_| BenchChatter {
@@ -640,6 +656,13 @@ impl CellResult {
             ("seed".into(), Json::UInt(self.cell.seed)),
             ("trials".into(), Json::UInt(self.cell.trials)),
             ("workload".into(), self.cell.workload.to_json()),
+        ];
+        // Matches CellSpec: complete-graph cells keep their historical
+        // shape (and therefore every committed record id).
+        if !self.cell.topology.is_complete() {
+            fields.push(("topology".into(), self.cell.topology.to_json()));
+        }
+        fields.extend(vec![
             ("successes".into(), Json::UInt(self.successes)),
             ("success_rate".into(), Json::Num(self.success_rate())),
             ("msgs".into(), self.msgs.to_json()),
@@ -657,7 +680,7 @@ impl CellResult {
                         .collect(),
                 ),
             ),
-        ];
+        ]);
         if diag {
             fields.push(("wall_s".into(), Json::Num(self.wall_s)));
             fields.push(("trials_per_s".into(), Json::Num(self.throughput())));
@@ -687,6 +710,10 @@ impl CellResult {
                 alpha: v.field("alpha")?.as_f64()?,
                 seed: v.field("seed")?.as_u64()?,
                 trials: v.field("trials")?.as_u64()?,
+                topology: match v.get("topology") {
+                    Some(t) => Topology::from_json(t)?,
+                    None => Topology::Complete,
+                },
             },
             successes: v.field("successes")?.as_u64()?,
             msgs: Summary::from_json(v.field("msgs")?)?,
@@ -716,9 +743,20 @@ pub fn run_cell(
         values.push(v.clone()?);
     }
     let wall_s = start.elapsed().as_secs_f64();
-    let summarise = |sel: &dyn Fn(&TrialValue) -> f64| {
-        Summary::try_of(&values.iter().map(sel).collect::<Vec<_>>())
-            .expect("cells have at least one trial")
+    // NaN is rejected at ingestion (`Summary::try_of`); name the cell,
+    // trial, and derived seed so a bad measurement replays directly
+    // instead of surfacing as a percentile-sort panic mid-campaign.
+    let summarise = |name: &str, sel: &dyn Fn(&TrialValue) -> f64| -> Result<Summary, String> {
+        let series: Vec<f64> = values.iter().map(sel).collect();
+        if let Some(i) = Summary::nan_index(&series) {
+            return Err(format!(
+                "cell `{}`: metric `{name}` is NaN at trial {i} (n={}, seed {:#018x})",
+                cell.label,
+                cell.n,
+                stream_seed(cell.seed, i as u64 + 1)
+            ));
+        }
+        Summary::try_of(&series).ok_or_else(|| format!("cell `{}` has no trials", cell.label))
     };
     let mut msgs_hist = LogHistogram::new();
     let mut rounds_hist = LogHistogram::new();
@@ -735,23 +773,23 @@ pub fn run_cell(
     let extras = extra_names
         .iter()
         .map(|name| {
-            let s = summarise(&|v: &TrialValue| {
+            let s = summarise(name, &|v: &TrialValue| {
                 v.extras
                     .iter()
                     .find(|(k, _)| k == name)
                     .map(|(_, x)| *x)
                     .unwrap_or(0.0)
-            });
-            (name.to_string(), s)
+            })?;
+            Ok((name.to_string(), s))
         })
-        .collect();
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(CellResult {
         cell: cell.clone(),
         successes: values.iter().filter(|v| v.success).count() as u64,
-        msgs: summarise(&|v| v.msgs as f64),
-        bits: summarise(&|v| v.bits as f64),
-        rounds: summarise(&|v| f64::from(v.rounds)),
-        crashes: summarise(&|v| v.crashes as f64),
+        msgs: summarise("msgs", &|v| v.msgs as f64)?,
+        bits: summarise("bits", &|v| v.bits as f64)?,
+        rounds: summarise("rounds", &|v| f64::from(v.rounds))?,
+        crashes: summarise("crashes", &|v| v.crashes as f64)?,
         msgs_hist,
         rounds_hist,
         extras,
@@ -969,6 +1007,43 @@ pub fn run_campaign(
     if let Some(cell) = spec.cells.iter().find(|c| c.trials == 0) {
         return Err(format!("cell `{}` has zero trials", cell.label));
     }
+    for cell in &spec.cells {
+        // Configuration errors must surface here, before any trial runs —
+        // a bad topology or an oversized Byzantine budget used to panic
+        // mid-trial deep inside the engine.
+        cell.topology
+            .validate(cell.n)
+            .map_err(|e| format!("cell `{}`: {e}", cell.label))?;
+        match cell.workload {
+            Workload::LeByzantine { b } => EquivocatingClaimant::new(b as usize).validate(cell.n),
+            Workload::AgreeByzantine { b } => ZeroForger::new(b as usize).validate(cell.n),
+            _ => Ok(()),
+        }
+        .map_err(|e| format!("cell `{}`: {e}", cell.label))?;
+        if !cell.topology.is_complete()
+            && matches!(
+                cell.workload,
+                Workload::Soak { .. } | Workload::SamplingLemmas { .. }
+            )
+        {
+            return Err(format!(
+                "cell `{}`: workload `{}` runs on the complete graph only",
+                cell.label,
+                cell.workload.tag()
+            ));
+        }
+        if matches!(cell.workload, Workload::LeDiamTwo { .. })
+            && !matches!(
+                cell.topology,
+                Topology::DiameterTwo { .. } | Topology::Complete
+            )
+        {
+            return Err(format!(
+                "cell `{}`: le_diam_two needs a diameter_two (or complete) topology",
+                cell.label
+            ));
+        }
+    }
     if !matches!(
         substrate,
         LabSubstrate::Engine | LabSubstrate::EngineSharded(_)
@@ -1171,6 +1246,101 @@ mod tests {
         assert!(run_campaign(&spec, 1, LabSubstrate::Engine).is_ok());
         // The sharded engine is still the engine: every workload runs.
         assert!(run_campaign(&spec, 1, LabSubstrate::EngineSharded(2)).is_ok());
+    }
+
+    #[test]
+    fn oversized_byzantine_budgets_fail_fast_with_context() {
+        // Regression: `b > n` used to panic mid-trial inside
+        // `FaultySet::random` ("cannot make 20 of 16 nodes faulty");
+        // run_campaign now rejects the cell before any trial runs.
+        for workload in [
+            Workload::AgreeByzantine { b: 20 },
+            Workload::LeByzantine { b: 20 },
+        ] {
+            let spec = CampaignSpec::new("byz-bad")
+                .cell(CellSpec::new(workload, 16, 0.5, 3, 2).label("byz"));
+            let err = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap_err();
+            assert!(err.contains("byz"), "{err}");
+            assert!(err.contains("b=20"), "{err}");
+            assert!(err.contains("n=16"), "{err}");
+        }
+        // Budgets within the network still run.
+        let ok = CampaignSpec::new("byz-ok").cell(CellSpec::new(
+            Workload::AgreeByzantine { b: 2 },
+            16,
+            0.5,
+            3,
+            2,
+        ));
+        assert!(run_campaign(&ok, 1, LabSubstrate::Engine).is_ok());
+    }
+
+    #[test]
+    fn topology_cells_run_and_round_trip() {
+        let spec = CampaignSpec::new("topo-unit")
+            .cell(
+                CellSpec::new(
+                    Workload::Le {
+                        adv: Adv::Random(10),
+                    },
+                    128,
+                    0.5,
+                    5,
+                    2,
+                )
+                .label("le/rr8")
+                .topology(Topology::RandomRegular { d: 8 }),
+            )
+            .cell(
+                CellSpec::new(Workload::LeDiamTwo { adv: Adv::None }, 128, 0.5, 7, 2)
+                    .label("cpr/diam2")
+                    .topology(Topology::DiameterTwo { clusters: 6 }),
+            );
+        let a = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap();
+        let b = run_campaign(&spec, 4, LabSubstrate::Engine).unwrap();
+        assert_eq!(a.deterministic_render(), b.deterministic_render());
+        // The diam-two baseline is fault-free here: it must elect.
+        assert_eq!(a.cells[1].successes, 2);
+        // Sparse cells move fewer messages than the same protocol on the
+        // complete graph would allow; the render must carry the topology.
+        assert!(a.deterministic_render().contains("random_regular"));
+        assert!(a.deterministic_render().contains("diameter_two"));
+        let back =
+            CampaignRecord::from_json(&Json::parse(&a.deterministic_render()).unwrap()).unwrap();
+        assert_eq!(back.id(), a.id());
+        assert_eq!(
+            back.cells[0].cell.topology,
+            Topology::RandomRegular { d: 8 }
+        );
+    }
+
+    #[test]
+    fn invalid_topologies_fail_fast_with_context() {
+        // d > n-1 cannot wire; the error names the cell, not a panic site.
+        let spec = CampaignSpec::new("topo-bad").cell(
+            CellSpec::new(Workload::LeKutten, 8, 0.5, 3, 2)
+                .label("bad")
+                .topology(Topology::RandomRegular { d: 9 }),
+        );
+        let err = run_campaign(&spec, 1, LabSubstrate::Engine).unwrap_err();
+        assert!(err.contains("bad"), "{err}");
+        // Workloads that never touch the sim engine reject non-complete
+        // topologies instead of silently ignoring them.
+        let soak = CampaignSpec::new("topo-soak").cell(
+            CellSpec::new(
+                Workload::Soak {
+                    heights: 5,
+                    kill_every: 2,
+                    rejoin_after: 2,
+                },
+                16,
+                0.5,
+                3,
+                1,
+            )
+            .topology(Topology::DiameterTwo { clusters: 4 }),
+        );
+        assert!(run_campaign(&soak, 1, LabSubstrate::Engine).is_err());
     }
 
     #[test]

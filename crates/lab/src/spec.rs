@@ -10,6 +10,7 @@
 //! records with the same spec hash measured the same experiment.
 
 use ftc_sim::json::{Json, JsonError};
+use ftc_sim::topology::Topology;
 
 /// Which crash schedule a cell runs under. Mirrors the schedules the
 /// figure binaries always used; `AdaptiveKiller` is the model-boundary
@@ -146,6 +147,14 @@ pub enum Workload {
     },
     /// E9: Kutten et al. fault-free leader election.
     LeKutten,
+    /// Topology-aware baseline: hub-relay leader election on the
+    /// diameter-two topology (Chatterjee–Pandurangan–Robinson style).
+    /// Requires the cell's topology to be `DiameterTwo` (or `Complete`,
+    /// where every node acts as a hub).
+    LeDiamTwo {
+        /// Crash schedule (schedule-only: none/eager/random).
+        adv: Adv,
+    },
     /// E9: Augustine et al. fault-free agreement.
     AgreeAugustine {
         /// Fraction of 0-inputs.
@@ -223,6 +232,7 @@ impl Workload {
             Workload::LeImplicitExplicitBudget => "le_implicit_xbudget",
             Workload::AgreeExplicit { .. } => "agree_explicit",
             Workload::LeKutten => "le_kutten",
+            Workload::LeDiamTwo { .. } => "le_diam_two",
             Workload::AgreeAugustine { .. } => "agree_augustine",
             Workload::MultiValue { .. } => "multi_value",
             Workload::Flood { .. } => "flood",
@@ -238,7 +248,9 @@ impl Workload {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![("kind".to_string(), Json::Str(self.tag().into()))];
         match self {
-            Workload::Le { adv } => fields.push(("adv".into(), adv.to_json())),
+            Workload::Le { adv } | Workload::LeDiamTwo { adv } => {
+                fields.push(("adv".into(), adv.to_json()))
+            }
             Workload::Agree { zeros, adv } => {
                 fields.push(("zeros".into(), Json::Num(*zeros)));
                 fields.push(("adv".into(), adv.to_json()));
@@ -332,6 +344,9 @@ impl Workload {
                 zeros: v.field("zeros")?.as_f64()?,
             }),
             "le_kutten" => Ok(Workload::LeKutten),
+            "le_diam_two" => Ok(Workload::LeDiamTwo {
+                adv: Adv::from_json(v.field("adv")?)?,
+            }),
             "agree_augustine" => Ok(Workload::AgreeAugustine {
                 zeros: v.field("zeros")?.as_f64()?,
             }),
@@ -385,6 +400,11 @@ pub struct CellSpec {
     pub seed: u64,
     /// Trials in this cell.
     pub trials: u64,
+    /// Network graph the trials run on. `Complete` is the default and is
+    /// omitted from the JSON form, so pre-topology specs — and therefore
+    /// every committed complete-graph spec hash and record id — are
+    /// unchanged.
+    pub topology: Topology,
 }
 
 impl CellSpec {
@@ -397,6 +417,7 @@ impl CellSpec {
             alpha,
             seed,
             trials,
+            topology: Topology::Complete,
         }
     }
 
@@ -406,16 +427,26 @@ impl CellSpec {
         self
     }
 
+    /// Overrides the topology (builder style).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// JSON encoding.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("label".into(), Json::Str(self.label.clone())),
             ("workload".into(), self.workload.to_json()),
             ("n".into(), Json::UInt(u64::from(self.n))),
             ("alpha".into(), Json::Num(self.alpha)),
             ("seed".into(), Json::UInt(self.seed)),
             ("trials".into(), Json::UInt(self.trials)),
-        ])
+        ];
+        if !self.topology.is_complete() {
+            fields.push(("topology".into(), self.topology.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// Decodes from the [`CellSpec::to_json`] form.
@@ -427,6 +458,10 @@ impl CellSpec {
             alpha: v.field("alpha")?.as_f64()?,
             seed: v.field("seed")?.as_u64()?,
             trials: v.field("trials")?.as_u64()?,
+            topology: match v.get("topology") {
+                Some(t) => Topology::from_json(t)?,
+                None => Topology::Complete,
+            },
         })
     }
 }
@@ -697,6 +732,7 @@ mod tests {
             Workload::LeImplicitExplicitBudget,
             Workload::AgreeExplicit { zeros: 0.05 },
             Workload::LeKutten,
+            Workload::LeDiamTwo { adv: Adv::Eager },
             Workload::AgreeAugustine { zeros: 0.0625 },
             Workload::MultiValue { k: 4096 },
             Workload::Flood { faults: 127 },
@@ -754,6 +790,35 @@ mod tests {
         assert_eq!(input_stride(0.05), 20);
         assert_eq!(input_stride(1.0 / 7.0), 7);
         assert_eq!(input_stride(1.0), 1);
+    }
+
+    #[test]
+    fn complete_cells_render_without_a_topology_field() {
+        // Committed complete-graph spec hashes must not move: the
+        // `topology` key only appears for non-complete cells.
+        let spec = sample_spec();
+        assert!(!spec.to_json().render().contains("topology"));
+        let back =
+            CampaignSpec::from_json(&Json::parse(&spec.to_json().render()).unwrap()).unwrap();
+        assert!(back.cells.iter().all(|c| c.topology.is_complete()));
+        assert_eq!(back.hash(), spec.hash());
+    }
+
+    #[test]
+    fn topology_cells_round_trip_and_shift_the_hash() {
+        let base = sample_spec();
+        let mut spec = sample_spec();
+        spec.cells[0] = spec.cells[0]
+            .clone()
+            .topology(Topology::DiameterTwo { clusters: 8 });
+        spec.cells[1] = spec.cells[1]
+            .clone()
+            .topology(Topology::RandomRegular { d: 6 });
+        assert_ne!(spec.hash(), base.hash());
+        let back =
+            CampaignSpec::from_json(&Json::parse(&spec.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.hash(), spec.hash());
     }
 
     #[test]

@@ -39,6 +39,30 @@ pub type ProcLinks = Vec<Option<mio::net::TcpStream>>;
 /// A single-proc fabric is valid and opens no sockets (all traffic is
 /// proc-local).
 pub fn build(procs: usize) -> io::Result<Vec<ProcLinks>> {
+    let links = build_where(procs, |_, _| true)?;
+    // The load-bearing scaling claim, enforced rather than assumed.
+    let opened = links
+        .iter()
+        .map(|mine| mine.iter().filter(|l| l.is_some()).count())
+        .sum::<usize>()
+        / 2;
+    assert_eq!(
+        opened,
+        socket_count(procs),
+        "fabric must open exactly one socket per proc pair"
+    );
+    Ok(links)
+}
+
+/// Like [`build`], but only opens a socket for the proc pairs `(u, v)`,
+/// `u < v`, where `need(u, v)` is true — the topology-aware fabric. A
+/// pair of procs with no model edge crossing between them shares no
+/// traffic, so it gets no socket; writes towards a missing link are a
+/// runtime bug and panic in the mesh loop rather than vanishing.
+pub fn build_where(
+    procs: usize,
+    need: impl Fn(usize, usize) -> bool,
+) -> io::Result<Vec<ProcLinks>> {
     if procs == 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -62,12 +86,14 @@ pub fn build(procs: usize) -> io::Result<Vec<ProcLinks>> {
     let mut links: Vec<ProcLinks> = (0..procs)
         .map(|_| (0..procs).map(|_| None).collect())
         .collect();
-    let mut opened = 0usize;
     for v in 1..procs {
         // Indexing is the clearest shape here: each iteration writes both
         // halves of the pair, links[u][v] and links[v][u].
         #[allow(clippy::needless_range_loop)]
         for u in 0..v {
+            if !need(u, v) {
+                continue;
+            }
             let dialed = TcpStream::connect(addrs[v])?;
             dialed.set_nodelay(true)?;
             (&dialed).write_all(&(u as u32).to_le_bytes())?;
@@ -84,15 +110,8 @@ pub fn build(procs: usize) -> io::Result<Vec<ProcLinks>> {
             }
             links[u][v] = Some(mio::net::TcpStream::from_std(dialed));
             links[v][u] = Some(mio::net::TcpStream::from_std(accepted));
-            opened += 1;
         }
     }
-    // The load-bearing scaling claim, enforced rather than assumed.
-    assert_eq!(
-        opened,
-        socket_count(procs),
-        "fabric must open exactly one socket per proc pair"
-    );
     Ok(links)
 }
 
@@ -133,6 +152,22 @@ mod tests {
             }
         }
         assert_eq!(&buf, b"pair");
+    }
+
+    #[test]
+    fn gated_fabric_opens_only_the_requested_pairs() {
+        // Ring of 4 procs: pairs (0,1), (1,2), (2,3), (0,3) — the
+        // diagonal pairs (0,2) and (1,3) carry no traffic and get no
+        // socket.
+        let ring = |u: usize, v: usize| v - u == 1 || (u == 0 && v == 3);
+        let links = build_where(4, ring).unwrap();
+        for (p, mine) in links.iter().enumerate() {
+            for (q, link) in mine.iter().enumerate() {
+                let (lo, hi) = (p.min(q), p.max(q));
+                let expect = p != q && ring(lo, hi);
+                assert_eq!(link.is_some(), expect, "pair ({p},{q})");
+            }
+        }
     }
 
     #[test]

@@ -57,8 +57,31 @@ use ftc_sim::ids::NodeId;
 use ftc_sim::payload::Wire;
 use ftc_sim::protocol::Protocol;
 
+use ftc_sim::round::topology_seed;
+
 use crate::fabric::{self, ProcLinks};
 use crate::wire::{EnvelopeDecoder, WriteBuf};
+
+/// Opens the proc-pair fabric for `cfg`. On the complete graph every
+/// pair of procs shares traffic, so this is plain [`fabric::build`]; on
+/// a sparse topology a pair gets a socket only when some model edge
+/// crosses between its procs' node slices — the mesh analogue of the TCP
+/// runtime opening one connection per topology edge.
+fn build_links(cfg: &SimConfig, procs: usize) -> io::Result<Vec<ProcLinks>> {
+    if cfg.topology.is_complete() || procs <= 1 {
+        return fabric::build(procs);
+    }
+    let edges = cfg.topology.edge_set(cfg.n, topology_seed(cfg));
+    let mut crossed = vec![false; procs * procs];
+    edges.for_each_edge(|u, v| {
+        let (p, q) = (u as usize % procs, v as usize % procs);
+        if p != q {
+            crossed[p * procs + q] = true;
+            crossed[q * procs + p] = true;
+        }
+    });
+    fabric::build_where(procs, |p, q| crossed[p * procs + q])
+}
 
 /// How long one readiness wait lasts before the proc re-checks its write
 /// buffers and the timeout clock. Short enough to keep flush retries
@@ -174,7 +197,7 @@ where
     assert!(cfg.max_rounds > 0, "cluster runs need at least one round");
     let nn = cfg.n as usize;
     let procs = procs.clamp(1, nn.min(fabric::MAX_MESH_PROCS));
-    let links = fabric::build(procs)?;
+    let links = build_links(cfg, procs)?;
 
     let mut coord = CoordinatorCore::<P::Msg>::new(cfg, height, adversary);
 
@@ -671,6 +694,54 @@ mod tests {
             assert!(net.net.frames_sent > 0);
             assert_eq!(net.run.metrics.wire_bytes, net.net.wire_bytes);
         }
+    }
+
+    #[test]
+    fn mesh_replays_the_engine_on_sparse_topologies() {
+        use ftc_sim::topology::Topology;
+        // The gated fabric (sockets only where a model edge crosses
+        // between proc slices) must not change a single bit of the run,
+        // at any proc count.
+        for topology in [
+            Topology::DiameterTwo { clusters: 3 },
+            Topology::RandomRegular { d: 4 },
+        ] {
+            let cfg = SimConfig::new(16)
+                .seed(21)
+                .max_rounds(10)
+                .topology(topology.clone());
+            let sim = run(&cfg, chatter, &mut NoFaults);
+            for procs in [1, 3, 8] {
+                let net = run_over_mesh(&cfg, procs, chatter, &mut NoFaults).expect("fabric");
+                assert_matches_engine(&net, &sim);
+            }
+        }
+    }
+
+    #[test]
+    fn gated_fabric_skips_proc_pairs_with_no_crossing_edge() {
+        use ftc_sim::topology::Topology;
+        use std::sync::Arc;
+        // Two disjoint components {0,1} and {2,3} on 4 procs (one node
+        // per proc): only pairs (0,1) and (2,3) ever share traffic, so
+        // only they get sockets — and the run still replays the engine.
+        let split = Topology::Explicit {
+            adjacency: Arc::new(vec![vec![1], vec![0], vec![3], vec![2]]),
+        };
+        let cfg = SimConfig::new(4)
+            .seed(2)
+            .max_rounds(6)
+            .topology(split.clone());
+        let links = build_links(&cfg, 4).expect("fabric");
+        for (p, mine) in links.iter().enumerate() {
+            for (q, link) in mine.iter().enumerate() {
+                let expect = matches!((p.min(q), p.max(q)), (0, 1) | (2, 3));
+                assert_eq!(link.is_some(), expect, "pair ({p},{q})");
+            }
+        }
+        let sim = run(&cfg, chatter, &mut NoFaults);
+        let net = run_over_mesh(&cfg, 4, chatter, &mut NoFaults).expect("fabric");
+        assert_matches_engine(&net, &sim);
     }
 
     #[test]

@@ -55,12 +55,22 @@ use ftc_sim::engine::{RunResult, SimConfig};
 use ftc_sim::ids::NodeId;
 use ftc_sim::payload::Wire;
 use ftc_sim::protocol::Protocol;
+use ftc_sim::round::topology_seed;
+use ftc_sim::topology::EdgeSet;
 
 use crate::channel::{self};
 use crate::core::{Command, CoordinatorCore, RoundCore, Submission};
 use crate::fault::{FrameDedup, WireFaultPlan};
 use crate::tcp;
 use crate::transport::{Endpoint, RECV_TIMEOUT};
+
+/// The run's edge oracle: which links the TCP mesh must open. The
+/// channel transport needs no counterpart — its sender registry is O(n)
+/// regardless of the graph (there is no per-edge resource to gate), and
+/// the coordinator only ever routes frames along topology edges.
+fn edge_set_of(cfg: &SimConfig) -> EdgeSet {
+    cfg.topology.edge_set(cfg.n, topology_seed(cfg))
+}
 
 /// Transport-level accounting of one cluster run, on top of the model
 /// metrics in [`RunResult`].
@@ -224,7 +234,7 @@ where
     F: FnMut(NodeId) -> P,
     A: Adversary<P::Msg> + ?Sized,
 {
-    let endpoints = tcp::mesh_with_timeout(cfg.n, recv_timeout)?;
+    let endpoints = tcp::mesh_on(&edge_set_of(cfg), recv_timeout)?;
     Ok(run_over(cfg, workers, factory, adversary, endpoints))
 }
 
@@ -242,7 +252,7 @@ where
     F: FnMut(NodeId) -> P,
     A: Adversary<P::Msg> + ?Sized,
 {
-    let endpoints = tcp::mesh_with_timeout(cfg.n, RECV_TIMEOUT)?;
+    let endpoints = tcp::mesh_on(&edge_set_of(cfg), RECV_TIMEOUT)?;
     Ok(run_over_wired(
         cfg,
         workers,
@@ -269,7 +279,7 @@ where
     F: FnMut(NodeId) -> P,
     A: Adversary<P::Msg> + ?Sized,
 {
-    let endpoints = tcp::mesh_with_timeout(cfg.n, recv_timeout)?;
+    let endpoints = tcp::mesh_on(&edge_set_of(cfg), recv_timeout)?;
     Ok(run_over_at_height(
         cfg, workers, factory, adversary, endpoints, height,
     ))
@@ -723,6 +733,28 @@ mod tests {
         let net = run_over_tcp(&cfg, 4, chatter, &mut net_adv).expect("tcp mesh");
         assert_matches_engine(&cfg, &net, &sim);
         assert!(net.net.wire_bytes > 0);
+    }
+
+    #[test]
+    fn runs_replay_the_engine_on_sparse_topologies() {
+        use ftc_sim::topology::Topology;
+        // The gated runtimes must stay bit-identical to the engine off
+        // the complete graph too — over real sockets (opening only the
+        // topology's links) and over channels alike.
+        for topology in [
+            Topology::DiameterTwo { clusters: 3 },
+            Topology::RandomRegular { d: 4 },
+        ] {
+            let cfg = SimConfig::new(12)
+                .seed(17)
+                .max_rounds(10)
+                .topology(topology);
+            let sim = run(&cfg, chatter, &mut NoFaults);
+            let tcp = run_over_tcp(&cfg, 3, chatter, &mut NoFaults).expect("tcp mesh");
+            assert_matches_engine(&cfg, &tcp, &sim);
+            let chan = run_over_channel(&cfg, 4, chatter, &mut NoFaults);
+            assert_matches_engine(&cfg, &chan, &sim);
+        }
     }
 
     #[test]

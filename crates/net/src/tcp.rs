@@ -1,11 +1,13 @@
 //! The localhost TCP transport: real sockets, real bytes.
 //!
-//! [`mesh`] builds a full mesh of TCP connections over `127.0.0.1` — one
-//! bidirectional connection per undirected edge, exactly the complete
-//! network of the model. Each endpoint spawns one reader thread per peer
-//! link; readers decode length-prefixed [`Frame`]s and funnel them into the
-//! endpoint's intake queue, so the owning node sees a single merged stream
-//! (per-link FIFO preserved, which is all the synchronizer needs).
+//! [`mesh_on`] builds a mesh of TCP connections over `127.0.0.1` — one
+//! bidirectional connection per undirected edge of the run's topology
+//! ([`EdgeSet`]), so a sparse graph opens exactly its own links;
+//! [`mesh`] is the complete-graph special case. Each endpoint spawns one
+//! reader thread per open link; readers decode length-prefixed [`Frame`]s
+//! and funnel them into the endpoint's intake queue, so the owning node
+//! sees a single merged stream (per-link FIFO preserved, which is all the
+//! synchronizer needs).
 //!
 //! Crash teardown calls `shutdown` on every link of the crashed node: bytes
 //! already written are still delivered (TCP flushes queued data before the
@@ -36,6 +38,7 @@ use std::thread;
 use std::time::Duration;
 
 use ftc_sim::ids::NodeId;
+use ftc_sim::topology::{EdgeSet, Topology};
 
 use crate::frame::Frame;
 use crate::transport::{Endpoint, RECV_TIMEOUT};
@@ -90,6 +93,20 @@ pub fn mesh(n: u32) -> io::Result<Vec<TcpEndpoint>> {
 /// Like [`mesh`], but every endpoint's `recv` gives up after
 /// `recv_timeout` instead of the default [`RECV_TIMEOUT`].
 pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEndpoint>> {
+    mesh_on(&Topology::Complete.edge_set(n, 0), recv_timeout)
+}
+
+/// Builds the TCP mesh of exactly the links in `edges` — the
+/// topology-aware constructor: a sparse graph pays sockets and reader
+/// threads for its own edges, not for `K_n`'s. [`mesh_with_timeout`] is
+/// this with the complete edge set.
+///
+/// A send across a non-edge fails with [`io::ErrorKind::NotConnected`]
+/// ("no link to ..."), which is correct: the model can never route a
+/// message over an edge the topology does not have, so such a send is a
+/// runtime bug, not a network event.
+pub fn mesh_on(edges: &EdgeSet, recv_timeout: Duration) -> io::Result<Vec<TcpEndpoint>> {
+    let n = edges.n();
     if n < 2 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -122,10 +139,14 @@ pub fn mesh_with_timeout(n: u32, recv_timeout: Duration) -> io::Result<Vec<TcpEn
         (0..nn).map(|_| (0..nn).map(|_| None).collect()).collect();
     let mut readers: Vec<Vec<thread::JoinHandle<()>>> = (0..nn).map(|_| Vec::new()).collect();
 
-    // Dial the upper triangle: u → v for u < v, one connection per edge,
-    // accepting immediately after each dial so no listener backlog builds.
+    // Dial the upper triangle: u → v for u < v, one connection per
+    // *existing* edge, accepting immediately after each dial so no
+    // listener backlog builds.
     for v in 1..nn {
         for u in 0..v {
+            if !edges.has_edge(u as u32, v as u32) {
+                continue;
+            }
             let dialed = TcpStream::connect(addrs[v])?;
             dialed.set_nodelay(true)?;
             (&dialed).write_all(&(u as u32).to_le_bytes())?;
@@ -349,6 +370,25 @@ mod tests {
             ep.teardown();
             assert!(ep.readers.is_empty());
         }
+    }
+
+    #[test]
+    fn sparse_mesh_opens_only_the_topology_links() {
+        // The 4-node path 0–1–2–3: each endpoint gets one reader per
+        // incident edge, real edges move frames, and a send across a
+        // non-edge is a loud NotConnected — never a silent drop.
+        let path = Topology::Explicit {
+            adjacency: std::sync::Arc::new(vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]),
+        };
+        let mut eps = mesh_on(&path.edge_set(4, 0), RECV_TIMEOUT).unwrap();
+        let degrees: Vec<usize> = eps.iter().map(|ep| ep.readers.len()).collect();
+        assert_eq!(degrees, [1, 2, 2, 1]);
+        let f = frame(0, 1, 0, b"along the path");
+        eps[1].send(NodeId(2), &f).unwrap();
+        assert_eq!(eps[2].recv().unwrap(), f);
+        let err = eps[0].send(NodeId(3), &f).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotConnected);
+        assert!(err.to_string().contains("no link to"), "{err}");
     }
 
     #[test]

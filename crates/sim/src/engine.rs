@@ -33,6 +33,7 @@ use crate::node::NodeHarness;
 use crate::ports::PortMap;
 use crate::protocol::{Incoming, Protocol};
 use crate::round::{network_ports, resolve_sends_into, ControlCore};
+use crate::topology::Topology;
 use crate::trace::Trace;
 
 /// Rejected [`SimConfig`] parameters, reported before anything runs.
@@ -48,6 +49,42 @@ pub enum ConfigError {
         /// The offending probability.
         p: f64,
     },
+    /// Diameter-two hub count outside `1..=n`.
+    ClustersOutOfRange {
+        /// The offending hub count.
+        clusters: u32,
+        /// Network size it was checked against.
+        n: u32,
+    },
+    /// Random-regular degree outside `1..=n-1`, or `n·d` odd (no such
+    /// graph exists).
+    DegreeOutOfRange {
+        /// The offending degree.
+        d: u32,
+        /// Network size it was checked against.
+        n: u32,
+    },
+    /// Explicit adjacency with the wrong number of neighbour lists.
+    AdjacencyWrongLength {
+        /// Number of lists supplied.
+        lists: u32,
+        /// Network size it was checked against.
+        n: u32,
+    },
+    /// Explicit adjacency list that is empty, unsorted, self-looping,
+    /// out of range, or asymmetric at `node`.
+    BadAdjacency {
+        /// First node whose list violates the invariants.
+        node: u32,
+    },
+    /// A Byzantine adversary was configured with more faulty nodes than
+    /// the network holds.
+    ByzantineBudgetExceedsN {
+        /// Requested faulty-node budget.
+        b: u32,
+        /// Network size it was checked against.
+        n: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -58,6 +95,37 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EdgeFailureOutOfRange { p } => {
                 write!(f, "edge failure probability must be in [0, 1), got {p}")
+            }
+            ConfigError::ClustersOutOfRange { clusters, n } => {
+                write!(
+                    f,
+                    "diameter-two hub count must be in 1..={n}, got {clusters}"
+                )
+            }
+            ConfigError::DegreeOutOfRange { d, n } => {
+                write!(
+                    f,
+                    "random-regular degree must be in 1..={max} with n·d even, \
+                     got d={d} at n={n}",
+                    max = n.saturating_sub(1)
+                )
+            }
+            ConfigError::AdjacencyWrongLength { lists, n } => {
+                write!(f, "explicit adjacency has {lists} lists for {n} nodes")
+            }
+            ConfigError::BadAdjacency { node } => {
+                write!(
+                    f,
+                    "explicit adjacency invalid at node {node}: lists must be \
+                     sorted, self-free, symmetric, in range, and non-empty"
+                )
+            }
+            ConfigError::ByzantineBudgetExceedsN { b, n } => {
+                write!(
+                    f,
+                    "byzantine budget b={b} exceeds network size n={n}; \
+                     at most n nodes can be faulty"
+                )
             }
         }
     }
@@ -103,6 +171,10 @@ pub struct SimConfig {
     /// experiment E13 to probe the protocols' robustness towards
     /// incomplete topologies (open question 2).
     pub edge_failure_prob: f64,
+    /// The network graph (default [`Topology::Complete`], the paper's
+    /// model). Non-complete topologies wire each node's ports over its
+    /// actual neighbours; see [`crate::topology`].
+    pub topology: Topology,
 }
 
 impl SimConfig {
@@ -138,6 +210,7 @@ impl SimConfig {
             congest_bits: None,
             send_cap: None,
             edge_failure_prob: 0.0,
+            topology: Topology::Complete,
         })
     }
 
@@ -152,7 +225,7 @@ impl SimConfig {
                 p: self.edge_failure_prob,
             });
         }
-        Ok(())
+        self.topology.validate(self.n)
     }
 
     /// Sets the master seed.
@@ -204,6 +277,21 @@ impl SimConfig {
             "edge failure prob must be in [0,1)"
         );
         self.edge_failure_prob = p;
+        self
+    }
+
+    /// Sets the network graph (see [`crate::topology::Topology`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is invalid for this network size; front
+    /// ends that want a recoverable error should set the field and call
+    /// [`SimConfig::validate`].
+    pub fn topology(mut self, topology: Topology) -> Self {
+        topology
+            .validate(self.n)
+            .unwrap_or_else(|e| panic!("invalid topology for n={}: {e}", self.n));
+        self.topology = topology;
         self
     }
 }
@@ -325,7 +413,10 @@ where
 
     let ports = network_ports(cfg);
     let mut nodes: Vec<NodeHarness<P>> = (0..n)
-        .map(|i| NodeHarness::new(cfg, NodeId(i), factory(NodeId(i))))
+        .map(|i| {
+            let id = NodeId(i);
+            NodeHarness::with_ports(cfg, id, factory(id), ports[id.index()].clone())
+        })
         .collect();
     let mut core = ControlCore::new(cfg, adversary);
 

@@ -52,7 +52,7 @@ pub struct JsonError {
 }
 
 impl JsonError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         JsonError {
             message: message.into(),
         }
@@ -510,8 +510,13 @@ impl FaultPlan {
 
 impl SimConfig {
     /// JSON encoding of every configuration knob.
+    ///
+    /// The `topology` field is appended only for non-complete graphs:
+    /// complete-graph configurations render byte-identically to the
+    /// pre-topology schema, which is what keeps every committed
+    /// content-addressed record id stable.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("n".into(), Json::UInt(u64::from(self.n))),
             ("seed".into(), Json::UInt(self.seed)),
             ("max_rounds".into(), Json::UInt(u64::from(self.max_rounds))),
@@ -531,7 +536,11 @@ impl SimConfig {
                 "edge_failure_prob".into(),
                 Json::Num(self.edge_failure_prob),
             ),
-        ])
+        ];
+        if !self.topology.is_complete() {
+            fields.push(("topology".into(), self.topology.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// Decodes and validates a configuration from its
@@ -552,6 +561,10 @@ impl SimConfig {
             other => Some(other.as_u64()? as u32),
         };
         cfg.edge_failure_prob = v.field("edge_failure_prob")?.as_f64()?;
+        // Absent field = complete graph (the pre-topology schema).
+        if let Some(t) = v.get("topology") {
+            cfg.topology = crate::topology::Topology::from_json(t)?;
+        }
         cfg.validate().map_err(|e| JsonError::new(e.to_string()))?;
         Ok(cfg)
     }
@@ -869,11 +882,47 @@ mod tests {
         assert_eq!(back.congest_bits, cfg.congest_bits);
         assert_eq!(back.send_cap, cfg.send_cap);
         assert_eq!(back.edge_failure_prob, cfg.edge_failure_prob);
-        // A plain default config round-trips too (None options).
+        // A plain default config round-trips too (None options), and its
+        // rendering carries NO topology field — the pre-topology schema,
+        // which keeps committed record ids stable.
         let plain = SimConfig::new(8);
-        let back = SimConfig::from_json(&Json::parse(&plain.to_json().render()).unwrap()).unwrap();
+        let text = plain.to_json().render();
+        assert!(
+            !text.contains("topology"),
+            "complete graph must stay schema-invisible: {text}"
+        );
+        let back = SimConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.send_cap, None);
         assert_eq!(back.congest_bits, None);
+        assert!(back.topology.is_complete());
+    }
+
+    #[test]
+    fn sim_config_round_trips_topologies() {
+        use crate::topology::Topology;
+        let topos = [
+            Topology::DiameterTwo { clusters: 5 },
+            Topology::RandomRegular { d: 4 },
+            Topology::Explicit {
+                adjacency: std::sync::Arc::new(vec![vec![1], vec![0, 2], vec![1]]),
+            },
+        ];
+        for topo in topos {
+            let n = if matches!(topo, Topology::Explicit { .. }) {
+                3
+            } else {
+                16
+            };
+            let cfg = SimConfig::new(n).seed(7).topology(topo.clone());
+            let back =
+                SimConfig::from_json(&Json::parse(&cfg.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back.topology, topo);
+        }
+        // An invalid topology is rejected at decode time by validate().
+        let text = r#"{"n":4,"seed":0,"max_rounds":8,"kt1":false,"record_trace":false,
+            "congest_bits":null,"send_cap":null,"edge_failure_prob":0.0,
+            "topology":{"kind":"random_regular","d":9}}"#;
+        assert!(SimConfig::from_json(&Json::parse(text).unwrap()).is_err());
     }
 
     /// Encode→decode identity for arbitrary summaries, including floats

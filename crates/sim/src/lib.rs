@@ -67,6 +67,7 @@ pub mod protocol;
 pub mod round;
 pub mod runner;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 /// Convenient glob import for simulator users.
@@ -89,5 +90,6 @@ pub mod prelude {
         TrialOutcome, TrialPlan,
     };
     pub use crate::stats::Summary;
+    pub use crate::topology::{EdgeSet, Topology};
     pub use crate::trace::{Trace, TraceEvent};
 }

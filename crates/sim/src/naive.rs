@@ -108,11 +108,16 @@ impl NaiveCore {
             outgoing[i] = t
                 .sends
                 .into_iter()
-                .map(|(dst, msg)| Envelope {
-                    src: t.node,
-                    dst,
-                    dst_port: ports[dst.index()].port_to(t.node),
-                    msg,
+                .filter_map(|(dst, msg)| {
+                    // Forged sends along non-edges are dropped, exactly as
+                    // in the optimised control core.
+                    let dst_port = ports[dst.index()].try_port_to(t.node)?;
+                    Some(Envelope {
+                        src: t.node,
+                        dst,
+                        dst_port,
+                        msg,
+                    })
                 })
                 .collect();
         }
@@ -414,6 +419,22 @@ mod tests {
         }
         if meta.random_bool(0.4) {
             cfg = cfg.congest_bits([64u32, 128][meta.random_range(0..2usize)]);
+        }
+        // A third of the cases leave the complete graph: the sparse agenda
+        // engine and the dense oracle must also agree on hub and
+        // random-regular wirings.
+        match meta.random_range(0..3u32) {
+            0 => {}
+            1 => {
+                let clusters = meta.random_range(1..=n);
+                cfg = cfg.topology(crate::topology::Topology::DiameterTwo { clusters });
+            }
+            _ => {
+                let d = 2 * meta.random_range(1..4u32);
+                if d <= n - 1 {
+                    cfg = cfg.topology(crate::topology::Topology::RandomRegular { d });
+                }
+            }
         }
 
         let kind = meta.random_range(0..4u32);

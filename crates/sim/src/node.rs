@@ -66,12 +66,35 @@ impl<P: Protocol> NodeHarness<P> {
     /// engine run of the same configuration.
     pub fn new(cfg: &SimConfig, node: NodeId, state: P) -> Self {
         let topology_seed = stream_seed(cfg.seed, SALT_TOPOLOGY);
+        // Independent construction regenerates the node's wiring from the
+        // topology; fine for the socket runtimes' network sizes. Drivers
+        // that already built [`crate::round::network_ports`] should hand
+        // the map in via [`NodeHarness::with_ports`] instead.
+        let adjacency = cfg.topology.adjacency(cfg.n, topology_seed);
+        let ports = PortMap::with_wiring(
+            cfg.n,
+            node,
+            topology_seed,
+            cfg.topology.wiring_of(node, adjacency.as_ref()),
+        );
+        Self::with_ports(cfg, node, state, ports)
+    }
+
+    /// Like [`NodeHarness::new`] but adopts a prebuilt port map — the
+    /// engine builds all `n` maps once via
+    /// [`crate::round::network_ports`] and hands them out, so list
+    /// topologies are generated once per run instead of once per node.
+    ///
+    /// `ports` must be the map [`NodeHarness::new`] would derive for
+    /// `(cfg, node)`; handing in anything else forfeits replay equality
+    /// with independently constructed harnesses.
+    pub fn with_ports(cfg: &SimConfig, node: NodeId, state: P, ports: PortMap) -> Self {
         let node_seed_base = stream_seed(cfg.seed, SALT_NODES);
         NodeHarness {
             node,
             n: cfg.n,
             kt1: cfg.kt1,
-            ports: PortMap::new(cfg.n, node, topology_seed),
+            ports,
             rng: SmallRng::seed_from_u64(stream_seed(node_seed_base, u64::from(node.0))),
             state,
             send_cap: cfg.send_cap,

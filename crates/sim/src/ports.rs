@@ -1,18 +1,42 @@
-//! KT0 port wiring for a complete network.
+//! KT0 port wiring over the configured topology.
 //!
-//! Every node `u` of a complete `n`-node network has `n-1` ports. The KT0
-//! model (Section II of the paper) stipulates that the assignment of
-//! neighbours to ports is a uniformly random permutation unknown to the
-//! node. [`PortMap`] realises one such permutation per node, backed by the
-//! lazy [`crate::perm::Perm`] so that the whole wiring costs `O(1)` memory
-//! per node regardless of `n`.
+//! Every node `u` has one local port per *neighbour* — `n-1` of them on
+//! the complete graph, `deg(u)` in general. The KT0 model (Section II of
+//! the paper) stipulates that the assignment of neighbours to ports is a
+//! uniformly random permutation unknown to the node. [`PortMap`] realises
+//! one such permutation per node, backed by the lazy [`crate::perm::Perm`]
+//! so that closed-form topologies (complete, hub) cost `O(1)` memory per
+//! node regardless of `n`; list topologies share one `Arc` per neighbour
+//! list.
+//!
+//! On [`crate::topology::Topology::Complete`] the permutation seed, the
+//! skip-self encoding, and every `peer`/`port_to` result are bit-identical
+//! to the pre-topology engine — that invariant is what keeps all committed
+//! Complete-graph record ids stable.
+
+use std::sync::Arc;
 
 use crate::ids::{NodeId, Port};
 use crate::perm::{stream_seed, Perm};
 
+/// How one node's ports attach to the graph: the shape its permutation
+/// ranges over.
+#[derive(Clone, Debug)]
+pub(crate) enum Wiring {
+    /// Adjacent to all `n-1` other nodes (complete graph, or a hub of the
+    /// diameter-two topology). Peers use the skip-self encoding.
+    Complete,
+    /// A non-hub of the diameter-two topology: adjacent to exactly the
+    /// hub nodes `0..clusters` (the node itself is `>= clusters`).
+    Hub { clusters: u32 },
+    /// An explicit sorted neighbour list (random-regular or explicit
+    /// adjacency).
+    List(Arc<[u32]>),
+}
+
 /// The port permutation of a single node.
 ///
-/// Maps local ports `0..n-1` to the node's `n-1` neighbours and back.
+/// Maps local ports `0..degree` to the node's neighbours and back.
 ///
 /// ```
 /// use ftc_sim::ports::PortMap;
@@ -27,11 +51,16 @@ use crate::perm::{stream_seed, Perm};
 pub struct PortMap {
     node: NodeId,
     n: u32,
+    degree: u32,
+    seed: u64,
     perm: Perm,
+    wiring: Wiring,
 }
 
 impl PortMap {
-    /// Builds node `node`'s port permutation in an `n`-node network.
+    /// Builds node `node`'s port permutation in a *complete* `n`-node
+    /// network. Topology-aware callers go through
+    /// [`crate::round::network_ports`], which hands each node its wiring.
     ///
     /// `topology_seed` determines the wiring of the *whole* network; each
     /// node derives an independent permutation from it, which matches the
@@ -42,46 +71,115 @@ impl PortMap {
     ///
     /// Panics if `n < 2` or `node.0 >= n`.
     pub fn new(n: u32, node: NodeId, topology_seed: u64) -> Self {
-        assert!(n >= 2, "a complete network needs at least two nodes");
-        assert!(node.0 < n, "node {node} outside network of size {n}");
-        let perm = Perm::new(
-            u64::from(n) - 1,
-            stream_seed(topology_seed, 0x5057_0000 ^ u64::from(node.0)),
-        );
-        PortMap { node, n, perm }
+        Self::with_wiring(n, node, topology_seed, Wiring::Complete)
     }
 
-    /// Number of ports (`n-1`).
+    /// Builds the port permutation of `node` over an explicit wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics — deterministically, with the node and topology seed in the
+    /// message so a hunt that trips it replays — if the wiring is
+    /// degenerate (`n < 2`, node out of range, or zero degree).
+    pub(crate) fn with_wiring(n: u32, node: NodeId, topology_seed: u64, wiring: Wiring) -> Self {
+        assert!(n >= 2, "a complete network needs at least two nodes");
+        assert!(node.0 < n, "node {node} outside network of size {n}");
+        let degree = match &wiring {
+            Wiring::Complete => n - 1,
+            Wiring::Hub { clusters } => *clusters,
+            Wiring::List(list) => list.len() as u32,
+        };
+        assert!(
+            degree >= 1,
+            "node {node} has no neighbours (n={n}, topology seed {topology_seed:#018x})"
+        );
+        let perm = Perm::new(
+            u64::from(degree),
+            stream_seed(topology_seed, 0x5057_0000 ^ u64::from(node.0)),
+        );
+        PortMap {
+            node,
+            n,
+            degree,
+            seed: topology_seed,
+            perm,
+            wiring,
+        }
+    }
+
+    /// Number of ports — the node's degree (`n-1` on the complete graph).
     pub fn port_count(&self) -> u32 {
-        self.n - 1
+        self.degree
     }
 
     /// The neighbour reached through `port`.
     ///
     /// # Panics
     ///
-    /// Panics if `port` is out of range.
+    /// Panics if `port` is out of range; the message carries the node,
+    /// degree, and topology seed so the failure replays deterministically.
     pub fn peer(&self, port: Port) -> NodeId {
-        assert!(port.0 < self.n - 1, "port {port} out of range");
+        assert!(
+            port.0 < self.degree,
+            "port {port} out of range at node {node} (degree {degree}, topology seed {seed:#018x})",
+            node = self.node,
+            degree = self.degree,
+            seed = self.seed,
+        );
         let k = self.perm.apply(u64::from(port.0)) as u32;
-        // Skip-self encoding: neighbour indices `0..n-1` exclude `self.node`.
-        NodeId(if k < self.node.0 { k } else { k + 1 })
+        match &self.wiring {
+            // Skip-self encoding: neighbour indices `0..n-1` exclude
+            // `self.node`.
+            Wiring::Complete => NodeId(if k < self.node.0 { k } else { k + 1 }),
+            // Non-hub neighbours are exactly the hubs `0..clusters`, and
+            // the node itself is outside that range — no skip needed.
+            Wiring::Hub { .. } => NodeId(k),
+            Wiring::List(list) => NodeId(list[k as usize]),
+        }
+    }
+
+    /// The local port through which neighbour `peer` is reached, or
+    /// `None` if the graph has no `(self, peer)` edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is this node itself or out of range — those are
+    /// caller bugs, not topology facts.
+    pub fn try_port_to(&self, peer: NodeId) -> Option<Port> {
+        assert!(peer.0 < self.n, "peer {peer} outside network");
+        assert_ne!(peer, self.node, "a node has no port to itself");
+        let k = match &self.wiring {
+            Wiring::Complete => Some(if peer.0 < self.node.0 {
+                peer.0
+            } else {
+                peer.0 - 1
+            }),
+            Wiring::Hub { clusters } => (peer.0 < *clusters).then_some(peer.0),
+            Wiring::List(list) => list.binary_search(&peer.0).ok().map(|i| i as u32),
+        }?;
+        Some(Port(self.perm.invert(u64::from(k)) as u32))
     }
 
     /// The local port through which neighbour `peer` is reached.
     ///
     /// # Panics
     ///
-    /// Panics if `peer` is this node itself or out of range.
+    /// Panics if `peer` is this node itself, out of range, or not adjacent
+    /// to this node; the non-edge message carries both endpoints and the
+    /// topology seed so the failure is a replayable artifact.
     pub fn port_to(&self, peer: NodeId) -> Port {
-        assert!(peer.0 < self.n, "peer {peer} outside network");
-        assert_ne!(peer, self.node, "a node has no port to itself");
-        let k = if peer.0 < self.node.0 {
-            peer.0
-        } else {
-            peer.0 - 1
-        };
-        Port(self.perm.invert(u64::from(k)) as u32)
+        self.try_port_to(peer).unwrap_or_else(|| {
+            panic!(
+                "node {node} has no edge to {peer} (topology seed {seed:#018x})",
+                node = self.node,
+                seed = self.seed,
+            )
+        })
+    }
+
+    /// Iterates over this node's neighbours in port order.
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.degree).map(move |p| self.peer(Port(p)))
     }
 }
 
@@ -131,6 +229,47 @@ mod tests {
     }
 
     #[test]
+    fn hub_wiring_permutes_exactly_the_hubs() {
+        let (n, clusters) = (12u32, 4u32);
+        let pm = PortMap::with_wiring(n, NodeId(7), 3, Wiring::Hub { clusters });
+        assert_eq!(pm.port_count(), clusters);
+        let mut peers: Vec<u32> = pm.neighbors().map(|p| p.0).collect();
+        peers.sort_unstable();
+        assert_eq!(peers, vec![0, 1, 2, 3]);
+        for h in 0..clusters {
+            let port = pm.port_to(NodeId(h));
+            assert_eq!(pm.peer(port), NodeId(h));
+        }
+        assert_eq!(pm.try_port_to(NodeId(5)), None, "non-hubs are not adjacent");
+    }
+
+    #[test]
+    fn list_wiring_permutes_exactly_the_list() {
+        let list: Arc<[u32]> = Arc::from([1u32, 4, 9].as_slice());
+        let pm = PortMap::with_wiring(10, NodeId(6), 11, Wiring::List(list.clone()));
+        assert_eq!(pm.port_count(), 3);
+        let mut peers: Vec<u32> = pm.neighbors().map(|p| p.0).collect();
+        peers.sort_unstable();
+        assert_eq!(peers, vec![1, 4, 9]);
+        for &v in list.iter() {
+            assert_eq!(pm.peer(pm.port_to(NodeId(v))), NodeId(v));
+        }
+        assert_eq!(pm.try_port_to(NodeId(2)), None);
+        assert_eq!(pm.try_port_to(NodeId(8)), None);
+    }
+
+    #[test]
+    fn non_edge_panic_is_replayable() {
+        let pm = PortMap::with_wiring(8, NodeId(5), 0xABCD, Wiring::Hub { clusters: 2 });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pm.port_to(NodeId(6))))
+            .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("node n5"), "{msg}");
+        assert!(msg.contains("no edge to n6"), "{msg}");
+        assert!(msg.contains("0x000000000000abcd"), "seed missing: {msg}");
+    }
+
+    #[test]
     #[should_panic(expected = "no port to itself")]
     fn port_to_self_panics() {
         PortMap::new(4, NodeId(2), 0).port_to(NodeId(2));
@@ -140,5 +279,11 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oversized_port_panics() {
         PortMap::new(4, NodeId(0), 0).peer(Port(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbours")]
+    fn zero_degree_wiring_panics_with_context() {
+        PortMap::with_wiring(4, NodeId(1), 9, Wiring::List(Arc::from([].as_slice())));
     }
 }

@@ -51,9 +51,10 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.n
     }
 
-    /// Number of local ports (`n - 1`).
+    /// Number of local ports — this node's degree (`n - 1` on the
+    /// complete graph).
     pub fn port_count(&self) -> u32 {
-        self.n - 1
+        self.ports.port_count()
     }
 
     /// The current round, starting from `0` (the `on_start` round).
@@ -107,32 +108,34 @@ impl<'a, M: Payload> Ctx<'a, M> {
     ///
     /// Panics if `port` is out of range.
     pub fn send(&mut self, port: Port, msg: M) {
-        assert!(port.0 < self.n - 1, "port {port} out of range");
+        assert!(port.0 < self.ports.port_count(), "port {port} out of range");
         self.outbox.push((port, msg));
     }
 
-    /// Sends `msg` to every port (a full local broadcast, `n-1` messages).
+    /// Sends `msg` to every port (a full local broadcast — one message
+    /// per neighbour, `n-1` on the complete graph).
     pub fn broadcast(&mut self, msg: M) {
-        for p in 0..self.n - 1 {
+        for p in 0..self.ports.port_count() {
             self.outbox.push((Port(p), msg.clone()));
         }
     }
 
-    /// A uniformly random port — i.e. a uniformly random *other* node,
-    /// which is how the paper's protocols sample referees.
+    /// A uniformly random port — a uniformly random *neighbour*, which on
+    /// the complete graph is a uniformly random other node (how the
+    /// paper's protocols sample referees).
     pub fn random_port(&mut self) -> Port {
-        Port(self.rng.random_range(0..self.n - 1))
+        Port(self.rng.random_range(0..self.ports.port_count()))
     }
 
-    /// Samples `k` distinct ports uniformly at random (without replacement).
+    /// Samples `min(k, port_count)` distinct ports uniformly at random
+    /// (without replacement).
     ///
-    /// # Panics
-    ///
-    /// Panics if `k > n - 1`.
+    /// `k` is clamped to the node's degree so protocols written for the
+    /// complete graph (e.g. referee counts in `Θ(√(n log n))`) degrade
+    /// gracefully on sparse topologies instead of panicking.
     pub fn sample_ports(&mut self, k: usize) -> Vec<Port> {
-        let count = (self.n - 1) as usize;
-        assert!(k <= count, "cannot sample {k} of {count} ports");
-        rand::seq::index::sample(self.rng, count, k)
+        let count = self.ports.port_count() as usize;
+        rand::seq::index::sample(self.rng, count, k.min(count))
             .into_iter()
             .map(|i| Port(i as u32))
             .collect()

@@ -52,8 +52,17 @@ pub fn topology_seed(cfg: &SimConfig) -> u64 {
 /// centrally (the engine, the net coordinator) build one of these.
 pub fn network_ports(cfg: &SimConfig) -> Vec<PortMap> {
     let seed = topology_seed(cfg);
+    let adjacency = cfg.topology.adjacency(cfg.n, seed);
     (0..cfg.n)
-        .map(|i| PortMap::new(cfg.n, NodeId(i), seed))
+        .map(|i| {
+            let node = NodeId(i);
+            PortMap::with_wiring(
+                cfg.n,
+                node,
+                seed,
+                cfg.topology.wiring_of(node, adjacency.as_ref()),
+            )
+        })
         .collect()
 }
 
@@ -461,15 +470,18 @@ impl ControlCore {
             outgoing[i] = t
                 .sends
                 .into_iter()
-                .map(|(dst, msg)| {
+                .filter_map(|(dst, msg)| {
                     assert!(dst.0 < n, "forged message to node outside network");
                     assert_ne!(dst, t.node, "forged message to self");
-                    Envelope {
+                    // Even a Byzantine node can only use edges that exist:
+                    // forged sends along non-edges are dropped silently.
+                    let dst_port = ports[dst.index()].try_port_to(t.node)?;
+                    Some(Envelope {
                         src: t.node,
                         dst,
-                        dst_port: ports[dst.index()].port_to(t.node),
+                        dst_port,
                         msg,
-                    }
+                    })
                 })
                 .collect();
         }

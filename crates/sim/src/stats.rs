@@ -59,14 +59,26 @@ impl Summary {
     }
 
     /// Non-panicking variant of [`Summary::of`]: `None` for an empty
-    /// sample. Front ends that accept a user-supplied trial count should
-    /// use this (an empty batch is a config error, not a crash site).
+    /// sample **or one containing a NaN**. Front ends that accept a
+    /// user-supplied trial count should use this (an empty batch is a
+    /// config error, not a crash site), and aggregation pipelines should
+    /// use it so that one NaN metric from a timeout-flagged trial is
+    /// rejected at ingestion — with [`Summary::nan_index`] naming the
+    /// offending trial — instead of panicking mid-batch deep inside the
+    /// percentile sort.
     pub fn try_of(values: &[f64]) -> Option<Self> {
-        if values.is_empty() {
+        if values.is_empty() || Self::nan_index(values).is_some() {
             None
         } else {
             Some(Summary::of(values))
         }
+    }
+
+    /// Index of the first NaN in `values`, if any — the diagnostic
+    /// companion to [`Summary::try_of`]: callers aggregating per-trial
+    /// metrics map the index back to a trial number and seed.
+    pub fn nan_index(values: &[f64]) -> Option<usize> {
+        values.iter().position(|v| v.is_nan())
     }
 
     /// Summarises any iterator of numbers convertible to `f64`.
@@ -245,6 +257,19 @@ mod tests {
         let s = Summary::try_of(&[2.0, 4.0]).unwrap();
         assert_eq!(s.mean, 3.0);
         assert_eq!(Summary::try_of_iter([2.0f64, 4.0]).unwrap().mean, 3.0);
+    }
+
+    /// Regression: a NaN metric (e.g. from a timeout-flagged trial) used
+    /// to panic inside the percentile sort (`expect("NaN in sample")`),
+    /// taking the whole aggregation batch down. `try_of` now rejects it
+    /// at ingestion and `nan_index` names the offending position.
+    #[test]
+    fn try_of_rejects_nan_instead_of_panicking() {
+        let poisoned = [3.0, f64::NAN, 5.0];
+        assert_eq!(Summary::try_of(&poisoned), None);
+        assert_eq!(Summary::nan_index(&poisoned), Some(1));
+        assert_eq!(Summary::nan_index(&[3.0, 5.0]), None);
+        assert_eq!(Summary::try_of(&[f64::NAN]), None);
     }
 
     #[test]

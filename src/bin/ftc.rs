@@ -109,6 +109,9 @@ struct Opts {
     min_coverage: Option<f64>,
     /// `lab list`: only records of this kind (`lab`|`hunt`).
     kind: Option<String>,
+    /// `le`/`agree`/`cluster`: the network graph
+    /// (`complete` | `diam2:<clusters>` | `rr:<d>`).
+    topology: Topology,
     /// Non-flag arguments (e.g. the artifact path for `replay`).
     positional: Vec<String>,
 }
@@ -154,9 +157,41 @@ impl Default for Opts {
             expect_empty: false,
             min_coverage: None,
             kind: None,
+            topology: Topology::Complete,
             positional: Vec::new(),
         }
     }
+}
+
+/// Parses `--topology`: `complete`, `diam2:<clusters>` (the hub graph),
+/// or `rr:<d>` (a seeded random `d`-regular graph). Shape parameters are
+/// validated against `--n` when the command builds its `SimConfig`, not
+/// here — parse time does not know the final `n`.
+fn parse_topology(s: &str) -> Result<Topology, String> {
+    if s == "complete" {
+        return Ok(Topology::Complete);
+    }
+    if let Some(c) = s.strip_prefix("diam2:") {
+        let clusters = c.parse().map_err(|e| format!("--topology diam2: {e}"))?;
+        return Ok(Topology::DiameterTwo { clusters });
+    }
+    if let Some(d) = s.strip_prefix("rr:") {
+        let d = d.parse().map_err(|e| format!("--topology rr: {e}"))?;
+        return Ok(Topology::RandomRegular { d });
+    }
+    Err(format!(
+        "unknown topology {s} (complete | diam2:<clusters> | rr:<d>)"
+    ))
+}
+
+/// Applies `--topology` to a config, validating the shape against `--n`
+/// first (the builder panics on invalid shapes; the CLI wants an error).
+fn with_topology(o: &Opts, cfg: SimConfig) -> Result<SimConfig, String> {
+    if o.topology.is_complete() {
+        return Ok(cfg);
+    }
+    o.topology.validate(o.n).map_err(|e| e.to_string())?;
+    Ok(cfg.topology(o.topology.clone()))
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -194,6 +229,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--adversary" => {
                 o.adversary = value(i)?.clone();
+                i += 2;
+            }
+            "--topology" => {
+                o.topology = parse_topology(value(i)?)?;
                 i += 2;
             }
             "--caps" => {
@@ -460,9 +499,12 @@ fn agree_adversary(kind: &str, f: usize) -> Result<Box<dyn Adversary<AgreeMsg>>,
 fn cmd_le(o: &Opts) -> Result<(), String> {
     let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
     let f = params.max_faults();
-    let cfg = SimConfig::new(o.n)
-        .seed(o.seed)
-        .max_rounds(params.le_round_budget());
+    let cfg = with_topology(
+        o,
+        SimConfig::new(o.n)
+            .seed(o.seed)
+            .max_rounds(params.le_round_budget()),
+    )?;
     let mut writer = o.format.is_machine().then(|| {
         RowWriter::new(
             o.format,
@@ -507,8 +549,8 @@ fn cmd_le(o: &Opts) -> Result<(), String> {
     let rounds = Summary::of_iter(results.iter().map(|t| f64::from(t.value.2.rounds)));
     if writer.is_none() {
         println!(
-            "leader election: n={} alpha={} adversary={} trials={}",
-            o.n, o.alpha, o.adversary, o.trials
+            "leader election: n={} alpha={} adversary={} topology={} trials={}",
+            o.n, o.alpha, o.adversary, o.topology, o.trials
         );
         println!("  success: {successes}/{}", o.trials);
         println!("  messages: mean {:.0} (p95 {:.0})", msgs.mean, msgs.p95);
@@ -531,9 +573,12 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
     } else {
         (1.0 / o.zeros).round().max(1.0) as u32
     };
-    let cfg = SimConfig::new(o.n)
-        .seed(o.seed)
-        .max_rounds(params.agreement_round_budget());
+    let cfg = with_topology(
+        o,
+        SimConfig::new(o.n)
+            .seed(o.seed)
+            .max_rounds(params.agreement_round_budget()),
+    )?;
     let mut writer = o.format.is_machine().then(|| {
         RowWriter::new(
             o.format,
@@ -578,8 +623,8 @@ fn cmd_agree(o: &Opts) -> Result<(), String> {
     let msgs = Summary::of_iter(results.iter().map(|t| t.value.2.msgs_sent as f64));
     if writer.is_none() {
         println!(
-            "agreement: n={} alpha={} zeros={} adversary={} trials={}",
-            o.n, o.alpha, o.zeros, o.adversary, o.trials
+            "agreement: n={} alpha={} zeros={} adversary={} topology={} trials={}",
+            o.n, o.alpha, o.zeros, o.adversary, o.topology, o.trials
         );
         println!("  success: {successes}/{}", o.trials);
         println!("  messages: mean {:.0} (bits ≈ 2x)", msgs.mean);
@@ -675,8 +720,9 @@ struct ClusterTrial {
 fn cluster_trial(o: &Opts, seed: u64) -> Result<ClusterTrial, String> {
     let params = Params::new(o.n, o.alpha).map_err(|e| e.to_string())?;
     let f = params.max_faults();
-    // Validate size before any sockets are opened (n < 2 etc.).
-    let base = SimConfig::try_new(o.n).map_err(|e| e.to_string())?;
+    // Validate size and graph before any sockets are opened (n < 2 etc.);
+    // the gated transports then only dial the topology's edges.
+    let base = with_topology(o, SimConfig::try_new(o.n).map_err(|e| e.to_string())?)?;
     match o.proto.as_str() {
         "le" => {
             let cfg = base.seed(seed).max_rounds(params.le_round_budget());
@@ -1819,7 +1865,8 @@ fn report_diff(
 fn usage() -> &'static str {
     "usage: ftc <le|agree|sweep|trace|cluster|serve|loadgen|hunt|replay> [--n N] [--alpha A] \
      [--seed S] [--trials T] [--zeros Z] \
-     [--adversary none|eager|random|targeted] [--caps c1,c2,none] \
+     [--adversary none|eager|random|targeted] [--topology complete|diam2:<c>|rr:<d>] \
+     [--caps c1,c2,none] \
      [--format human|csv|json] [--csv] [--jobs J] [--proto le|agree] \
      [--transport tcp|channel|mesh] [--workers W] [--procs P] [--recv-timeout SECS] \
      [--objective two-leaders|disagreement|failure|max-messages|max-rounds] \
@@ -1941,6 +1988,27 @@ mod tests {
         assert!(serve_config(&o)
             .unwrap_err()
             .contains("past the last height"));
+    }
+
+    #[test]
+    fn topology_flag_parses_and_is_validated_against_n() {
+        let o = parse_opts(&args("--n 128 --topology diam2:6")).unwrap();
+        assert_eq!(o.topology, Topology::DiameterTwo { clusters: 6 });
+        assert!(with_topology(&o, SimConfig::new(o.n)).is_ok());
+        let o = parse_opts(&args("--n 128 --topology rr:8")).unwrap();
+        assert_eq!(o.topology, Topology::RandomRegular { d: 8 });
+        assert_eq!(
+            parse_opts(&[]).unwrap().topology,
+            Topology::Complete,
+            "the paper's model stays the default"
+        );
+        // Junk shapes die at parse time, impossible parameters at
+        // config time — with the ConfigError's context, not a panic.
+        assert!(parse_opts(&args("--topology torus")).is_err());
+        assert!(parse_opts(&args("--topology rr:x")).is_err());
+        let o = parse_opts(&args("--n 8 --topology rr:9")).unwrap();
+        let err = with_topology(&o, SimConfig::new(o.n)).unwrap_err();
+        assert!(err.contains("degree"), "{err}");
     }
 
     #[test]
@@ -2111,8 +2179,14 @@ mod tests {
         assert_eq!(o.min_coverage, Some(0.25));
         assert!(parse_opts(&args("--min-coverage 1.5")).is_err());
         assert!(parse_opts(&args("--min-coverage -0.1")).is_err());
-        assert_eq!(parse_opts(&args("--kind hunt")).unwrap().kind.as_deref(), Some("hunt"));
-        assert_eq!(parse_opts(&args("--kind lab")).unwrap().kind.as_deref(), Some("lab"));
+        assert_eq!(
+            parse_opts(&args("--kind hunt")).unwrap().kind.as_deref(),
+            Some("hunt")
+        );
+        assert_eq!(
+            parse_opts(&args("--kind lab")).unwrap().kind.as_deref(),
+            Some("lab")
+        );
         assert!(parse_opts(&args("--kind martian")).is_err());
     }
 
